@@ -1,0 +1,194 @@
+(* Command-line front end for the D-DEMOS library.
+
+     ddemos run       simulate a complete election (full or modeled)
+     ddemos liveness  print Theorem 1 / Table I bounds for parameters
+     ddemos ballot    print a voter's ballot for a given setup seed
+
+   The benchmark harness that regenerates the paper's figures lives in
+   bench/main.exe (see EXPERIMENTS.md). *)
+
+module Types = Ddemos.Types
+module Ea = Ddemos.Ea
+module Election = Ddemos.Election
+module Auditor = Ddemos.Auditor
+module Liveness = Ddemos.Liveness
+module Stats = Dd_sim.Stats
+
+open Cmdliner
+
+(* --- shared options ---------------------------------------------------- *)
+
+let voters =
+  Arg.(value & opt int 10 & info [ "voters"; "n" ] ~docv:"N" ~doc:"Number of registered voters.")
+
+let options_ =
+  Arg.(value & opt int 3 & info [ "options"; "m" ] ~docv:"M" ~doc:"Number of election options.")
+
+let nv = Arg.(value & opt int 4 & info [ "vc" ] ~docv:"NV" ~doc:"Number of vote collector nodes.")
+
+let fv =
+  Arg.(value & opt int 1 & info [ "fv" ] ~docv:"FV" ~doc:"Tolerated Byzantine VC nodes (Nv >= 3fv+1).")
+
+let seed =
+  Arg.(value & opt string "ddemos" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic run seed.")
+
+let cfg_of ~voters ~m ~nv ~fv =
+  { Types.default_config with
+    Types.n_voters = voters; Types.m_options = m; Types.nv; Types.fv }
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let turnout =
+    Arg.(value & opt int 0
+         & info [ "turnout" ] ~docv:"K" ~doc:"Voters actually casting (default: all).")
+  in
+  let modeled =
+    Arg.(value & flag
+         & info [ "modeled" ]
+           ~doc:"Skip the real cryptography (PRF ballots, MAC authenticators); \
+                 scales to millions of voters.")
+  in
+  let byzantine =
+    Arg.(value & opt int 0
+         & info [ "byzantine" ] ~docv:"B" ~doc:"Number of VC nodes made silently faulty.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients"; "cc" ] ~docv:"CC" ~doc:"Concurrent voting clients.")
+  in
+  let wan = Arg.(value & flag & info [ "wan" ] ~doc:"Add 25 ms WAN latency between machines.") in
+  let audit = Arg.(value & flag & info [ "audit" ] ~doc:"Run the full audit afterwards (full-crypto runs).") in
+  let run voters m nv fv seed turnout modeled byzantine clients wan audit =
+    let cfg = cfg_of ~voters ~m ~nv ~fv in
+    (match Types.validate_config cfg with
+     | Error e -> prerr_endline ("invalid configuration: " ^ e); exit 1
+     | Ok () -> ());
+    let turnout = if turnout <= 0 || turnout > voters then voters else turnout in
+    let votes =
+      List.init turnout (fun i ->
+          { Election.vi_serial = i * (voters / turnout); Election.vi_choice = i mod m })
+    in
+    let fidelity =
+      if modeled then Election.Modeled
+      else begin
+        Printf.printf "EA setup (%d ballots, real crypto)...\n%!" voters;
+        Election.Full (Ea.setup cfg ~seed)
+      end
+    in
+    let p = Election.default_params ~fidelity cfg ~votes in
+    let p =
+      { p with
+        Election.seed;
+        concurrent_clients = clients;
+        latency = (if wan then Dd_sim.Net.wan () else Dd_sim.Net.lan);
+        byzantine_vc = List.init byzantine (fun i -> (i, Election.Silent));
+        voter_patience = 5. }
+    in
+    Printf.printf "running election: n=%d m=%d Nv=%d fv=%d byz=%d cc=%d %s %s\n%!"
+      voters m nv fv byzantine clients (if wan then "WAN" else "LAN")
+      (if modeled then "(modeled)" else "(full crypto)");
+    let r = Election.run p in
+    Printf.printf "receipts: %d/%d  (bad %d, rejected %d)\n" r.Election.receipts_ok turnout
+      r.Election.receipts_bad r.Election.rejections;
+    Printf.printf "latency: mean %.4fs p99 %.4fs | throughput %.1f votes/s | %d messages\n"
+      (Stats.mean r.Election.latencies) (Stats.p99 r.Election.latencies)
+      r.Election.throughput r.Election.messages;
+    let ph = r.Election.phases in
+    Printf.printf "phases: collection %.3fs, consensus %.3fs, tally %.3fs, publish %.3fs\n"
+      (ph.Election.t_end -. ph.Election.t_first_submit)
+      (ph.Election.t_vsc_done -. ph.Election.t_end)
+      (ph.Election.t_encrypted_tally -. ph.Election.t_vsc_done)
+      (ph.Election.t_published -. ph.Election.t_encrypted_tally);
+    (match r.Election.tally with
+     | Some t ->
+       Printf.printf "tally:   ";
+       Array.iteri (fun i c -> Printf.printf "option%d=%d " i c) t;
+       print_newline ();
+       Printf.printf "expected ";
+       Array.iteri (fun i c -> Printf.printf "option%d=%d " i c) r.Election.expected_tally;
+       print_newline ()
+     | None -> print_endline "tally: none published");
+    if audit then begin
+      match r.Election.setup with
+      | None -> print_endline "audit: only available for full-crypto runs"
+      | Some s ->
+        match Auditor.assemble ~cfg ~gctx:s.Ea.gctx r.Election.bb_nodes with
+        | None -> print_endline "audit: no majority view"
+        | Some view ->
+          let checks = Auditor.audit view in
+          List.iter
+            (fun c ->
+               Printf.printf "  [%s] %s — %s\n" (if c.Auditor.ok then "PASS" else "FAIL")
+                 c.Auditor.name c.Auditor.detail)
+            checks;
+          Printf.printf "audit: %s\n" (if Auditor.all_ok checks then "PASS" else "FAIL")
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a complete election.")
+    Term.(const run $ voters $ options_ $ nv $ fv $ seed
+          $ turnout $ modeled $ byzantine $ clients $ wan $ audit)
+
+(* --- liveness ------------------------------------------------------------ *)
+
+let liveness_cmd =
+  let tcomp =
+    Arg.(value & opt float 0.002
+         & info [ "tcomp" ] ~docv:"S" ~doc:"Worst-case per-procedure computation time (s).")
+  in
+  let drift =
+    Arg.(value & opt float 0.001 & info [ "drift" ] ~docv:"S" ~doc:"Clock drift bound Delta (s).")
+  in
+  let delay =
+    Arg.(value & opt float 0.03 & info [ "delay" ] ~docv:"S" ~doc:"Message delay bound delta (s).")
+  in
+  let show nv fv tcomp drift delay =
+    let p = { Liveness.nv; fv; t_comp = tcomp; delta_drift = drift; delta_msg = delay } in
+    Printf.printf "Table I bounds for Nv=%d fv=%d Tcomp=%gs Delta=%gs delta=%gs\n\n" nv fv tcomp
+      drift delay;
+    List.iter
+      (fun s -> Printf.printf "  %-45s %.4f s\n" s.Liveness.label (Liveness.step_bound p s))
+      (Liveness.steps p);
+    Printf.printf "\nTwait = %.4f s\n" (Liveness.t_wait p);
+    Printf.printf "a [Twait]-patient voter starting (fv+1) Twait = %.4f s before close is\n"
+      (float_of_int (fv + 1) *. Liveness.t_wait p);
+    print_endline "guaranteed a receipt; earlier starts:";
+    List.iter
+      (fun y ->
+         Printf.printf "  y=%d: probability %.6f\n" y (Liveness.receipt_probability p ~y))
+      [ 1; 2; 3 ]
+  in
+  Cmd.v (Cmd.info "liveness" ~doc:"Print Theorem 1 / Table I liveness bounds.")
+    Term.(const show $ nv $ fv $ tcomp $ drift $ delay)
+
+(* --- ballot --------------------------------------------------------------- *)
+
+let ballot_cmd =
+  let serial =
+    Arg.(value & opt int 0 & info [ "serial" ] ~docv:"S" ~doc:"Ballot serial number.")
+  in
+  let show voters m nv fv seed serial =
+    ignore voters; ignore nv; ignore fv;
+    let b = Ddemos.Ballot_gen.voter_ballot ~seed ~serial ~m in
+    Printf.printf "ballot serial %d (seed %S)\n" serial seed;
+    List.iter
+      (fun part ->
+         Printf.printf "part %s:\n" (Types.part_label part);
+         Array.iteri
+           (fun option (line : Types.ballot_line) ->
+              Printf.printf "  option %d: vote-code %s  receipt %s\n" option
+                (Dd_crypto.Sha256.hex_of_string line.Types.vote_code)
+                (Dd_crypto.Sha256.hex_of_string line.Types.receipt))
+           (Types.ballot_part b part).Types.lines)
+      [ Types.A; Types.B ]
+  in
+  Cmd.v (Cmd.info "ballot" ~doc:"Print the two-part ballot a voter would receive.")
+    Term.(const show $ voters $ options_ $ nv $ fv $ seed $ serial)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "ddemos" ~version:"1.0.0"
+             ~doc:"D-DEMOS distributed end-to-end verifiable voting (ICDCS 2016 reproduction)")
+          [ run_cmd; liveness_cmd; ballot_cmd ]))

@@ -1,0 +1,1 @@
+examples/approval_kofm.ml: Array Dd_commit Dd_crypto Dd_group Dd_zkp Lazy List Printf

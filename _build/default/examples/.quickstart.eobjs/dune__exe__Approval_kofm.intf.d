@@ -1,0 +1,1 @@
+examples/approval_kofm.mli:

@@ -1,0 +1,1 @@
+examples/byzantine_referendum.ml: Array Dd_consensus Dd_sim Ddemos List Printf

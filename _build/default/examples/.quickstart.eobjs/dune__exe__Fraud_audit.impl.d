@@ -1,0 +1,1 @@
+examples/fraud_audit.ml: Array Dd_crypto Ddemos List Printf

@@ -1,0 +1,1 @@
+examples/large_scale.ml: Dd_sim Ddemos List Printf Unix

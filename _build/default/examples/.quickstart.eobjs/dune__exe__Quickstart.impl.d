@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dd_crypto Ddemos List Printf String

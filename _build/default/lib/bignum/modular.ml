@@ -1,0 +1,93 @@
+(* Modular arithmetic with a precomputed Barrett context. The slow
+   Nat.divmod is used once, to compute the Barrett constant; every
+   subsequent reduction costs two multiplications. *)
+
+type ctx = {
+  modulus : Nat.t;
+  k : int;          (* number of 30-bit limbs in the modulus *)
+  mu : Nat.t;       (* floor(B^(2k) / modulus), B = 2^30 *)
+  prime : bool;     (* enables Fermat inversion *)
+}
+
+let base_bits = 30
+
+let create ?(prime = true) modulus =
+  if Nat.compare modulus Nat.two < 0 then invalid_arg "Modular.create: modulus < 2";
+  let k = (Nat.bit_length modulus + base_bits - 1) / base_bits in
+  let b2k = Nat.shift_left Nat.one (2 * k * base_bits) in
+  { modulus; k; mu = Nat.div b2k modulus; prime }
+
+let modulus ctx = ctx.modulus
+
+(* Barrett reduction of x < B^(2k); falls back to divmod for larger x. *)
+let reduce ctx x =
+  if Nat.compare x ctx.modulus < 0 then x
+  else if Nat.bit_length x > 2 * ctx.k * base_bits then Nat.rem x ctx.modulus
+  else begin
+    let q1 = Nat.shift_right x ((ctx.k - 1) * base_bits) in
+    let q2 = Nat.mul q1 ctx.mu in
+    let q3 = Nat.shift_right q2 ((ctx.k + 1) * base_bits) in
+    let r = Nat.sub x (Nat.mul q3 ctx.modulus) in
+    let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
+    let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
+    if Nat.compare r ctx.modulus >= 0 then Nat.rem r ctx.modulus else r
+  end
+
+let add ctx a b =
+  let s = Nat.add a b in
+  if Nat.compare s ctx.modulus >= 0 then Nat.sub s ctx.modulus else s
+
+let sub ctx a b =
+  if Nat.compare a b >= 0 then Nat.sub a b
+  else Nat.sub (Nat.add a ctx.modulus) b
+
+let neg ctx a = if Nat.is_zero a then a else Nat.sub ctx.modulus a
+
+let mul ctx a b = reduce ctx (Nat.mul a b)
+let sqr ctx a = reduce ctx (Nat.sqr a)
+
+let double ctx a = add ctx a a
+
+let pow ctx b e =
+  let n = Nat.bit_length e in
+  let b = reduce ctx b in
+  let r = ref Nat.one in
+  for i = n - 1 downto 0 do
+    r := sqr ctx !r;
+    if Nat.testbit e i then r := mul ctx !r b
+  done;
+  !r
+
+let inv ctx a =
+  let a = reduce ctx a in
+  if Nat.is_zero a then raise Division_by_zero;
+  if ctx.prime then pow ctx a (Nat.sub ctx.modulus Nat.two)
+  else begin
+    (* extended Euclid with signed coefficients tracked as (sign, nat) *)
+    let rec go r0 r1 (s0_neg, s0) (s1_neg, s1) =
+      if Nat.is_zero r1 then begin
+        if not (Nat.equal r0 Nat.one) then raise Division_by_zero;
+        if s0_neg then Nat.sub ctx.modulus (Nat.rem s0 ctx.modulus)
+        else Nat.rem s0 ctx.modulus
+      end else begin
+        let q, r2 = Nat.divmod r0 r1 in
+        (* s2 = s0 - q*s1 *)
+        let qs1 = Nat.mul q s1 in
+        let s2 =
+          if s0_neg = s1_neg then begin
+            if Nat.compare s0 qs1 >= 0 then (s0_neg, Nat.sub s0 qs1)
+            else (not s0_neg, Nat.sub qs1 s0)
+          end else (s0_neg, Nat.add s0 qs1)
+        in
+        go r1 r2 (s1_neg, s1) s2
+      end
+    in
+    go ctx.modulus a (false, Nat.zero) (false, Nat.one)
+  end
+
+let of_nat = reduce
+
+let of_int ctx n = reduce ctx (Nat.of_int n)
+
+(* Map a byte string to a residue (used for hash-to-scalar). *)
+let of_bytes_be ctx s = reduce ctx (Nat.of_bytes_be s)

@@ -1,0 +1,39 @@
+(** Modular arithmetic over a fixed modulus, with Barrett reduction.
+
+    A [ctx] captures the modulus together with the precomputed Barrett
+    constant; create it once and reuse it for every operation. All inputs
+    are expected to be reduced residues (in [0, modulus)); [reduce] and
+    [of_nat] bring arbitrary naturals into range. *)
+
+type ctx
+
+(** [create ?prime m] builds a context for modulus [m >= 2]. When [prime]
+    is [true] (the default), [inv] uses Fermat's little theorem; pass
+    [~prime:false] for composite moduli to use extended Euclid instead. *)
+val create : ?prime:bool -> Nat.t -> ctx
+
+val modulus : ctx -> Nat.t
+
+(** Reduce an arbitrary natural modulo the modulus. Fast (Barrett) when
+    the argument is below [B^2k], i.e. for any product of two residues. *)
+val reduce : ctx -> Nat.t -> Nat.t
+
+val add : ctx -> Nat.t -> Nat.t -> Nat.t
+val sub : ctx -> Nat.t -> Nat.t -> Nat.t
+val neg : ctx -> Nat.t -> Nat.t
+val mul : ctx -> Nat.t -> Nat.t -> Nat.t
+val sqr : ctx -> Nat.t -> Nat.t
+val double : ctx -> Nat.t -> Nat.t
+
+(** [pow ctx b e] is [b^e mod m] by square-and-multiply. *)
+val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+
+(** Multiplicative inverse. Raises [Division_by_zero] on zero or
+    non-invertible arguments. *)
+val inv : ctx -> Nat.t -> Nat.t
+
+val of_nat : ctx -> Nat.t -> Nat.t
+val of_int : ctx -> int -> Nat.t
+
+(** Interpret a big-endian byte string as a residue. *)
+val of_bytes_be : ctx -> string -> Nat.t

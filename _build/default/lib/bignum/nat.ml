@@ -1,0 +1,279 @@
+(* Little-endian arrays of 30-bit limbs, normalized: the most significant
+   limb is non-zero, and zero is the empty array. 30-bit limbs leave
+   headroom in OCaml's 63-bit native ints for the schoolbook inner loop
+   (acc + a*b + carry < 2^61). *)
+
+type t = int array
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs n acc = if n = 0 then acc else limbs (n lsr base_bits) ((n land limb_mask) :: acc) in
+  normalize (Array.of_list (List.rev (limbs n [])))
+
+let to_int (a : t) =
+  let len = Array.length a in
+  if len > 3 then invalid_arg "Nat.to_int: too large";
+  let v = ref 0 in
+  for i = len - 1 downto 0 do
+    if !v > max_int lsr base_bits then invalid_arg "Nat.to_int: too large";
+    v := (!v lsl base_bits) lor a.(i)
+  done;
+  !v
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let bit_length (a : t) =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n = if n = 0 then 0 else 1 + width (n lsr 1) in
+    (la - 1) * base_bits + width top
+  end
+
+let testbit (a : t) i =
+  let limb = i / base_bits and off = i mod base_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let is_odd (a : t) = testbit a 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let av = if i < la then a.(i) else 0 and bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let t = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- t land limb_mask;
+          carry := t lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land limb_mask;
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let sqr a = mul a a
+
+let shift_left (a : t) n =
+  if n < 0 then invalid_arg "Nat.shift_left: negative shift";
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+let shift_right (a : t) n =
+  if n < 0 then invalid_arg "Nat.shift_right: negative shift";
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask else 0 in
+        r.(i) <- if bits = 0 then a.(i + limbs) else lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Long division, one limb of quotient at a time. We estimate each
+   quotient limb with 62-bit integer division on the top limbs of the
+   running remainder and divisor, then correct by at most a few add-backs.
+   Simple and O(la * lb); all hot-path reductions use Barrett instead. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    (* fast path: single-limb divisor *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl base_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (normalize q, of_int !r)
+  end
+  else begin
+    (* bit-by-bit long division on the general case *)
+    let n = bit_length a in
+    let q = Array.make (n / base_bits + 1) 0 in
+    let r = ref zero in
+    for i = n - 1 downto 0 do
+      let r' = shift_left !r 1 in
+      let r' = if testbit a i then add r' one else r' in
+      if compare r' b >= 0 then begin
+        r := sub r' b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end else r := r'
+    done;
+    (normalize q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let of_bytes_be s =
+  let n = String.length s in
+  let r = ref zero in
+  for i = 0 to n - 1 do
+    r := add (shift_left !r 8) (of_int (Char.code s.[i]))
+  done;
+  !r
+
+let to_bytes_be ?len (a : t) =
+  let nbytes = (bit_length a + 7) / 8 in
+  let out_len = match len with
+    | None -> if nbytes = 0 then 1 else nbytes
+    | Some l ->
+      if nbytes > l then invalid_arg "Nat.to_bytes_be: value too large for len";
+      l
+  in
+  let buf = Bytes.make out_len '\000' in
+  for i = 0 to nbytes - 1 do
+    (* byte i counted from the least significant end *)
+    let bit = i * 8 in
+    let limb = bit / base_bits and off = bit mod base_bits in
+    let v = a.(limb) lsr off in
+    let v = if off + 8 > base_bits && limb + 1 < Array.length a
+      then v lor (a.(limb + 1) lsl (base_bits - off))
+      else v
+    in
+    Bytes.set buf (out_len - 1 - i) (Char.chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string buf
+
+let of_hex s =
+  let digit c = match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Nat.of_hex: bad digit"
+  in
+  let r = ref zero in
+  String.iter (fun c -> r := add (shift_left !r 4) (of_int (digit c))) s;
+  !r
+
+let to_hex (a : t) =
+  if is_zero a then "0"
+  else begin
+    let nhex = (bit_length a + 3) / 4 in
+    let buf = Bytes.create nhex in
+    for i = 0 to nhex - 1 do
+      let bit = i * 4 in
+      let limb = bit / base_bits and off = bit mod base_bits in
+      let v = (a.(limb) lsr off) land 0xf in
+      (* a nibble never straddles a 30-bit limb boundary? 30 mod 4 = 2, so
+         it can: pull the high bits from the next limb when needed. *)
+      let v = if off + 4 > base_bits && limb + 1 < Array.length a
+        then (v lor (a.(limb + 1) lsl (base_bits - off))) land 0xf
+        else v
+      in
+      Bytes.set buf (nhex - 1 - i) "0123456789abcdef".[v]
+    done;
+    Bytes.unsafe_to_string buf
+  end
+
+let ten = of_int 10
+
+let of_decimal s =
+  if String.length s = 0 then invalid_arg "Nat.of_decimal: empty";
+  let r = ref zero in
+  String.iter (fun c ->
+      match c with
+      | '0' .. '9' -> r := add (mul !r ten) (of_int (Char.code c - Char.code '0'))
+      | _ -> invalid_arg "Nat.of_decimal: bad digit")
+    s;
+  !r
+
+let to_decimal (a : t) =
+  if is_zero a then "0"
+  else begin
+    let chunk = of_int 1_000_000_000 in
+    let rec go a acc =
+      if is_zero a then acc
+      else begin
+        let q, r = divmod a chunk in
+        let part = to_int r in
+        if is_zero q then string_of_int part :: acc
+        else go q (Printf.sprintf "%09d" part :: acc)
+      end
+    in
+    String.concat "" (go a [])
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_decimal a)

@@ -1,0 +1,1 @@
+lib/commit/demos_encoding.ml: Array Dd_bignum Dd_group Elgamal List

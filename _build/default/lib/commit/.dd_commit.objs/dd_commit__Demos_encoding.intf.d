@@ -1,0 +1,1 @@
+lib/commit/demos_encoding.mli: Dd_bignum Dd_crypto Dd_group Elgamal

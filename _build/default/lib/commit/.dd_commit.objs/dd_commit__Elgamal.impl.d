@@ -1,0 +1,1 @@
+lib/commit/elgamal.ml: Dd_bignum Dd_group List

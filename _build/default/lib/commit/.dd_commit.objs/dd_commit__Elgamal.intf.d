@@ -1,0 +1,1 @@
+lib/commit/elgamal.mli: Dd_bignum Dd_crypto Dd_group

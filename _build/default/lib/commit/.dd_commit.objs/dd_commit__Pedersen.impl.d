@@ -1,0 +1,1 @@
+lib/commit/pedersen.ml: Dd_bignum Dd_group

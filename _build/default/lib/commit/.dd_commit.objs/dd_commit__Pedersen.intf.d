@@ -1,0 +1,1 @@
+lib/commit/pedersen.mli: Dd_bignum Dd_group

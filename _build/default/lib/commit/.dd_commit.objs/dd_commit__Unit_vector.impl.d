@@ -1,0 +1,1 @@
+lib/commit/unit_vector.ml: Array Dd_bignum Elgamal List String

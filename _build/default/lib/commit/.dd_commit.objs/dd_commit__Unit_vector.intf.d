@@ -1,0 +1,1 @@
+lib/commit/unit_vector.mli: Dd_bignum Dd_crypto Dd_group Elgamal

@@ -1,0 +1,70 @@
+(* The original DEMOS option encoding [KZZ15], implemented for
+   comparison: option i (of m) is encoded as the scalar N^i where
+   N exceeds the number of voters, so the opened homomorphic total
+   decodes to per-option counts as base-N digits.
+
+   D-DEMOS replaces this with unit-vector commitments precisely because
+   this encoding does not scale in m: the encoded scalar must fit the
+   commitment message space, so a 256-bit group supports only
+   m <= 256 / log2(N) options. [max_options] makes that wall explicit,
+   and the benchmark compares both schemes; the unit-vector encoding
+   pays m group elements per commitment instead and supports any m. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Group_ctx = Dd_group.Group_ctx
+
+type params = {
+  base : Nat.t;      (* N: strictly more than the number of voters *)
+  options : int;     (* m *)
+}
+
+let make_params gctx ~n_voters ~options =
+  if n_voters < 1 || options < 2 then invalid_arg "Demos_encoding.make_params";
+  let base = Nat.of_int (n_voters + 1) in
+  (* the largest encodable value is (N-1) * sum_i N^i < N^m; it must
+     stay below the group order *)
+  let rec pow acc i = if i = 0 then acc else pow (Nat.mul acc base) (i - 1) in
+  if Nat.compare (pow Nat.one options) (Group_ctx.order gctx) >= 0 then
+    invalid_arg "Demos_encoding.make_params: N^m exceeds the message space";
+  { base; options }
+
+(* How many options a given electorate supports in this group — the
+   scalability ceiling the paper calls out. *)
+let max_options gctx ~n_voters =
+  let base = Nat.of_int (n_voters + 1) in
+  let order = Group_ctx.order gctx in
+  let rec go acc m =
+    let next = Nat.mul acc base in
+    if Nat.compare next order >= 0 then m else go next (m + 1)
+  in
+  go Nat.one 0
+
+let encode p ~choice =
+  if choice < 0 || choice >= p.options then invalid_arg "Demos_encoding.encode";
+  let rec pow acc i = if i = 0 then acc else pow (Nat.mul acc p.base) (i - 1) in
+  pow Nat.one choice
+
+(* Commit to an encoded choice: a single lifted-ElGamal commitment
+   (contrast: the unit-vector scheme uses m of them). *)
+let commit gctx rng p ~choice = Elgamal.commit_random gctx rng ~msg:(encode p ~choice)
+
+(* Decode the opened homomorphic total into per-option counts. *)
+let decode_tally p total =
+  let counts = Array.make p.options 0 in
+  let rest = ref total in
+  for i = 0 to p.options - 1 do
+    let q, r = Nat.divmod !rest p.base in
+    counts.(i) <- Nat.to_int r;
+    rest := q;
+    ignore i
+  done;
+  if not (Nat.is_zero !rest) then invalid_arg "Demos_encoding.decode_tally: overflow";
+  counts
+
+let tally gctx p (openings : Elgamal.opening list) =
+  let fn = Group_ctx.scalar_field gctx in
+  let total =
+    List.fold_left (fun acc o -> Modular.add fn acc o.Elgamal.msg) Nat.zero openings
+  in
+  decode_tally p total

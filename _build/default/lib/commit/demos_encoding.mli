@@ -1,0 +1,33 @@
+(** The original DEMOS [KZZ15] option encoding (option i as the scalar
+    N^i, N > #voters), implemented as the comparison baseline for the
+    paper's scalability argument: the encoding must fit the commitment
+    message space, capping the option count at roughly
+    256 / log2(#voters) on a 256-bit curve, which is why D-DEMOS
+    switched to unit-vector commitments. *)
+
+module Nat = Dd_bignum.Nat
+
+type params
+
+(** Raises [Invalid_argument] when N^m would overflow the group order —
+    the very limitation being demonstrated. *)
+val make_params :
+  Dd_group.Group_ctx.t -> n_voters:int -> options:int -> params
+
+(** The largest supported option count for an electorate in this group. *)
+val max_options : Dd_group.Group_ctx.t -> n_voters:int -> int
+
+val encode : params -> choice:int -> Nat.t
+
+(** One lifted-ElGamal commitment per ballot (vs m in the unit-vector
+    scheme). *)
+val commit :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> params -> choice:int ->
+  Elgamal.t * Elgamal.opening
+
+(** Base-N digit decode of the opened homomorphic total; raises on
+    overflow. *)
+val decode_tally : params -> Nat.t -> int array
+
+(** Sum openings and decode: the DEMOS tally path. *)
+val tally : Dd_group.Group_ctx.t -> params -> Elgamal.opening list -> int array

@@ -1,0 +1,66 @@
+(* Lifted ElGamal over the shared curve group, used as the paper's
+   additively homomorphic commitment scheme for option encodings.
+
+   A commitment to scalar m with randomness r is the pair
+     (r*G, m*G + r*H)
+   where H is the system-wide second generator with unknown discrete
+   log. Componentwise point addition adds committed values and
+   randomness; an opening is (m, r). Decommitment verifies both
+   components, which makes the scheme binding under the discrete-log
+   assumption and hiding because r*H is a one-time pad over <H>. *)
+
+module Nat = Dd_bignum.Nat
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+
+type t = {
+  c1 : Curve.point;  (* r*G *)
+  c2 : Curve.point;  (* m*G + r*H *)
+}
+
+type opening = {
+  msg : Nat.t;
+  rand : Nat.t;
+}
+
+let commit gctx ~msg ~rand =
+  { c1 = Group_ctx.mul_g gctx rand;
+    c2 = Curve.add (Group_ctx.curve gctx) (Group_ctx.mul_g gctx msg) (Group_ctx.mul_h gctx rand) }
+
+let commit_random gctx rng ~msg =
+  let rand = Group_ctx.random_scalar gctx rng in
+  (commit gctx ~msg ~rand, { msg; rand })
+
+let zero_commitment gctx =
+  ignore gctx;
+  { c1 = Curve.infinity; c2 = Curve.infinity }
+
+let add gctx a b =
+  let c = Group_ctx.curve gctx in
+  { c1 = Curve.add c a.c1 b.c1; c2 = Curve.add c a.c2 b.c2 }
+
+let sum gctx = List.fold_left (add gctx) (zero_commitment gctx)
+
+let add_opening gctx a b =
+  let fn = Group_ctx.scalar_field gctx in
+  let module Modular = Dd_bignum.Modular in
+  { msg = Modular.add fn a.msg b.msg; rand = Modular.add fn a.rand b.rand }
+
+let sum_openings gctx = List.fold_left (add_opening gctx) { msg = Nat.zero; rand = Nat.zero }
+
+let verify gctx commitment opening =
+  let c = Group_ctx.curve gctx in
+  Curve.equal c commitment.c1 (Group_ctx.mul_g gctx opening.rand)
+  && Curve.equal c commitment.c2
+    (Curve.add c (Group_ctx.mul_g gctx opening.msg) (Group_ctx.mul_h gctx opening.rand))
+
+let equal gctx a b =
+  let c = Group_ctx.curve gctx in
+  Curve.equal c a.c1 b.c1 && Curve.equal c a.c2 b.c2
+
+let encode gctx t =
+  let c = Group_ctx.curve gctx in
+  Curve.encode c t.c1 ^ Curve.encode c t.c2
+
+let components t = (t.c1, t.c2)
+let make ~c1 ~c2 = { c1; c2 }

@@ -1,0 +1,44 @@
+(** Lifted-ElGamal commitments: additively homomorphic commitments to
+    scalars, instantiating the paper's option-encoding commitment
+    scheme. A unit-vector option encoding is a vector of these, one per
+    option (see {!Unit_vector}). *)
+
+module Nat = Dd_bignum.Nat
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+
+type t
+
+type opening = {
+  msg : Nat.t;
+  rand : Nat.t;
+}
+
+(** Commit to [msg] with explicit randomness. *)
+val commit : Group_ctx.t -> msg:Nat.t -> rand:Nat.t -> t
+
+(** Commit with fresh randomness drawn from the DRBG. *)
+val commit_random : Group_ctx.t -> Dd_crypto.Drbg.t -> msg:Nat.t -> t * opening
+
+(** The identity commitment (to 0 with randomness 0). *)
+val zero_commitment : Group_ctx.t -> t
+
+(** Homomorphic addition of committed values. *)
+val add : Group_ctx.t -> t -> t -> t
+val sum : Group_ctx.t -> t list -> t
+
+(** The matching operations on openings. *)
+val add_opening : Group_ctx.t -> opening -> opening -> opening
+val sum_openings : Group_ctx.t -> opening list -> opening
+
+(** Check that [opening] opens [t]. *)
+val verify : Group_ctx.t -> t -> opening -> bool
+
+val equal : Group_ctx.t -> t -> t -> bool
+
+(** Canonical byte encoding (for hashing into transcripts). *)
+val encode : Group_ctx.t -> t -> string
+
+(** Raw component access, used by the ZK proof module. *)
+val components : t -> Curve.point * Curve.point
+val make : c1:Curve.point -> c2:Curve.point -> t

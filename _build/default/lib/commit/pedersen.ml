@@ -1,0 +1,24 @@
+(* Pedersen scalar commitments C = m*G + r*H: perfectly hiding,
+   computationally binding, additively homomorphic. Used by the
+   Pedersen VSS coefficient commitments. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+
+type t = Curve.point
+
+let commit gctx ~msg ~rand =
+  Curve.add (Group_ctx.curve gctx) (Group_ctx.mul_g gctx msg) (Group_ctx.mul_h gctx rand)
+
+let verify gctx c ~msg ~rand = Curve.equal (Group_ctx.curve gctx) c (commit gctx ~msg ~rand)
+
+let add gctx = Curve.add (Group_ctx.curve gctx)
+
+let mul gctx k c = Curve.mul (Group_ctx.curve gctx) k c
+
+let equal gctx = Curve.equal (Group_ctx.curve gctx)
+
+let encode gctx = Curve.encode (Group_ctx.curve gctx)
+let decode gctx = Curve.decode (Group_ctx.curve gctx)

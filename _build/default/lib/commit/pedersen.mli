@@ -1,0 +1,19 @@
+(** Pedersen scalar commitments [m*G + r*H]; the coefficient
+    commitments of Pedersen VSS. *)
+
+module Nat = Dd_bignum.Nat
+module Curve = Dd_group.Curve
+
+type t = Curve.point
+
+val commit : Dd_group.Group_ctx.t -> msg:Nat.t -> rand:Nat.t -> t
+val verify : Dd_group.Group_ctx.t -> t -> msg:Nat.t -> rand:Nat.t -> bool
+
+(** Homomorphic operations: [add] adds committed values and randomness;
+    [mul k c] commits to [k*m] with randomness [k*r]. *)
+val add : Dd_group.Group_ctx.t -> t -> t -> t
+val mul : Dd_group.Group_ctx.t -> Nat.t -> t -> t
+
+val equal : Dd_group.Group_ctx.t -> t -> t -> bool
+val encode : Dd_group.Group_ctx.t -> t -> string
+val decode : Dd_group.Group_ctx.t -> string -> t option

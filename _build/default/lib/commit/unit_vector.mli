@@ -1,0 +1,37 @@
+(** Unit-vector option-encoding commitments: a committed [e_choice]
+    among [options] coordinates, with homomorphic addition so the tally
+    is the opening of the coordinate-wise sum. *)
+
+module Nat = Dd_bignum.Nat
+
+type t = Elgamal.t array
+type opening = Elgamal.opening array
+
+(** Commit to the unit vector selecting [choice] out of [options].
+    Raises [Invalid_argument] if [choice] is out of range. *)
+val commit :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> options:int -> choice:int -> t * opening
+
+(** k-out-of-m selection: ones exactly at the (distinct) [choices].
+    Raises [Invalid_argument] on out-of-range or duplicate choices. *)
+val commit_k :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> options:int -> choices:int list -> t * opening
+
+val add : Dd_group.Group_ctx.t -> t -> t -> t
+val sum : Dd_group.Group_ctx.t -> options:int -> t list -> t
+
+val add_opening : Dd_group.Group_ctx.t -> opening -> opening -> opening
+val sum_openings : Dd_group.Group_ctx.t -> options:int -> opening list -> opening
+
+(** Verify every coordinate opening. *)
+val verify : Dd_group.Group_ctx.t -> t -> opening -> bool
+
+(** Does the opening carry exactly the unit vector for [choice]? *)
+val opening_is_unit : opening -> choice:int -> bool
+
+(** Decode a tally: per-option counts from the opening of a sum.
+    Raises if a count exceeds [max_int] (impossible in any election). *)
+val counts_of_opening : opening -> int array
+
+val encode : Dd_group.Group_ctx.t -> t -> string
+val equal : Dd_group.Group_ctx.t -> t -> t -> bool

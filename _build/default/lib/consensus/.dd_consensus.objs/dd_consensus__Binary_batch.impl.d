@@ -1,0 +1,1 @@
+lib/consensus/binary_batch.ml: Array Bytes Char Dd_codec Dd_crypto Hashtbl List String

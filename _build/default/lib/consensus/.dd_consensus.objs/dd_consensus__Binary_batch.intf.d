@@ -1,0 +1,1 @@
+lib/consensus/binary_batch.mli: Dd_crypto

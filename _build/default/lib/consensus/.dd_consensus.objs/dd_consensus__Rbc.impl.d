@@ -1,0 +1,1 @@
+lib/consensus/rbc.ml: Dd_codec Dd_crypto Hashtbl

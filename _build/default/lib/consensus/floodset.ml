@@ -1,0 +1,67 @@
+(* FloodSet (Lynch, "Distributed Algorithms" §6.2): the synchronous
+   set-agreement baseline the paper contrasts with. The peered bulletin
+   board of Culnane-Schneider [22] agrees on its vote state with a
+   FloodSet-style synchronous algorithm; D-DEMOS's contribution is
+   replacing that with fully asynchronous Byzantine consensus deciding
+   with exactly n-f inputs.
+
+   The algorithm: for f+1 synchronous rounds, every node broadcasts
+   every element it knows and unions what it receives; after round f+1
+   all correct nodes hold the same set. Correct only for CRASH faults
+   and only under synchrony (a late message = a crashed sender) — the
+   tests demonstrate both the guarantee and, deliberately, how a
+   Byzantine sender breaks it, which is the design argument for the
+   paper's choice.
+
+   Rounds are driven by the caller (a synchronous network layer would
+   use timeouts): [round_payload] gives the elements to broadcast,
+   [deliver] ingests a peer's round message, [advance_round] closes the
+   round, and after [rounds_needed] rounds [decide] is stable. *)
+
+type 'a t = {
+  n : int;
+  f : int;
+  me : int;
+  mutable known : 'a list;              (* sorted, deduplicated *)
+  mutable round : int;                  (* current round, from 1 *)
+  mutable received_from : int list;     (* senders seen this round *)
+  mutable new_since_broadcast : bool;
+}
+
+let create ~n ~f ~me ~initial =
+  if f < 0 || f >= n then invalid_arg "Floodset.create: need 0 <= f < n";
+  { n; f; me;
+    known = List.sort_uniq compare initial;
+    round = 1;
+    received_from = [];
+    new_since_broadcast = true }
+
+let rounds_needed t = t.f + 1
+
+(* Elements to broadcast this round. (The classic optimization of only
+   flooding new elements is intentionally not applied: crash-recovery
+   of the original algorithm relies on full retransmission.) *)
+let round_payload t = t.known
+
+let deliver t ~from elements =
+  if from <> t.me && not (List.mem from t.received_from) then begin
+    t.received_from <- from :: t.received_from;
+    let merged = List.sort_uniq compare (elements @ t.known) in
+    if merged <> t.known then begin
+      t.known <- merged;
+      t.new_since_broadcast <- true
+    end
+  end
+
+(* Close the current round (the synchronous timeout). *)
+let advance_round t =
+  t.round <- t.round + 1;
+  t.received_from <- []
+
+let current_round t = t.round
+
+let finished t = t.round > rounds_needed t
+
+let decide t =
+  if not (finished t) then invalid_arg "Floodset.decide: rounds remain";
+  t.known

@@ -1,0 +1,29 @@
+(** FloodSet synchronous set agreement (Lynch §6.2): the baseline used
+    by the peered bulletin board D-DEMOS compares against. Correct for
+    up to [f] {e crash} faults over [f + 1] synchronous rounds — and
+    demonstrably unsafe against Byzantine senders or asynchrony, which
+    is the design argument for the paper's asynchronous Byzantine
+    consensus (see the ablation benchmark). *)
+
+type 'a t
+
+val create : n:int -> f:int -> me:int -> initial:'a list -> 'a t
+
+(** [f + 1]. *)
+val rounds_needed : _ t -> int
+
+(** What to broadcast this round: everything known. *)
+val round_payload : 'a t -> 'a list
+
+(** Ingest a peer's round message (idempotent per sender per round). *)
+val deliver : 'a t -> from:int -> 'a list -> unit
+
+(** Close the current round (the synchronous timeout boundary). *)
+val advance_round : _ t -> unit
+
+val current_round : _ t -> int
+val finished : _ t -> bool
+
+(** The agreed set; raises [Invalid_argument] before [rounds_needed]
+    rounds have been advanced. *)
+val decide : 'a t -> 'a list

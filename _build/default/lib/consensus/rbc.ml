@@ -1,0 +1,130 @@
+(* Bracha reliable broadcast: INIT / ECHO / READY. Tolerates f Byzantine
+   nodes out of n >= 3f+1; all honest nodes deliver the same payload for
+   a given (sender, tag) instance, or none do, and if the sender is
+   honest everyone delivers its payload.
+
+   Payloads are identified by their SHA-256 inside ECHO/READY counting,
+   so equivocating senders cannot split the quorum. The transport is a
+   callback; the caller decides how messages travel (the simulator, in
+   this repository). *)
+
+type phase = Init | Echo | Ready
+
+type msg = {
+  phase : phase;
+  origin : int;       (* the broadcasting node *)
+  tag : string;       (* instance identifier, e.g. "vsc/round1/node3" *)
+  payload : string;
+}
+
+type instance = {
+  mutable echoed : bool;
+  mutable ready_sent : bool;
+  mutable delivered : bool;
+  echo_counts : (string, (int, unit) Hashtbl.t) Hashtbl.t;   (* payload hash -> voters *)
+  ready_counts : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  payloads : (string, string) Hashtbl.t;                     (* hash -> payload *)
+}
+
+type t = {
+  n : int;
+  f : int;
+  me : int;
+  send_all : msg -> unit;
+  deliver : origin:int -> tag:string -> string -> unit;
+  instances : (int * string, instance) Hashtbl.t;
+}
+
+let create ~n ~f ~me ~send_all ~deliver =
+  if n < 3 * f + 1 then invalid_arg "Rbc.create: need n >= 3f+1";
+  { n; f; me; send_all; deliver; instances = Hashtbl.create 64 }
+
+let instance t key =
+  match Hashtbl.find_opt t.instances key with
+  | Some i -> i
+  | None ->
+    let i =
+      { echoed = false; ready_sent = false; delivered = false;
+        echo_counts = Hashtbl.create 4; ready_counts = Hashtbl.create 4;
+        payloads = Hashtbl.create 4 }
+    in
+    Hashtbl.replace t.instances key i;
+    i
+
+let count tbl h =
+  match Hashtbl.find_opt tbl h with
+  | None -> 0
+  | Some voters -> Hashtbl.length voters
+
+let vote tbl h voter =
+  let voters =
+    match Hashtbl.find_opt tbl h with
+    | Some v -> v
+    | None -> let v = Hashtbl.create 8 in Hashtbl.replace tbl h v; v
+  in
+  Hashtbl.replace voters voter ()
+
+let broadcast t ~tag payload =
+  let m = { phase = Init; origin = t.me; tag; payload } in
+  t.send_all m
+
+let send_ready t inst ~origin ~tag payload =
+  if not inst.ready_sent then begin
+    inst.ready_sent <- true;
+    t.send_all { phase = Ready; origin; tag; payload }
+  end
+
+let maybe_deliver t inst ~origin ~tag h =
+  if not inst.delivered && count inst.ready_counts h >= 2 * t.f + 1 then begin
+    inst.delivered <- true;
+    match Hashtbl.find_opt inst.payloads h with
+    | Some payload -> t.deliver ~origin ~tag payload
+    | None -> ()  (* cannot happen: a READY always records its payload *)
+  end
+
+let on_message t ~from (m : msg) =
+  let key = (m.origin, m.tag) in
+  let inst = instance t key in
+  let h = Dd_crypto.Sha256.digest m.payload in
+  Hashtbl.replace inst.payloads h m.payload;
+  match m.phase with
+  | Init ->
+    (* only the origin itself may initiate its broadcast *)
+    if from = m.origin && not inst.echoed then begin
+      inst.echoed <- true;
+      t.send_all { m with phase = Echo; origin = m.origin }
+    end
+  | Echo ->
+    vote inst.echo_counts h from;
+    if 2 * count inst.echo_counts h > t.n + t.f then
+      send_ready t inst ~origin:m.origin ~tag:m.tag m.payload;
+    maybe_deliver t inst ~origin:m.origin ~tag:m.tag h
+  | Ready ->
+    vote inst.ready_counts h from;
+    if count inst.ready_counts h >= t.f + 1 then
+      send_ready t inst ~origin:m.origin ~tag:m.tag m.payload;
+    maybe_deliver t inst ~origin:m.origin ~tag:m.tag h
+
+(* --- wire format ----------------------------------------------------- *)
+
+let encode_msg m =
+  let w = Dd_codec.Wire.writer () in
+  Dd_codec.Wire.put_varint w (match m.phase with Init -> 0 | Echo -> 1 | Ready -> 2);
+  Dd_codec.Wire.put_varint w m.origin;
+  Dd_codec.Wire.put_bytes w m.tag;
+  Dd_codec.Wire.put_bytes w m.payload;
+  Dd_codec.Wire.contents w
+
+let decode_msg s =
+  Dd_codec.Wire.decode s (fun r ->
+      let phase =
+        match Dd_codec.Wire.get_varint r with
+        | 0 -> Init
+        | 1 -> Echo
+        | 2 -> Ready
+        | _ -> raise (Dd_codec.Wire.Malformed "rbc phase")
+      in
+      let origin = Dd_codec.Wire.get_varint r in
+      let tag = Dd_codec.Wire.get_bytes r in
+      let payload = Dd_codec.Wire.get_bytes r in
+      { phase; origin; tag; payload })

@@ -1,0 +1,33 @@
+(** Bracha reliable broadcast (n >= 3f+1): per (origin, tag) instance,
+    all honest nodes deliver the same payload or none, and an honest
+    origin's payload is always delivered. *)
+
+type phase = Init | Echo | Ready
+
+type msg = {
+  phase : phase;
+  origin : int;
+  tag : string;
+  payload : string;
+}
+
+type t
+
+(** [send_all] must transmit to every node (including [me], or the
+    caller may loop a copy back locally — both work; self-delivery is
+    required). [deliver] fires exactly once per delivered instance. *)
+val create :
+  n:int -> f:int -> me:int ->
+  send_all:(msg -> unit) ->
+  deliver:(origin:int -> tag:string -> string -> unit) ->
+  t
+
+(** Start broadcasting a payload under a fresh instance tag. *)
+val broadcast : t -> tag:string -> string -> unit
+
+(** Feed a received message; [from] is the authenticated channel peer
+    (used to stop non-origins from forging INITs). *)
+val on_message : t -> from:int -> msg -> unit
+
+val encode_msg : msg -> string
+val decode_msg : string -> msg option

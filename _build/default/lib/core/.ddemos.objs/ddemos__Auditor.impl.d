@@ -1,0 +1,1 @@
+lib/core/auditor.ml: Array Bb_node Bb_reader Buffer Dd_bignum Dd_commit Dd_crypto Dd_group Dd_zkp Ea Format Hashtbl List Printf String Types Voter

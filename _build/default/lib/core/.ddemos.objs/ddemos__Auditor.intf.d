@@ -1,0 +1,1 @@
+lib/core/auditor.mli: Bb_node Dd_commit Dd_group Dd_zkp Ea Format Hashtbl Types Voter

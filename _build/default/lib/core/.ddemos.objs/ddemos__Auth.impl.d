@@ -1,0 +1,1 @@
+lib/core/auth.ml: Array Dd_crypto Dd_group Dd_sig Printf

@@ -1,0 +1,1 @@
+lib/core/auth.mli: Dd_crypto Dd_group Dd_sig

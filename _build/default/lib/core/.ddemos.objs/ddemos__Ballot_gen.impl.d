@@ -1,0 +1,1 @@
+lib/core/ballot_gen.ml: Array Dd_crypto Dd_vss String Types

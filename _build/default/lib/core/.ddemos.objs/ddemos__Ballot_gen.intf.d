@@ -1,0 +1,1 @@
+lib/core/ballot_gen.mli: Dd_vss Types

@@ -1,0 +1,1 @@
+lib/core/ballot_store.ml: Array Ballot_gen Dd_crypto Dd_vss Ea Hashtbl Types

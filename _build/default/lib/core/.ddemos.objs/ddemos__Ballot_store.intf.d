@@ -1,0 +1,1 @@
+lib/core/ballot_store.mli: Dd_vss Ea Types

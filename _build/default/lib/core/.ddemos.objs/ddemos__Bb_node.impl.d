@@ -1,0 +1,1 @@
+lib/core/bb_node.ml: Array Dd_bignum Dd_commit Dd_crypto Dd_group Dd_vss Dd_zkp Ea Hashtbl List Messages String Trustee_payload Types

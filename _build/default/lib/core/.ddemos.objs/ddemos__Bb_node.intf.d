@@ -1,0 +1,1 @@
+lib/core/bb_node.mli: Dd_commit Dd_group Dd_vss Dd_zkp Ea Hashtbl Messages Trustee_payload Types

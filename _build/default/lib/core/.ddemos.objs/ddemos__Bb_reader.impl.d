@@ -1,0 +1,1 @@
+lib/core/bb_reader.ml: Bb_node List Types

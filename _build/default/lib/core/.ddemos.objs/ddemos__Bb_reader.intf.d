@@ -1,0 +1,1 @@
+lib/core/bb_reader.mli: Bb_node Types

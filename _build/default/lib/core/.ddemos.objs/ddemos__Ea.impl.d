@@ -1,0 +1,1 @@
+lib/core/ea.ml: Array Auth Ballot_gen Dd_commit Dd_crypto Dd_group Dd_vss Dd_zkp Lazy List Messages Printf String Types

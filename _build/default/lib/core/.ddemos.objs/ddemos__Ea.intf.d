@@ -1,0 +1,1 @@
+lib/core/ea.mli: Auth Dd_commit Dd_group Dd_vss Dd_zkp Types

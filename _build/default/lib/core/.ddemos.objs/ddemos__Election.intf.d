@@ -1,0 +1,1 @@
+lib/core/election.mli: Bb_node Cost_model Dd_consensus Dd_sim Ea Messages Types

@@ -1,0 +1,1 @@
+lib/core/messages.ml: Array Auth Dd_codec Dd_consensus Dd_sig Dd_vss List String Trustee_payload Types

@@ -1,0 +1,1 @@
+lib/core/messages.mli: Auth Dd_consensus Dd_group Dd_vss Trustee_payload Types

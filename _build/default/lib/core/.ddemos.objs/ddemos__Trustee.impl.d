@@ -1,0 +1,1 @@
+lib/core/trustee.ml: Array Auth Dd_bignum Dd_group Dd_vss Dd_zkp Ea Hashtbl List String Trustee_payload Types

@@ -1,0 +1,1 @@
+lib/core/trustee.mli: Auth Dd_group Dd_vss Ea Trustee_payload Types

@@ -1,0 +1,1 @@
+lib/core/trustee_payload.ml: Array Dd_vss Dd_zkp List Types

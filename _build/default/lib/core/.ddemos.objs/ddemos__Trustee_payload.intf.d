@@ -1,0 +1,1 @@
+lib/core/trustee_payload.mli: Dd_vss Dd_zkp Types

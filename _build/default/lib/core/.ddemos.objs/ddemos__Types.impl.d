@@ -1,0 +1,1 @@
+lib/core/types.ml: Array Auth Dd_vss Format String

@@ -1,0 +1,1 @@
+lib/core/vc_node.ml: Array Auth Ballot_store Dd_consensus Dd_crypto Dd_vss Hashtbl List Messages Printf String Types

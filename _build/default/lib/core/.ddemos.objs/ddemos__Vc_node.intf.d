@@ -1,0 +1,1 @@
+lib/core/vc_node.mli: Auth Ballot_store Dd_consensus Dd_crypto Messages Types

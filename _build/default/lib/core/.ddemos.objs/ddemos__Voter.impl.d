@@ -1,0 +1,1 @@
+lib/core/voter.ml: Array Dd_crypto Fun List Types

@@ -1,0 +1,247 @@
+(* The auditor (Section III-I): any party that reads the BB majority
+   and verifies the election. Implements checks (a)-(e) on public data
+   and (f)-(g) on audit information received from delegating voters.
+   Every check is pure verification over published values — auditors
+   hold no secrets, so auditing scales to arbitrarily many parties, and
+   each honest voter who audits (or delegates) multiplies the chance of
+   catching a cheating EA by 2 (Theorem 3: error 2^-theta + 2^-d). *)
+
+module Elgamal = Dd_commit.Elgamal
+module Ballot_proof = Dd_zkp.Ballot_proof
+module Challenge = Dd_zkp.Challenge
+module Group_ctx = Dd_group.Group_ctx
+module Nat = Dd_bignum.Nat
+
+type check = {
+  name : string;
+  ok : bool;
+  detail : string;
+}
+
+let check name ok detail = { name; ok; detail }
+
+(* The coherent election view an auditor assembles from the BB majority
+   (Bb_reader) plus the replicated initialization data. *)
+type view = {
+  cfg : Types.config;
+  gctx : Group_ctx.t;
+  init : Ea.bb_init;
+  final_set : (int * string) list;
+  voted : (int * (Types.part_id * int)) list;   (* serial -> used part, position *)
+  opened_codes : (int * Types.part_id * int, string) Hashtbl.t;
+  unused_openings : (int * Types.part_id, Elgamal.opening array array) Hashtbl.t;
+  zk_finals : (int * Types.part_id, Ballot_proof.final_move array) Hashtbl.t;
+  tally : Types.tally option;
+}
+
+let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
+  match Bb_reader.final_set ~cfg nodes, Bb_reader.voted_positions ~cfg nodes with
+  | Bb_reader.Agreed final_set, Bb_reader.Agreed voted ->
+    (* initialization data is replicated; cross-check by majority on a
+       cheap fingerprint before adopting one copy *)
+    let fingerprint (bb : Bb_node.t) =
+      let b = Buffer.create 256 in
+      Array.iter
+        (fun (bal : Ea.bb_ballot) ->
+           Array.iter
+             (Array.iter
+                (fun (e : Ea.bb_part_entry) ->
+                   Buffer.add_string b (Elgamal.encode gctx e.Ea.commitment.(0))))
+             bal.Ea.bb_parts)
+        (Bb_node.init bb).Ea.bb_ballots;
+      Dd_crypto.Sha256.digest (Buffer.contents b)
+    in
+    (match
+       Bb_reader.read ~quorum:(cfg.Types.fb + 1) ~equal:String.equal
+         ~extract:(fun bb -> Some (fingerprint bb)) nodes
+     with
+     | Bb_reader.No_majority -> None
+     | Bb_reader.Agreed fp ->
+       match List.find_opt (fun bb -> String.equal (fingerprint bb) fp) nodes with
+       | None -> None
+       | Some majority_node ->
+         let pub = Bb_node.published majority_node in
+         (match pub.Bb_node.opened_codes with
+          | None -> None
+          | Some opened_codes ->
+            Some
+              { cfg; gctx;
+                init = Bb_node.init majority_node;
+                final_set; voted;
+                opened_codes;
+                unused_openings = pub.Bb_node.unused_openings;
+                zk_finals = pub.Bb_node.zk_finals;
+                tally = pub.Bb_node.tally }))
+  | _ -> None
+
+(* (a) within each opened ballot, all vote codes are distinct *)
+let check_distinct_codes v =
+  let ok = ref true in
+  Array.iter
+    (fun (bal : Ea.bb_ballot) ->
+       let serial = bal.Ea.bb_serial in
+       let codes = ref [] in
+       List.iter
+         (fun part ->
+            Array.iteri
+              (fun pos _ ->
+                 match Hashtbl.find_opt v.opened_codes (serial, part, pos) with
+                 | Some c -> codes := c :: !codes
+                 | None -> ())
+              bal.Ea.bb_parts.(Types.part_index part))
+         [ Types.A; Types.B ];
+       let sorted = List.sort compare !codes in
+       let rec dup = function
+         | a :: (b :: _ as rest) -> a = b || dup rest
+         | _ -> false
+       in
+       if dup sorted then ok := false)
+    v.init.Ea.bb_ballots;
+  check "a:distinct-vote-codes" !ok "every opened ballot has pairwise distinct vote codes"
+
+(* (b) at most one submitted code per ballot *)
+let check_single_submission v =
+  let serials = List.map fst v.final_set in
+  let sorted = List.sort compare serials in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> a = b || dup rest
+    | _ -> false
+  in
+  check "b:single-submission" (not (dup sorted)) "one submitted vote code per ballot"
+
+(* (c) no ballot uses both parts *)
+let check_single_part v =
+  let ok =
+    List.for_all
+      (fun (serial, (part, _)) ->
+         not (List.exists (fun (s, (p, _)) -> s = serial && p <> part) v.voted))
+      v.voted
+  in
+  check "c:single-part-used" ok "no ballot has both parts voted"
+
+(* (d) openings of unused parts are valid unit vectors *)
+let check_openings v =
+  let ok = ref true and checked = ref 0 in
+  Hashtbl.iter
+    (fun (serial, part) (openings : Elgamal.opening array array) ->
+       let entries = v.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
+       if Array.length openings <> Array.length entries then ok := false
+       else
+         Array.iteri
+           (fun pos per_coord ->
+              incr checked;
+              let commitment = entries.(pos).Ea.commitment in
+              if not (Dd_commit.Unit_vector.verify v.gctx commitment per_coord) then ok := false;
+              (* the committed vector must be a unit vector *)
+              let ones =
+                Array.fold_left
+                  (fun acc (o : Elgamal.opening) ->
+                     if Nat.equal o.Elgamal.msg Nat.one then acc + 1
+                     else if Nat.is_zero o.Elgamal.msg then acc
+                     else acc + 1000)
+                  0 per_coord
+              in
+              if ones <> 1 then ok := false)
+           openings)
+    v.unused_openings;
+  check "d:openings-valid" !ok
+    (Printf.sprintf "%d unused-part positions open to valid unit vectors" !checked)
+
+(* voter coins and the master challenge, recomputed from public data *)
+let master_challenge v =
+  let coins =
+    List.sort compare v.voted |> List.map (fun (_, (part, _)) -> part = Types.B)
+  in
+  Challenge.master v.gctx ~election_id:v.cfg.Types.election_id ~coins
+
+(* (e) ZK proofs of used parts verify under the recomputed challenge *)
+let check_zk v =
+  let master = master_challenge v in
+  let ok = ref true and checked = ref 0 in
+  List.iter
+    (fun (serial, (part, _)) ->
+       match Hashtbl.find_opt v.zk_finals (serial, part) with
+       | None -> ok := false
+       | Some finals ->
+         let entries = v.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
+         if Array.length finals <> Array.length entries then ok := false
+         else begin
+           let challenge = Challenge.for_proof v.gctx ~master_challenge:master ~serial
+             ~part:(match part with Types.A -> `A | Types.B -> `B) in
+           Array.iteri
+             (fun pos (e : Ea.bb_part_entry) ->
+                incr checked;
+                if not (Ballot_proof.verify v.gctx ~commitments:e.Ea.commitment e.Ea.zk_first
+                          ~challenge finals.(pos))
+                then ok := false)
+             entries
+         end)
+    v.voted;
+  check "e:zk-proofs" !ok (Printf.sprintf "%d used-part proofs verified" !checked)
+
+(* tally consistency: Esum from the final set opens to the published
+   counts, and the counts sum to the number of voted ballots *)
+let check_tally v =
+  match v.tally with
+  | None -> check "tally" false "no tally published"
+  | Some counts ->
+    let total = Array.fold_left ( + ) 0 counts in
+    check "tally-sums" (total = List.length v.voted)
+      (Printf.sprintf "tally counts sum to %d voted ballots" total)
+
+(* (f) a delegating voter's cast code is in the final set *)
+let check_voter_code v (info : Voter.audit_info) =
+  let ok =
+    List.exists
+      (fun (serial, code) ->
+         serial = info.Voter.a_serial && Dd_crypto.Ct.equal code info.Voter.a_cast_code)
+      v.final_set
+  in
+  check "f:cast-code-included" ok
+    (Printf.sprintf "ballot %d's cast code appears in the final set" info.Voter.a_serial)
+
+(* (g) the opened unused part matches the voter's printed copy:
+   for every option, the BB position whose opening selects that option
+   must carry exactly the voter's printed vote code *)
+let check_voter_unused v (info : Voter.audit_info) =
+  let serial = info.Voter.a_serial and part = info.Voter.a_unused_part in
+  match Hashtbl.find_opt v.unused_openings (serial, part) with
+  | None -> check "g:unused-part-matches" false "unused part not opened on the BB"
+  | Some openings ->
+    let ok = ref true in
+    Array.iteri
+      (fun pos per_coord ->
+         (* which option does this position commit to? *)
+         let option = ref (-1) in
+         Array.iteri
+           (fun j (o : Elgamal.opening) ->
+              if Nat.equal o.Elgamal.msg Nat.one then option := j)
+           per_coord;
+         if !option < 0 || !option >= Array.length info.Voter.a_unused_lines then ok := false
+         else begin
+           match Hashtbl.find_opt v.opened_codes (serial, part, pos) with
+           | None -> ok := false
+           | Some bb_code ->
+             let printed = info.Voter.a_unused_lines.(!option).Types.vote_code in
+             if not (Dd_crypto.Ct.equal bb_code printed) then ok := false
+         end)
+      openings;
+    check "g:unused-part-matches" !ok
+      (Printf.sprintf "ballot %d's unused part matches the printed ballot" serial)
+
+let audit ?(voter_audits = []) v =
+  [ check_distinct_codes v;
+    check_single_submission v;
+    check_single_part v;
+    check_openings v;
+    check_zk v;
+    check_tally v ]
+  @ List.concat_map (fun info -> [ check_voter_code v info; check_voter_unused v info ])
+    voter_audits
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let pp_checks fmt checks =
+  List.iter
+    (fun c -> Format.fprintf fmt "  [%s] %s — %s@." (if c.ok then "PASS" else "FAIL") c.name c.detail)
+    checks

@@ -1,0 +1,48 @@
+(** The auditor (Section III-I): verification of the whole election
+    from public BB data — checks (a)-(e) — plus delegated checks
+    (f)-(g) using audit information received from voters. All checks
+    are pure; auditors hold no secrets. *)
+
+module Elgamal = Dd_commit.Elgamal
+module Ballot_proof = Dd_zkp.Ballot_proof
+
+type check = {
+  name : string;    (** e.g. ["e:zk-proofs"] *)
+  ok : bool;
+  detail : string;
+}
+
+(** A coherent election view assembled from the BB majority. *)
+type view = {
+  cfg : Types.config;
+  gctx : Dd_group.Group_ctx.t;
+  init : Ea.bb_init;
+  final_set : (int * string) list;
+  voted : (int * (Types.part_id * int)) list;
+  opened_codes : (int * Types.part_id * int, string) Hashtbl.t;
+  unused_openings : (int * Types.part_id, Elgamal.opening array array) Hashtbl.t;
+  zk_finals : (int * Types.part_id, Ballot_proof.final_move array) Hashtbl.t;
+  tally : Types.tally option;
+}
+
+(** Majority-read the replicas (cross-checking the replicated
+    initialization data by fingerprint); [None] until a majority has
+    published the final set and opened the codes. *)
+val assemble :
+  cfg:Types.config -> gctx:Dd_group.Group_ctx.t -> Bb_node.t list -> view option
+
+(** Run every check: (a) distinct codes per ballot, (b) one submission
+    per ballot, (c) one part used, (d) unused-part openings are valid
+    unit vectors, (e) used-part ZK proofs verify under the voter-coin
+    challenge, tally consistency, and — per delegated [voter_audits] —
+    (f) the cast code is in the final set and (g) the opened unused
+    part matches the printed ballot. *)
+val audit : ?voter_audits:Voter.audit_info list -> view -> check list
+
+val all_ok : check list -> bool
+val pp_checks : Format.formatter -> check list -> unit
+
+(** Exposed for targeted testing. *)
+val check_zk : view -> check
+val check_openings : view -> check
+val check_voter_unused : view -> Voter.audit_info -> check

@@ -1,0 +1,79 @@
+(* Message authentication between system nodes.
+
+   Two interchangeable schemes, selected per election run:
+
+   - [Schnorr]: real public-key signatures (full public verifiability;
+     what the paper's PKI provides). Used by the integration tests,
+     the examples, and the post-election phases.
+
+   - [Mac]: pairwise-HMAC authenticator vectors, the classic BFT
+     optimization (PBFT-style): a "signature" is one HMAC tag per
+     potential verifier under the pairwise key. Orders of magnitude
+     cheaper per message, which is what makes simulating 200k-ballot
+     elections tractable; the trust structure is the same for the
+     protocol logic (any node can check authenticity of any other
+     node's endorsement addressed to it).
+
+   Keys are dealt by the EA at setup, like everything else. *)
+
+module Schnorr = Dd_sig.Schnorr
+
+type scheme =
+  | Schnorr_scheme
+  | Mac_scheme
+
+type tag =
+  | Schnorr_tag of Schnorr.signature
+  | Mac_tag of string array   (* tag per verifier id *)
+
+(* Per-node credential set. [peers] covers every node that may verify
+   our tags; with MACs, key.(i).(j) is shared between nodes i and j. *)
+type keys = {
+  scheme : scheme;
+  me : int;
+  gctx : Dd_group.Group_ctx.t;
+  sk : Schnorr.secret_key;
+  pks : Schnorr.public_key array;       (* indexed by node id *)
+  mac_keys : string array;              (* pairwise keys, indexed by peer *)
+  rng : Dd_crypto.Drbg.t;
+}
+
+(* Deal credentials for a clique of [n] nodes from the EA's RNG. The
+   derivation is deterministic in the seed, so every node's view is
+   consistent. *)
+let deal_clique ~scheme ~gctx ~seed ~n =
+  let master = Dd_crypto.Drbg.create ~seed in
+  let key_pairs =
+    Array.init n (fun i ->
+        Schnorr.keygen gctx (Dd_crypto.Drbg.fork master ~label:(Printf.sprintf "sk%d" i)))
+  in
+  let pks = Array.map snd key_pairs in
+  let pair_key i j =
+    let lo = min i j and hi = max i j in
+    Dd_crypto.Sha256.digest_list [ "mac-key"; seed; string_of_int lo; string_of_int hi ]
+  in
+  Array.init n (fun i ->
+      { scheme; me = i; gctx;
+        sk = fst key_pairs.(i);
+        pks;
+        mac_keys = Array.init n (fun j -> pair_key i j);
+        rng = Dd_crypto.Drbg.fork master ~label:(Printf.sprintf "rng%d" i) })
+
+let sign (k : keys) msg =
+  match k.scheme with
+  | Schnorr_scheme -> Schnorr_tag (Schnorr.sign k.gctx k.rng ~sk:k.sk ~pk:k.pks.(k.me) msg)
+  | Mac_scheme ->
+    Mac_tag (Array.map (fun key -> Dd_crypto.Hmac.sha256 ~key msg) k.mac_keys)
+
+(* [verify k ~signer msg tag]: does [tag] authenticate [msg] as coming
+   from [signer], from the point of view of node [k.me]? *)
+let verify (k : keys) ~signer msg = function
+  | Schnorr_tag s ->
+    k.scheme = Schnorr_scheme
+    && signer >= 0 && signer < Array.length k.pks
+    && Schnorr.verify k.gctx ~pk:k.pks.(signer) msg s
+  | Mac_tag tags ->
+    k.scheme = Mac_scheme
+    && signer >= 0 && signer < Array.length k.mac_keys
+    && k.me < Array.length tags
+    && Dd_crypto.Ct.equal tags.(k.me) (Dd_crypto.Hmac.sha256 ~key:k.mac_keys.(signer) msg)

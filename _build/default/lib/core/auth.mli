@@ -1,0 +1,37 @@
+(** Inter-node message authentication, dealt by the EA at setup.
+
+    Two interchangeable schemes: [Schnorr_scheme] — real public-key
+    signatures (publicly verifiable, what the paper's PKI provides) —
+    and [Mac_scheme] — pairwise-HMAC authenticator vectors, the classic
+    PBFT optimization used by the large-scale simulations. *)
+
+type scheme =
+  | Schnorr_scheme
+  | Mac_scheme
+
+type tag =
+  | Schnorr_tag of Dd_sig.Schnorr.signature
+  | Mac_tag of string array  (** one HMAC per potential verifier *)
+
+(** One node's credentials within a clique. *)
+type keys = {
+  scheme : scheme;
+  me : int;
+  gctx : Dd_group.Group_ctx.t;
+  sk : Dd_sig.Schnorr.secret_key;
+  pks : Dd_sig.Schnorr.public_key array;
+  mac_keys : string array;
+  rng : Dd_crypto.Drbg.t;
+}
+
+(** Deal a clique of [n] mutually-authenticating nodes from a seed
+    (deterministic: every party derives a consistent view). In D-DEMOS
+    the last index is the EA itself. *)
+val deal_clique :
+  scheme:scheme -> gctx:Dd_group.Group_ctx.t -> seed:string -> n:int -> keys array
+
+val sign : keys -> string -> tag
+
+(** [verify k ~signer msg tag]: does [tag] authenticate [msg] from
+    [signer], as seen by node [k.me]? Cross-scheme tags never verify. *)
+val verify : keys -> signer:int -> string -> tag -> bool

@@ -1,0 +1,26 @@
+(** A VC node's validation view of the election data: per ballot line
+    the salted vote-code hash and this node's receipt share, plus the
+    node's msk share.
+
+    [materialized] wraps real EA initialization data; [virtual_prf]
+    derives everything on demand from the setup seed with a bounded
+    cache, standing in for the prototype's PostgreSQL table so that
+    experiments can register hundreds of millions of ballots. *)
+
+type t
+
+val materialized : Ea.vc_node_init -> t
+val virtual_prf : seed:string -> cfg:Types.config -> node:int -> t
+
+val n_voters : t -> int
+
+(** The permuted line array of one ballot part; [[||]] for an unknown
+    serial. *)
+val lines : t -> serial:int -> part:Types.part_id -> Types.vc_line array
+
+val msk_share : t -> Dd_vss.Shamir_bytes.share
+
+(** Algorithm 1's VerifyVoteCode: scan both parts' salted hashes for
+    the code; returns its (part, position, line) or [None]. *)
+val verify_vote_code :
+  t -> serial:int -> vote_code:string -> (Types.part_id * int * Types.vc_line) option

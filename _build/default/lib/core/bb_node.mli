@@ -1,0 +1,46 @@
+(** Bulletin Board node (Section III-G): an isolated public repository.
+    BB nodes never contact each other; readers take the majority
+    ({!Bb_reader}). Writes are verified: a final vote set publishes at
+    [fv + 1] identical VC submissions, the master key reconstructs from
+    [Nv - fv] shares and must match the committed [Hmsk], unused-part
+    openings reconstruct and verify from [ht] trustee shares, ZK final
+    moves publish at [ft + 1] identical trustee posts, and the tally
+    publishes when [ht] verifiable shares open Esum. *)
+
+module Elgamal = Dd_commit.Elgamal
+module Elgamal_vss = Dd_vss.Elgamal_vss
+module Ballot_proof = Dd_zkp.Ballot_proof
+
+type published = {
+  mutable final_set : (int * string) list option;
+  mutable msk : string option;
+  mutable opened_codes : (int * Types.part_id * int, string) Hashtbl.t option;
+  unused_openings : (int * Types.part_id, Elgamal.opening array array) Hashtbl.t;
+  zk_finals : (int * Types.part_id, Ballot_proof.final_move array) Hashtbl.t;
+  mutable encrypted_tally : Elgamal.t array option;
+  mutable tally : Types.tally option;
+}
+
+type t
+
+val create :
+  cfg:Types.config -> gctx:Dd_group.Group_ctx.t -> init:Ea.bb_init -> me:int -> t
+
+(** The (replicated) initialization data this node serves. *)
+val init : t -> Ea.bb_init
+
+(** Everything this node currently publishes. *)
+val published : t -> published
+
+(** Observability hooks for harnesses. *)
+val subscribe_final_set : t -> (t -> unit) -> unit
+val subscribe_tally : t -> (t -> unit) -> unit
+
+(** Locate a cast code's (part, position) once codes are opened. *)
+val locate_code : t -> serial:int -> code:string -> (Types.part_id * int) option
+
+(** Write paths. *)
+val on_vote_set_submit :
+  t -> sender:int -> set:(int * string) list -> msk_share:Dd_vss.Shamir_bytes.share -> unit
+val on_trustee_post : t -> trustee:int -> Trustee_payload.t -> unit
+val handle : t -> Messages.bb_msg -> unit

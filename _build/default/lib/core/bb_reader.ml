@@ -1,0 +1,57 @@
+(* Majority reader over the BB replicas — the role the paper's Firefox
+   extension automates: issue the read to every BB node, compare the
+   answers, and return the one backed by at least fb+1 nodes. Readers
+   never trust a single BB node. *)
+
+type 'a read_result =
+  | Agreed of 'a
+  | No_majority
+
+(* [read ~quorum ~extract nodes] applies [extract] to every node and
+   returns the first value claimed by at least [quorum] of them,
+   comparing with [equal]. *)
+let read ~quorum ~equal ~extract nodes =
+  let answers = List.filter_map extract nodes in
+  let rec scan = function
+    | [] -> No_majority
+    | a :: rest ->
+      let votes = 1 + List.length (List.filter (equal a) rest) in
+      if votes >= quorum then Agreed a
+      else scan (List.filter (fun b -> not (equal a b)) rest)
+  in
+  scan answers
+
+let final_set ~cfg nodes =
+  read ~quorum:(cfg.Types.fb + 1)
+    ~equal:(fun a b ->
+        List.length a = List.length b
+        && List.for_all2 (fun (s1, c1) (s2, c2) -> s1 = s2 && c1 = c2) a b)
+    ~extract:(fun bb -> (Bb_node.published bb).Bb_node.final_set)
+    nodes
+
+let tally ~cfg nodes =
+  read ~quorum:(cfg.Types.fb + 1)
+    ~equal:(fun (a : Types.tally) b -> a = b)
+    ~extract:(fun bb -> (Bb_node.published bb).Bb_node.tally)
+    nodes
+
+(* Locate every cast code's (part, position) from the majority of BB
+   nodes' opened-code tables. *)
+let voted_positions ~cfg nodes =
+  match final_set ~cfg nodes with
+  | No_majority -> No_majority
+  | Agreed set ->
+    let locate serial code =
+      read ~quorum:(cfg.Types.fb + 1) ~equal:( = )
+        ~extract:(fun bb -> Bb_node.locate_code bb ~serial ~code)
+        nodes
+    in
+    let entries =
+      List.filter_map
+        (fun (serial, code) ->
+           match locate serial code with
+           | Agreed (part, pos) -> Some (serial, (part, pos))
+           | No_majority -> None)
+        set
+    in
+    if List.length entries = List.length set then Agreed entries else No_majority

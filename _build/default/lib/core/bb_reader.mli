@@ -1,0 +1,25 @@
+(** Majority reader over the BB replicas — the role the paper's
+    browser extension automates: query every node, answer with the
+    value at least [fb + 1] of them agree on. *)
+
+type 'a read_result =
+  | Agreed of 'a
+  | No_majority
+
+(** Generic majority read: [extract] pulls a candidate answer from each
+    node ([None] = no answer yet), [equal] compares candidates, and the
+    first value with [quorum] supporters wins. *)
+val read :
+  quorum:int -> equal:('a -> 'a -> bool) -> extract:(Bb_node.t -> 'a option) ->
+  Bb_node.t list -> 'a read_result
+
+(** The agreed final vote-code set. *)
+val final_set : cfg:Types.config -> Bb_node.t list -> (int * string) list read_result
+
+(** The published tally. *)
+val tally : cfg:Types.config -> Bb_node.t list -> Types.tally read_result
+
+(** Locate every cast code's (part, position): the input the trustees
+    need. [No_majority] until the codes are opened on a majority. *)
+val voted_positions :
+  cfg:Types.config -> Bb_node.t list -> (int * (Types.part_id * int)) list read_result

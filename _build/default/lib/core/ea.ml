@@ -1,0 +1,208 @@
+(* The Election Authority: the setup-only component. It generates every
+   party's initialization data — voter ballots, VC validation data and
+   receipt/msk shares, BB commitments with encrypted vote codes and ZK
+   first moves, trustee opening shares and ZK prover-state shares — and
+   is then destroyed (in this codebase: the [setup] value holds the
+   secrets; production code would erase it; our harness simply drops
+   it, and the malicious-EA tests deliberately keep it around to
+   attack). *)
+
+module Drbg = Dd_crypto.Drbg
+module Group_ctx = Dd_group.Group_ctx
+module Elgamal = Dd_commit.Elgamal
+module Unit_vector = Dd_commit.Unit_vector
+module Ballot_proof = Dd_zkp.Ballot_proof
+module Shamir_bytes = Dd_vss.Shamir_bytes
+module Elgamal_vss = Dd_vss.Elgamal_vss
+
+(* One ballot part as the BB publishes it: entries in permuted order. *)
+type bb_part_entry = {
+  enc_code : string * string;                (* AES-128-CBC$ (iv, ct) of the vote code *)
+  commitment : Elgamal.t array;              (* the m option-encoding coordinates *)
+  vss_aux : Elgamal_vss.aux array;           (* per coordinate: aux commitments *)
+  zk_first : Ballot_proof.first_move;
+}
+
+type bb_ballot = {
+  bb_serial : int;
+  bb_parts : bb_part_entry array array;      (* part (A=0, B=1) -> position *)
+}
+
+type bb_init = {
+  hmsk : string;
+  salt_msk : string;
+  bb_ballots : bb_ballot array;
+}
+
+type vc_node_init = {
+  vc_id : int;
+  vc_msk_share : Shamir_bytes.share;
+  (* serial -> part -> position *)
+  vc_lines : Types.vc_line array array array;
+}
+
+type trustee_part_data = {
+  (* position -> coordinate -> this trustee's opening share *)
+  t_shares : Elgamal_vss.share array array;
+  (* this trustee's share of the serialized ZK prover state *)
+  t_zk_state_share : Shamir_bytes.share;
+  t_zk_state_tag : Auth.tag;                 (* EA authenticator on the state share *)
+}
+
+type trustee_init = {
+  t_id : int;
+  (* serial -> part -> data *)
+  t_ballots : trustee_part_data array array;
+}
+
+type setup = {
+  cfg : Types.config;
+  seed : string;
+  gctx : Group_ctx.t;
+  ballots : Types.ballot array;
+  (* authenticator cliques; index nv (resp. nt) is the EA itself *)
+  vc_keys : Auth.keys array;
+  trustee_keys : Auth.keys array;
+  vc_init : vc_node_init array;
+  bb_init : bb_init;
+  trustee_init : trustee_init array;
+}
+
+let ea_vc_index cfg = cfg.Types.nv
+let ea_trustee_index cfg = cfg.Types.nt
+
+let zk_state_body ~election_id ~serial ~part ~trustee (share : Shamir_bytes.share) =
+  String.concat "|"
+    [ "zkstate"; election_id; string_of_int serial; Types.part_label part;
+      string_of_int trustee; string_of_int share.Shamir_bytes.x; share.Shamir_bytes.data ]
+
+let inverse_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun option pos -> inv.(pos) <- option) perm;
+  inv
+
+(* Full-crypto setup. Cost grows with n_voters * m^2; intended for the
+   tests, the examples, and the post-election-phase benchmarks. The
+   large-scale vote-collection benchmarks use Ballot_store.virtual_prf
+   instead, which derives only the plain material on demand. *)
+let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
+  (match Types.validate_config cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Ea.setup: " ^ e));
+  let gctx = Lazy.force Group_ctx.default in
+  let n = cfg.Types.n_voters and m = cfg.Types.m_options in
+  let nv = cfg.Types.nv and fv = cfg.Types.fv in
+  let nt = cfg.Types.nt and ht = cfg.Types.ht in
+  let rng = Drbg.create ~seed:("ea|" ^ seed) in
+  let vc_keys = Auth.deal_clique ~scheme ~gctx ~seed:("vc-keys|" ^ seed) ~n:(nv + 1) in
+  let trustee_keys =
+    Auth.deal_clique ~scheme ~gctx ~seed:("trustee-keys|" ^ seed) ~n:(nt + 1)
+  in
+  let ea_vc = vc_keys.(nv) and ea_trustee = trustee_keys.(nt) in
+  let msk = Ballot_gen.msk ~seed in
+  let ballots = Array.init n (fun serial -> Ballot_gen.voter_ballot ~seed ~serial ~m) in
+  (* accumulators *)
+  let vc_lines =
+    Array.init nv (fun _ -> Array.init n (fun _ -> Array.make 2 [||]))
+  in
+  let bb_ballots = Array.make n { bb_serial = 0; bb_parts = [||] } in
+  let trustee_ballots =
+    Array.init nt (fun _ -> Array.init n (fun _ ->
+        Array.make 2
+          { t_shares = [||];
+            t_zk_state_share = { Shamir_bytes.x = 0; Shamir_bytes.data = "" };
+            t_zk_state_tag = Auth.Mac_tag [||] }))
+  in
+  for serial = 0 to n - 1 do
+    let bb_parts = Array.make 2 [||] in
+    List.iter
+      (fun part ->
+         let pi = Types.part_index part in
+         let mat = Ballot_gen.gen_part ~seed ~serial ~part ~m in
+         let inv = inverse_perm mat.Ballot_gen.perm in
+         (* VC validation lines with EA-signed receipt shares *)
+         let all_shares =
+           Array.init m (fun pos ->
+               Ballot_gen.receipt_shares ~seed ~serial ~part ~pos
+                 ~receipt:mat.Ballot_gen.receipts.(pos) ~threshold:(nv - fv) ~shares:nv)
+         in
+         for node = 0 to nv - 1 do
+           vc_lines.(node).(serial).(pi) <-
+             Array.init m (fun pos ->
+                 let share = all_shares.(pos).(node) in
+                 let body =
+                   Messages.share_body ~election_id:cfg.Types.election_id ~serial ~part
+                     ~pos ~node ~share
+                 in
+                 { Types.code_hash = mat.Ballot_gen.hashes.(pos);
+                   Types.salt = mat.Ballot_gen.salts.(pos);
+                   Types.receipt_share = share;
+                   Types.share_tag = Some (Auth.sign ea_vc body) })
+         done;
+         (* commitments, proofs, encrypted codes, trustee shares *)
+         let entries =
+           Array.init m (fun pos ->
+               let option = inv.(pos) in
+               let commitment, opening =
+                 Unit_vector.commit gctx rng ~options:m ~choice:option
+               in
+               let state, zk_first =
+                 Ballot_proof.prove_commit gctx rng ~commitments:commitment
+                   ~openings:opening
+               in
+               let per_coord =
+                 Array.map
+                   (fun o -> Elgamal_vss.deal gctx rng ~opening:o ~threshold:ht ~shares:nt)
+                   opening
+               in
+               let iv = Drbg.bytes rng 16 in
+               let ct = Dd_crypto.Aes128.cbc_encrypt ~key:msk ~iv mat.Ballot_gen.codes.(pos) in
+               (* stash trustee shares *)
+               (pos, commitment, per_coord, state, zk_first, (iv, ct)))
+         in
+         (* share the part's ZK states (all positions, concatenated) *)
+         let state_blob =
+           String.concat ""
+             (Array.to_list
+                (Array.map
+                   (fun (_, _, _, state, _, _) ->
+                      let s = Ballot_proof.encode_state state in
+                      Printf.sprintf "%08d" (String.length s) ^ s)
+                   entries))
+         in
+         let state_shares = Shamir_bytes.split rng ~secret:state_blob ~threshold:ht ~shares:nt in
+         for trustee = 0 to nt - 1 do
+           let t_shares =
+             Array.map (fun (_, _, per_coord, _, _, _) ->
+                 Array.map (fun (_, shares) -> shares.(trustee)) per_coord)
+               entries
+           in
+           let share = state_shares.(trustee) in
+           let tag =
+             Auth.sign ea_trustee
+               (zk_state_body ~election_id:cfg.Types.election_id ~serial ~part ~trustee share)
+           in
+           trustee_ballots.(trustee).(serial).(pi) <-
+             { t_shares; t_zk_state_share = share; t_zk_state_tag = tag }
+         done;
+         bb_parts.(pi) <-
+           Array.map
+             (fun (_, commitment, per_coord, _, zk_first, enc_code) ->
+                { enc_code;
+                  commitment;
+                  vss_aux = Array.map fst per_coord;
+                  zk_first })
+             entries)
+      [ Types.A; Types.B ];
+    bb_ballots.(serial) <- { bb_serial = serial; bb_parts }
+  done;
+  let msk_shares = Ballot_gen.msk_shares ~seed ~threshold:(nv - fv) ~shares:nv in
+  { cfg; seed; gctx; ballots; vc_keys; trustee_keys;
+    vc_init =
+      Array.init nv (fun i ->
+          { vc_id = i; vc_msk_share = msk_shares.(i); vc_lines = vc_lines.(i) });
+    bb_init =
+      { hmsk = Ballot_gen.msk_commitment ~seed;
+        salt_msk = Ballot_gen.msk_salt ~seed;
+        bb_ballots };
+    trustee_init = Array.init nt (fun i -> { t_id = i; t_ballots = trustee_ballots.(i) }) }

@@ -1,0 +1,79 @@
+(** The Election Authority (Section III-D): the setup-only component.
+    [setup] generates every party's initialization data — voter
+    ballots, VC validation data and receipt/msk shares, BB commitments
+    with encrypted vote codes and ZK first moves, trustee opening
+    shares and ZK prover-state shares — after which the EA is
+    destroyed (drop the [setup] value; the malicious-EA tests
+    deliberately keep and corrupt it instead). *)
+
+module Elgamal = Dd_commit.Elgamal
+module Elgamal_vss = Dd_vss.Elgamal_vss
+module Shamir_bytes = Dd_vss.Shamir_bytes
+module Ballot_proof = Dd_zkp.Ballot_proof
+
+(** One BB entry (a ballot-part position, in permuted order): the
+    AES-128-CBC$-encrypted vote code, the m option-encoding commitment
+    coordinates, their VSS aux commitments, and the ZK first move. *)
+type bb_part_entry = {
+  enc_code : string * string;  (** (iv, ciphertext) under msk *)
+  commitment : Elgamal.t array;
+  vss_aux : Elgamal_vss.aux array;
+  zk_first : Ballot_proof.first_move;
+}
+
+type bb_ballot = {
+  bb_serial : int;
+  bb_parts : bb_part_entry array array;  (** part (A=0, B=1) -> position *)
+}
+
+type bb_init = {
+  hmsk : string;       (** SHA256(msk || salt): commits the BB to the key *)
+  salt_msk : string;
+  bb_ballots : bb_ballot array;
+}
+
+type vc_node_init = {
+  vc_id : int;
+  vc_msk_share : Shamir_bytes.share;
+  vc_lines : Types.vc_line array array array;  (** serial -> part -> position *)
+}
+
+type trustee_part_data = {
+  t_shares : Elgamal_vss.share array array;  (** position -> coordinate *)
+  t_zk_state_share : Shamir_bytes.share;
+  t_zk_state_tag : Auth.tag;
+}
+
+type trustee_init = {
+  t_id : int;
+  t_ballots : trustee_part_data array array;  (** serial -> part *)
+}
+
+type setup = {
+  cfg : Types.config;
+  seed : string;
+  gctx : Dd_group.Group_ctx.t;
+  ballots : Types.ballot array;      (** distributed to voters *)
+  vc_keys : Auth.keys array;         (** clique of nv+1; index nv is the EA *)
+  trustee_keys : Auth.keys array;    (** clique of nt+1; index nt is the EA *)
+  vc_init : vc_node_init array;
+  bb_init : bb_init;
+  trustee_init : trustee_init array;
+}
+
+val ea_vc_index : Types.config -> int
+val ea_trustee_index : Types.config -> int
+
+(** The EA-authenticated body binding a trustee's ZK-state share. *)
+val zk_state_body :
+  election_id:string -> serial:int -> part:Types.part_id -> trustee:int ->
+  Shamir_bytes.share -> string
+
+val inverse_perm : int array -> int array
+
+(** Full-cryptography setup; deterministic in [seed]. Cost grows with
+    [n_voters * m_options^2] — intended for tests, examples, and
+    post-election benchmarks; large-scale vote-collection runs use
+    {!Ballot_store.virtual_prf} instead. Raises [Invalid_argument] on
+    an invalid configuration. *)
+val setup : ?scheme:Auth.scheme -> Types.config -> seed:string -> setup

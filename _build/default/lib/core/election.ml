@@ -1,0 +1,603 @@
+(* End-to-end election harness over the discrete-event simulator.
+
+   Two fidelity levels share the identical vote-collection protocol
+   (real salted-hash validation, real GF(256) receipt shares, real
+   Bracha consensus):
+
+   - [Full]: an [Ea.setup] provides real commitments, ZK proofs, VSS
+     shares and Schnorr/MAC authenticators end-to-end, including the
+     trustee and audit phases. Used by tests and examples.
+
+   - [Modeled]: ballots come from the PRF-backed virtual store, node
+     authenticators are pairwise MACs, and the post-election crypto is
+     charged to the simulated clock from the cost model without being
+     executed. This is what lets the benchmark sweep the paper's
+     200,000-ballot (and 250-million-ballot) configurations; the
+     simulated service times always model the paper's signature-based
+     implementation regardless of which authenticator actually runs.
+
+   Clients behave like the paper's load generator: [cc] concurrent
+   closed-loop voters, each submitting its next ballot as soon as the
+   previous receipt arrives, with [d]-patient retry against unresponsive
+   (Byzantine) VC nodes. *)
+
+module Engine = Dd_sim.Engine
+module Net = Dd_sim.Net
+module Stats = Dd_sim.Stats
+module Drbg = Dd_crypto.Drbg
+module Binary_batch = Dd_consensus.Binary_batch
+
+type vote_intent = {
+  vi_serial : int;
+  vi_choice : int;
+}
+
+type byzantine_behavior =
+  | Silent                 (* crashes: receives everything, does nothing *)
+  | Drop_receipts          (* runs the protocol but never answers voters *)
+
+type fidelity =
+  | Full of Ea.setup
+  | Modeled
+
+type params = {
+  cfg : Types.config;
+  fidelity : fidelity;
+  seed : string;
+  latency : Net.latency_model;
+  costs : Cost_model.t;
+  concurrent_clients : int;
+  votes : vote_intent list;
+  byzantine_vc : (int * byzantine_behavior) list;
+  voter_patience : float;
+  coin : Binary_batch.coin;
+  vc_machines : int;        (* physical machines hosting VC nodes *)
+  vc_cores : int;
+  max_sim_time : float;
+  (* force election end at a fixed virtual time even if clients are
+     still voting (paper-style fixed voting hours); [None] ends when
+     every client finishes, like the paper's measurement runs *)
+  end_after : float option;
+  (* when false, stop after vote collection (the paper's Fig. 4 and
+     5a/5b measurements cover only that phase) *)
+  run_vsc : bool;
+}
+
+let default_params ?(fidelity = Modeled) cfg ~votes =
+  { cfg; fidelity; seed = "election-seed";
+    latency = Net.lan; costs = Cost_model.default;
+    concurrent_clients = 40; votes;
+    byzantine_vc = []; voter_patience = 20.;
+    coin = Binary_batch.Local;
+    vc_machines = 4; vc_cores = 6;
+    max_sim_time = 500_000.;
+    end_after = None;
+    run_vsc = true }
+
+type phase_times = {
+  mutable t_first_submit : float;
+  mutable t_last_receipt : float;
+  mutable t_end : float;                  (* election end / VSC start *)
+  mutable t_vsc_done : float;             (* all honest VC nodes submitted *)
+  mutable t_encrypted_tally : float;      (* BBs hold final set + encrypted tally *)
+  mutable t_published : float;            (* tally published *)
+}
+
+type result = {
+  latencies : Stats.sample_set;
+  receipts_ok : int;
+  receipts_bad : int;
+  rejections : int;
+  exhausted : int;                        (* voters who ran out of nodes *)
+  phases : phase_times;
+  throughput : float;                     (* receipts / vote-collection duration *)
+  tally : Types.tally option;
+  expected_tally : Types.tally;
+  (* (serial, vote code) of every vote whose receipt verified *)
+  successes : (int * string) list;
+  (* attempt_counts.(k) = voters who needed exactly k+1 submissions
+     (Theorem 1's [d]-patience retries) *)
+  attempt_counts : int array;
+  messages : int;
+  bytes : int;
+  (* full-fidelity artifacts for auditing *)
+  bb_nodes : Bb_node.t list;
+  setup : Ea.setup option;
+  vc_submit_sets : (int * (int * string) list) list;  (* per honest VC node *)
+}
+
+(* ---------------------------------------------------------------- *)
+
+let vc_msg_cost costs cfg (msg : Messages.vc_msg) =
+  let n = cfg.Types.n_voters and m = cfg.Types.m_options in
+  let quorum = cfg.Types.nv - cfg.Types.fv in
+  let base = costs.Cost_model.msg_overhead in
+  base
+  +. match msg with
+  | Messages.Vote _ -> Cost_model.vote_validate costs ~n ~m +. costs.Cost_model.http_request
+  | Messages.Endorse _ -> Cost_model.endorse_handle costs ~n ~m
+  | Messages.Endorsement _ -> costs.Cost_model.sig_verify
+  | Messages.Vote_p _ -> Cost_model.vote_p_handle costs ~n ~m ~quorum
+  | Messages.Announce_batch { entries; _ } ->
+    float_of_int (List.length entries)
+    *. (costs.Cost_model.announce_entry +. Cost_model.ucert_verify costs ~quorum)
+  | Messages.Consensus { rbc; _ } ->
+    let payload_slots = float_of_int (String.length rbc.Dd_consensus.Rbc.payload) *. 4. in
+    costs.Cost_model.consensus_step *. payload_slots
+  | Messages.Recover_request { serials; _ } ->
+    0.00001 *. float_of_int (List.length serials)
+  | Messages.Recover_response { entries; _ } ->
+    float_of_int (List.length entries) *. Cost_model.ucert_verify costs ~quorum
+
+let expected_tally cfg votes =
+  let t = Array.make cfg.Types.m_options 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+       if not (Hashtbl.mem seen v.vi_serial) then begin
+         Hashtbl.replace seen v.vi_serial ();
+         if v.vi_choice >= 0 && v.vi_choice < cfg.Types.m_options then
+           t.(v.vi_choice) <- t.(v.vi_choice) + 1
+       end)
+    votes;
+  t
+
+let run (p : params) : result =
+  (match Types.validate_config p.cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Election.run: " ^ e));
+  let cfg = p.cfg in
+  let engine = Engine.create ~seed:("engine|" ^ p.seed) in
+  let net = Net.create ~latency:p.latency engine in
+
+  (* --- node ids on the simulated network --- *)
+  let vc_net = Array.init cfg.Types.nv (fun i ->
+      Net.add_node net ~machine:(i mod p.vc_machines) ~cores:p.vc_cores)
+  in
+  let bb_net = Array.init cfg.Types.nb (fun i ->
+      Net.add_node net ~machine:(100 + i) ~cores:4)
+  in
+  let trustee_net = Array.init cfg.Types.nt (fun i ->
+      Net.add_node net ~machine:(200 + i) ~cores:4)
+  in
+  let n_clients = max 1 p.concurrent_clients in
+  let client_net = Array.init n_clients (fun c ->
+      Net.add_node net ~machine:(1000 + c) ~cores:1)
+  in
+
+  let phases = {
+    t_first_submit = infinity; t_last_receipt = 0.; t_end = 0.;
+    t_vsc_done = 0.; t_encrypted_tally = 0.; t_published = 0.;
+  } in
+  let election_end = ref infinity in
+
+  (* --- authenticator scheme and stores --- *)
+  let scheme, setup_opt =
+    match p.fidelity with
+    | Full setup -> setup.Ea.vc_keys.(0).Auth.scheme, Some setup
+    | Modeled -> Auth.Mac_scheme, None
+  in
+  let gctx =
+    match setup_opt with
+    | Some s -> s.Ea.gctx
+    | None -> Lazy.force Dd_group.Group_ctx.default
+  in
+  let vc_keys =
+    match setup_opt with
+    | Some s -> s.Ea.vc_keys
+    | None -> Auth.deal_clique ~scheme ~gctx ~seed:("vc-keys|" ^ p.seed) ~n:(cfg.Types.nv + 1)
+  in
+  let store_for node =
+    match setup_opt with
+    | Some s -> Ballot_store.materialized s.Ea.vc_init.(node)
+    | None -> Ballot_store.virtual_prf ~seed:p.seed ~cfg ~node
+  in
+
+  (* --- BB nodes (full mode) or a light model --- *)
+  let bb_nodes =
+    match setup_opt with
+    | Some s ->
+      List.init cfg.Types.nb (fun i -> Bb_node.create ~cfg ~gctx ~init:s.Ea.bb_init ~me:i)
+    | None -> []
+  in
+  (* modeled BB state: collect sets per BB node *)
+  let model_sets : (int, (int * (int * string) list) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let model_final : (int * string) list option ref = ref None in
+  let honest_submits = ref [] in
+  let n_cast = ref 0 in
+
+  let byz i = List.assoc_opt i p.byzantine_vc in
+
+  (* --- forward declarations for mutually recursive wiring --- *)
+  let vc_nodes : Vc_node.t option array = Array.make cfg.Types.nv None in
+  let client_reply :
+    (client:int -> req:int -> Types.vote_outcome -> unit) ref =
+    ref (fun ~client:_ ~req:_ _ -> ())
+  in
+
+  let vc_submitted = ref 0 in
+  let honest_vc = cfg.Types.nv - List.length p.byzantine_vc in
+
+  let trustees_started = ref false in
+  let start_trustees_full = ref (fun () -> ()) in
+
+  let on_all_bb_final () =
+    (* vote set agreed everywhere: record phase split and kick trustees *)
+    if phases.t_encrypted_tally = 0. then begin
+      phases.t_encrypted_tally <- Net.now net;
+      if not !trustees_started then begin
+        trustees_started := true;
+        !start_trustees_full ()
+      end
+    end
+  in
+
+  (* --- VC node environments --- *)
+  let make_vc_env i : Vc_node.env =
+    let send_vc ~dst msg =
+      match byz dst with
+      | Some Silent -> ()   (* still charge the network, but drop handling *)
+      | _ ->
+        let cost = vc_msg_cost p.costs cfg msg in
+        let size = Messages.vc_msg_size msg in
+        Net.send net ~src:vc_net.(i) ~dst:vc_net.(dst) ~size ~cost
+          (fun () ->
+             match vc_nodes.(dst) with
+             | Some node -> Vc_node.handle node msg
+             | None -> ())
+    in
+    let reply ~client ~req outcome =
+      if byz i = Some Drop_receipts then ()
+      else
+        Net.send net ~src:vc_net.(i) ~dst:client_net.(client) ~size:64 ~cost:0.00001
+          (fun () -> !client_reply ~client ~req outcome)
+    in
+    let send_bb ~dst msg =
+      (match msg with
+       | Messages.Vote_set_submit { sender; set; _ } when dst = 0 && byz i = None ->
+         if not (List.mem_assoc sender !honest_submits) then begin
+           honest_submits := (sender, set) :: !honest_submits;
+           incr vc_submitted;
+           if !vc_submitted >= honest_vc then phases.t_vsc_done <- Net.now net
+         end
+       | _ -> ());
+      let cost =
+        match msg with
+        | Messages.Vote_set_submit { set; _ } ->
+          0.001 +. (float_of_int (List.length set) *. p.costs.Cost_model.bb_verify_set)
+        | Messages.Trustee_post _ -> 0.001
+      in
+      Net.send net ~src:vc_net.(i) ~dst:bb_net.(dst) ~size:(Messages.bb_msg_size msg) ~cost
+        (fun () ->
+           match bb_nodes with
+           | [] ->
+             (* modeled BB: final-set agreement only *)
+             (match msg with
+              | Messages.Vote_set_submit { sender; set; _ } ->
+                let sets =
+                  match Hashtbl.find_opt model_sets dst with
+                  | Some r -> r
+                  | None -> let r = ref [] in Hashtbl.replace model_sets dst r; r
+                in
+                if not (List.mem_assoc sender !sets) then begin
+                  sets := (sender, set) :: !sets;
+                  let identical =
+                    List.filter (fun (_, s) -> s = set) !sets
+                  in
+                  if List.length identical >= cfg.Types.fb + 1 && !model_final = None then begin
+                    model_final := Some set;
+                    n_cast := List.length set;
+                    (* charge the modeled decrypt + homomorphic tally *)
+                    let m = cfg.Types.m_options in
+                    let decrypt_cost =
+                      float_of_int (2 * cfg.Types.n_voters * m) *. p.costs.Cost_model.aes_block
+                    in
+                    let tally_cost =
+                      float_of_int (!n_cast * m) *. p.costs.Cost_model.commit_add
+                    in
+                    Net.exec net ~dst:bb_net.(dst) ~cost:(decrypt_cost +. tally_cost)
+                      (fun () -> on_all_bb_final ())
+                  end
+                end
+              | Messages.Trustee_post _ -> ())
+           | nodes ->
+             let bb = List.nth nodes dst in
+             Bb_node.handle bb msg)
+    in
+    { Vc_node.me = i;
+      cfg;
+      keys = vc_keys.(i);
+      store = store_for i;
+      now = (fun () -> Net.now net);
+      election_start = 0.;
+      election_end = (fun () -> !election_end);
+      send_vc;
+      reply;
+      send_bb;
+      rng = Drbg.create ~seed:(Printf.sprintf "vc-rng|%s|%d" p.seed i);
+      consensus_coin = p.coin;
+      verify_share_tags = (setup_opt <> None) }
+  in
+  for i = 0 to cfg.Types.nv - 1 do
+    vc_nodes.(i) <- Some (Vc_node.create (make_vc_env i))
+  done;
+
+  (* --- full-mode trustees --- *)
+  let trustee_objs : Trustee.t option array = Array.make cfg.Types.nt None in
+  (match setup_opt with
+   | None ->
+     (* modeled publish phase: charged from the cost model *)
+     start_trustees_full :=
+       (fun () ->
+          let m = cfg.Types.m_options in
+          (* per used ballot: reconstruct the shared prover state, finish
+             m positions x m OR rows, and sum m opening-share coordinates *)
+          let per_ballot =
+            p.costs.Cost_model.zk_state_reconstruct
+            +. (float_of_int (m * m) *. p.costs.Cost_model.zk_finalize_row)
+            +. (float_of_int m *. p.costs.Cost_model.share_sum)
+          in
+          let per_trustee = float_of_int !n_cast *. per_ballot in
+          let done_count = ref 0 in
+          Array.iter
+            (fun tn ->
+               Net.exec net ~dst:tn ~cost:per_trustee
+                 (fun () ->
+                    incr done_count;
+                    if !done_count >= cfg.Types.ht && phases.t_published = 0. then
+                      phases.t_published <- Net.now net +. 0.002))
+            trustee_net)
+   | Some s ->
+     let deliver_trustee dst (ex : Trustee.exchange) =
+       Net.send net ~src:trustee_net.(ex.Trustee.ex_from) ~dst:trustee_net.(dst)
+         ~size:(64 * List.length ex.Trustee.ex_entries) ~cost:0.0005
+         (fun () ->
+            match trustee_objs.(dst) with
+            | Some tr -> Trustee.on_exchange tr ex
+            | None -> ())
+     in
+     let post_bb trustee payload =
+       List.iteri
+         (fun dst bb ->
+            Net.send net ~src:trustee_net.(trustee) ~dst:bb_net.(dst)
+              ~size:(Trustee_payload.size payload) ~cost:0.001
+              (fun () -> Bb_node.on_trustee_post bb ~trustee payload))
+         bb_nodes
+     in
+     for i = 0 to cfg.Types.nt - 1 do
+       let env =
+         { Trustee.me = i; cfg; gctx;
+           init = s.Ea.trustee_init.(i);
+           keys = s.Ea.trustee_keys.(i);
+           send_trustee = (fun ~dst ex -> deliver_trustee dst ex);
+           post_bb = (fun payload -> post_bb i payload) }
+       in
+       trustee_objs.(i) <- Some (Trustee.create env)
+     done;
+     let rec trustee_kickoff attempts () =
+       (* the BB majority may still be reconstructing msk / opening
+          codes: poll until the read succeeds, as a real reader would *)
+       match Bb_reader.voted_positions ~cfg bb_nodes with
+       | Bb_reader.Agreed voted ->
+         Array.iteri
+           (fun i tn ->
+              Net.exec net ~dst:tn ~cost:0.005
+                (fun () ->
+                   match trustee_objs.(i) with
+                   | Some tr -> Trustee.on_election_data tr ~voted
+                   | None -> ()))
+           trustee_net
+       | Bb_reader.No_majority ->
+         if attempts < 200 then
+           Engine.schedule_after engine ~delay:0.05 (trustee_kickoff (attempts + 1))
+     in
+     start_trustees_full := trustee_kickoff 0;
+     (* watch BB publications *)
+     let finals = ref 0 in
+     List.iter
+       (fun bb ->
+          Bb_node.subscribe_final_set bb
+            (fun _ ->
+               incr finals;
+               if !finals >= cfg.Types.nb - cfg.Types.fb then on_all_bb_final ());
+          Bb_node.subscribe_tally bb
+            (fun _ -> if phases.t_published = 0. then phases.t_published <- Net.now net))
+       bb_nodes);
+
+  (* --- clients --- *)
+  let latencies = Stats.sample_set () in
+  let receipts_ok = ref 0 and receipts_bad = ref 0 and rejections = ref 0 in
+  let exhausted = ref 0 in
+  let clients_done = ref 0 in
+  let successes = ref [] in
+
+  (* distribute intents round-robin over clients, like the paper's
+     client threads loading their ballot files *)
+  let queues = Array.make n_clients [] in
+  List.iteri (fun k v -> queues.(k mod n_clients) <- v :: queues.(k mod n_clients)) p.votes;
+  Array.iteri (fun c q -> queues.(c) <- List.rev q) queues;
+
+  let ballot_for serial =
+    match setup_opt with
+    | Some s -> s.Ea.ballots.(serial)
+    | None -> Ballot_gen.voter_ballot ~seed:p.seed ~serial ~m:cfg.Types.m_options
+  in
+
+  let next_req = ref 0 in
+  (* req -> (client, plan, target VC node, submit time, attempt#) *)
+  let pending : (int, int * Voter.plan * int * float * int) Hashtbl.t = Hashtbl.create 64 in
+  let blacklists = Array.make n_clients [] in
+  let attempt_hist = Hashtbl.create 8 in
+  let record_attempts k =
+    Hashtbl.replace attempt_hist k (1 + Option.value ~default:0 (Hashtbl.find_opt attempt_hist k))
+  in
+
+  let end_election () =
+    if !election_end = infinity then begin
+      election_end := Net.now net;
+      phases.t_end <- Net.now net;
+      if p.run_vsc then
+        Array.iteri
+          (fun i _ ->
+             match byz i, vc_nodes.(i) with
+             | None, Some node ->
+               Net.exec net ~dst:vc_net.(i) ~cost:0.001
+                 (fun () -> Vc_node.start_vote_set_consensus node)
+             | _ -> ())
+          vc_net
+    end
+  in
+
+  let client_rng c = Drbg.create ~seed:(Printf.sprintf "client|%s|%d" p.seed c) in
+  let client_rngs = Array.init n_clients client_rng in
+
+  let rec start_next c =
+    match queues.(c) with
+    | [] ->
+      incr clients_done;
+      if !clients_done >= n_clients then
+        (* everything cast: election end, as in the paper's runs *)
+        end_election ()
+    | intent :: rest ->
+      queues.(c) <- rest;
+      blacklists.(c) <- [];
+      let rng = client_rngs.(c) in
+      let plan =
+        Voter.make_plan ~patience:p.voter_patience rng ~ballot:(ballot_for intent.vi_serial)
+          ~choice:intent.vi_choice
+      in
+      submit c plan 1
+
+  and submit c plan attempt =
+    let rng = client_rngs.(c) in
+    match Voter.pick_node rng ~nv:cfg.Types.nv ~blacklist:blacklists.(c) with
+    | None ->
+      incr exhausted;
+      start_next c
+    | Some node ->
+      incr next_req;
+      let req = !next_req in
+      let now = Net.now net in
+      if now < phases.t_first_submit then phases.t_first_submit <- now;
+      Hashtbl.replace pending req (c, plan, node, now, attempt);
+      let msg =
+        Messages.Vote
+          { serial = plan.Voter.ballot.Types.serial;
+            vote_code = Voter.vote_code plan;
+            client = c; req }
+      in
+      let cost = vc_msg_cost p.costs cfg msg in
+      (match byz node with
+       | Some Silent ->
+         (* the node is down: the request vanishes; patience timer fires *)
+         ()
+       | _ ->
+         Net.send net ~src:client_net.(c) ~dst:vc_net.(node) ~size:(Messages.vc_msg_size msg)
+           ~cost
+           (fun () ->
+              match vc_nodes.(node) with
+              | Some vcn -> Vc_node.handle vcn msg
+              | None -> ()));
+      (* [d]-patience: blacklist and resubmit on timeout *)
+      Engine.schedule_after engine ~delay:p.voter_patience
+        (fun () ->
+           if Hashtbl.mem pending req then begin
+             Hashtbl.remove pending req;
+             blacklists.(c) <- node :: blacklists.(c);
+             submit c plan (attempt + 1)
+           end)
+  in
+
+  client_reply :=
+    (fun ~client ~req outcome ->
+       match Hashtbl.find_opt pending req with
+       | None -> ()   (* stale reply after patience expired *)
+       | Some (c, plan, node, t_submit, attempt) ->
+         assert (c = client);
+         Hashtbl.remove pending req;
+         match outcome with
+         | Types.Receipt r ->
+           if Voter.receipt_valid plan r then begin
+             incr receipts_ok;
+             record_attempts attempt;
+             successes :=
+               (plan.Voter.ballot.Types.serial, Voter.vote_code plan) :: !successes;
+             let now = Net.now net in
+             Stats.record latencies (now -. t_submit);
+             if now > phases.t_last_receipt then phases.t_last_receipt <- now;
+             start_next c
+           end else begin
+             incr receipts_bad;
+             (* a bad receipt means a malicious responder: blacklist, retry *)
+             blacklists.(c) <- node :: blacklists.(c);
+             submit c plan (attempt + 1)
+           end
+         | Types.Rejected _ ->
+           incr rejections;
+           start_next c);
+
+  (* kick off the clients, staggered like ramping load generators *)
+  Array.iteri
+    (fun c _ ->
+       Engine.schedule_at engine ~at:(0.001 +. (0.0001 *. float_of_int c))
+         (fun () -> start_next c))
+    client_net;
+  (* fixed voting hours, if requested *)
+  (match p.end_after with
+   | Some t -> Engine.schedule_at engine ~at:t end_election
+   | None -> ());
+
+  (* run everything *)
+  ignore (Engine.run ~until:p.max_sim_time engine);
+
+  (* --- results --- *)
+  let tally =
+    match bb_nodes with
+    | [] ->
+      (* modeled: ground truth from the agreed set *)
+      (match !model_final with
+       | None -> None
+       | Some set ->
+         let t = Array.make cfg.Types.m_options 0 in
+         List.iter
+           (fun (serial, code) ->
+              let ballot = ballot_for serial in
+              List.iter
+                (fun part ->
+                   Array.iteri
+                     (fun choice (line : Types.ballot_line) ->
+                        if Dd_crypto.Ct.equal line.Types.vote_code code then
+                          t.(choice) <- t.(choice) + 1)
+                     (Types.ballot_part ballot part).Types.lines)
+                [ Types.A; Types.B ])
+           set;
+         Some t)
+    | nodes ->
+      (match Bb_reader.tally ~cfg nodes with
+       | Bb_reader.Agreed t -> Some t
+       | Bb_reader.No_majority -> None)
+  in
+  let vote_duration =
+    if phases.t_last_receipt > phases.t_first_submit then
+      phases.t_last_receipt -. phases.t_first_submit
+    else 1.
+  in
+  { latencies;
+    receipts_ok = !receipts_ok;
+    receipts_bad = !receipts_bad;
+    rejections = !rejections;
+    exhausted = !exhausted;
+    phases;
+    throughput = Stats.throughput ~completed:!receipts_ok ~duration:vote_duration;
+    tally;
+    expected_tally = expected_tally cfg p.votes;
+    successes = !successes;
+    attempt_counts =
+      (let max_a = Hashtbl.fold (fun k _ m -> max k m) attempt_hist 0 in
+       Array.init max_a (fun i ->
+           Option.value ~default:0 (Hashtbl.find_opt attempt_hist (i + 1))));
+    messages = Net.messages_sent net;
+    bytes = Net.bytes_sent net;
+    bb_nodes;
+    setup = setup_opt;
+    vc_submit_sets = !honest_submits }

@@ -1,0 +1,85 @@
+(** End-to-end election harness over the discrete-event simulator: VC
+    cluster, BB replicas, trustees, and closed-loop [d]-patient voting
+    clients, with Byzantine fault injection and the paper's measurement
+    points.
+
+    Fidelity levels share the identical vote-collection protocol:
+    [Full] runs real cryptography end to end (tests, examples);
+    [Modeled] PRF-derives ballots and charges the post-election crypto
+    to the simulated clock from {!Cost_model}, scaling to hundreds of
+    millions of registered ballots. *)
+
+module Net = Dd_sim.Net
+module Stats = Dd_sim.Stats
+
+type vote_intent = {
+  vi_serial : int;
+  vi_choice : int;
+}
+
+type byzantine_behavior =
+  | Silent          (** crash-faulty: never responds to anything *)
+  | Drop_receipts   (** runs the protocol but never answers voters *)
+
+type fidelity =
+  | Full of Ea.setup
+  | Modeled
+
+type params = {
+  cfg : Types.config;
+  fidelity : fidelity;
+  seed : string;                (** fixes the entire run *)
+  latency : Net.latency_model;
+  costs : Cost_model.t;
+  concurrent_clients : int;     (** the paper's "cc" *)
+  votes : vote_intent list;
+  byzantine_vc : (int * byzantine_behavior) list;
+  voter_patience : float;       (** the [d] of [d]-patience *)
+  coin : Dd_consensus.Binary_batch.coin;
+  vc_machines : int;            (** physical machines hosting VC nodes *)
+  vc_cores : int;
+  max_sim_time : float;
+  end_after : float option;     (** fixed voting hours; [None] = end when all clients finish *)
+  run_vsc : bool;               (** [false] stops after vote collection (Fig. 4 measurements) *)
+}
+
+val default_params : ?fidelity:fidelity -> Types.config -> votes:vote_intent list -> params
+
+type phase_times = {
+  mutable t_first_submit : float;
+  mutable t_last_receipt : float;
+  mutable t_end : float;
+  mutable t_vsc_done : float;
+  mutable t_encrypted_tally : float;
+  mutable t_published : float;
+}
+
+type result = {
+  latencies : Stats.sample_set;   (** per successful vote, submit-to-receipt *)
+  receipts_ok : int;
+  receipts_bad : int;
+  rejections : int;
+  exhausted : int;
+  phases : phase_times;
+  throughput : float;             (** receipts per virtual second of vote collection *)
+  tally : Types.tally option;
+  expected_tally : Types.tally;
+  successes : (int * string) list;
+  attempt_counts : int array;   (** index k: voters needing exactly k+1 submissions *)
+  messages : int;
+  bytes : int;
+  bb_nodes : Bb_node.t list;      (** full mode only (for auditing) *)
+  setup : Ea.setup option;
+  vc_submit_sets : (int * (int * string) list) list;
+}
+
+(** The per-vote intents' ground-truth tally (duplicate serials count
+    once). *)
+val expected_tally : Types.config -> vote_intent list -> Types.tally
+
+(** Simulated service cost of handling a VC message (exposed for the
+    benchmark's cost-model audit). *)
+val vc_msg_cost : Cost_model.t -> Types.config -> Messages.vc_msg -> float
+
+(** Run the election to completion (deterministic in [params.seed]). *)
+val run : params -> result

@@ -1,0 +1,72 @@
+(* Liveness bounds (Theorem 1 and Table I). The paper derives, step by
+   step, the worst-case time for an honest responder to hand a voter a
+   receipt, as a function of Nv, the per-procedure computation bound
+   Tcomp, the clock-drift bound Delta, and the message-delay bound
+   delta:
+
+     Twait = (2 Nv + 4) Tcomp + 12 Delta + 6 delta.
+
+   A [Twait]-patient voter who starts at least (fv + 1) * Twait before
+   election end is guaranteed a receipt; one who starts y * Twait
+   before obtains it with probability > 1 - 3^-y. This module computes
+   the full Table I so the benchmark can print the bound next to the
+   simulator's measured per-step times. *)
+
+type params = {
+  nv : int;
+  fv : int;
+  t_comp : float;   (* worst-case per-procedure computation time *)
+  delta_drift : float;  (* Delta: clock drift bound *)
+  delta_msg : float;    (* delta: message delay bound *)
+}
+
+let t_wait p =
+  (float_of_int (2 * p.nv + 4) *. p.t_comp) +. (12. *. p.delta_drift) +. (6. *. p.delta_msg)
+
+(* One Table I row: the symbolic coefficients (a, b, c) of
+   a * Tcomp + b * Delta + c * delta at the global clock. *)
+type step = {
+  label : string;
+  tcomp_coeff : float;  (* may involve Nv: already expanded *)
+  drift_coeff : float;
+  delay_coeff : float;
+}
+
+let steps p =
+  let nv = float_of_int p.nv in
+  [ { label = "V initialized"; tcomp_coeff = 0.; drift_coeff = 0.; delay_coeff = 0. };
+    { label = "V submits vote"; tcomp_coeff = 1.; drift_coeff = 1.; delay_coeff = 0. };
+    { label = "VC receives ballot"; tcomp_coeff = 1.; drift_coeff = 1.; delay_coeff = 1. };
+    { label = "VC validates, broadcasts ENDORSE"; tcomp_coeff = 2.; drift_coeff = 3.; delay_coeff = 1. };
+    { label = "honest VCs receive ENDORSE"; tcomp_coeff = 2.; drift_coeff = 3.; delay_coeff = 2. };
+    { label = "honest VCs send ENDORSEMENT"; tcomp_coeff = 3.; drift_coeff = 5.; delay_coeff = 2. };
+    { label = "VC receives ENDORSEMENTs"; tcomp_coeff = 3.; drift_coeff = 5.; delay_coeff = 3. };
+    { label = "VC verifies Nv-1 messages"; tcomp_coeff = nv +. 2.; drift_coeff = 7.; delay_coeff = 3. };
+    { label = "VC forms UCERT, broadcasts share"; tcomp_coeff = nv +. 3.; drift_coeff = 7.; delay_coeff = 3. };
+    { label = "honest VCs receive share+UCERT"; tcomp_coeff = nv +. 3.; drift_coeff = 7.; delay_coeff = 4. };
+    { label = "honest VCs verify, broadcast shares"; tcomp_coeff = nv +. 4.; drift_coeff = 9.; delay_coeff = 4. };
+    { label = "VC receives all shares"; tcomp_coeff = nv +. 4.; drift_coeff = 9.; delay_coeff = 5. };
+    { label = "VC verifies Nv-1 shares"; tcomp_coeff = (2. *. nv) +. 3.; drift_coeff = 11.; delay_coeff = 5. };
+    { label = "VC reconstructs receipt, sends"; tcomp_coeff = (2. *. nv) +. 4.; drift_coeff = 11.; delay_coeff = 5. };
+    (* final row on the voter's own clock (one more drift), which is
+       what the [Twait]-patience definition measures *)
+    { label = "V obtains receipt (voter clock)"; tcomp_coeff = (2. *. nv) +. 4.;
+      drift_coeff = 12.; delay_coeff = 6. } ]
+
+let step_bound p s =
+  (s.tcomp_coeff *. p.t_comp) +. (s.drift_coeff *. p.delta_drift) +. (s.delay_coeff *. p.delta_msg)
+
+(* Theorem 1, condition 2: probability a [Twait]-patient voter starting
+   y * Twait before Tend obtains a receipt. *)
+let receipt_probability p ~y =
+  if y > p.fv then 1.0
+  else begin
+    (* 1 - prod_{j=1..y} (fv - j + 1) / (Nv - j + 1) *)
+    let rec go j acc =
+      if j > y then acc
+      else
+        go (j + 1)
+          (acc *. float_of_int (p.fv - j + 1) /. float_of_int (p.nv - j + 1))
+    in
+    1. -. go 1 1.0
+  end

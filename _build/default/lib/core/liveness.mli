@@ -1,0 +1,32 @@
+(** Liveness bounds of Theorem 1 and Table I: the worst-case time for
+    an honest responder to deliver a receipt,
+    [Twait = (2 Nv + 4) Tcomp + 12 Delta + 6 delta], the per-step bound
+    table, and the receipt probability for [Twait]-patient voters. *)
+
+type params = {
+  nv : int;
+  fv : int;
+  t_comp : float;       (** worst-case per-procedure computation time *)
+  delta_drift : float;  (** Delta: bound on clock drift *)
+  delta_msg : float;    (** delta: bound on message delay *)
+}
+
+val t_wait : params -> float
+
+type step = {
+  label : string;
+  tcomp_coeff : float;
+  drift_coeff : float;
+  delay_coeff : float;
+}
+
+(** The 15 rows of Table I (coefficients already expanded in Nv). The
+    final row is on the voter's clock and equals {!t_wait}. *)
+val steps : params -> step list
+
+val step_bound : params -> step -> float
+
+(** Theorem 1, condition 2: probability that a voter who starts
+    [y * Twait] before election end obtains a receipt (exceeds
+    [1 - 3^-y]; certainty for [y > fv]). *)
+val receipt_probability : params -> y:int -> float

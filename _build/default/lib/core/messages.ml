@@ -1,0 +1,243 @@
+(* Protocol messages. In the simulator they travel as typed values
+   inside delivery closures (the wire codec in Dd_codec handles the
+   byte-level formats where bytes actually matter: consensus payloads
+   and BB contents); [size] estimates drive the network model. *)
+
+(* A uniqueness certificate: Nv - fv endorsements binding (serial,
+   vote-code). Its formation guarantees no second vote code can ever be
+   certified for the same ballot. *)
+type ucert = {
+  u_serial : int;
+  u_code : string;
+  endorsements : (int * Auth.tag) list;  (* signer, tag *)
+}
+
+let endorsement_body ~election_id ~serial ~code =
+  String.concat "|" [ "endorse"; election_id; string_of_int serial; code ]
+
+(* Verify a UCERT from node [keys.me]'s point of view. *)
+let verify_ucert keys ~election_id ~quorum (u : ucert) =
+  let body = endorsement_body ~election_id ~serial:u.u_serial ~code:u.u_code in
+  let distinct = List.sort_uniq compare (List.map fst u.endorsements) in
+  List.length distinct >= quorum
+  && List.for_all (fun (signer, tag) -> Auth.verify keys ~signer body tag) u.endorsements
+
+let share_body ~election_id ~serial ~part ~pos ~node ~(share : Dd_vss.Shamir_bytes.share) =
+  String.concat "|"
+    [ "share"; election_id; string_of_int serial; Types.part_label part;
+      string_of_int pos; string_of_int node; string_of_int share.Dd_vss.Shamir_bytes.x;
+      share.Dd_vss.Shamir_bytes.data ]
+
+type vc_msg =
+  | Vote of { serial : int; vote_code : string; client : int; req : int }
+  | Endorse of { serial : int; vote_code : string; responder : int }
+  | Endorsement of { serial : int; vote_code : string; signer : int; tag : Auth.tag }
+  | Vote_p of {
+      serial : int;
+      vote_code : string;
+      sender : int;
+      part : Types.part_id;
+      pos : int;
+      share : Dd_vss.Shamir_bytes.share;
+      share_tag : Auth.tag option;  (* the EA's authenticator over the share *)
+      ucert : ucert;
+    }
+  | Announce_batch of { sender : int; entries : (int * string * ucert) list }
+  | Consensus of { sender : int; rbc : Dd_consensus.Rbc.msg }
+  | Recover_request of { sender : int; serials : int list }
+  | Recover_response of { sender : int; entries : (int * string * ucert) list }
+
+type bb_msg =
+  | Vote_set_submit of {
+      sender : int;                       (* VC node id *)
+      set : (int * string) list;          (* (serial, vote code), sorted by serial *)
+      msk_share : Dd_vss.Shamir_bytes.share;
+    }
+  | Trustee_post of { trustee : int; payload : Trustee_payload.t }
+
+(* Rough wire sizes in bytes, for the network model. *)
+let tag_size = function
+  | Auth.Schnorr_tag _ -> 64
+  | Auth.Mac_tag tags -> 32 * Array.length tags
+
+let ucert_size u =
+  16 + Types.vote_code_bytes
+  + List.fold_left (fun acc (_, tag) -> acc + 8 + tag_size tag) 0 u.endorsements
+
+let vc_msg_size = function
+  | Vote _ -> 8 + Types.vote_code_bytes + 120        (* HTTP overhead *)
+  | Endorse _ -> 8 + Types.vote_code_bytes + 16
+  | Endorsement { tag; _ } -> 8 + Types.vote_code_bytes + 16 + tag_size tag
+  | Vote_p { share; ucert; _ } ->
+    8 + Types.vote_code_bytes + 24 + String.length share.Dd_vss.Shamir_bytes.data + 32
+    + ucert_size ucert
+  | Announce_batch { entries; _ } ->
+    16 + List.fold_left (fun acc (_, _, u) -> acc + 8 + Types.vote_code_bytes + ucert_size u)
+      0 entries
+  | Consensus { rbc; _ } -> 32 + String.length rbc.Dd_consensus.Rbc.payload
+  | Recover_request { serials; _ } -> 16 + 8 * List.length serials
+  | Recover_response { entries; _ } ->
+    16 + List.fold_left (fun acc (_, _, u) -> acc + 8 + Types.vote_code_bytes + ucert_size u)
+      0 entries
+
+let bb_msg_size = function
+  | Vote_set_submit { set; _ } ->
+    32 + List.fold_left (fun acc (_, c) -> acc + 8 + String.length c) 0 set
+  | Trustee_post { payload; _ } -> Trustee_payload.size payload
+
+(* --- wire format --------------------------------------------------------- *)
+(* Byte-level encodings for every VC protocol message, the role Google
+   protobuf played in the prototype. Decoders are total: any malformed
+   frame decodes to [None]. *)
+
+module Wire = Dd_codec.Wire
+
+let put_tag gctx w = function
+  | Auth.Schnorr_tag s ->
+    Wire.put_varint w 0;
+    Wire.put_bytes w (Dd_sig.Schnorr.encode gctx s)
+  | Auth.Mac_tag macs ->
+    Wire.put_varint w 1;
+    Wire.put_array w Wire.put_bytes macs
+
+let get_tag gctx r =
+  match Wire.get_varint r with
+  | 0 ->
+    (match Dd_sig.Schnorr.decode gctx (Wire.get_bytes r) with
+     | Some s -> Auth.Schnorr_tag s
+     | None -> raise (Wire.Malformed "tag: bad signature"))
+  | 1 -> Auth.Mac_tag (Wire.get_array r Wire.get_bytes)
+  | _ -> raise (Wire.Malformed "tag: bad scheme")
+
+let put_share w (sh : Dd_vss.Shamir_bytes.share) =
+  Wire.put_varint w sh.Dd_vss.Shamir_bytes.x;
+  Wire.put_bytes w sh.Dd_vss.Shamir_bytes.data
+
+let get_share r =
+  let x = Wire.get_varint r in
+  let data = Wire.get_bytes r in
+  { Dd_vss.Shamir_bytes.x; Dd_vss.Shamir_bytes.data }
+
+let put_ucert gctx w (u : ucert) =
+  Wire.put_varint w u.u_serial;
+  Wire.put_bytes w u.u_code;
+  Wire.put_list w
+    (fun w (signer, tag) -> Wire.put_varint w signer; put_tag gctx w tag)
+    u.endorsements
+
+let get_ucert gctx r =
+  let u_serial = Wire.get_varint r in
+  let u_code = Wire.get_bytes r in
+  let endorsements =
+    Wire.get_list r (fun r ->
+        let signer = Wire.get_varint r in
+        let tag = get_tag gctx r in
+        (signer, tag))
+  in
+  { u_serial; u_code; endorsements }
+
+let put_part w part = Wire.put_varint w (Types.part_index part)
+
+let get_part r =
+  match Wire.get_varint r with
+  | 0 -> Types.A
+  | 1 -> Types.B
+  | _ -> raise (Wire.Malformed "part: bad index")
+
+let put_entry gctx w (serial, code, u) =
+  Wire.put_varint w serial;
+  Wire.put_bytes w code;
+  put_ucert gctx w u
+
+let get_entry gctx r =
+  let serial = Wire.get_varint r in
+  let code = Wire.get_bytes r in
+  let u = get_ucert gctx r in
+  (serial, code, u)
+
+let encode_vc_msg gctx (msg : vc_msg) =
+  let w = Wire.writer () in
+  (match msg with
+   | Vote { serial; vote_code; client; req } ->
+     Wire.put_varint w 0;
+     Wire.put_varint w serial; Wire.put_bytes w vote_code;
+     Wire.put_varint w client; Wire.put_varint w req
+   | Endorse { serial; vote_code; responder } ->
+     Wire.put_varint w 1;
+     Wire.put_varint w serial; Wire.put_bytes w vote_code; Wire.put_varint w responder
+   | Endorsement { serial; vote_code; signer; tag } ->
+     Wire.put_varint w 2;
+     Wire.put_varint w serial; Wire.put_bytes w vote_code;
+     Wire.put_varint w signer; put_tag gctx w tag
+   | Vote_p { serial; vote_code; sender; part; pos; share; share_tag; ucert } ->
+     Wire.put_varint w 3;
+     Wire.put_varint w serial; Wire.put_bytes w vote_code; Wire.put_varint w sender;
+     put_part w part; Wire.put_varint w pos; put_share w share;
+     Wire.put_option w (put_tag gctx) share_tag;
+     put_ucert gctx w ucert
+   | Announce_batch { sender; entries } ->
+     Wire.put_varint w 4;
+     Wire.put_varint w sender;
+     Wire.put_list w (put_entry gctx) entries
+   | Consensus { sender; rbc } ->
+     Wire.put_varint w 5;
+     Wire.put_varint w sender;
+     Wire.put_bytes w (Dd_consensus.Rbc.encode_msg rbc)
+   | Recover_request { sender; serials } ->
+     Wire.put_varint w 6;
+     Wire.put_varint w sender;
+     Wire.put_list w Wire.put_varint serials
+   | Recover_response { sender; entries } ->
+     Wire.put_varint w 7;
+     Wire.put_varint w sender;
+     Wire.put_list w (put_entry gctx) entries);
+  Wire.contents w
+
+let decode_vc_msg gctx frame =
+  Wire.decode frame (fun r ->
+      match Wire.get_varint r with
+      | 0 ->
+        let serial = Wire.get_varint r in
+        let vote_code = Wire.get_bytes r in
+        let client = Wire.get_varint r in
+        let req = Wire.get_varint r in
+        Vote { serial; vote_code; client; req }
+      | 1 ->
+        let serial = Wire.get_varint r in
+        let vote_code = Wire.get_bytes r in
+        let responder = Wire.get_varint r in
+        Endorse { serial; vote_code; responder }
+      | 2 ->
+        let serial = Wire.get_varint r in
+        let vote_code = Wire.get_bytes r in
+        let signer = Wire.get_varint r in
+        let tag = get_tag gctx r in
+        Endorsement { serial; vote_code; signer; tag }
+      | 3 ->
+        let serial = Wire.get_varint r in
+        let vote_code = Wire.get_bytes r in
+        let sender = Wire.get_varint r in
+        let part = get_part r in
+        let pos = Wire.get_varint r in
+        let share = get_share r in
+        let share_tag = Wire.get_option r (get_tag gctx) in
+        let ucert = get_ucert gctx r in
+        Vote_p { serial; vote_code; sender; part; pos; share; share_tag; ucert }
+      | 4 ->
+        let sender = Wire.get_varint r in
+        let entries = Wire.get_list r (get_entry gctx) in
+        Announce_batch { sender; entries }
+      | 5 ->
+        let sender = Wire.get_varint r in
+        (match Dd_consensus.Rbc.decode_msg (Wire.get_bytes r) with
+         | Some rbc -> Consensus { sender; rbc }
+         | None -> raise (Wire.Malformed "consensus: bad rbc frame"))
+      | 6 ->
+        let sender = Wire.get_varint r in
+        let serials = Wire.get_list r Wire.get_varint in
+        Recover_request { sender; serials }
+      | 7 ->
+        let sender = Wire.get_varint r in
+        let entries = Wire.get_list r (get_entry gctx) in
+        Recover_response { sender; entries }
+      | _ -> raise (Wire.Malformed "vc_msg: unknown discriminant"))

@@ -1,0 +1,62 @@
+(** Protocol messages of the VC and BB subsystems, with UCERT
+    verification and the byte-level wire format (the role protobuf
+    played in the paper's prototype). *)
+
+(** A uniqueness certificate: [Nv - fv] endorsements binding one
+    (serial, vote code). Once formed, no other code can ever be
+    certified for the same ballot. *)
+type ucert = {
+  u_serial : int;
+  u_code : string;
+  endorsements : (int * Auth.tag) list;
+}
+
+(** The authenticated body of an ENDORSEMENT. *)
+val endorsement_body : election_id:string -> serial:int -> code:string -> string
+
+(** Check a UCERT: at least [quorum] distinct signers, every tag valid. *)
+val verify_ucert : Auth.keys -> election_id:string -> quorum:int -> ucert -> bool
+
+(** The EA-authenticated body binding a receipt share to its line and
+    holder. *)
+val share_body :
+  election_id:string -> serial:int -> part:Types.part_id -> pos:int -> node:int ->
+  share:Dd_vss.Shamir_bytes.share -> string
+
+type vc_msg =
+  | Vote of { serial : int; vote_code : string; client : int; req : int }
+  | Endorse of { serial : int; vote_code : string; responder : int }
+  | Endorsement of { serial : int; vote_code : string; signer : int; tag : Auth.tag }
+  | Vote_p of {
+      serial : int;
+      vote_code : string;
+      sender : int;
+      part : Types.part_id;
+      pos : int;
+      share : Dd_vss.Shamir_bytes.share;
+      share_tag : Auth.tag option;
+      ucert : ucert;
+    }
+  | Announce_batch of { sender : int; entries : (int * string * ucert) list }
+  | Consensus of { sender : int; rbc : Dd_consensus.Rbc.msg }
+  | Recover_request of { sender : int; serials : int list }
+  | Recover_response of { sender : int; entries : (int * string * ucert) list }
+
+type bb_msg =
+  | Vote_set_submit of {
+      sender : int;
+      set : (int * string) list;
+      msk_share : Dd_vss.Shamir_bytes.share;
+    }
+  | Trustee_post of { trustee : int; payload : Trustee_payload.t }
+
+(** Wire-size estimates for the network model. *)
+val tag_size : Auth.tag -> int
+val ucert_size : ucert -> int
+val vc_msg_size : vc_msg -> int
+val bb_msg_size : bb_msg -> int
+
+(** Byte-level encoding of every VC message; the decoder is total
+    (malformed frames yield [None], never an exception). *)
+val encode_vc_msg : Dd_group.Group_ctx.t -> vc_msg -> string
+val decode_vc_msg : Dd_group.Group_ctx.t -> string -> vc_msg option

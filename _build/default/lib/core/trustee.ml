@@ -1,0 +1,192 @@
+(* Trustee (Section III-H). After the election each trustee reads the
+   agreed vote set and opened codes from the BB majority, then:
+
+   - posts its opening shares for every commitment in unused ballot
+     parts (and both parts of unvoted ballots) — the audit material;
+   - for used parts, jointly finishes the ballot-correctness ZK proofs:
+     the EA shared each part's serialized prover state among the
+     trustees with an (ht, Nt) sharing, so any ht trustees reconstruct
+     it, compute the final move under the voter-coin challenge, and
+     post it (the BB publishes a final move once ft+1 trustees post
+     identical bytes);
+   - homomorphically sums its opening shares over the tally set Etally
+     and posts a single share of the opening of the total Esum. *)
+
+module Shamir_bytes = Dd_vss.Shamir_bytes
+module Elgamal_vss = Dd_vss.Elgamal_vss
+module Ballot_proof = Dd_zkp.Ballot_proof
+module Challenge = Dd_zkp.Challenge
+module Group_ctx = Dd_group.Group_ctx
+module Nat = Dd_bignum.Nat
+
+type exchange = {
+  ex_from : int;
+  (* (serial, part, state share, EA tag over it) *)
+  ex_entries : (int * Types.part_id * Shamir_bytes.share * Auth.tag) list;
+}
+
+type env = {
+  me : int;
+  cfg : Types.config;
+  gctx : Group_ctx.t;
+  init : Ea.trustee_init;
+  keys : Auth.keys;                       (* trustee clique; index nt is the EA *)
+  send_trustee : dst:int -> exchange -> unit;
+  post_bb : Trustee_payload.t -> unit;    (* broadcast a post to every BB node *)
+}
+
+type t = {
+  env : env;
+  (* (serial, part) -> collected state shares *)
+  state_shares : (int * Types.part_id, Shamir_bytes.share list ref) Hashtbl.t;
+  mutable used_parts : (int * Types.part_id) list;  (* serial, voted part *)
+  mutable master_challenge : Nat.t option;
+  mutable zk_posted : (int * Types.part_id, unit) Hashtbl.t;
+  mutable started : bool;
+}
+
+let create env =
+  { env;
+    state_shares = Hashtbl.create 64;
+    used_parts = [];
+    master_challenge = None;
+    zk_posted = Hashtbl.create 64;
+    started = false }
+
+(* Parse the per-part state blob: length-prefixed encoded states. *)
+let parse_states blob =
+  let rec go off acc =
+    if off >= String.length blob then Some (List.rev acc)
+    else if off + 8 > String.length blob then None
+    else begin
+      match int_of_string_opt (String.sub blob off 8) with
+      | None -> None
+      | Some len ->
+        if off + 8 + len > String.length blob then None
+        else begin
+          match Ballot_proof.decode_state (String.sub blob (off + 8) len) with
+          | None -> None
+          | Some st -> go (off + 8 + len) (st :: acc)
+        end
+    end
+  in
+  match go 0 [] with
+  | Some l -> Some (Array.of_list l)
+  | None -> None
+
+let part_data t ~serial ~part =
+  t.env.init.Ea.t_ballots.(serial).(Types.part_index part)
+
+(* Finish the ZK proof of one used part once ht state shares are in. *)
+let try_finalize_zk t ~serial ~part =
+  let key = (serial, part) in
+  if not (Hashtbl.mem t.zk_posted key) then begin
+    match Hashtbl.find_opt t.state_shares key, t.master_challenge with
+    | Some shares, Some master when List.length !shares >= t.env.cfg.Types.ht ->
+      let selected = List.filteri (fun i _ -> i < t.env.cfg.Types.ht) !shares in
+      let blob = Shamir_bytes.reconstruct ~threshold:t.env.cfg.Types.ht selected in
+      (match parse_states blob with
+       | None -> ()  (* corrupt share slipped in; wait for more *)
+       | Some states ->
+         let challenge = Challenge.for_proof t.env.gctx ~master_challenge:master ~serial
+             ~part:(match part with Types.A -> `A | Types.B -> `B) in
+         let finals = Array.map (fun st -> Ballot_proof.finalize t.env.gctx st ~challenge) states in
+         Hashtbl.replace t.zk_posted key ();
+         t.env.post_bb
+           (Trustee_payload.Zk_final
+              [ { Trustee_payload.z_serial = serial; Trustee_payload.z_part = part;
+                  Trustee_payload.z_finals = finals } ]))
+    | _ -> ()
+  end
+
+let add_state_share t ~serial ~part share =
+  let key = (serial, part) in
+  let shares =
+    match Hashtbl.find_opt t.state_shares key with
+    | Some l -> l
+    | None -> let l = ref [] in Hashtbl.replace t.state_shares key l; l
+  in
+  if not (List.exists (fun s -> s.Shamir_bytes.x = share.Shamir_bytes.x) !shares) then begin
+    shares := share :: !shares;
+    try_finalize_zk t ~serial ~part
+  end
+
+let on_exchange t (ex : exchange) =
+  List.iter
+    (fun (serial, part, share, tag) ->
+       let body = Ea.zk_state_body ~election_id:t.env.cfg.Types.election_id ~serial ~part
+           ~trustee:ex.ex_from share
+       in
+       (* shares are EA-authenticated, so a Byzantine trustee cannot
+          inject a corrupt share *)
+       if Auth.verify t.env.keys ~signer:t.env.cfg.Types.nt body tag then
+         add_state_share t ~serial ~part share)
+    ex.ex_entries
+
+(* Entry point: the harness calls this with the majority-read BB data.
+   [voted] maps each serial in the final set to its located (part, pos);
+   serials absent from the map are unvoted. *)
+let on_election_data t ~(voted : (int * (Types.part_id * int)) list) =
+  if not t.started then begin
+    t.started <- true;
+    let cfg = t.env.cfg in
+    let n = cfg.Types.n_voters and m = cfg.Types.m_options in
+    (* voter coins, ordered by serial: A = false, B = true *)
+    let coins =
+      List.sort compare voted
+      |> List.map (fun (_, (part, _)) -> part = Types.B)
+    in
+    t.master_challenge <-
+      Some (Challenge.master t.env.gctx ~election_id:cfg.Types.election_id ~coins);
+    t.used_parts <- List.map (fun (serial, (part, _)) -> (serial, part)) voted;
+    (* 1. openings of unused parts / both parts of unvoted ballots *)
+    let opening_entries = ref [] in
+    for serial = 0 to n - 1 do
+      let parts_to_open =
+        match List.assoc_opt serial voted with
+        | Some (part, _) -> [ Types.other_part part ]
+        | None -> [ Types.A; Types.B ]
+      in
+      List.iter
+        (fun part ->
+           let data = part_data t ~serial ~part in
+           opening_entries :=
+             { Trustee_payload.o_serial = serial; Trustee_payload.o_part = part;
+               Trustee_payload.o_shares = data.Ea.t_shares }
+             :: !opening_entries)
+        parts_to_open
+    done;
+    t.env.post_bb (Trustee_payload.Openings !opening_entries);
+    (* 2. exchange ZK prover-state shares for the used parts *)
+    let ex_entries =
+      List.map
+        (fun (serial, part) ->
+           let data = part_data t ~serial ~part in
+           (serial, part, data.Ea.t_zk_state_share, data.Ea.t_zk_state_tag))
+        t.used_parts
+    in
+    (* include our own shares *)
+    List.iter
+      (fun (serial, part, share, _) -> add_state_share t ~serial ~part share)
+      ex_entries;
+    for dst = 0 to cfg.Types.nt - 1 do
+      if dst <> t.env.me then
+        t.env.send_trustee ~dst { ex_from = t.env.me; ex_entries }
+    done;
+    (* 3. tally share: sum our opening shares over Etally *)
+    let x = t.env.me + 1 in
+    let tally_shares =
+      Array.init m (fun j ->
+          let per_ballot =
+            List.map
+              (fun (serial, (part, pos)) ->
+                 let data = part_data t ~serial ~part in
+                 data.Ea.t_shares.(pos).(j))
+              voted
+          in
+          Elgamal_vss.sum_shares t.env.gctx ~x per_ballot)
+    in
+    t.env.post_bb
+      (Trustee_payload.Tally_share
+         { shares = tally_shares; ballots_counted = List.length voted })
+  end

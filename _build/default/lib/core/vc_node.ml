@@ -1,0 +1,509 @@
+(* Vote Collector node: the paper's Algorithm 1 (voting protocol) plus
+   the Vote Set Consensus protocol of Section III-E.
+
+   Voting: on VOTE the responder validates the code against the salted
+   hashes, gathers Nv - fv signed ENDORSEMENTs into a uniqueness
+   certificate (UCERT), then the nodes disclose their receipt shares
+   (VOTE_P, gated on a valid UCERT) until Nv - fv shares reconstruct
+   the 64-bit receipt that goes back to the voter.
+
+   Vote Set Consensus: at election end every node ANNOUNCEs what it
+   knows (batched), adopts any UCERT-certified vote code it was
+   missing, then enters one batched Bracha binary consensus over all
+   ballots ("is this ballot voted?"), recovers missing codes from
+   peers (RECOVER-REQUEST), and submits the agreed set and its msk
+   share to every BB node.
+
+   The node is written sans-IO: all effects go through [env], so unit
+   tests drive it directly and the simulator supplies transports. *)
+
+module Shamir_bytes = Dd_vss.Shamir_bytes
+module Rbc = Dd_consensus.Rbc
+module Binary_batch = Dd_consensus.Binary_batch
+
+type env = {
+  me : int;
+  cfg : Types.config;
+  keys : Auth.keys;               (* VC clique; index nv is the EA *)
+  store : Ballot_store.t;
+  now : unit -> float;
+  election_start : float;
+  election_end : unit -> float;
+  send_vc : dst:int -> Messages.vc_msg -> unit;
+  reply : client:int -> req:int -> Types.vote_outcome -> unit;
+  send_bb : dst:int -> Messages.bb_msg -> unit;
+  rng : Dd_crypto.Drbg.t;
+  consensus_coin : Binary_batch.coin;
+  (* when false (modeled runs without EA tags), receipt shares are
+     accepted based on shape alone *)
+  verify_share_tags : bool;
+}
+
+type ballot_rt = {
+  mutable status : Types.vc_status;
+  mutable endorsed : string option;          (* the one code I endorsed *)
+  mutable ucert : Messages.ucert option;
+  mutable part : Types.part_id;
+  mutable pos : int;
+  (* responder-side endorsement collection *)
+  mutable collecting : string option;
+  mutable endorsements : (int * Auth.tag) list;
+  (* receipt share collection *)
+  mutable shares : Shamir_bytes.share list;  (* deduped by x *)
+  mutable sent_vote_p : bool;
+  mutable waiting_clients : (int * int) list;
+}
+
+type phase = Voting | Vsc | Submitted
+
+type vsc_state = {
+  mutable announce_senders : int list;
+  mutable consensus_started : bool;
+  mutable rbc : Rbc.t option;
+  mutable bb : Binary_batch.t option;
+  mutable rbc_seq : int;
+  mutable decided_count : int;
+  (* allocated lazily at consensus start: elections can register
+     hundreds of millions of ballots (Fig. 5a) *)
+  mutable decisions : bool option array;
+  mutable awaiting_recovery : (int, unit) Hashtbl.t;
+  mutable submitted : bool;
+  (* consensus messages and announcements can arrive before this node
+     reaches its own election end (clock drift): buffer them *)
+  mutable pending_consensus : (int * Rbc.msg) list;
+}
+
+type t = {
+  env : env;
+  ballots : (int, ballot_rt) Hashtbl.t;
+  mutable phase : phase;
+  vsc : vsc_state;
+  quorum : int;                                (* Nv - fv *)
+  (* counters for observability *)
+  mutable votes_accepted : int;
+  mutable receipts_issued : int;
+}
+
+let create env =
+  { env;
+    ballots = Hashtbl.create 1024;
+    phase = Voting;
+    vsc =
+      { announce_senders = []; consensus_started = false; rbc = None; bb = None;
+        rbc_seq = 0; decided_count = 0;
+        decisions = [||];
+        awaiting_recovery = Hashtbl.create 16; submitted = false;
+        pending_consensus = [] };
+    quorum = env.cfg.Types.nv - env.cfg.Types.fv;
+    votes_accepted = 0;
+    receipts_issued = 0 }
+
+let ballot_rt t serial =
+  match Hashtbl.find_opt t.ballots serial with
+  | Some b -> b
+  | None ->
+    let b =
+      { status = Types.Not_voted; endorsed = None; ucert = None;
+        part = Types.A; pos = 0; collecting = None; endorsements = [];
+        shares = []; sent_vote_p = false; waiting_clients = [] }
+    in
+    Hashtbl.replace t.ballots serial b;
+    b
+
+let within_hours t =
+  let now = t.env.now () in
+  now >= t.env.election_start && now < t.env.election_end ()
+
+let peers t = List.init t.env.cfg.Types.nv (fun i -> i) |> List.filter (fun i -> i <> t.env.me)
+
+let multicast t msg = List.iter (fun dst -> t.env.send_vc ~dst msg) (peers t)
+
+let election_id t = t.env.cfg.Types.election_id
+
+let verify_receipt_share t ~serial ~part ~pos ~node (share : Shamir_bytes.share) tag =
+  share.Shamir_bytes.x = node + 1
+  && String.length share.Shamir_bytes.data = Types.receipt_bytes
+  && begin
+    if not t.env.verify_share_tags then true
+    else
+      match tag with
+      | None -> false
+      | Some tag ->
+        let body = Messages.share_body ~election_id:(election_id t) ~serial ~part ~pos ~node ~share in
+        Auth.verify t.env.keys ~signer:t.env.cfg.Types.nv body tag
+  end
+
+let own_share t ~serial ~part ~pos =
+  let lines = Ballot_store.lines t.env.store ~serial ~part in
+  let line = lines.(pos) in
+  (line.Types.receipt_share, line.Types.share_tag)
+
+(* Reconstruct once we hold exactly the quorum of distinct shares. *)
+let try_reconstruct t serial (b : ballot_rt) code =
+  if List.length b.shares >= t.quorum then begin
+    let selected =
+      List.sort (fun a c -> compare a.Shamir_bytes.x c.Shamir_bytes.x) b.shares
+      |> List.filteri (fun i _ -> i < t.quorum)
+    in
+    let receipt = Shamir_bytes.reconstruct ~threshold:t.quorum selected in
+    b.status <- Types.Voted (code, receipt);
+    t.receipts_issued <- t.receipts_issued + 1;
+    List.iter
+      (fun (client, req) -> t.env.reply ~client ~req (Types.Receipt receipt))
+      b.waiting_clients;
+    b.waiting_clients <- [];
+    ignore serial
+  end
+
+let add_share b (share : Shamir_bytes.share) =
+  if not (List.exists (fun s -> s.Shamir_bytes.x = share.Shamir_bytes.x) b.shares) then
+    b.shares <- share :: b.shares
+
+(* Disclose our own share: the VOTE_P multicast (only ever once). *)
+let disclose_share t ~serial ~code (b : ballot_rt) =
+  if not b.sent_vote_p then begin
+    b.sent_vote_p <- true;
+    let share, share_tag = own_share t ~serial ~part:b.part ~pos:b.pos in
+    add_share b share;
+    match b.ucert with
+    | None -> ()   (* cannot happen: callers establish the UCERT first *)
+    | Some ucert ->
+      multicast t
+        (Messages.Vote_p
+           { serial; vote_code = code; sender = t.env.me; part = b.part; pos = b.pos;
+             share; share_tag; ucert })
+  end
+
+(* --- Algorithm 1: ON VOTE -------------------------------------------- *)
+
+let on_vote t ~client ~req ~serial ~vote_code =
+  if not (within_hours t) then
+    t.env.reply ~client ~req (Types.Rejected "outside election hours")
+  else begin
+    let b = ballot_rt t serial in
+    match b.status with
+    | Types.Voted (code, receipt) ->
+      if Dd_crypto.Ct.equal code vote_code then
+        t.env.reply ~client ~req (Types.Receipt receipt)
+      else t.env.reply ~client ~req (Types.Rejected "ballot already voted")
+    | Types.Pending code ->
+      if Dd_crypto.Ct.equal code vote_code then
+        b.waiting_clients <- (client, req) :: b.waiting_clients
+      else t.env.reply ~client ~req (Types.Rejected "another vote code pending")
+    | Types.Not_voted ->
+      match b.collecting, b.endorsed with
+      | Some code, _ when Dd_crypto.Ct.equal code vote_code ->
+        (* we are already the responder for this code: just wait *)
+        b.waiting_clients <- (client, req) :: b.waiting_clients
+      | Some _, _ ->
+        t.env.reply ~client ~req (Types.Rejected "another vote code pending")
+      | None, Some code when not (Dd_crypto.Ct.equal code vote_code) ->
+        t.env.reply ~client ~req (Types.Rejected "conflicting vote code endorsed")
+      | None, _ ->
+        match Ballot_store.verify_vote_code t.env.store ~serial ~vote_code with
+        | None -> t.env.reply ~client ~req (Types.Rejected "invalid vote code")
+        | Some (part, pos, _line) ->
+          t.votes_accepted <- t.votes_accepted + 1;
+          b.part <- part;
+          b.pos <- pos;
+          b.collecting <- Some vote_code;
+          b.endorsed <- Some vote_code;
+          b.waiting_clients <- (client, req) :: b.waiting_clients;
+          (* endorse it ourselves, then gather the rest *)
+          let body = Messages.endorsement_body ~election_id:(election_id t) ~serial ~code:vote_code in
+          b.endorsements <- [ (t.env.me, Auth.sign t.env.keys body) ];
+          multicast t (Messages.Endorse { serial; vote_code; responder = t.env.me })
+  end
+
+(* --- ON ENDORSE ------------------------------------------------------- *)
+
+let on_endorse t ~responder ~serial ~vote_code =
+  if within_hours t then begin
+    let b = ballot_rt t serial in
+    let compatible =
+      match b.endorsed, b.status with
+      | _, Types.Voted (code, _) -> Dd_crypto.Ct.equal code vote_code
+      | Some code, _ -> Dd_crypto.Ct.equal code vote_code
+      | None, _ -> true
+    in
+    if compatible then begin
+      match Ballot_store.verify_vote_code t.env.store ~serial ~vote_code with
+      | None -> ()
+      | Some (part, pos, _) ->
+        b.endorsed <- Some vote_code;
+        if b.status = Types.Not_voted && b.collecting = None then begin
+          b.part <- part;
+          b.pos <- pos
+        end;
+        let body = Messages.endorsement_body ~election_id:(election_id t) ~serial ~code:vote_code in
+        t.env.send_vc ~dst:responder
+          (Messages.Endorsement
+             { serial; vote_code; signer = t.env.me; tag = Auth.sign t.env.keys body })
+    end
+  end
+
+(* --- ON ENDORSEMENT (responder side) ----------------------------------- *)
+
+let on_endorsement t ~signer ~serial ~vote_code ~tag =
+  if within_hours t then begin
+    let b = ballot_rt t serial in
+    match b.collecting with
+    | Some code when Dd_crypto.Ct.equal code vote_code && b.ucert = None ->
+      let body = Messages.endorsement_body ~election_id:(election_id t) ~serial ~code in
+      if Auth.verify t.env.keys ~signer body tag
+      && not (List.mem_assoc signer b.endorsements) then begin
+        b.endorsements <- (signer, tag) :: b.endorsements;
+        if List.length b.endorsements >= t.quorum then begin
+          let ucert =
+            { Messages.u_serial = serial; Messages.u_code = code;
+              Messages.endorsements = b.endorsements }
+          in
+          b.ucert <- Some ucert;
+          b.status <- Types.Pending code;
+          disclose_share t ~serial ~code b;
+          try_reconstruct t serial b code
+        end
+      end
+    | _ -> ()
+  end
+
+(* --- ON VOTE_P --------------------------------------------------------- *)
+
+let on_vote_p t ~sender ~serial ~vote_code ~part ~pos ~share ~share_tag ~ucert =
+  if within_hours t
+  && Messages.verify_ucert t.env.keys ~election_id:(election_id t) ~quorum:t.quorum ucert
+  && ucert.Messages.u_serial = serial
+  && Dd_crypto.Ct.equal ucert.Messages.u_code vote_code
+  then begin
+    let b = ballot_rt t serial in
+    let lines = Ballot_store.lines t.env.store ~serial ~part in
+    let pos_ok = pos >= 0 && pos < Array.length lines in
+    (* the sender's disclosed share must carry the EA's authenticator
+       for (serial, part, pos, sender) *)
+    let share_ok =
+      pos_ok && verify_receipt_share t ~serial ~part ~pos ~node:sender share share_tag
+    in
+    if share_ok then begin
+    let accept_share () = add_share b share in
+    match b.status with
+    | Types.Not_voted ->
+      (match b.endorsed with
+       | Some code when not (Dd_crypto.Ct.equal code vote_code) -> ()
+       | _ ->
+         if pos_ok then begin
+           b.part <- part;
+           b.pos <- pos;
+           b.endorsed <- Some vote_code;
+           b.ucert <- Some ucert;
+           b.status <- Types.Pending vote_code;
+           accept_share ();
+           disclose_share t ~serial ~code:vote_code b;
+           try_reconstruct t serial b vote_code
+         end)
+    | Types.Pending code when Dd_crypto.Ct.equal code vote_code ->
+      if b.ucert = None then b.ucert <- Some ucert;
+      accept_share ();
+      disclose_share t ~serial ~code b;
+      try_reconstruct t serial b code
+    | Types.Voted (code, _) when Dd_crypto.Ct.equal code vote_code ->
+      accept_share ()
+    | Types.Pending _ | Types.Voted _ -> ()
+    end
+  end
+
+(* --- Vote Set Consensus ------------------------------------------------ *)
+
+let known_entries t =
+  Hashtbl.fold
+    (fun serial (b : ballot_rt) acc ->
+       match b.ucert, b.status with
+       | Some ucert, (Types.Pending code | Types.Voted (code, _)) ->
+         (serial, code, ucert) :: acc
+       | _ -> acc)
+    t.ballots []
+
+let submit_to_bb t =
+  if not t.vsc.submitted then begin
+    t.vsc.submitted <- true;
+    t.phase <- Submitted;
+    let set = ref [] in
+    for serial = t.env.cfg.Types.n_voters - 1 downto 0 do
+      match t.vsc.decisions.(serial) with
+      | Some true ->
+        let b = ballot_rt t serial in
+        (match b.status, b.ucert with
+         | (Types.Pending code | Types.Voted (code, _)), _ -> set := (serial, code) :: !set
+         | Types.Not_voted, Some ucert -> set := (serial, ucert.Messages.u_code) :: !set
+         | Types.Not_voted, None -> () (* recovery failed: impossible with honest quorum *))
+      | Some false | None -> ()
+    done;
+    let msg =
+      Messages.Vote_set_submit
+        { sender = t.env.me; set = !set; msk_share = Ballot_store.msk_share t.env.store }
+    in
+    for bb = 0 to t.env.cfg.Types.nb - 1 do
+      t.env.send_bb ~dst:bb msg
+    done
+  end
+
+let check_recovery_complete t =
+  if t.vsc.consensus_started
+  && t.vsc.decided_count = t.env.cfg.Types.n_voters
+  && Hashtbl.length t.vsc.awaiting_recovery = 0
+  then submit_to_bb t
+
+let on_decide t slot value =
+  t.vsc.decisions.(slot) <- Some value;
+  t.vsc.decided_count <- t.vsc.decided_count + 1;
+  if value then begin
+    let b = ballot_rt t slot in
+    match b.ucert with
+    | Some _ -> ()
+    | None -> Hashtbl.replace t.vsc.awaiting_recovery slot ()
+  end;
+  if t.vsc.decided_count = t.env.cfg.Types.n_voters then begin
+    let missing = Hashtbl.fold (fun s () acc -> s :: acc) t.vsc.awaiting_recovery [] in
+    if missing <> [] then
+      multicast t (Messages.Recover_request { sender = t.env.me; serials = missing });
+    check_recovery_complete t
+  end
+
+let start_consensus t =
+  if not t.vsc.consensus_started then begin
+    t.vsc.consensus_started <- true;
+    t.vsc.decisions <- Array.make t.env.cfg.Types.n_voters None;
+    let n = t.env.cfg.Types.nv and f = t.env.cfg.Types.fv in
+    let me = t.env.me in
+    let rbc = ref None in
+    let send_all m =
+      (* deliver to self synchronously, then to peers over the network *)
+      (match !rbc with Some r -> Rbc.on_message r ~from:me m | None -> ());
+      multicast t (Messages.Consensus { sender = me; rbc = m })
+    in
+    let bb = ref None in
+    let deliver ~origin ~tag:_ payload =
+      match !bb with
+      | Some b -> Binary_batch.on_deliver b ~from:origin payload
+      | None -> ()
+    in
+    let r = Rbc.create ~n ~f ~me ~send_all ~deliver in
+    rbc := Some r;
+    t.vsc.rbc <- Some r;
+    let initial =
+      Array.init t.env.cfg.Types.n_voters (fun serial ->
+          match Hashtbl.find_opt t.ballots serial with
+          | Some b -> b.ucert <> None
+          | None -> false)
+    in
+    let broadcast payload =
+      t.vsc.rbc_seq <- t.vsc.rbc_seq + 1;
+      Rbc.broadcast r ~tag:(Printf.sprintf "bc/%d/%d" me t.vsc.rbc_seq) payload
+    in
+    let b =
+      Binary_batch.create ~n ~f ~me ~slots:t.env.cfg.Types.n_voters ~initial
+        ~coin:t.env.consensus_coin ~rng:t.env.rng ~broadcast
+        ~on_decide:(fun slot value -> on_decide t slot value)
+    in
+    bb := Some b;
+    t.vsc.bb <- Some b;
+    Binary_batch.start b;
+    (* drain consensus traffic that arrived before we started *)
+    let buffered = List.rev t.vsc.pending_consensus in
+    t.vsc.pending_consensus <- [];
+    List.iter (fun (from, m) -> Rbc.on_message r ~from m) buffered
+  end
+
+(* Adopt an announced (serial, code, UCERT) if we were missing it. *)
+let adopt_entry t (serial, code, ucert) =
+  if serial >= 0 && serial < t.env.cfg.Types.n_voters
+  && ucert.Messages.u_serial = serial
+  && Dd_crypto.Ct.equal ucert.Messages.u_code code
+  && Messages.verify_ucert t.env.keys ~election_id:(election_id t) ~quorum:t.quorum ucert
+  then begin
+    let b = ballot_rt t serial in
+    if b.ucert = None then begin
+      b.ucert <- Some ucert;
+      match b.status with
+      | Types.Not_voted -> b.status <- Types.Pending code
+      | Types.Pending _ | Types.Voted _ -> ()
+    end;
+    if Hashtbl.mem t.vsc.awaiting_recovery serial then begin
+      Hashtbl.remove t.vsc.awaiting_recovery serial;
+      check_recovery_complete t
+    end
+  end
+
+let maybe_start_consensus t =
+  if t.phase <> Voting
+  && (not t.vsc.consensus_started)
+  && List.length t.vsc.announce_senders >= t.quorum
+  then start_consensus t
+
+let start_vote_set_consensus t =
+  if t.phase = Voting then begin
+    t.phase <- Vsc;
+    let entries = known_entries t in
+    let msg = Messages.Announce_batch { sender = t.env.me; entries } in
+    multicast t msg;
+    (* count our own announcement *)
+    if not (List.mem t.env.me t.vsc.announce_senders) then
+      t.vsc.announce_senders <- t.env.me :: t.vsc.announce_senders;
+    maybe_start_consensus t
+  end
+
+let on_announce_batch t ~sender ~entries =
+  (* announcements are self-certifying (UCERTs), so we accept them even
+     if our own clock has not reached election end yet *)
+  if not (List.mem sender t.vsc.announce_senders) then begin
+    t.vsc.announce_senders <- sender :: t.vsc.announce_senders;
+    List.iter (adopt_entry t) entries;
+    maybe_start_consensus t
+  end
+
+let on_consensus t ~sender ~rbc_msg =
+  match t.vsc.rbc with
+  | Some r -> Rbc.on_message r ~from:sender rbc_msg
+  | None -> t.vsc.pending_consensus <- (sender, rbc_msg) :: t.vsc.pending_consensus
+
+let on_recover_request t ~sender ~serials =
+  if t.phase <> Voting then begin
+    let entries =
+      List.filter_map
+        (fun serial ->
+           match Hashtbl.find_opt t.ballots serial with
+           | Some b ->
+             (match b.ucert, b.status with
+              | Some ucert, (Types.Pending code | Types.Voted (code, _)) ->
+                Some (serial, code, ucert)
+              | Some ucert, Types.Not_voted ->
+                Some (serial, ucert.Messages.u_code, ucert)
+              | None, _ -> None)
+           | None -> None)
+        serials
+    in
+    if entries <> [] then
+      t.env.send_vc ~dst:sender (Messages.Recover_response { sender = t.env.me; entries })
+  end
+
+let on_recover_response t ~sender:_ ~entries =
+  if t.phase <> Voting then List.iter (adopt_entry t) entries
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let handle t (msg : Messages.vc_msg) =
+  match msg with
+  | Messages.Vote { serial; vote_code; client; req } -> on_vote t ~client ~req ~serial ~vote_code
+  | Messages.Endorse { serial; vote_code; responder } -> on_endorse t ~responder ~serial ~vote_code
+  | Messages.Endorsement { serial; vote_code; signer; tag } ->
+    on_endorsement t ~signer ~serial ~vote_code ~tag
+  | Messages.Vote_p { serial; vote_code; sender; part; pos; share; share_tag; ucert } ->
+    on_vote_p t ~sender ~serial ~vote_code ~part ~pos ~share ~share_tag ~ucert
+  | Messages.Announce_batch { sender; entries } -> on_announce_batch t ~sender ~entries
+  | Messages.Consensus { sender; rbc } -> on_consensus t ~sender ~rbc_msg:rbc
+  | Messages.Recover_request { sender; serials } -> on_recover_request t ~sender ~serials
+  | Messages.Recover_response { sender; entries } -> on_recover_response t ~sender ~entries
+
+let phase t = t.phase
+let votes_accepted t = t.votes_accepted
+let receipts_issued t = t.receipts_issued
+let decisions t = Array.copy t.vsc.decisions

@@ -1,0 +1,41 @@
+(** Vote Collector node: Algorithm 1 (the voting protocol) plus Vote
+    Set Consensus (Section III-E), as a sans-IO state machine — all
+    effects flow through the [env] callbacks, so tests drive it
+    directly and the simulator supplies transports. *)
+
+type env = {
+  me : int;
+  cfg : Types.config;
+  keys : Auth.keys;                (** VC clique; index [nv] is the EA *)
+  store : Ballot_store.t;
+  now : unit -> float;
+  election_start : float;
+  election_end : unit -> float;
+  send_vc : dst:int -> Messages.vc_msg -> unit;
+  reply : client:int -> req:int -> Types.vote_outcome -> unit;
+  send_bb : dst:int -> Messages.bb_msg -> unit;
+  rng : Dd_crypto.Drbg.t;
+  consensus_coin : Dd_consensus.Binary_batch.coin;
+  verify_share_tags : bool;        (** [false] only in modeled runs without EA tags *)
+}
+
+type t
+
+type phase = Voting | Vsc | Submitted
+
+val create : env -> t
+
+(** Feed any protocol message (from voters or peer collectors). *)
+val handle : t -> Messages.vc_msg -> unit
+
+(** Election end: announce known votes, enter batched Bracha consensus,
+    recover missing codes, submit the agreed set + msk share to the BB
+    nodes. Driven by the node's owner when its clock passes Tend. *)
+val start_vote_set_consensus : t -> unit
+
+val phase : t -> phase
+val votes_accepted : t -> int
+val receipts_issued : t -> int
+
+(** Per-ballot consensus outcomes ([None] until decided). *)
+val decisions : t -> bool option array

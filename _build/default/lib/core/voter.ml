@@ -1,0 +1,53 @@
+(* The voter (Section III-F). A voter holds a two-part paper ballot,
+   flips a coin to pick the part (that coin doubles as the ZK challenge
+   entropy), submits the vote code of her chosen option to a VC node,
+   and verifies the returned receipt against the printed one — no
+   client-side cryptography whatsoever, which is the point: the voting
+   terminal can be hostile and still cannot fake recorded-as-cast
+   assurance or learn more than a random-looking code.
+
+   [d]-patience (Definition 1): if no valid receipt arrives within
+   [patience] time units, blacklist the node and resubmit to another
+   VC node chosen at random. *)
+
+type plan = {
+  ballot : Types.ballot;
+  choice : int;               (* option index *)
+  part : Types.part_id;       (* the coin flip *)
+  patience : float;           (* the [d] in [d]-patience *)
+}
+
+let make_plan ?(patience = 30.) rng ~(ballot : Types.ballot) ~choice =
+  { ballot; choice; part = (if Dd_crypto.Drbg.bool rng then Types.B else Types.A); patience }
+
+let vote_code plan =
+  (Types.ballot_part plan.ballot plan.part).Types.lines.(plan.choice).Types.vote_code
+
+let expected_receipt plan =
+  (Types.ballot_part plan.ballot plan.part).Types.lines.(plan.choice).Types.receipt
+
+let receipt_valid plan receipt = Dd_crypto.Ct.equal receipt (expected_receipt plan)
+
+(* Pick the next VC node: uniform over the non-blacklisted ones. *)
+let pick_node rng ~nv ~blacklist =
+  let candidates = List.filter (fun i -> not (List.mem i blacklist)) (List.init nv Fun.id) in
+  match candidates with
+  | [] -> None
+  | _ -> Some (List.nth candidates (Dd_crypto.Drbg.int rng (List.length candidates)))
+
+(* Audit information the voter may hand to a third-party auditor: the
+   cast vote code (reveals nothing about the choice) and the entire
+   unused part (unrelated to the used one). *)
+type audit_info = {
+  a_serial : int;
+  a_cast_code : string;
+  a_unused_part : Types.part_id;
+  a_unused_lines : Types.ballot_line array;
+}
+
+let audit_info plan =
+  let unused = Types.other_part plan.part in
+  { a_serial = plan.ballot.Types.serial;
+    a_cast_code = vote_code plan;
+    a_unused_part = unused;
+    a_unused_lines = (Types.ballot_part plan.ballot unused).Types.lines }

@@ -1,0 +1,42 @@
+(** The voter (Section III-F): no client-side cryptography. She flips a
+    coin to choose ballot part A or B (the coin doubles as ZK challenge
+    entropy), submits the chosen option's vote code, and compares the
+    returned receipt with the printed one. [d]-patience (Definition 1)
+    governs retry against unresponsive collectors. *)
+
+type plan = {
+  ballot : Types.ballot;
+  choice : int;              (** option index *)
+  part : Types.part_id;      (** the coin flip *)
+  patience : float;          (** the [d] of [d]-patience, in seconds *)
+}
+
+(** Flip the part coin and fix the voting plan. *)
+val make_plan :
+  ?patience:float -> Dd_crypto.Drbg.t -> ballot:Types.ballot -> choice:int -> plan
+
+(** The vote code this plan submits. *)
+val vote_code : plan -> string
+
+(** The printed receipt the voter expects back. *)
+val expected_receipt : plan -> string
+
+(** Compare a returned receipt against the printed one (by eye, in the
+    paper; constant-time here). *)
+val receipt_valid : plan -> string -> bool
+
+(** Choose a VC node uniformly among the non-blacklisted ones; [None]
+    when every node has been blacklisted. *)
+val pick_node : Dd_crypto.Drbg.t -> nv:int -> blacklist:int list -> int option
+
+(** What a voter hands to a third-party auditor: the cast code (reveals
+    nothing about the choice) and the entire unused part (unrelated to
+    the used one) — delegation without sacrificing privacy. *)
+type audit_info = {
+  a_serial : int;
+  a_cast_code : string;
+  a_unused_part : Types.part_id;
+  a_unused_lines : Types.ballot_line array;
+}
+
+val audit_info : plan -> audit_info

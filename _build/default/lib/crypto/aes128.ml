@@ -1,0 +1,179 @@
+(* AES-128 (FIPS 197), table-free byte-oriented implementation, plus
+   CBC mode with PKCS#7 padding. Used to hide vote codes in the BB
+   initialization data, exactly as the paper's AES-128-CBC$ usage. *)
+
+let sbox = Bytes.create 256
+let inv_sbox = Bytes.create 256
+
+(* Build the S-box from the finite-field definition: multiplicative
+   inverse in GF(2^8) followed by the affine transform. *)
+let () =
+  let xtime b = let b = b lsl 1 in if b land 0x100 <> 0 then (b lxor 0x11b) land 0xff else b in
+  let gmul a b =
+    let acc = ref 0 and a = ref a and b = ref b in
+    for _ = 0 to 7 do
+      if !b land 1 = 1 then acc := !acc lxor !a;
+      a := xtime !a;
+      b := !b lsr 1
+    done;
+    !acc
+  in
+  (* inverse by brute force: the table is built once at load time *)
+  let inv = Array.make 256 0 in
+  for x = 1 to 255 do
+    for y = 1 to 255 do
+      if gmul x y = 1 then inv.(x) <- y
+    done
+  done;
+  for x = 0 to 255 do
+    let i = inv.(x) in
+    let rot v n = ((v lsl n) lor (v lsr (8 - n))) land 0xff in
+    let s = i lxor rot i 1 lxor rot i 2 lxor rot i 3 lxor rot i 4 lxor 0x63 in
+    Bytes.set sbox x (Char.chr s);
+    Bytes.set inv_sbox s (Char.chr x)
+  done
+
+let sub_byte b = Char.code (Bytes.get sbox b)
+let inv_sub_byte b = Char.code (Bytes.get inv_sbox b)
+
+let xtime b = let b = b lsl 1 in if b land 0x100 <> 0 then (b lxor 0x11b) land 0xff else b
+
+let gmul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  for _ = 0 to 7 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+type key = int array (* 11 round keys x 16 bytes = 176 bytes *)
+
+let expand_key (k : string) : key =
+  if String.length k <> 16 then invalid_arg "Aes128.expand_key: key must be 16 bytes";
+  let w = Array.make 176 0 in
+  String.iteri (fun i c -> w.(i) <- Char.code c) k;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let t = Array.init 4 (fun j -> w.(4 * (i - 1) + j)) in
+    let t =
+      if i mod 4 = 0 then begin
+        let rotated = [| t.(1); t.(2); t.(3); t.(0) |] in
+        let subbed = Array.map sub_byte rotated in
+        subbed.(0) <- subbed.(0) lxor !rcon;
+        rcon := xtime !rcon;
+        subbed
+      end else t
+    in
+    for j = 0 to 3 do
+      w.(4 * i + j) <- w.(4 * (i - 4) + j) lxor t.(j)
+    done
+  done;
+  w
+
+let add_round_key st (w : key) round =
+  for i = 0 to 15 do st.(i) <- st.(i) lxor w.(16 * round + i) done
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4*c) and a1 = st.(4*c+1) and a2 = st.(4*c+2) and a3 = st.(4*c+3) in
+    st.(4*c)   <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    st.(4*c+1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    st.(4*c+2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    st.(4*c+3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4*c) and a1 = st.(4*c+1) and a2 = st.(4*c+2) and a3 = st.(4*c+3) in
+    st.(4*c)   <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    st.(4*c+1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    st.(4*c+2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    st.(4*c+3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+(* State layout: st.(4*c + r) is row r, column c (column-major, matching
+   the byte order of the input block). *)
+let shift_rows st =
+  let tmp = Array.copy st in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      st.(4*c + r) <- tmp.(4 * ((c + r) mod 4) + r)
+    done
+  done
+
+let inv_shift_rows st =
+  let tmp = Array.copy st in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      st.(4 * ((c + r) mod 4) + r) <- tmp.(4*c + r)
+    done
+  done
+
+let encrypt_block (w : key) (block : string) : string =
+  if String.length block <> 16 then invalid_arg "Aes128.encrypt_block: need 16 bytes";
+  let st = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key st w 0;
+  for round = 1 to 9 do
+    for i = 0 to 15 do st.(i) <- sub_byte st.(i) done;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st w round
+  done;
+  for i = 0 to 15 do st.(i) <- sub_byte st.(i) done;
+  shift_rows st;
+  add_round_key st w 10;
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let decrypt_block (w : key) (block : string) : string =
+  if String.length block <> 16 then invalid_arg "Aes128.decrypt_block: need 16 bytes";
+  let st = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key st w 10;
+  for round = 9 downto 1 do
+    inv_shift_rows st;
+    for i = 0 to 15 do st.(i) <- inv_sub_byte st.(i) done;
+    add_round_key st w round;
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  for i = 0 to 15 do st.(i) <- inv_sub_byte st.(i) done;
+  add_round_key st w 0;
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let xor16 a b = String.init 16 (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let cbc_encrypt ~key ~iv plaintext =
+  if String.length iv <> 16 then invalid_arg "Aes128.cbc_encrypt: iv must be 16 bytes";
+  let w = expand_key key in
+  let pad = 16 - (String.length plaintext mod 16) in
+  let padded = plaintext ^ String.make pad (Char.chr pad) in
+  let nblocks = String.length padded / 16 in
+  let buf = Buffer.create (String.length padded) in
+  let prev = ref iv in
+  for i = 0 to nblocks - 1 do
+    let blk = String.sub padded (16 * i) 16 in
+    let c = encrypt_block w (xor16 blk !prev) in
+    Buffer.add_string buf c;
+    prev := c
+  done;
+  Buffer.contents buf
+
+let cbc_decrypt ~key ~iv ciphertext =
+  if String.length iv <> 16 then invalid_arg "Aes128.cbc_decrypt: iv must be 16 bytes";
+  let len = String.length ciphertext in
+  if len = 0 || len mod 16 <> 0 then invalid_arg "Aes128.cbc_decrypt: bad length";
+  let w = expand_key key in
+  let buf = Buffer.create len in
+  let prev = ref iv in
+  for i = 0 to len / 16 - 1 do
+    let c = String.sub ciphertext (16 * i) 16 in
+    Buffer.add_string buf (xor16 (decrypt_block w c) !prev);
+    prev := c
+  done;
+  let padded = Buffer.contents buf in
+  let pad = Char.code padded.[len - 1] in
+  if pad < 1 || pad > 16 then invalid_arg "Aes128.cbc_decrypt: bad padding";
+  for i = len - pad to len - 1 do
+    if Char.code padded.[i] <> pad then invalid_arg "Aes128.cbc_decrypt: bad padding"
+  done;
+  String.sub padded 0 (len - pad)

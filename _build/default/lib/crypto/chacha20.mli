@@ -1,0 +1,5 @@
+(** ChaCha20 block function (RFC 8439). *)
+
+(** [block ~key ~nonce counter] is the 64-byte keystream block for the
+    32-byte [key], 12-byte [nonce], and 32-bit block [counter]. *)
+val block : key:string -> nonce:string -> int -> string

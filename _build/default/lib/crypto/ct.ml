@@ -1,0 +1,10 @@
+(* Constant-time-ish byte string comparison: data-independent control flow
+   once lengths match. *)
+
+let equal a b =
+  String.length a = String.length b
+  && begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end

@@ -1,0 +1,5 @@
+(** Timing-robust comparisons. *)
+
+(** [equal a b] compares byte strings without early exit on the first
+    mismatching byte (lengths are still compared directly). *)
+val equal : string -> string -> bool

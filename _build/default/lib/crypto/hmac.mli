@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+(** [sha256 ~key msg] is the 32-byte HMAC tag. *)
+val sha256 : key:string -> string -> string
+
+(** [verify ~key ~mac msg] checks [mac] in constant time. *)
+val verify : key:string -> mac:string -> string -> bool

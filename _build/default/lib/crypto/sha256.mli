@@ -1,0 +1,24 @@
+(** SHA-256 (FIPS 180-4).
+
+    Not thread-safe: the compression function uses a shared scratch
+    buffer, which is fine for this repository's single-domain usage. *)
+
+type ctx
+
+val init : unit -> ctx
+
+(** Absorb more input. *)
+val feed : ctx -> string -> unit
+
+(** Pad, finish, and return the 32-byte digest. The context must not be
+    reused afterwards. *)
+val finalize : ctx -> string
+
+(** One-shot digest of a string. *)
+val digest : string -> string
+
+(** One-shot digest of the concatenation of the given parts. *)
+val digest_list : string list -> string
+
+(** Lowercase hex of an arbitrary byte string (test/debug helper). *)
+val hex_of_string : string -> string

@@ -1,0 +1,1 @@
+lib/group/curve.ml: Array Dd_bignum Dd_crypto List Printf String

@@ -1,0 +1,1 @@
+lib/group/curve.mli: Dd_bignum

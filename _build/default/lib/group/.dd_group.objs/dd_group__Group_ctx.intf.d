@@ -1,0 +1,1 @@
+lib/group/group_ctx.mli: Curve Dd_bignum Dd_crypto

@@ -1,0 +1,310 @@
+(* Short-Weierstrass elliptic curve group, y^2 = x^3 + a x + b over F_p,
+   with Jacobian-coordinate arithmetic (X/Z^2, Y/Z^3). This is the group
+   underlying the paper's lifted-ElGamal option-encoding commitments,
+   Chaum-Pedersen proofs, and Schnorr signatures (replacing MIRACL). *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+
+type params = {
+  p : Nat.t;            (* field prime *)
+  a : Nat.t;
+  b : Nat.t;
+  gx : Nat.t;
+  gy : Nat.t;
+  order : Nat.t;        (* prime order n of the generator *)
+  name : string;
+}
+
+type t = {
+  params : params;
+  fp : Modular.ctx;     (* arithmetic mod p *)
+  fn : Modular.ctx;     (* arithmetic mod order *)
+  byte_len : int;       (* field element encoding length *)
+}
+
+type point =
+  | Infinity
+  | Jacobian of Nat.t * Nat.t * Nat.t  (* X, Y, Z with Z <> 0 *)
+
+(* secp256k1: y^2 = x^3 + 7. *)
+let secp256k1 = {
+  p = Nat.of_hex "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+  a = Nat.zero;
+  b = Nat.of_int 7;
+  gx = Nat.of_hex "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+  gy = Nat.of_hex "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+  order = Nat.of_hex "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
+  name = "secp256k1";
+}
+
+(* NIST P-256 (a = -3 mod p): exercises the general-a arithmetic. *)
+let nist_p256 =
+  let p = Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" in
+  {
+    p;
+    a = Nat.sub p (Nat.of_int 3);
+    b = Nat.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+    gx = Nat.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+    gy = Nat.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+    order = Nat.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+    name = "nist-p256";
+  }
+
+let create params = {
+  params;
+  fp = Modular.create params.p;
+  fn = Modular.create params.order;
+  byte_len = (Nat.bit_length params.p + 7) / 8;
+}
+
+let field t = t.fp
+let scalar_field t = t.fn
+let order t = t.params.order
+let byte_len t = t.byte_len
+
+let infinity = Infinity
+
+let generator t = Jacobian (t.params.gx, t.params.gy, Nat.one)
+
+let is_infinity = function Infinity -> true | Jacobian _ -> false
+
+let to_affine t = function
+  | Infinity -> None
+  | Jacobian (x, y, z) ->
+    let fp = t.fp in
+    let zi = Modular.inv fp z in
+    let zi2 = Modular.sqr fp zi in
+    Some (Modular.mul fp x zi2, Modular.mul fp y (Modular.mul fp zi2 zi))
+
+let of_affine _t (x, y) = Jacobian (x, y, Nat.one)
+
+let on_curve t (x, y) =
+  let fp = t.fp in
+  let lhs = Modular.sqr fp y in
+  let rhs =
+    Modular.add fp
+      (Modular.add fp (Modular.mul fp (Modular.sqr fp x) x) (Modular.mul fp t.params.a x))
+      t.params.b
+  in
+  Nat.equal lhs rhs
+
+let double t pt =
+  match pt with
+  | Infinity -> Infinity
+  | Jacobian (x1, y1, z1) ->
+    if Nat.is_zero y1 then Infinity
+    else begin
+      let fp = t.fp in
+      (* dbl-2007-bl, general a *)
+      let xx = Modular.sqr fp x1 in
+      let yy = Modular.sqr fp y1 in
+      let yyyy = Modular.sqr fp yy in
+      let zz = Modular.sqr fp z1 in
+      let s =
+        let t0 = Modular.sqr fp (Modular.add fp x1 yy) in
+        Modular.double fp (Modular.sub fp t0 (Modular.add fp xx yyyy))
+      in
+      let m =
+        Modular.add fp
+          (Modular.add fp (Modular.double fp xx) xx)
+          (Modular.mul fp t.params.a (Modular.sqr fp zz))
+      in
+      let x3 = Modular.sub fp (Modular.sqr fp m) (Modular.double fp s) in
+      let y3 =
+        Modular.sub fp
+          (Modular.mul fp m (Modular.sub fp s x3))
+          (Modular.double fp (Modular.double fp (Modular.double fp yyyy)))
+      in
+      let z3 =
+        Modular.sub fp
+          (Modular.sqr fp (Modular.add fp y1 z1))
+          (Modular.add fp yy zz)
+      in
+      if Nat.is_zero z3 then Infinity else Jacobian (x3, y3, z3)
+    end
+
+let add t p q =
+  match p, q with
+  | Infinity, r | r, Infinity -> r
+  | Jacobian (x1, y1, z1), Jacobian (x2, y2, z2) ->
+    let fp = t.fp in
+    (* add-2007-bl *)
+    let z1z1 = Modular.sqr fp z1 in
+    let z2z2 = Modular.sqr fp z2 in
+    let u1 = Modular.mul fp x1 z2z2 in
+    let u2 = Modular.mul fp x2 z1z1 in
+    let s1 = Modular.mul fp y1 (Modular.mul fp z2 z2z2) in
+    let s2 = Modular.mul fp y2 (Modular.mul fp z1 z1z1) in
+    if Nat.equal u1 u2 then begin
+      if Nat.equal s1 s2 then double t p else Infinity
+    end else begin
+      let h = Modular.sub fp u2 u1 in
+      let i = Modular.sqr fp (Modular.double fp h) in
+      let j = Modular.mul fp h i in
+      let r = Modular.double fp (Modular.sub fp s2 s1) in
+      let v = Modular.mul fp u1 i in
+      let x3 = Modular.sub fp (Modular.sub fp (Modular.sqr fp r) j) (Modular.double fp v) in
+      let y3 =
+        Modular.sub fp
+          (Modular.mul fp r (Modular.sub fp v x3))
+          (Modular.double fp (Modular.mul fp s1 j))
+      in
+      let z3 =
+        Modular.mul fp h
+          (Modular.sub fp (Modular.sqr fp (Modular.add fp z1 z2)) (Modular.add fp z1z1 z2z2))
+      in
+      if Nat.is_zero z3 then Infinity else Jacobian (x3, y3, z3)
+    end
+
+let neg t = function
+  | Infinity -> Infinity
+  | Jacobian (x, y, z) -> Jacobian (x, Modular.neg t.fp y, z)
+
+let sub t p q = add t p (neg t q)
+
+(* Scalar multiplication, MSB-first double-and-add. The scalar is
+   reduced mod the group order first. *)
+let mul t k pt =
+  let k = Modular.reduce t.fn k in
+  let nbits = Nat.bit_length k in
+  let acc = ref Infinity in
+  for i = nbits - 1 downto 0 do
+    acc := double t !acc;
+    if Nat.testbit k i then acc := add t !acc pt
+  done;
+  !acc
+
+let mul_int t k pt =
+  if k < 0 then invalid_arg "Curve.mul_int: negative scalar";
+  mul t (Nat.of_int k) pt
+
+(* Fixed-base multiplication with a per-curve precomputed window table
+   for the generator: 4-bit windows over the 256-bit scalar. *)
+type base_table = point array array (* table.(w).(d) = d * 16^w * G *)
+
+let make_base_table t pt =
+  let windows = (Nat.bit_length t.params.order + 3) / 4 in
+  let table = Array.make windows [||] in
+  let base = ref pt in
+  for w = 0 to windows - 1 do
+    let row = Array.make 16 Infinity in
+    for d = 1 to 15 do row.(d) <- add t row.(d - 1) !base done;
+    table.(w) <- row;
+    base := add t row.(15) !base  (* 16^( w+1 ) * pt *)
+  done;
+  table
+
+let mul_base_table t (table : base_table) k =
+  let k = Modular.reduce t.fn k in
+  let acc = ref Infinity in
+  let windows = Array.length table in
+  for w = 0 to windows - 1 do
+    let d =
+      (if Nat.testbit k (4*w) then 1 else 0)
+      lor (if Nat.testbit k (4*w + 1) then 2 else 0)
+      lor (if Nat.testbit k (4*w + 2) then 4 else 0)
+      lor (if Nat.testbit k (4*w + 3) then 8 else 0)
+    in
+    if d <> 0 then acc := add t !acc table.(w).(d)
+  done;
+  !acc
+
+let equal t p q =
+  match p, q with
+  | Infinity, Infinity -> true
+  | Infinity, Jacobian _ | Jacobian _, Infinity -> false
+  | Jacobian (x1, y1, z1), Jacobian (x2, y2, z2) ->
+    (* cross-multiply to compare without inversion *)
+    let fp = t.fp in
+    let z1z1 = Modular.sqr fp z1 and z2z2 = Modular.sqr fp z2 in
+    Nat.equal (Modular.mul fp x1 z2z2) (Modular.mul fp x2 z1z1)
+    && Nat.equal
+      (Modular.mul fp y1 (Modular.mul fp z2 z2z2))
+      (Modular.mul fp y2 (Modular.mul fp z1 z1z1))
+
+(* Point encoding: 0x00 for infinity; otherwise 0x04 || X || Y
+   (uncompressed, fixed width). *)
+let encode t pt =
+  match to_affine t pt with
+  | None -> "\x00"
+  | Some (x, y) ->
+    "\x04" ^ Nat.to_bytes_be ~len:t.byte_len x ^ Nat.to_bytes_be ~len:t.byte_len y
+
+let decode t s =
+  if s = "\x00" then Some Infinity
+  else if String.length s = 1 + 2 * t.byte_len && s.[0] = '\x04' then begin
+    let x = Nat.of_bytes_be (String.sub s 1 t.byte_len) in
+    let y = Nat.of_bytes_be (String.sub s (1 + t.byte_len) t.byte_len) in
+    if Nat.compare x t.params.p < 0 && Nat.compare y t.params.p < 0 && on_curve t (x, y)
+    then Some (of_affine t (x, y))
+    else None
+  end
+  else None
+
+(* Square root mod p for p = 3 mod 4 (both supported curves):
+   sqrt(a) = a^((p+1)/4) when a is a quadratic residue. *)
+let field_sqrt t a =
+  let e = Nat.shift_right (Nat.add t.params.p Nat.one) 2 in
+  let y = Modular.pow t.fp a e in
+  if Nat.equal (Modular.sqr t.fp y) (Modular.reduce t.fp a) then Some y else None
+
+(* Compressed encoding: 0x00 for infinity, else 0x02/0x03 (y parity)
+   followed by X — half the bytes of the uncompressed form. *)
+let encode_compressed t pt =
+  match to_affine t pt with
+  | None -> "\x00"
+  | Some (x, y) ->
+    let prefix = if Nat.is_odd y then "\x03" else "\x02" in
+    prefix ^ Nat.to_bytes_be ~len:t.byte_len x
+
+let decode_compressed t s =
+  if s = "\x00" then Some Infinity
+  else if String.length s = 1 + t.byte_len && (s.[0] = '\x02' || s.[0] = '\x03') then begin
+    let x = Nat.of_bytes_be (String.sub s 1 t.byte_len) in
+    if Nat.compare x t.params.p >= 0 then None
+    else begin
+      let fp = t.fp in
+      let rhs =
+        Modular.add fp
+          (Modular.add fp (Modular.mul fp (Modular.sqr fp x) x) (Modular.mul fp t.params.a x))
+          t.params.b
+      in
+      match field_sqrt t rhs with
+      | None -> None
+      | Some y ->
+        let want_odd = s.[0] = '\x03' in
+        let y = if Nat.is_odd y = want_odd then y else Modular.neg fp y in
+        Some (of_affine t (x, y))
+    end
+  end
+  else None
+
+(* Hash-to-point by try-and-increment on SHA-256 outputs: used to derive
+   a second generator H with unknown discrete log w.r.t. G (needed by
+   Pedersen commitments and the lifted-ElGamal commitment key). *)
+let hash_to_point t label =
+  let fp = t.fp in
+  let rec try_counter i =
+    if i > 1000 then failwith "Curve.hash_to_point: no point found";
+    let h = Dd_crypto.Sha256.digest_list [ label; string_of_int i ] in
+    let x = Modular.of_bytes_be fp h in
+    let rhs =
+      Modular.add fp
+        (Modular.add fp (Modular.mul fp (Modular.sqr fp x) x) (Modular.mul fp t.params.a x))
+        t.params.b
+    in
+    match field_sqrt t rhs with
+    | Some y -> of_affine t (x, y)
+    | None -> try_counter (i + 1)
+  in
+  try_counter 0
+
+(* Hash arbitrary bytes to a scalar mod the group order. Parts are
+   length-prefixed so that part boundaries are unambiguous (hashing
+   ["ab"] differs from ["a"; "b"]). *)
+let hash_to_scalar t parts =
+  let framed =
+    List.concat_map (fun p -> [ Printf.sprintf "%010d" (String.length p); p ]) parts
+  in
+  Modular.of_bytes_be t.fn (Dd_crypto.Sha256.digest_list framed)

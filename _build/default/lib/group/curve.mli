@@ -1,0 +1,91 @@
+(** Short-Weierstrass elliptic-curve group over a prime field, with
+    Jacobian-coordinate arithmetic.
+
+    This is the algebraic substrate for the paper's lifted-ElGamal
+    option-encoding commitments, Chaum-Pedersen zero-knowledge proofs,
+    Pedersen VSS, and Schnorr signatures. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+
+type params = {
+  p : Nat.t;
+  a : Nat.t;
+  b : Nat.t;
+  gx : Nat.t;
+  gy : Nat.t;
+  order : Nat.t;
+  name : string;
+}
+
+type t
+
+(** An element of the group. Values compare equal through {!equal} even
+    when their Jacobian representations differ. *)
+type point
+
+(** The standard secp256k1 parameter set. *)
+val secp256k1 : params
+
+(** NIST P-256 (a = -3): a second supported parameter set. *)
+val nist_p256 : params
+
+val create : params -> t
+
+(** Barrett context for the base field F_p. *)
+val field : t -> Modular.ctx
+
+(** Barrett context for Z_n, n the group order. *)
+val scalar_field : t -> Modular.ctx
+
+val order : t -> Nat.t
+val byte_len : t -> int
+
+val infinity : point
+val generator : t -> point
+val is_infinity : point -> bool
+
+(** [to_affine t p] is [None] for infinity and [Some (x, y)] otherwise. *)
+val to_affine : t -> point -> (Nat.t * Nat.t) option
+val of_affine : t -> Nat.t * Nat.t -> point
+val on_curve : t -> Nat.t * Nat.t -> bool
+
+val add : t -> point -> point -> point
+val double : t -> point -> point
+val neg : t -> point -> point
+val sub : t -> point -> point -> point
+
+(** [mul t k p] is [k] dot [p]; [k] is reduced mod the group order. *)
+val mul : t -> Nat.t -> point -> point
+val mul_int : t -> int -> point -> point
+
+(** Precomputed 4-bit-window table for a fixed base, giving roughly a
+    4x speedup on repeated multiplications of the same point. *)
+type base_table
+val make_base_table : t -> point -> base_table
+val mul_base_table : t -> base_table -> Nat.t -> point
+
+val equal : t -> point -> point -> bool
+
+(** Uncompressed encoding: ["\x00"] for infinity, [0x04 || X || Y]
+    otherwise. [decode] validates curve membership and returns [None]
+    on malformed or off-curve input. *)
+val encode : t -> point -> string
+val decode : t -> string -> point option
+
+(** Square root in F_p (requires p = 3 mod 4, true of both supported
+    curves); [None] for non-residues. *)
+val field_sqrt : t -> Nat.t -> Nat.t option
+
+(** Compressed encoding: [0x02/0x03 || X] (33 bytes on 256-bit curves),
+    ["\x00"] for infinity. [decode_compressed] validates and recovers
+    the y coordinate by its parity bit. *)
+val encode_compressed : t -> point -> string
+val decode_compressed : t -> string -> point option
+
+(** Derive a point with unknown discrete log from a domain-separation
+    label (try-and-increment; requires p = 3 mod 4, true of secp256k1). *)
+val hash_to_point : t -> string -> point
+
+(** Hash byte-string parts to a scalar mod the group order. *)
+val hash_to_scalar : t -> string list -> Nat.t

@@ -1,0 +1,56 @@
+(* The shared group context used across the whole system: the curve, its
+   generator G with a precomputed fixed-base table, and a second
+   generator H (hash-to-point, so nobody knows log_G H). Built once per
+   process and passed around explicitly. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+
+type t = {
+  curve : Curve.t;
+  g : Curve.point;
+  h : Curve.point;
+  g_table : Curve.base_table;
+  h_table : Curve.base_table;
+}
+
+let create ?(params = Curve.secp256k1) () =
+  let curve = Curve.create params in
+  let g = Curve.generator curve in
+  let h = Curve.hash_to_point curve "d-demos second generator H" in
+  {
+    curve;
+    g;
+    h;
+    g_table = Curve.make_base_table curve g;
+    h_table = Curve.make_base_table curve h;
+  }
+
+let default = lazy (create ())
+
+let curve t = t.curve
+let g t = t.g
+let h t = t.h
+
+(* Fast fixed-base scalar multiplications. *)
+let mul_g t k = Curve.mul_base_table t.curve t.g_table k
+let mul_h t k = Curve.mul_base_table t.curve t.h_table k
+
+(* General multiplication that recognizes the two fixed bases by
+   physical equality and takes the precomputed-table fast path. *)
+let mul t k pt =
+  if pt == t.g then mul_g t k
+  else if pt == t.h then mul_h t k
+  else Curve.mul t.curve k pt
+
+let order t = Curve.order t.curve
+let scalar_field t = Curve.scalar_field t.curve
+
+(* Draw a uniform scalar in [1, order) from a DRBG. *)
+let random_scalar t rng =
+  let byte_len = Curve.byte_len t.curve in
+  let rec draw () =
+    let k = Nat.of_bytes_be (Dd_crypto.Drbg.bytes rng byte_len) in
+    if Nat.is_zero k || Nat.compare k (order t) >= 0 then draw () else k
+  in
+  draw ()

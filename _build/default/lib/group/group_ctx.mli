@@ -1,0 +1,32 @@
+(** Shared group context: curve plus the two generators G and H
+    (H is hash-derived, so its discrete log w.r.t. G is unknown), with
+    precomputed fixed-base tables. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+
+type t
+
+val create : ?params:Curve.params -> unit -> t
+
+(** One process-wide context over secp256k1 (table construction costs a
+    few hundred milliseconds; share it). *)
+val default : t lazy_t
+
+val curve : t -> Curve.t
+val g : t -> Curve.point
+val h : t -> Curve.point
+
+(** Fixed-base multiplications by G and H using the precomputed tables. *)
+val mul_g : t -> Nat.t -> Curve.point
+val mul_h : t -> Nat.t -> Curve.point
+
+(** General multiplication; physically-equal G or H arguments take the
+    fixed-base fast path. *)
+val mul : t -> Nat.t -> Curve.point -> Curve.point
+
+val order : t -> Nat.t
+val scalar_field : t -> Modular.ctx
+
+(** Uniform scalar in [1, order). *)
+val random_scalar : t -> Dd_crypto.Drbg.t -> Nat.t

@@ -1,0 +1,1 @@
+lib/sig/schnorr.ml: Dd_bignum Dd_group String

@@ -1,0 +1,1 @@
+lib/sig/schnorr.mli: Dd_bignum Dd_crypto Dd_group

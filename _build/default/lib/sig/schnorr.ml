@@ -1,0 +1,55 @@
+(* Schnorr signatures over the shared curve group with SHA-256 as the
+   Fiat-Shamir hash. Fills the role of the paper's PKI signatures for
+   ENDORSEMENT messages, UCERT certificates, trustee writes to the BB,
+   and the EA's signatures on initialization data. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+
+type secret_key = Nat.t
+type public_key = Curve.point
+
+type signature = {
+  s : Nat.t;
+  e : Nat.t;   (* challenge hash; (s, e) encoding makes verification cheap *)
+}
+
+let keygen gctx rng =
+  let sk = Group_ctx.random_scalar gctx rng in
+  (sk, Group_ctx.mul_g gctx sk)
+
+let challenge gctx ~commitment ~pk msg =
+  let curve = Group_ctx.curve gctx in
+  Curve.hash_to_scalar curve
+    [ "schnorr-sig"; Curve.encode curve commitment; Curve.encode curve pk; msg ]
+
+let sign gctx rng ~sk ~pk msg =
+  let fn = Group_ctx.scalar_field gctx in
+  let k = Group_ctx.random_scalar gctx rng in
+  let r = Group_ctx.mul_g gctx k in
+  let e = challenge gctx ~commitment:r ~pk msg in
+  let s = Modular.sub fn k (Modular.mul fn e sk) in
+  { s; e }
+
+let verify gctx ~pk msg { s; e } =
+  let curve = Group_ctx.curve gctx in
+  (* r' = s*G + e*PK; valid iff H(r', pk, msg) = e *)
+  let r' = Curve.add curve (Group_ctx.mul_g gctx s) (Curve.mul curve e pk) in
+  Nat.equal e (challenge gctx ~commitment:r' ~pk msg)
+
+let encode gctx { s; e } =
+  let len = Curve.byte_len (Group_ctx.curve gctx) in
+  Nat.to_bytes_be ~len s ^ Nat.to_bytes_be ~len e
+
+let decode gctx bytes =
+  let len = Curve.byte_len (Group_ctx.curve gctx) in
+  if String.length bytes <> 2 * len then None
+  else
+    Some
+      { s = Nat.of_bytes_be (String.sub bytes 0 len);
+        e = Nat.of_bytes_be (String.sub bytes len len) }
+
+let encode_pk gctx pk = Curve.encode (Group_ctx.curve gctx) pk
+let decode_pk gctx s = Curve.decode (Group_ctx.curve gctx) s

@@ -1,0 +1,23 @@
+(** Schnorr signatures over the shared group (Fiat-Shamir with SHA-256).
+    Existentially unforgeable under the discrete-log assumption in the
+    random-oracle model — the signature scheme assumed by the paper's
+    Theorem 2 safety analysis. *)
+
+module Nat = Dd_bignum.Nat
+module Curve = Dd_group.Curve
+
+type secret_key = Nat.t
+type public_key = Curve.point
+type signature
+
+val keygen : Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> secret_key * public_key
+
+val sign :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> sk:secret_key -> pk:public_key -> string -> signature
+
+val verify : Dd_group.Group_ctx.t -> pk:public_key -> string -> signature -> bool
+
+val encode : Dd_group.Group_ctx.t -> signature -> string
+val decode : Dd_group.Group_ctx.t -> string -> signature option
+val encode_pk : Dd_group.Group_ctx.t -> public_key -> string
+val decode_pk : Dd_group.Group_ctx.t -> string -> public_key option

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Dd_crypto Engine Hashtbl Option

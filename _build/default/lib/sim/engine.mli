@@ -1,0 +1,26 @@
+(** Deterministic discrete-event simulation engine over virtual time
+    (seconds). Execution order is a pure function of the seed: the
+    event queue breaks time ties by insertion order and all randomness
+    flows from one seeded DRBG. *)
+
+type time = float
+type t
+
+val create : seed:string -> t
+
+val now : t -> time
+
+(** The engine's deterministic randomness source. *)
+val rng : t -> Dd_crypto.Drbg.t
+
+(** Schedule an action; times in the past are clamped to [now]. *)
+val schedule_at : t -> at:time -> (unit -> unit) -> unit
+val schedule_after : t -> delay:time -> (unit -> unit) -> unit
+
+(** Execute events until the queue drains, or until virtual time
+    exceeds [until] (remaining events stay queued and [now] advances
+    to [until]). Returns the number of events executed. *)
+val run : ?until:time -> t -> int
+
+(** Number of queued events. *)
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/vss/elgamal_vss.ml: Array Dd_bignum Dd_commit Dd_group List Shamir_scalar

@@ -1,0 +1,1 @@
+lib/vss/elgamal_vss.mli: Dd_bignum Dd_commit Dd_crypto Dd_group

@@ -1,0 +1,1 @@
+lib/vss/gf256.ml: Array

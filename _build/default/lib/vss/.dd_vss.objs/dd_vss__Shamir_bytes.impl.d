@@ -1,0 +1,1 @@
+lib/vss/shamir_bytes.ml: Array Bytes Char Dd_crypto Gf256 String

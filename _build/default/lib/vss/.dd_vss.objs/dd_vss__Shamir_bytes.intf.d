@@ -1,0 +1,1 @@
+lib/vss/shamir_bytes.mli: Dd_crypto

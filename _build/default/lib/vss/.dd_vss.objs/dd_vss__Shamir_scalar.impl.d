@@ -1,0 +1,1 @@
+lib/vss/shamir_scalar.ml: Array Dd_bignum Dd_crypto List

@@ -1,0 +1,1 @@
+lib/vss/shamir_scalar.mli: Dd_bignum Dd_crypto

@@ -1,0 +1,95 @@
+(* Verifiable secret sharing of lifted-ElGamal commitment openings.
+
+   An opening is a scalar pair (msg, rand). The dealer shares both with
+   degree-(k-1) polynomials F_m, F_r whose coefficient pairs are
+   published as ElGamal commitments C_j = (r_j*G, m_j*G + r_j*H); the
+   constant-term commitment C_0 is exactly the original option-encoding
+   commitment on the BB, so shares verify directly against public
+   election data:
+
+     (r_i*G, m_i*G + r_i*H)  =  sum_j  i^j * C_j   (componentwise).
+
+   Shares and auxiliary commitment vectors are additively homomorphic,
+   which is what lets each trustee sum its shares over the tally set
+   Etally and submit one verifiable opening share of the homomorphic
+   total Esum. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+module Elgamal = Dd_commit.Elgamal
+
+type share = {
+  x : int;
+  msg : Nat.t;    (* F_m(x) *)
+  rand : Nat.t;   (* F_r(x) *)
+}
+
+(* Commitments to the non-constant coefficient pairs (C_1 .. C_{k-1});
+   C_0 is the commitment being shared and is carried separately. *)
+type aux = Elgamal.t array
+
+let deal gctx rng ~(opening : Elgamal.opening) ~threshold ~shares =
+  let fn = Group_ctx.scalar_field gctx in
+  let mcoeffs, mshares =
+    Shamir_scalar.split fn rng ~secret:opening.Elgamal.msg ~threshold ~shares
+  in
+  let rcoeffs, rshares =
+    Shamir_scalar.split fn rng ~secret:opening.Elgamal.rand ~threshold ~shares
+  in
+  let aux =
+    Array.init (threshold - 1) (fun j ->
+        Elgamal.commit gctx ~msg:mcoeffs.(j + 1) ~rand:rcoeffs.(j + 1))
+  in
+  let shares =
+    Array.init shares (fun i ->
+        { x = mshares.(i).Shamir_scalar.x;
+          msg = mshares.(i).Shamir_scalar.value;
+          rand = rshares.(i).Shamir_scalar.value })
+  in
+  (aux, shares)
+
+let verify_share gctx ~(commitment : Elgamal.t) ~(aux : aux) (s : share) =
+  let fn = Group_ctx.scalar_field gctx in
+  let lhs = Elgamal.commit gctx ~msg:s.msg ~rand:s.rand in
+  let rhs = ref commitment in
+  let xj = ref Nat.one in
+  let x = Modular.of_int fn s.x in
+  Array.iter
+    (fun cj ->
+       xj := Modular.mul fn !xj x;
+       let c1, c2 = Elgamal.components cj in
+       let curve = Group_ctx.curve gctx in
+       let scaled = Elgamal.make ~c1:(Curve.mul curve !xj c1) ~c2:(Curve.mul curve !xj c2) in
+       rhs := Elgamal.add gctx !rhs scaled)
+    aux;
+  Elgamal.equal gctx lhs !rhs
+
+let reconstruct gctx ~threshold (shares : share list) : Elgamal.opening =
+  let fn = Group_ctx.scalar_field gctx in
+  let msg =
+    Shamir_scalar.reconstruct fn ~threshold
+      (List.map (fun s -> { Shamir_scalar.x = s.x; Shamir_scalar.value = s.msg }) shares)
+  in
+  let rand =
+    Shamir_scalar.reconstruct fn ~threshold
+      (List.map (fun s -> { Shamir_scalar.x = s.x; Shamir_scalar.value = s.rand }) shares)
+  in
+  { Elgamal.msg; Elgamal.rand }
+
+let add_shares gctx a b =
+  if a.x <> b.x then invalid_arg "Elgamal_vss.add_shares: mismatched evaluation points";
+  let fn = Group_ctx.scalar_field gctx in
+  { x = a.x; msg = Modular.add fn a.msg b.msg; rand = Modular.add fn a.rand b.rand }
+
+let sum_shares gctx ~x l =
+  List.fold_left (add_shares gctx) { x; msg = Nat.zero; rand = Nat.zero } l
+
+let add_aux gctx (a : aux) (b : aux) : aux =
+  if Array.length a <> Array.length b then invalid_arg "Elgamal_vss.add_aux: degree mismatch";
+  Array.mapi (fun i ai -> Elgamal.add gctx ai b.(i)) a
+
+let sum_aux gctx ~threshold l =
+  let zero = Array.make (threshold - 1) (Elgamal.zero_commitment gctx) in
+  List.fold_left (add_aux gctx) zero l

@@ -1,0 +1,32 @@
+(** Verifiable secret sharing of lifted-ElGamal commitment openings:
+    shares verify against the public commitment itself (constant term)
+    plus published auxiliary coefficient commitments, and both shares
+    and aux vectors add homomorphically. The trustees' sharing of
+    option-encoding openings. *)
+
+module Nat = Dd_bignum.Nat
+module Elgamal = Dd_commit.Elgamal
+
+type share = {
+  x : int;
+  msg : Nat.t;
+  rand : Nat.t;
+}
+
+type aux = Elgamal.t array
+
+val deal :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> opening:Elgamal.opening ->
+  threshold:int -> shares:int -> aux * share array
+
+(** Verify a share against the shared commitment and its aux vector. *)
+val verify_share :
+  Dd_group.Group_ctx.t -> commitment:Elgamal.t -> aux:aux -> share -> bool
+
+val reconstruct :
+  Dd_group.Group_ctx.t -> threshold:int -> share list -> Elgamal.opening
+
+val add_shares : Dd_group.Group_ctx.t -> share -> share -> share
+val sum_shares : Dd_group.Group_ctx.t -> x:int -> share list -> share
+val add_aux : Dd_group.Group_ctx.t -> aux -> aux -> aux
+val sum_aux : Dd_group.Group_ctx.t -> threshold:int -> aux list -> aux

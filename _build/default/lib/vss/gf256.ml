@@ -1,0 +1,38 @@
+(* GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+   via log/exp tables on generator 3. Underlies byte-wise Shamir secret
+   sharing of receipts and of the master key msk. *)
+
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    (* multiply by the generator 3 = x + 1: (v << 1) ^ v, reduced *)
+    let v = (!x lsl 1) lxor !x in
+    x := if v land 0x100 <> 0 then (v lxor 0x11b) land 0xff else v
+  done;
+  for i = 255 to 511 do exp_table.(i) <- exp_table.(i - 255) done
+
+let add = ( lxor )
+let sub = ( lxor )
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+(* Evaluate a polynomial (coefficients low-to-high) at x by Horner. *)
+let poly_eval coeffs x =
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := add (mul !acc x) coeffs.(i)
+  done;
+  !acc

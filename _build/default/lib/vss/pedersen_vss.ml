@@ -1,0 +1,94 @@
+(* Pedersen's verifiable secret sharing [Pedersen, CRYPTO '91], the
+   scheme the paper names for splitting election data among trustees.
+
+   The dealer samples two degree-(k-1) polynomials f (with f(0) = s)
+   and g (blinding), publishes Pedersen commitments to the paired
+   coefficients, and sends (f(i), g(i)) to holder i. Each holder checks
+   its share against the public commitments; shares (and the public
+   commitment vectors) add homomorphically, so trustees can locally sum
+   shares over the tally set and contribute one opening share of the
+   homomorphic total. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+module Pedersen = Dd_commit.Pedersen
+
+type commitments = Pedersen.t array  (* one commitment per coefficient *)
+
+type share = {
+  x : int;
+  f : Nat.t;   (* share of the secret polynomial *)
+  g : Nat.t;   (* share of the blinding polynomial *)
+}
+
+let deal gctx rng ~secret ~threshold ~shares =
+  if threshold < 1 || threshold > shares then invalid_arg "Pedersen_vss.deal: bad threshold";
+  let fn = Group_ctx.scalar_field gctx in
+  let fcoeffs, fshares = Shamir_scalar.split fn rng ~secret ~threshold ~shares in
+  let gcoeffs, gshares =
+    Shamir_scalar.split fn rng ~secret:(Group_ctx.random_scalar gctx rng) ~threshold ~shares
+  in
+  let commitments =
+    Array.init threshold (fun j -> Pedersen.commit gctx ~msg:fcoeffs.(j) ~rand:gcoeffs.(j))
+  in
+  let shares =
+    Array.init shares (fun i ->
+        { x = fshares.(i).Shamir_scalar.x;
+          f = fshares.(i).Shamir_scalar.value;
+          g = gshares.(i).Shamir_scalar.value })
+  in
+  (commitments, shares)
+
+(* Verify share (f_i, g_i) at x against the coefficient commitments:
+   f_i*G + g_i*H must equal sum_j x^j * C_j. *)
+let verify_share gctx (commitments : commitments) (s : share) =
+  let fn = Group_ctx.scalar_field gctx in
+  let curve = Group_ctx.curve gctx in
+  let lhs = Pedersen.commit gctx ~msg:s.f ~rand:s.g in
+  let rhs = ref Curve.infinity in
+  let xj = ref Nat.one in
+  Array.iter (fun c ->
+      rhs := Curve.add curve !rhs (Curve.mul curve !xj c);
+      xj := Modular.mul fn !xj (Modular.of_int fn s.x))
+    commitments;
+  Curve.equal curve lhs !rhs
+
+(* The public commitment to the secret itself is the constant-term
+   commitment. *)
+let secret_commitment (commitments : commitments) = commitments.(0)
+
+let reconstruct gctx ~threshold (shares : share list) =
+  let fn = Group_ctx.scalar_field gctx in
+  let fshares = List.map (fun s -> { Shamir_scalar.x = s.x; Shamir_scalar.value = s.f }) shares in
+  Shamir_scalar.reconstruct fn ~threshold fshares
+
+(* Reconstruct both the secret and the blinding value, e.g. to check the
+   result against the constant-term commitment. *)
+let reconstruct_with_blinding gctx ~threshold (shares : share list) =
+  let fn = Group_ctx.scalar_field gctx in
+  let f = Shamir_scalar.reconstruct fn ~threshold
+      (List.map (fun s -> { Shamir_scalar.x = s.x; Shamir_scalar.value = s.f }) shares)
+  in
+  let g = Shamir_scalar.reconstruct fn ~threshold
+      (List.map (fun s -> { Shamir_scalar.x = s.x; Shamir_scalar.value = s.g }) shares)
+  in
+  (f, g)
+
+let add_shares gctx a b =
+  if a.x <> b.x then invalid_arg "Pedersen_vss.add_shares: mismatched evaluation points";
+  let fn = Group_ctx.scalar_field gctx in
+  { x = a.x; f = Modular.add fn a.f b.f; g = Modular.add fn a.g b.g }
+
+let sum_shares gctx ~x l =
+  List.fold_left (add_shares gctx) { x; f = Nat.zero; g = Nat.zero } l
+
+let add_commitments gctx (a : commitments) (b : commitments) : commitments =
+  if Array.length a <> Array.length b then
+    invalid_arg "Pedersen_vss.add_commitments: degree mismatch";
+  Array.mapi (fun i ai -> Pedersen.add gctx ai b.(i)) a
+
+let sum_commitments gctx ~threshold l =
+  let zero = Array.make threshold Curve.infinity in
+  List.fold_left (add_commitments gctx) zero l

@@ -1,0 +1,41 @@
+(** Pedersen's verifiable secret sharing (CRYPTO '91): information-
+    theoretically hiding, verifiable against public coefficient
+    commitments, and additively homomorphic in both shares and
+    commitments. *)
+
+module Nat = Dd_bignum.Nat
+module Pedersen = Dd_commit.Pedersen
+
+type commitments = Pedersen.t array
+
+type share = {
+  x : int;
+  f : Nat.t;  (** evaluation of the secret polynomial *)
+  g : Nat.t;  (** evaluation of the blinding polynomial *)
+}
+
+(** Deal [secret] with reconstruction threshold [threshold] to [shares]
+    holders (x = 1..shares). Returns the public coefficient commitments
+    and the private shares. *)
+val deal :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> secret:Nat.t -> threshold:int -> shares:int ->
+  commitments * share array
+
+(** Check one share against the public commitments. *)
+val verify_share : Dd_group.Group_ctx.t -> commitments -> share -> bool
+
+(** The Pedersen commitment to the secret (the constant coefficient). *)
+val secret_commitment : commitments -> Pedersen.t
+
+(** Reconstruct from exactly [threshold] verified shares. *)
+val reconstruct : Dd_group.Group_ctx.t -> threshold:int -> share list -> Nat.t
+
+(** Also recover the blinding value, so the pair can be re-checked
+    against {!secret_commitment}. *)
+val reconstruct_with_blinding :
+  Dd_group.Group_ctx.t -> threshold:int -> share list -> Nat.t * Nat.t
+
+val add_shares : Dd_group.Group_ctx.t -> share -> share -> share
+val sum_shares : Dd_group.Group_ctx.t -> x:int -> share list -> share
+val add_commitments : Dd_group.Group_ctx.t -> commitments -> commitments -> commitments
+val sum_commitments : Dd_group.Group_ctx.t -> threshold:int -> commitments list -> commitments

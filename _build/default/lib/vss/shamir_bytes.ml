@@ -1,0 +1,62 @@
+(* Byte-wise Shamir secret sharing over GF(256): each byte of the secret
+   is the constant term of an independent random degree-(k-1) polynomial
+   and share j carries the evaluations at x = j. This mirrors the
+   approach of the Java Shamir library the paper's prototype used, and
+   is fast enough to share a receipt per vote.
+
+   Supports up to 255 share holders (x in 1..255). *)
+
+type share = {
+  x : int;          (* evaluation point, 1..255 *)
+  data : string;    (* one byte per secret byte *)
+}
+
+let split rng ~secret ~threshold ~shares =
+  if threshold < 1 || threshold > shares then invalid_arg "Shamir_bytes.split: bad threshold";
+  if shares > 255 then invalid_arg "Shamir_bytes.split: at most 255 shares";
+  let len = String.length secret in
+  let outputs = Array.init shares (fun i -> (i + 1, Bytes.create len)) in
+  let coeffs = Array.make threshold 0 in
+  for byte = 0 to len - 1 do
+    coeffs.(0) <- Char.code secret.[byte];
+    for c = 1 to threshold - 1 do coeffs.(c) <- Dd_crypto.Drbg.byte rng done;
+    Array.iter (fun (x, buf) -> Bytes.set buf byte (Char.chr (Gf256.poly_eval coeffs x))) outputs
+  done;
+  Array.map (fun (x, buf) -> { x; data = Bytes.unsafe_to_string buf }) outputs
+
+(* Lagrange interpolation at 0 over each byte position. Exactly
+   [threshold] distinct shares must be supplied. *)
+let reconstruct ~threshold (shares : share list) =
+  let shares = Array.of_list shares in
+  let k = Array.length shares in
+  if k <> threshold then invalid_arg "Shamir_bytes.reconstruct: need exactly threshold shares";
+  let xs = Array.map (fun s -> s.x) shares in
+  Array.iteri (fun i x ->
+      if x < 1 || x > 255 then invalid_arg "Shamir_bytes.reconstruct: bad x";
+      for j = 0 to i - 1 do
+        if xs.(j) = x then invalid_arg "Shamir_bytes.reconstruct: duplicate x"
+      done)
+    xs;
+  let len = String.length shares.(0).data in
+  Array.iter (fun s ->
+      if String.length s.data <> len then invalid_arg "Shamir_bytes.reconstruct: length mismatch")
+    shares;
+  (* Lagrange basis at 0: l_i = prod_{j<>i} x_j / (x_j - x_i); in GF(2^n)
+     subtraction is xor. *)
+  let basis =
+    Array.init k (fun i ->
+        let num = ref 1 and den = ref 1 in
+        for j = 0 to k - 1 do
+          if j <> i then begin
+            num := Gf256.mul !num xs.(j);
+            den := Gf256.mul !den (Gf256.sub xs.(j) xs.(i))
+          end
+        done;
+        Gf256.div !num !den)
+  in
+  String.init len (fun byte ->
+      let acc = ref 0 in
+      for i = 0 to k - 1 do
+        acc := Gf256.add !acc (Gf256.mul basis.(i) (Char.code shares.(i).data.[byte]))
+      done;
+      Char.chr !acc)

@@ -1,0 +1,19 @@
+(** Byte-wise Shamir secret sharing over GF(256).
+
+    Shares receipts and the master key [msk] across the VC nodes. Any
+    [threshold] shares reconstruct; fewer leak nothing (information
+    theoretically). *)
+
+type share = {
+  x : int;        (** evaluation point, [1..255] *)
+  data : string;  (** same length as the secret *)
+}
+
+(** [split rng ~secret ~threshold ~shares] produces shares at
+    [x = 1..shares]. Raises [Invalid_argument] on a bad threshold or
+    more than 255 shares. *)
+val split : Dd_crypto.Drbg.t -> secret:string -> threshold:int -> shares:int -> share array
+
+(** [reconstruct ~threshold shares] interpolates at 0. Requires exactly
+    [threshold] shares with pairwise distinct [x]. *)
+val reconstruct : threshold:int -> share list -> string

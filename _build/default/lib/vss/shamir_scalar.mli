@@ -1,0 +1,28 @@
+(** Shamir secret sharing of field scalars (mod the curve order), with
+    share-wise additive homomorphism — the trustees' sharing of
+    commitment openings. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+
+type share = {
+  x : int;
+  value : Nat.t;
+}
+
+(** [split fn rng ~secret ~threshold ~shares] returns the polynomial
+    coefficients (constant term = the reduced secret, needed by
+    Pedersen-VSS on top) and the shares at [x = 1..shares]. *)
+val split :
+  Modular.ctx -> Dd_crypto.Drbg.t -> secret:Nat.t -> threshold:int -> shares:int ->
+  Nat.t array * share array
+
+(** Exactly [threshold] shares with distinct positive [x]. *)
+val reconstruct : Modular.ctx -> threshold:int -> share list -> Nat.t
+
+(** Lagrange coefficients at zero for the given evaluation points. *)
+val lagrange_at_zero : Modular.ctx -> int array -> Nat.t array
+
+(** Share-wise addition: valid only for shares at the same [x]. *)
+val add : Modular.ctx -> share -> share -> share
+val sum : Modular.ctx -> x:int -> share list -> share

@@ -1,0 +1,1 @@
+lib/zkp/ballot_proof.ml: Array Buffer Chaum_pedersen Dd_bignum Dd_commit Dd_group Printf String

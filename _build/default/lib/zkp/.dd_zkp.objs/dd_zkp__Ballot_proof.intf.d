@@ -1,0 +1,1 @@
+lib/zkp/ballot_proof.mli: Dd_bignum Dd_commit Dd_crypto Dd_group

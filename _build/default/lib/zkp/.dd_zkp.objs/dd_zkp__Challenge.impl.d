@@ -1,0 +1,1 @@
+lib/zkp/challenge.ml: Bytes Dd_bignum Dd_group List

@@ -1,0 +1,1 @@
+lib/zkp/challenge.mli: Dd_bignum Dd_group

@@ -1,0 +1,1 @@
+lib/zkp/chaum_pedersen.ml: Dd_bignum Dd_group

@@ -1,0 +1,1 @@
+lib/zkp/chaum_pedersen.mli: Dd_bignum Dd_crypto Dd_group

@@ -1,0 +1,36 @@
+(** Ballot-correctness zero-knowledge proof for one ballot part:
+    every option commitment encrypts 0 or 1 (Sigma-OR), and the
+    homomorphic sum encrypts exactly 1. The three sigma moves are
+    separated in time: EA commits at setup, voter A/B coins form the
+    challenge, trustees respond post-election from the VSS-shared
+    prover state. *)
+
+module Nat = Dd_bignum.Nat
+module Elgamal = Dd_commit.Elgamal
+
+type prover_state
+type first_move
+type final_move
+
+(** Build the first move; the openings must be a 0/1 vector summing to
+    [k] (default 1 — the paper's single-choice elections; larger [k]
+    implements the k-out-of-m extension from the paper's conclusion).
+    Raises [Invalid_argument] on a non-0/1 message. *)
+val prove_commit :
+  ?k:int -> Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t ->
+  commitments:Elgamal.t array -> openings:Elgamal.opening array ->
+  prover_state * first_move
+
+(** Compute the response for the (voter-coin-derived) challenge. *)
+val finalize : Dd_group.Group_ctx.t -> prover_state -> challenge:Nat.t -> final_move
+
+val verify :
+  ?k:int -> Dd_group.Group_ctx.t -> commitments:Elgamal.t array -> first_move ->
+  challenge:Nat.t -> final_move -> bool
+
+(** Byte encodings: the state is what the EA secret-shares to the
+    trustees; the moves are what lives on the BB. *)
+val encode_state : prover_state -> string
+val decode_state : string -> prover_state option
+val encode_first_move : Dd_group.Group_ctx.t -> first_move -> string
+val encode_final_move : final_move -> string

@@ -1,0 +1,14 @@
+(** Challenge extraction from voter coins (the A/B part choices), as in
+    DEMOS/D-DEMOS: the election's sigma-protocol challenges are hashes
+    of the collected coins, so soundness rests on the voters' entropy
+    rather than on a random oracle alone. *)
+
+module Nat = Dd_bignum.Nat
+
+(** Master election challenge from the ordered coin list. *)
+val master :
+  Dd_group.Group_ctx.t -> election_id:string -> coins:bool list -> Nat.t
+
+(** Per-ballot-part challenge derived from the master. *)
+val for_proof :
+  Dd_group.Group_ctx.t -> master_challenge:Nat.t -> serial:int -> part:[ `A | `B ] -> Nat.t

@@ -1,0 +1,54 @@
+(* Chaum-Pedersen proofs of discrete-log equality [CP92]: given bases
+   (g1, g2) and claims (h1, h2), prove knowledge of x with h1 = x*g1
+   and h2 = x*g2. Presented as an explicit 3-move sigma protocol
+   because D-DEMOS splits the moves across time: the EA publishes the
+   first move at setup, the voters' A/B coins provide the challenge,
+   and the trustees (holding the shared prover state) publish the
+   response after the election. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Group_ctx = Dd_group.Group_ctx
+module Curve = Dd_group.Curve
+
+type statement = {
+  g1 : Curve.point;
+  g2 : Curve.point;
+  h1 : Curve.point;
+  h2 : Curve.point;
+}
+
+type first_move = {
+  t1 : Curve.point;
+  t2 : Curve.point;
+}
+
+(* The prover's secret nonce, kept until the challenge arrives. *)
+type prover_state = Nat.t
+
+let commit gctx rng (st : statement) : prover_state * first_move =
+  let w = Group_ctx.random_scalar gctx rng in
+  (w, { t1 = Group_ctx.mul gctx w st.g1; t2 = Group_ctx.mul gctx w st.g2 })
+
+let respond gctx ~(state : prover_state) ~witness ~challenge =
+  let fn = Group_ctx.scalar_field gctx in
+  Modular.add fn state (Modular.mul fn challenge witness)
+
+let verify gctx (st : statement) (fm : first_move) ~challenge ~response =
+  let curve = Group_ctx.curve gctx in
+  let check g t h =
+    Curve.equal curve (Group_ctx.mul gctx response g)
+      (Curve.add curve t (Group_ctx.mul gctx challenge h))
+  in
+  check st.g1 fm.t1 st.h1 && check st.g2 fm.t2 st.h2
+
+(* Simulate an accepting transcript for a chosen challenge (used by the
+   OR composition for the branch the prover cannot prove). *)
+let simulate gctx rng (st : statement) ~challenge =
+  let curve = Group_ctx.curve gctx in
+  let z = Group_ctx.random_scalar gctx rng in
+  let fm =
+    { t1 = Curve.sub curve (Group_ctx.mul gctx z st.g1) (Group_ctx.mul gctx challenge st.h1);
+      t2 = Curve.sub curve (Group_ctx.mul gctx z st.g2) (Group_ctx.mul gctx challenge st.h2) }
+  in
+  (fm, z)

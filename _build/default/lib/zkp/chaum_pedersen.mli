@@ -1,0 +1,37 @@
+(** Chaum-Pedersen discrete-log-equality sigma protocol, with the three
+    moves exposed separately (D-DEMOS spreads them over the election:
+    EA commits, voter coins challenge, trustees respond). *)
+
+module Nat = Dd_bignum.Nat
+module Curve = Dd_group.Curve
+
+type statement = {
+  g1 : Curve.point;
+  g2 : Curve.point;
+  h1 : Curve.point;  (** claimed [x*g1] *)
+  h2 : Curve.point;  (** claimed [x*g2] *)
+}
+
+type first_move = {
+  t1 : Curve.point;
+  t2 : Curve.point;
+}
+
+type prover_state = Nat.t
+
+(** First move; keep the returned state secret until the challenge. *)
+val commit :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> statement -> prover_state * first_move
+
+(** Third move: [state + challenge * witness]. *)
+val respond :
+  Dd_group.Group_ctx.t -> state:prover_state -> witness:Nat.t -> challenge:Nat.t -> Nat.t
+
+val verify :
+  Dd_group.Group_ctx.t -> statement -> first_move -> challenge:Nat.t -> response:Nat.t -> bool
+
+(** Accepting transcript for a chosen challenge without the witness
+    (honest-verifier zero-knowledge simulator; used in OR proofs). *)
+val simulate :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> statement -> challenge:Nat.t ->
+  first_move * Nat.t

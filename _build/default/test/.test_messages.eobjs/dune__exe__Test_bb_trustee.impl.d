@@ -1,0 +1,1 @@
+test/test_bb_trustee.ml: Alcotest Array Dd_vss Ddemos Hashtbl Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Char Dd_bignum List QCheck QCheck_alcotest String

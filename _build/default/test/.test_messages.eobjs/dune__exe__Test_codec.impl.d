@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Dd_codec List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_commit.ml: Alcotest Array Dd_bignum Dd_commit Dd_crypto Dd_group Lazy List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Dd_consensus Dd_crypto Fun List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dd_bignum Dd_commit Dd_crypto Dd_group Dd_vss Ddemos Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Dd_crypto List Printf QCheck QCheck_alcotest String

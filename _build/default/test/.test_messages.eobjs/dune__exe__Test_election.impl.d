@@ -1,0 +1,1 @@
+test/test_election.ml: Alcotest Array Dd_crypto Dd_sim Ddemos Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Char Dd_bignum Dd_commit Dd_crypto Dd_group Format Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_messages.ml: Alcotest Array Char Dd_consensus Dd_crypto Dd_group Dd_vss Ddemos Lazy List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sig.ml: Alcotest Bytes Char Dd_bignum Dd_crypto Dd_group Dd_sig Lazy QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dd_sim List QCheck QCheck_alcotest

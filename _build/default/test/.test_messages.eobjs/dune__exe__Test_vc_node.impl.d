@@ -1,0 +1,1 @@
+test/test_vc_node.ml: Alcotest Array Dd_consensus Dd_crypto Dd_group Ddemos Lazy List Printf String

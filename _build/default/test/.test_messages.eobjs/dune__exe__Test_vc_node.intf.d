@@ -1,0 +1,1 @@
+test/test_vc_node.mli:

@@ -1,0 +1,1 @@
+test/test_zkp.ml: Alcotest Array Dd_bignum Dd_commit Dd_crypto Dd_group Dd_zkp Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,251 @@
+(* Unit and property tests for the arbitrary-precision naturals and
+   Barrett modular arithmetic. *)
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+(* --- generators ------------------------------------------------------ *)
+
+let gen_nat_bits bits =
+  QCheck.Gen.(
+    map
+      (fun bytes ->
+         Nat.of_bytes_be (String.init (bits / 8 + 1) (fun i -> Char.chr (List.nth bytes i))))
+      (list_repeat (bits / 8 + 1) (int_range 0 255)))
+
+let arb_nat = QCheck.make ~print:Nat.to_decimal (gen_nat_bits 256)
+let arb_small = QCheck.make ~print:Nat.to_decimal (gen_nat_bits 64)
+
+let secp_p =
+  Nat.of_hex "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_of_to_int () =
+  Alcotest.(check int) "roundtrip 0" 0 (Nat.to_int (Nat.of_int 0));
+  Alcotest.(check int) "roundtrip 12345678901234" 12345678901234
+    (Nat.to_int (Nat.of_int 12345678901234));
+  Alcotest.check nat "zero is zero" Nat.zero (Nat.of_int 0);
+  Alcotest.(check bool) "is_zero" true (Nat.is_zero Nat.zero);
+  Alcotest.(check bool) "one not zero" false (Nat.is_zero Nat.one)
+
+let test_negative_of_int () =
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Nat.of_int: negative")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_compare () =
+  Alcotest.(check int) "1 < 2" (-1) (Nat.compare Nat.one Nat.two);
+  Alcotest.(check int) "2 > 1" 1 (Nat.compare Nat.two Nat.one);
+  Alcotest.(check int) "eq" 0 (Nat.compare secp_p secp_p);
+  Alcotest.(check bool) "longer is bigger" true
+    (Nat.compare (Nat.shift_left Nat.one 100) (Nat.of_int max_int) > 0)
+
+let test_add_sub () =
+  let a = Nat.of_hex "ffffffffffffffffffffffffffffffff" in
+  let b = Nat.of_int 1 in
+  let s = Nat.add a b in
+  Alcotest.check nat "carry propagates" (Nat.shift_left Nat.one 128) s;
+  Alcotest.check nat "sub undoes add" a (Nat.sub s b);
+  Alcotest.check_raises "negative sub" (Invalid_argument "Nat.sub: negative result")
+    (fun () -> ignore (Nat.sub b a))
+
+let test_mul_known () =
+  let a = Nat.of_decimal "123456789123456789123456789" in
+  let b = Nat.of_decimal "987654321987654321" in
+  Alcotest.(check string) "known product"
+    "121932631356500531469135800347203169112635269"
+    (Nat.to_decimal (Nat.mul a b))
+
+let test_divmod_single_limb () =
+  let a = Nat.of_decimal "123456789123456789123456789" in
+  let q, r = Nat.divmod a (Nat.of_int 97) in
+  Alcotest.check nat "q*97+r = a" a (Nat.add (Nat.mul q (Nat.of_int 97)) r);
+  Alcotest.(check bool) "r < 97" true (Nat.compare r (Nat.of_int 97) < 0)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero
+    (fun () -> ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_shifts () =
+  let a = Nat.of_hex "deadbeef" in
+  Alcotest.check nat "shift roundtrip" a (Nat.shift_right (Nat.shift_left a 67) 67);
+  Alcotest.check nat "shift beyond" Nat.zero (Nat.shift_right a 64);
+  Alcotest.check nat "shift 0" a (Nat.shift_left a 0)
+
+let test_bit_length () =
+  Alcotest.(check int) "bitlen 0" 0 (Nat.bit_length Nat.zero);
+  Alcotest.(check int) "bitlen 1" 1 (Nat.bit_length Nat.one);
+  Alcotest.(check int) "bitlen 255" 8 (Nat.bit_length (Nat.of_int 255));
+  Alcotest.(check int) "bitlen 256" 9 (Nat.bit_length (Nat.of_int 256));
+  Alcotest.(check int) "bitlen secp_p" 256 (Nat.bit_length secp_p)
+
+let test_bytes_roundtrip () =
+  let a = Nat.of_hex "0102030405060708090a0b0c" in
+  Alcotest.check nat "bytes roundtrip" a (Nat.of_bytes_be (Nat.to_bytes_be a));
+  Alcotest.(check int) "padded length" 32 (String.length (Nat.to_bytes_be ~len:32 a));
+  Alcotest.check nat "padded value" a (Nat.of_bytes_be (Nat.to_bytes_be ~len:32 a));
+  Alcotest.check_raises "too small len"
+    (Invalid_argument "Nat.to_bytes_be: value too large for len")
+    (fun () -> ignore (Nat.to_bytes_be ~len:2 a))
+
+let test_hex_roundtrip () =
+  Alcotest.(check string) "hex of p"
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+    (Nat.to_hex secp_p);
+  Alcotest.check nat "hex roundtrip" secp_p (Nat.of_hex (Nat.to_hex secp_p))
+
+let test_decimal () =
+  Alcotest.(check string) "decimal small" "1234567" (Nat.to_decimal (Nat.of_int 1234567));
+  Alcotest.(check string) "decimal zero" "0" (Nat.to_decimal Nat.zero);
+  let big = "115792089237316195423570985008687907853269984665640564039457584007908834671663" in
+  Alcotest.(check string) "decimal of p" big (Nat.to_decimal secp_p);
+  Alcotest.check nat "decimal roundtrip" secp_p (Nat.of_decimal big)
+
+(* --- modular unit tests ----------------------------------------------- *)
+
+let test_modular_basic () =
+  let ctx = Modular.create (Nat.of_int 97) in
+  Alcotest.check nat "reduce" (Nat.of_int 3) (Modular.reduce ctx (Nat.of_int 100));
+  Alcotest.check nat "add wrap" (Nat.of_int 1) (Modular.add ctx (Nat.of_int 50) (Nat.of_int 48));
+  Alcotest.check nat "sub wrap" (Nat.of_int 95) (Modular.sub ctx (Nat.of_int 1) (Nat.of_int 3));
+  Alcotest.check nat "neg" (Nat.of_int 96) (Modular.neg ctx Nat.one);
+  Alcotest.check nat "neg zero" Nat.zero (Modular.neg ctx Nat.zero)
+
+let test_modular_pow () =
+  let ctx = Modular.create (Nat.of_int 97) in
+  (* Fermat: a^96 = 1 mod 97 *)
+  Alcotest.check nat "fermat" Nat.one (Modular.pow ctx (Nat.of_int 5) (Nat.of_int 96));
+  Alcotest.check nat "pow 0" Nat.one (Modular.pow ctx (Nat.of_int 5) Nat.zero)
+
+let test_modular_inv () =
+  let ctx = Modular.create secp_p in
+  let x = Nat.of_hex "123456789abcdef" in
+  Alcotest.check nat "x * x^-1 = 1" Nat.one (Modular.mul ctx x (Modular.inv ctx x));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Modular.inv ctx Nat.zero))
+
+let test_modular_inv_composite () =
+  let ctx = Modular.create ~prime:false (Nat.of_int 100) in
+  (* 7 * 43 = 301 = 1 mod 100 *)
+  Alcotest.check nat "inverse mod composite" (Nat.of_int 43) (Modular.inv ctx (Nat.of_int 7))
+
+(* --- properties ------------------------------------------------------- *)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add associative" ~count:200
+    (QCheck.triple arb_nat arb_nat arb_nat)
+    (fun (a, b, c) -> Nat.equal (Nat.add (Nat.add a b) c) (Nat.add a (Nat.add b c)))
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"mul commutative" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:200
+    (QCheck.triple arb_nat arb_nat arb_nat)
+    (fun (a, b, c) ->
+       Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"a = q*b + r with r < b" ~count:200
+    (QCheck.pair arb_nat arb_small)
+    (fun (a, b) ->
+       QCheck.assume (not (Nat.is_zero b));
+       let q, r = Nat.divmod a b in
+       Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b))
+
+let prop_sqr_is_mul =
+  QCheck.Test.make ~name:"sqr a = a*a" ~count:100 arb_nat
+    (fun a -> Nat.equal (Nat.sqr a) (Nat.mul a a))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:200 arb_nat
+    (fun a -> Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)))
+
+let prop_decimal_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:100 arb_nat
+    (fun a -> Nat.equal a (Nat.of_decimal (Nat.to_decimal a)))
+
+let prop_barrett_matches_divmod =
+  QCheck.Test.make ~name:"Barrett reduce = rem" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+       let ctx = Modular.create secp_p in
+       let a' = Modular.reduce ctx a and b' = Modular.reduce ctx b in
+       Nat.equal (Modular.mul ctx a' b') (Nat.rem (Nat.mul a' b') secp_p))
+
+let prop_pow_add_exponents =
+  QCheck.Test.make ~name:"x^(a+b) = x^a * x^b mod p" ~count:50
+    (QCheck.triple arb_small arb_small arb_small)
+    (fun (x, a, b) ->
+       let ctx = Modular.create secp_p in
+       let x = Modular.reduce ctx x in
+       Nat.equal
+         (Modular.pow ctx x (Nat.add a b))
+         (Modular.mul ctx (Modular.pow ctx x a) (Modular.pow ctx x b)))
+
+let prop_inv_involutive =
+  QCheck.Test.make ~name:"inv (inv x) = x mod p" ~count:50 arb_nat
+    (fun x ->
+       let ctx = Modular.create secp_p in
+       let x = Modular.reduce ctx x in
+       QCheck.assume (not (Nat.is_zero x));
+       Nat.equal x (Modular.inv ctx (Modular.inv ctx x)))
+
+let test_barrett_edges () =
+  (* single-limb fast path *)
+  let ctx3 = Modular.create (Nat.of_int 3) in
+  Alcotest.check nat "big mod 3" (Nat.of_int 1)
+    (Modular.reduce ctx3 (Nat.of_hex "ffffffffffffffffffffffffffffffffffffffff1"));
+  (* (p-1)^2 mod p = 1, the largest product of residues *)
+  let ctx = Modular.create secp_p in
+  let pm1 = Nat.sub secp_p Nat.one in
+  Alcotest.check nat "(p-1)^2 = 1" Nat.one (Modular.reduce ctx (Nat.mul pm1 pm1));
+  Alcotest.check nat "(p-1)+(p-1) wraps" (Nat.sub secp_p Nat.two) (Modular.add ctx pm1 pm1);
+  (* inputs beyond the Barrett range fall back to long division *)
+  let huge = Nat.shift_left Nat.one 1000 in
+  Alcotest.check nat "beyond-range reduce" (Nat.rem huge (Nat.of_int 3))
+    (Modular.reduce ctx3 huge);
+  Alcotest.check nat "matches rem" (Nat.rem huge secp_p) (Modular.reduce ctx huge);
+  Alcotest.check_raises "modulus < 2" (Invalid_argument "Modular.create: modulus < 2")
+    (fun () -> ignore (Modular.create Nat.one));
+  (* tiny exponents *)
+  let x = Nat.of_hex "abcdef" in
+  Alcotest.check nat "x^1" x (Modular.pow ctx x Nat.one);
+  Alcotest.check nat "x^2 = sqr" (Modular.sqr ctx x) (Modular.pow ctx x Nat.two)
+
+let () =
+  Alcotest.run "bignum"
+    [ ("nat-unit",
+       [ Alcotest.test_case "of/to int" `Quick test_of_to_int;
+         Alcotest.test_case "negative of_int" `Quick test_negative_of_int;
+         Alcotest.test_case "compare" `Quick test_compare;
+         Alcotest.test_case "add/sub" `Quick test_add_sub;
+         Alcotest.test_case "mul known value" `Quick test_mul_known;
+         Alcotest.test_case "divmod single limb" `Quick test_divmod_single_limb;
+         Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+         Alcotest.test_case "shifts" `Quick test_shifts;
+         Alcotest.test_case "bit length" `Quick test_bit_length;
+         Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+         Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+         Alcotest.test_case "decimal" `Quick test_decimal ]);
+      ("modular-unit",
+       [ Alcotest.test_case "basic ops" `Quick test_modular_basic;
+         Alcotest.test_case "pow" `Quick test_modular_pow;
+         Alcotest.test_case "inv prime" `Quick test_modular_inv;
+         Alcotest.test_case "inv composite" `Quick test_modular_inv_composite;
+         Alcotest.test_case "Barrett edge cases" `Quick test_barrett_edges ]);
+      ("nat-properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_add_comm; prop_add_assoc; prop_mul_comm; prop_mul_distributes;
+           prop_divmod_invariant; prop_sub_inverse; prop_sqr_is_mul;
+           prop_bytes_roundtrip; prop_decimal_roundtrip;
+           prop_barrett_matches_divmod; prop_pow_add_exponents; prop_inv_involutive ]) ]

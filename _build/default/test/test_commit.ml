@@ -1,0 +1,193 @@
+(* Commitment-scheme tests: lifted ElGamal (hiding/binding interface,
+   homomorphism), unit-vector encodings, Pedersen commitments. *)
+
+module Nat = Dd_bignum.Nat
+module Group_ctx = Dd_group.Group_ctx
+module Elgamal = Dd_commit.Elgamal
+module Unit_vector = Dd_commit.Unit_vector
+module Pedersen = Dd_commit.Pedersen
+module Drbg = Dd_crypto.Drbg
+
+let gctx = Lazy.force Group_ctx.default
+let rng () = Drbg.create ~seed:"commit-tests"
+
+let test_commit_verify () =
+  let rng = rng () in
+  let c, o = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 7) in
+  Alcotest.(check bool) "verifies" true (Elgamal.verify gctx c o);
+  Alcotest.(check bool) "wrong msg rejected" false
+    (Elgamal.verify gctx c { o with Elgamal.msg = Nat.of_int 8 });
+  Alcotest.(check bool) "wrong rand rejected" false
+    (Elgamal.verify gctx c { o with Elgamal.rand = Nat.add o.Elgamal.rand Nat.one })
+
+let test_homomorphism () =
+  let rng = rng () in
+  let c1, o1 = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 3) in
+  let c2, o2 = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 4) in
+  let c = Elgamal.add gctx c1 c2 in
+  let o = Elgamal.add_opening gctx o1 o2 in
+  Alcotest.(check bool) "sum verifies" true (Elgamal.verify gctx c o);
+  Alcotest.(check bool) "sum message is 7" true (Nat.equal o.Elgamal.msg (Nat.of_int 7))
+
+let test_zero_commitment () =
+  let z = Elgamal.zero_commitment gctx in
+  Alcotest.(check bool) "opens to 0/0" true
+    (Elgamal.verify gctx z { Elgamal.msg = Nat.zero; Elgamal.rand = Nat.zero });
+  let rng = rng () in
+  let c, o = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 5) in
+  Alcotest.(check bool) "identity element" true
+    (Elgamal.equal gctx c (Elgamal.add gctx c z));
+  ignore o
+
+let test_hiding_representation () =
+  (* same message, different randomness: different commitments *)
+  let rng = rng () in
+  let c1, _ = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 1) in
+  let c2, _ = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 1) in
+  Alcotest.(check bool) "distinct commitments" false (Elgamal.equal gctx c1 c2)
+
+let test_encode_deterministic () =
+  let rng = rng () in
+  let c, _ = Elgamal.commit_random gctx rng ~msg:Nat.one in
+  Alcotest.(check string) "stable encoding" (Elgamal.encode gctx c) (Elgamal.encode gctx c)
+
+(* --- unit vectors -------------------------------------------------------- *)
+
+let test_unit_vector_basic () =
+  let rng = rng () in
+  let c, o = Unit_vector.commit gctx rng ~options:4 ~choice:2 in
+  Alcotest.(check bool) "verifies" true (Unit_vector.verify gctx c o);
+  Alcotest.(check bool) "is unit for 2" true (Unit_vector.opening_is_unit o ~choice:2);
+  Alcotest.(check bool) "not unit for 1" false (Unit_vector.opening_is_unit o ~choice:1);
+  Alcotest.(check int) "width" 4 (Array.length c)
+
+let test_unit_vector_out_of_range () =
+  let rng = rng () in
+  Alcotest.check_raises "choice too large"
+    (Invalid_argument "Unit_vector.commit: choice out of range")
+    (fun () -> ignore (Unit_vector.commit gctx rng ~options:3 ~choice:3))
+
+let test_unit_vector_tally () =
+  (* the headline homomorphic-tally property: sum of unit vectors opens
+     to the per-option counts *)
+  let rng = rng () in
+  let votes = [ 0; 1; 1; 2; 1; 0 ] in
+  let pairs = List.map (fun v -> Unit_vector.commit gctx rng ~options:3 ~choice:v) votes in
+  let csum = Unit_vector.sum gctx ~options:3 (List.map fst pairs) in
+  let osum = Unit_vector.sum_openings gctx ~options:3 (List.map snd pairs) in
+  Alcotest.(check bool) "sum verifies" true (Unit_vector.verify gctx csum osum);
+  Alcotest.(check (array int)) "counts" [| 2; 3; 1 |] (Unit_vector.counts_of_opening osum)
+
+let test_unit_vector_length_mismatch () =
+  let rng = rng () in
+  let c3, _ = Unit_vector.commit gctx rng ~options:3 ~choice:0 in
+  let c4, _ = Unit_vector.commit gctx rng ~options:4 ~choice:0 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Unit_vector.add: length mismatch")
+    (fun () -> ignore (Unit_vector.add gctx c3 c4))
+
+(* --- Pedersen ------------------------------------------------------------ *)
+
+let test_pedersen () =
+  let m = Nat.of_int 42 and r = Nat.of_int 99 in
+  let c = Pedersen.commit gctx ~msg:m ~rand:r in
+  Alcotest.(check bool) "verifies" true (Pedersen.verify gctx c ~msg:m ~rand:r);
+  Alcotest.(check bool) "wrong msg" false (Pedersen.verify gctx c ~msg:(Nat.of_int 43) ~rand:r)
+
+let test_pedersen_homomorphic () =
+  let c1 = Pedersen.commit gctx ~msg:(Nat.of_int 2) ~rand:(Nat.of_int 3) in
+  let c2 = Pedersen.commit gctx ~msg:(Nat.of_int 5) ~rand:(Nat.of_int 7) in
+  Alcotest.(check bool) "add" true
+    (Pedersen.verify gctx (Pedersen.add gctx c1 c2) ~msg:(Nat.of_int 7) ~rand:(Nat.of_int 10));
+  Alcotest.(check bool) "scalar mul" true
+    (Pedersen.verify gctx (Pedersen.mul gctx (Nat.of_int 3) c1) ~msg:(Nat.of_int 6)
+       ~rand:(Nat.of_int 9))
+
+let test_pedersen_codec () =
+  let c = Pedersen.commit gctx ~msg:(Nat.of_int 13) ~rand:(Nat.of_int 17) in
+  match Pedersen.decode gctx (Pedersen.encode gctx c) with
+  | Some c' -> Alcotest.(check bool) "roundtrip" true (Pedersen.equal gctx c c')
+  | None -> Alcotest.fail "decode failed"
+
+(* --- DEMOS encoding baseline ------------------------------------------------ *)
+
+module Demos_encoding = Dd_commit.Demos_encoding
+
+let test_demos_encoding_tally () =
+  let rng = rng () in
+  let p = Demos_encoding.make_params gctx ~n_voters:100 ~options:4 in
+  let votes = [ 0; 1; 1; 3; 1; 0; 2 ] in
+  let pairs = List.map (fun v -> Demos_encoding.commit gctx rng p ~choice:v) votes in
+  (* single-commitment-per-ballot homomorphic sum *)
+  let csum = Elgamal.sum gctx (List.map fst pairs) in
+  let osum = Elgamal.sum_openings gctx (List.map snd pairs) in
+  Alcotest.(check bool) "sum opens" true (Elgamal.verify gctx csum osum);
+  Alcotest.(check (array int)) "base-N decode" [| 2; 3; 1; 1 |]
+    (Demos_encoding.tally gctx p (List.map snd pairs))
+
+let test_demos_encoding_scalability_wall () =
+  (* the paper's criticism: with a large electorate the encoding runs
+     out of message space quickly, while the unit-vector scheme has no
+     such cap *)
+  let small = Demos_encoding.max_options gctx ~n_voters:100 in
+  let huge = Demos_encoding.max_options gctx ~n_voters:200_000_000 in
+  Alcotest.(check bool) "small electorate: plenty of options" true (small > 30);
+  Alcotest.(check bool) "US-scale electorate: under 10 options" true (huge < 10);
+  Alcotest.check_raises "over the wall"
+    (Invalid_argument "Demos_encoding.make_params: N^m exceeds the message space")
+    (fun () ->
+       ignore (Demos_encoding.make_params gctx ~n_voters:200_000_000 ~options:(huge + 1)))
+
+(* --- properties ----------------------------------------------------------- *)
+
+let arb_msg = QCheck.map Nat.of_int QCheck.(int_range 0 1000)
+
+let prop_commit_verify =
+  QCheck.Test.make ~name:"commit/verify completeness" ~count:20 arb_msg
+    (fun m ->
+       let rng = Drbg.create ~seed:("p1" ^ Nat.to_decimal m) in
+       let c, o = Elgamal.commit_random gctx rng ~msg:m in
+       Elgamal.verify gctx c o)
+
+let prop_homomorphic =
+  QCheck.Test.make ~name:"homomorphic addition" ~count:20 (QCheck.pair arb_msg arb_msg)
+    (fun (a, b) ->
+       let rng = Drbg.create ~seed:(Nat.to_decimal a ^ "." ^ Nat.to_decimal b) in
+       let c1, o1 = Elgamal.commit_random gctx rng ~msg:a in
+       let c2, o2 = Elgamal.commit_random gctx rng ~msg:b in
+       Elgamal.verify gctx (Elgamal.add gctx c1 c2) (Elgamal.add_opening gctx o1 o2))
+
+let prop_unit_vector_sum_counts =
+  QCheck.Test.make ~name:"unit-vector tally counts" ~count:10
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 2))
+    (fun votes ->
+       let rng = Drbg.create ~seed:(String.concat "" (List.map string_of_int votes)) in
+       let pairs = List.map (fun v -> Unit_vector.commit gctx rng ~options:3 ~choice:v) votes in
+       let osum = Unit_vector.sum_openings gctx ~options:3 (List.map snd pairs) in
+       let counts = Unit_vector.counts_of_opening osum in
+       let expected = Array.make 3 0 in
+       List.iter (fun v -> expected.(v) <- expected.(v) + 1) votes;
+       counts = expected)
+
+let () =
+  Alcotest.run "commit"
+    [ ("elgamal",
+       [ Alcotest.test_case "commit/verify" `Quick test_commit_verify;
+         Alcotest.test_case "homomorphism" `Quick test_homomorphism;
+         Alcotest.test_case "zero commitment" `Quick test_zero_commitment;
+         Alcotest.test_case "randomized representation" `Quick test_hiding_representation;
+         Alcotest.test_case "encoding" `Quick test_encode_deterministic ]);
+      ("unit-vector",
+       [ Alcotest.test_case "basic" `Quick test_unit_vector_basic;
+         Alcotest.test_case "range check" `Quick test_unit_vector_out_of_range;
+         Alcotest.test_case "homomorphic tally" `Quick test_unit_vector_tally;
+         Alcotest.test_case "length mismatch" `Quick test_unit_vector_length_mismatch ]);
+      ("pedersen",
+       [ Alcotest.test_case "commit/verify" `Quick test_pedersen;
+         Alcotest.test_case "homomorphic" `Quick test_pedersen_homomorphic;
+         Alcotest.test_case "codec" `Quick test_pedersen_codec ]);
+      ("demos-encoding",
+       [ Alcotest.test_case "homomorphic tally" `Quick test_demos_encoding_tally;
+         Alcotest.test_case "scalability wall" `Quick test_demos_encoding_scalability_wall ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_commit_verify; prop_homomorphic; prop_unit_vector_sum_counts ]) ]

@@ -1,0 +1,241 @@
+(* Elliptic-curve group tests: secp256k1 known answers, group laws as
+   properties, point codec, hash-to-point/scalar. *)
+
+module Nat = Dd_bignum.Nat
+module Curve = Dd_group.Curve
+module Group_ctx = Dd_group.Group_ctx
+
+let gctx = Lazy.force Group_ctx.default
+let c = Group_ctx.curve gctx
+let g = Group_ctx.g gctx
+
+let point = Alcotest.testable (fun fmt _ -> Format.fprintf fmt "<point>") (Curve.equal c)
+
+let arb_scalar =
+  QCheck.make
+    ~print:Nat.to_hex
+    QCheck.Gen.(
+      map
+        (fun bytes -> Nat.of_bytes_be (String.init 32 (fun i -> Char.chr (List.nth bytes i))))
+        (list_repeat 32 (int_range 0 255)))
+
+(* --- known answers ------------------------------------------------------ *)
+
+let test_generator_on_curve () =
+  match Curve.to_affine c g with
+  | None -> Alcotest.fail "generator is infinity?"
+  | Some xy -> Alcotest.(check bool) "on curve" true (Curve.on_curve c xy)
+
+let test_2g_known () =
+  match Curve.to_affine c (Curve.double c g) with
+  | None -> Alcotest.fail "2G infinity"
+  | Some (x, y) ->
+    Alcotest.(check string) "2G.x"
+      "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5" (Nat.to_hex x);
+    Alcotest.(check string) "2G.y"
+      "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a" (Nat.to_hex y)
+
+let test_5g_known () =
+  match Curve.to_affine c (Curve.mul_int c 5 g) with
+  | None -> Alcotest.fail "5G infinity"
+  | Some (x, _) ->
+    Alcotest.(check string) "5G.x"
+      "2f8bde4d1a07209355b4a7250a5c5128e88b84bddc619ab7cba8d569b240efe4" (Nat.to_hex x)
+
+let test_order_annihilates () =
+  Alcotest.check point "nG = O" Curve.infinity (Curve.mul c (Curve.order c) g);
+  Alcotest.check point "(n+1)G = G" g (Curve.mul c (Nat.add (Curve.order c) Nat.one) g)
+
+let test_identity_laws () =
+  Alcotest.check point "O + G = G" g (Curve.add c Curve.infinity g);
+  Alcotest.check point "G + O = G" g (Curve.add c g Curve.infinity);
+  Alcotest.check point "G - G = O" Curve.infinity (Curve.sub c g g);
+  Alcotest.check point "0 * G = O" Curve.infinity (Curve.mul c Nat.zero g)
+
+let test_codec () =
+  let p = Curve.mul_int c 123456789 g in
+  (match Curve.decode c (Curve.encode c p) with
+   | Some p' -> Alcotest.check point "roundtrip" p p'
+   | None -> Alcotest.fail "decode failed");
+  (match Curve.decode c (Curve.encode c Curve.infinity) with
+   | Some p' -> Alcotest.check point "infinity roundtrip" Curve.infinity p'
+   | None -> Alcotest.fail "infinity decode failed");
+  Alcotest.(check bool) "garbage rejected" true (Curve.decode c "garbage" = None);
+  (* off-curve point rejected: valid-length encoding of (1, 1) *)
+  let fake = "\x04" ^ Nat.to_bytes_be ~len:32 Nat.one ^ Nat.to_bytes_be ~len:32 Nat.one in
+  Alcotest.(check bool) "off-curve rejected" true (Curve.decode c fake = None)
+
+let test_hash_to_point () =
+  let h = Group_ctx.h gctx in
+  (match Curve.to_affine c h with
+   | None -> Alcotest.fail "H is infinity"
+   | Some xy -> Alcotest.(check bool) "H on curve" true (Curve.on_curve c xy));
+  Alcotest.(check bool) "H <> G" false (Curve.equal c h g);
+  (* determinism *)
+  let h2 = Curve.hash_to_point c "d-demos second generator H" in
+  Alcotest.check point "hash_to_point deterministic" h h2
+
+let test_hash_to_scalar () =
+  let s1 = Curve.hash_to_scalar c [ "a"; "b" ] in
+  let s2 = Curve.hash_to_scalar c [ "a"; "b" ] in
+  let s3 = Curve.hash_to_scalar c [ "ab" ] in
+  Alcotest.(check bool) "deterministic" true (Nat.equal s1 s2);
+  Alcotest.(check bool) "part boundaries matter" false (Nat.equal s1 s3);
+  Alcotest.(check bool) "reduced" true (Nat.compare s1 (Curve.order c) < 0)
+
+let test_base_table_matches () =
+  let table = Curve.make_base_table c g in
+  List.iter
+    (fun k ->
+       let k = Nat.of_hex k in
+       Alcotest.check point (Nat.to_hex k) (Curve.mul c k g) (Curve.mul_base_table c table k))
+    [ "1"; "2"; "ff"; "deadbeefcafebabe";
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364140" (* n-1 *) ]
+
+let test_group_ctx_mul_fast_path () =
+  let k = Nat.of_hex "123456789abcdef123456789abcdef" in
+  Alcotest.check point "mul g" (Curve.mul c k g) (Group_ctx.mul gctx k g);
+  Alcotest.check point "mul h" (Curve.mul c k (Group_ctx.h gctx))
+    (Group_ctx.mul gctx k (Group_ctx.h gctx));
+  let other = Curve.double c g in
+  Alcotest.check point "mul other" (Curve.mul c k other) (Group_ctx.mul gctx k other)
+
+let test_compressed_codec () =
+  List.iter
+    (fun k ->
+       let p = Curve.mul_int c k g in
+       let enc = Curve.encode_compressed c p in
+       Alcotest.(check int) "33 bytes" 33 (String.length enc);
+       match Curve.decode_compressed c enc with
+       | Some p' -> Alcotest.check point (Printf.sprintf "%dG roundtrip" k) p p'
+       | None -> Alcotest.fail "compressed decode failed")
+    [ 1; 2; 3; 7; 123456789 ];
+  (match Curve.decode_compressed c (Curve.encode_compressed c Curve.infinity) with
+   | Some p -> Alcotest.check point "infinity" Curve.infinity p
+   | None -> Alcotest.fail "infinity compressed decode failed");
+  Alcotest.(check bool) "garbage rejected" true (Curve.decode_compressed c "junk" = None);
+  (* an x with no point on the curve must be rejected *)
+  let rec non_residue_x i =
+    let candidate = "\x02" ^ Nat.to_bytes_be ~len:32 (Nat.of_int i) in
+    if Curve.decode_compressed c candidate = None then i else non_residue_x (i + 1)
+  in
+  Alcotest.(check bool) "some x has no curve point" true (non_residue_x 2 > 0)
+
+let test_field_sqrt () =
+  let fp = Curve.field c in
+  let x = Dd_bignum.Nat.of_int 1234567 in
+  let sq = Dd_bignum.Modular.sqr fp x in
+  (match Curve.field_sqrt c sq with
+   | Some r ->
+     Alcotest.(check bool) "sqrt of square" true
+       (Dd_bignum.Nat.equal (Dd_bignum.Modular.sqr fp r) sq)
+   | None -> Alcotest.fail "square has no root?");
+  (* find a non-residue: for p = 3 mod 4, -1 is one *)
+  let minus_one = Dd_bignum.Modular.neg fp Dd_bignum.Nat.one in
+  Alcotest.(check bool) "-1 is a non-residue" true (Curve.field_sqrt c minus_one = None)
+
+(* --- NIST P-256 (general-a arithmetic) ------------------------------------ *)
+
+let p256 = Curve.create Curve.nist_p256
+
+let test_p256_generator () =
+  let g256 = Curve.generator p256 in
+  (match Curve.to_affine p256 g256 with
+   | Some xy -> Alcotest.(check bool) "G on curve" true (Curve.on_curve p256 xy)
+   | None -> Alcotest.fail "generator infinity");
+  Alcotest.(check bool) "order annihilates" true
+    (Curve.is_infinity (Curve.mul p256 (Curve.order p256) g256))
+
+let test_p256_2g_known () =
+  (* NIST k=2 test vector *)
+  match Curve.to_affine p256 (Curve.double p256 (Curve.generator p256)) with
+  | Some (x, y) ->
+    Alcotest.(check string) "2G.x"
+      "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978" (Nat.to_hex x);
+    Alcotest.(check string) "2G.y"
+      "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1" (Nat.to_hex y)
+  | None -> Alcotest.fail "2G infinity"
+
+let test_p256_group_ctx () =
+  (* a full Group_ctx over P-256: H derivation and fixed-base tables *)
+  let gctx256 = Group_ctx.create ~params:Curve.nist_p256 () in
+  let k = Nat.of_hex "1234567890abcdef1234567890abcdef" in
+  Alcotest.(check bool) "table matches plain" true
+    (Curve.equal (Group_ctx.curve gctx256)
+       (Group_ctx.mul_g gctx256 k)
+       (Curve.mul (Group_ctx.curve gctx256) k (Group_ctx.g gctx256)));
+  (* commitments work over P-256 too *)
+  let rng = Dd_crypto.Drbg.create ~seed:"p256" in
+  let cmt, opening = Dd_commit.Elgamal.commit_random gctx256 rng ~msg:Nat.one in
+  Alcotest.(check bool) "elgamal over p256" true
+    (Dd_commit.Elgamal.verify gctx256 cmt opening)
+
+(* --- group-law properties ----------------------------------------------- *)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"P+Q = Q+P" ~count:30 (QCheck.pair arb_scalar arb_scalar)
+    (fun (a, b) ->
+       let p = Curve.mul c a g and q = Curve.mul c b g in
+       Curve.equal c (Curve.add c p q) (Curve.add c q p))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"(P+Q)+R = P+(Q+R)" ~count:20
+    (QCheck.triple arb_scalar arb_scalar arb_scalar)
+    (fun (a, b, d) ->
+       let p = Curve.mul c a g and q = Curve.mul c b g and r = Curve.mul c d g in
+       Curve.equal c (Curve.add c (Curve.add c p q) r) (Curve.add c p (Curve.add c q r)))
+
+let prop_scalar_distributes =
+  QCheck.Test.make ~name:"(a+b)G = aG + bG" ~count:30 (QCheck.pair arb_scalar arb_scalar)
+    (fun (a, b) ->
+       Curve.equal c
+         (Curve.mul c (Nat.add a b) g)
+         (Curve.add c (Curve.mul c a g) (Curve.mul c b g)))
+
+let prop_double_is_add =
+  QCheck.Test.make ~name:"2P = P+P" ~count:30 arb_scalar
+    (fun a ->
+       let p = Curve.mul c a g in
+       Curve.equal c (Curve.double c p) (Curve.add c p p))
+
+let prop_neg_inverse =
+  QCheck.Test.make ~name:"P + (-P) = O" ~count:30 arb_scalar
+    (fun a ->
+       let p = Curve.mul c a g in
+       Curve.is_infinity (Curve.add c p (Curve.neg c p)))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"decode . encode = id" ~count:30 arb_scalar
+    (fun a ->
+       let p = Curve.mul c a g in
+       match Curve.decode c (Curve.encode c p) with
+       | Some p' -> Curve.equal c p p'
+       | None -> false)
+
+let prop_table_matches_plain =
+  QCheck.Test.make ~name:"table mul = plain mul" ~count:30 arb_scalar
+    (fun a -> Curve.equal c (Group_ctx.mul_g gctx a) (Curve.mul c a g))
+
+let () =
+  Alcotest.run "group"
+    [ ("known-answers",
+       [ Alcotest.test_case "G on curve" `Quick test_generator_on_curve;
+         Alcotest.test_case "2G" `Quick test_2g_known;
+         Alcotest.test_case "5G" `Quick test_5g_known;
+         Alcotest.test_case "order annihilates" `Quick test_order_annihilates;
+         Alcotest.test_case "identity laws" `Quick test_identity_laws;
+         Alcotest.test_case "point codec" `Quick test_codec;
+         Alcotest.test_case "hash to point" `Quick test_hash_to_point;
+         Alcotest.test_case "hash to scalar" `Quick test_hash_to_scalar;
+         Alcotest.test_case "base table" `Quick test_base_table_matches;
+         Alcotest.test_case "Group_ctx.mul fast path" `Quick test_group_ctx_mul_fast_path;
+         Alcotest.test_case "compressed codec" `Quick test_compressed_codec;
+         Alcotest.test_case "field sqrt" `Quick test_field_sqrt ]);
+      ("nist-p256",
+       [ Alcotest.test_case "generator + order" `Quick test_p256_generator;
+         Alcotest.test_case "2G known answer" `Quick test_p256_2g_known;
+         Alcotest.test_case "group ctx + commitments" `Quick test_p256_group_ctx ]);
+      ("group-laws",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_add_comm; prop_add_assoc; prop_scalar_distributes; prop_double_is_add;
+           prop_neg_inverse; prop_codec_roundtrip; prop_table_matches_plain ]) ]

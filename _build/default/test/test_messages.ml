@@ -1,0 +1,129 @@
+(* Wire-format tests for the VC protocol messages: roundtrips for every
+   constructor under both authenticator schemes, and fuzz-safety of the
+   decoder against hostile bytes. *)
+
+module Types = Ddemos.Types
+module Messages = Ddemos.Messages
+module Auth = Ddemos.Auth
+module Drbg = Dd_crypto.Drbg
+module Shamir_bytes = Dd_vss.Shamir_bytes
+module Rbc = Dd_consensus.Rbc
+
+let gctx = Lazy.force Dd_group.Group_ctx.default
+
+let keys scheme = Auth.deal_clique ~scheme ~gctx ~seed:"msg-test" ~n:4
+
+let sample_ucert ks =
+  let body = Messages.endorsement_body ~election_id:"e" ~serial:5 ~code:"codecodecodecodecode" in
+  { Messages.u_serial = 5;
+    Messages.u_code = "codecodecodecodecode";
+    Messages.endorsements = List.init 3 (fun i -> (i, Auth.sign ks.(i) body)) }
+
+let sample_share = { Shamir_bytes.x = 2; Shamir_bytes.data = "8bytes!!" }
+
+let samples scheme =
+  let ks = keys scheme in
+  let u = sample_ucert ks in
+  [ Messages.Vote { serial = 1; vote_code = String.make 20 'v'; client = 3; req = 99 };
+    Messages.Endorse { serial = 2; vote_code = String.make 20 'w'; responder = 1 };
+    Messages.Endorsement
+      { serial = 5; vote_code = "codecodecodecodecode"; signer = 0;
+        tag = Auth.sign ks.(0) "anything" };
+    Messages.Vote_p
+      { serial = 5; vote_code = "codecodecodecodecode"; sender = 2; part = Types.B; pos = 1;
+        share = sample_share; share_tag = Some (Auth.sign ks.(3) "share-body"); ucert = u };
+    Messages.Vote_p
+      { serial = 5; vote_code = "codecodecodecodecode"; sender = 2; part = Types.A; pos = 0;
+        share = sample_share; share_tag = None; ucert = u };
+    Messages.Announce_batch
+      { sender = 0; entries = [ (5, "codecodecodecodecode", u); (9, String.make 20 'z', u) ] };
+    Messages.Announce_batch { sender = 3; entries = [] };
+    Messages.Consensus
+      { sender = 1;
+        rbc = { Rbc.phase = Rbc.Ready; origin = 2; tag = "bc/2/7"; payload = "\x01\x02\xff" } };
+    Messages.Recover_request { sender = 2; serials = [ 1; 5; 900 ] };
+    Messages.Recover_response { sender = 1; entries = [ (5, "codecodecodecodecode", u) ] } ]
+
+(* structural comparison is fine: tags contain strings/Nat arrays *)
+let roundtrip scheme () =
+  List.iteri
+    (fun i msg ->
+       let frame = Messages.encode_vc_msg gctx msg in
+       match Messages.decode_vc_msg gctx frame with
+       | Some msg' ->
+         if msg <> msg' then Alcotest.failf "sample %d did not roundtrip" i
+       | None -> Alcotest.failf "sample %d failed to decode" i)
+    (samples scheme)
+
+let test_roundtrip_macs () = roundtrip Auth.Mac_scheme ()
+let test_roundtrip_schnorr () = roundtrip Auth.Schnorr_scheme ()
+
+let test_ucert_survives_roundtrip_verification () =
+  (* a UCERT decoded from bytes still verifies cryptographically *)
+  let ks = keys Auth.Mac_scheme in
+  let u = sample_ucert ks in
+  let msg =
+    Messages.Vote_p
+      { serial = 5; vote_code = "codecodecodecodecode"; sender = 0; part = Types.A; pos = 0;
+        share = sample_share; share_tag = None; ucert = u }
+  in
+  match Messages.decode_vc_msg gctx (Messages.encode_vc_msg gctx msg) with
+  | Some (Messages.Vote_p { ucert; _ }) ->
+    Alcotest.(check bool) "decoded UCERT verifies" true
+      (Messages.verify_ucert ks.(3) ~election_id:"e" ~quorum:3 ucert)
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_truncation_rejected () =
+  let msg = List.hd (samples Auth.Mac_scheme) in
+  let frame = Messages.encode_vc_msg gctx msg in
+  for cut = 0 to String.length frame - 1 do
+    match Messages.decode_vc_msg gctx (String.sub frame 0 cut) with
+    | Some _ -> Alcotest.failf "truncated frame at %d decoded" cut
+    | None -> ()
+  done
+
+let prop_fuzz_total =
+  QCheck.Test.make ~name:"decoder total on random bytes" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+    (fun junk ->
+       ignore (Messages.decode_vc_msg gctx junk);
+       true)
+
+let prop_bitflip_never_crashes =
+  QCheck.Test.make ~name:"decoder total on bit-flipped frames" ~count:200
+    QCheck.(pair (int_range 0 9) (int_range 0 2000))
+    (fun (idx, flip) ->
+       let msgs = samples Auth.Mac_scheme in
+       let frame = Messages.encode_vc_msg gctx (List.nth msgs (idx mod List.length msgs)) in
+       let pos = flip mod String.length frame in
+       let corrupted =
+         String.mapi
+           (fun i c -> if i = pos then Char.chr (Char.code c lxor 0x41) else c)
+           frame
+       in
+       (* may decode to Some other message or None — must not raise *)
+       ignore (Messages.decode_vc_msg gctx corrupted);
+       true)
+
+let test_message_sizes_positive () =
+  List.iter
+    (fun msg ->
+       let est = Messages.vc_msg_size msg in
+       let actual = String.length (Messages.encode_vc_msg gctx msg) in
+       if est <= 0 then Alcotest.fail "non-positive size estimate";
+       (* estimates should be the right order of magnitude *)
+       if actual > 20 * est || est > 20 * actual + 200 then
+         Alcotest.failf "size estimate %d far from actual %d" est actual)
+    (samples Auth.Mac_scheme)
+
+let () =
+  Alcotest.run "messages"
+    [ ("wire",
+       [ Alcotest.test_case "roundtrip (MAC tags)" `Quick test_roundtrip_macs;
+         Alcotest.test_case "roundtrip (Schnorr tags)" `Quick test_roundtrip_schnorr;
+         Alcotest.test_case "UCERT verifies after roundtrip" `Quick
+           test_ucert_survives_roundtrip_verification;
+         Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
+         Alcotest.test_case "size estimates sane" `Quick test_message_sizes_positive;
+         QCheck_alcotest.to_alcotest prop_fuzz_total;
+         QCheck_alcotest.to_alcotest prop_bitflip_never_crashes ]) ]

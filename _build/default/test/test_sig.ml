@@ -1,0 +1,81 @@
+(* Schnorr signature tests. *)
+
+module Schnorr = Dd_sig.Schnorr
+module Group_ctx = Dd_group.Group_ctx
+module Drbg = Dd_crypto.Drbg
+module Nat = Dd_bignum.Nat
+
+let gctx = Lazy.force Group_ctx.default
+let rng () = Drbg.create ~seed:"sig-tests"
+
+let test_sign_verify () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let s = Schnorr.sign gctx rng ~sk ~pk "hello" in
+  Alcotest.(check bool) "accepts" true (Schnorr.verify gctx ~pk "hello" s)
+
+let test_wrong_message_rejected () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let s = Schnorr.sign gctx rng ~sk ~pk "hello" in
+  Alcotest.(check bool) "rejects" false (Schnorr.verify gctx ~pk "hellO" s)
+
+let test_wrong_key_rejected () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let _, pk2 = Schnorr.keygen gctx rng in
+  let s = Schnorr.sign gctx rng ~sk ~pk "msg" in
+  Alcotest.(check bool) "rejects other pk" false (Schnorr.verify gctx ~pk:pk2 "msg" s)
+
+let test_signature_randomized () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let s1 = Schnorr.sign gctx rng ~sk ~pk "m" in
+  let s2 = Schnorr.sign gctx rng ~sk ~pk "m" in
+  Alcotest.(check bool) "fresh nonces" false
+    (String.equal (Schnorr.encode gctx s1) (Schnorr.encode gctx s2));
+  Alcotest.(check bool) "both verify" true
+    (Schnorr.verify gctx ~pk "m" s1 && Schnorr.verify gctx ~pk "m" s2)
+
+let test_codec () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let s = Schnorr.sign gctx rng ~sk ~pk "codec" in
+  (match Schnorr.decode gctx (Schnorr.encode gctx s) with
+   | Some s' -> Alcotest.(check bool) "roundtrip verifies" true (Schnorr.verify gctx ~pk "codec" s')
+   | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "garbage rejected" true (Schnorr.decode gctx "xx" = None);
+  (match Schnorr.decode_pk gctx (Schnorr.encode_pk gctx pk) with
+   | Some pk' -> Alcotest.(check bool) "pk roundtrip" true
+                   (Dd_group.Curve.equal (Group_ctx.curve gctx) pk pk')
+   | None -> Alcotest.fail "pk decode failed")
+
+let test_tampered_signature_rejected () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let s = Schnorr.sign gctx rng ~sk ~pk "m" in
+  let enc = Bytes.of_string (Schnorr.encode gctx s) in
+  Bytes.set enc 5 (Char.chr (Char.code (Bytes.get enc 5) lxor 1));
+  match Schnorr.decode gctx (Bytes.to_string enc) with
+  | Some s' -> Alcotest.(check bool) "tampered rejected" false (Schnorr.verify gctx ~pk "m" s')
+  | None -> ()
+
+let prop_sign_verify =
+  QCheck.Test.make ~name:"sign/verify completeness" ~count:15
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 100))
+    (fun msg ->
+       let rng = Drbg.create ~seed:("sv" ^ msg) in
+       let sk, pk = Schnorr.keygen gctx rng in
+       let s = Schnorr.sign gctx rng ~sk ~pk msg in
+       Schnorr.verify gctx ~pk msg s)
+
+let () =
+  Alcotest.run "sig"
+    [ ("schnorr",
+       [ Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+         Alcotest.test_case "wrong message" `Quick test_wrong_message_rejected;
+         Alcotest.test_case "wrong key" `Quick test_wrong_key_rejected;
+         Alcotest.test_case "randomized" `Quick test_signature_randomized;
+         Alcotest.test_case "codec" `Quick test_codec;
+         Alcotest.test_case "tampered" `Quick test_tampered_signature_rejected;
+         QCheck_alcotest.to_alcotest prop_sign_verify ]) ]

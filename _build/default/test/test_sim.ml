@@ -1,0 +1,228 @@
+(* Simulator tests: event ordering, determinism, CPU queuing, latency
+   models, fault injection, and stats. *)
+
+module Engine = Dd_sim.Engine
+module Net = Dd_sim.Net
+module Stats = Dd_sim.Stats
+
+let test_event_ordering () =
+  let e = Engine.create ~seed:"order" in
+  let log = ref [] in
+  Engine.schedule_at e ~at:3. (fun () -> log := 3 :: !log);
+  Engine.schedule_at e ~at:1. (fun () -> log := 1 :: !log);
+  Engine.schedule_at e ~at:2. (fun () -> log := 2 :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_tie_break_by_insertion () =
+  let e = Engine.create ~seed:"tie" in
+  let log = ref [] in
+  for i = 1 to 10 do
+    Engine.schedule_at e ~at:1. (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Engine.create ~seed:"nested" in
+  let log = ref [] in
+  Engine.schedule_at e ~at:1. (fun () ->
+      log := "a" :: !log;
+      Engine.schedule_after e ~delay:0.5 (fun () -> log := "b" :: !log));
+  Engine.schedule_at e ~at:2. (fun () -> log := "c" :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "interleave" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_run_until () =
+  let e = Engine.create ~seed:"until" in
+  let fired = ref 0 in
+  Engine.schedule_at e ~at:1. (fun () -> incr fired);
+  Engine.schedule_at e ~at:10. (fun () -> incr fired);
+  let n = Engine.run ~until:5. e in
+  Alcotest.(check int) "one executed" 1 n;
+  Alcotest.(check int) "clock at limit" 5 (int_of_float (Engine.now e));
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "second fires on resume" 2 !fired
+
+let test_past_clamped () =
+  let e = Engine.create ~seed:"past" in
+  let at = ref 0. in
+  Engine.schedule_at e ~at:5. (fun () ->
+      Engine.schedule_at e ~at:1. (fun () -> at := Engine.now e));
+  ignore (Engine.run e);
+  Alcotest.(check bool) "clamped to now" true (!at >= 5.)
+
+let test_determinism () =
+  let run () =
+    let e = Engine.create ~seed:"det" in
+    let net = Net.create e in
+    let a = Net.add_node net ~machine:0 ~cores:1 in
+    let b = Net.add_node net ~machine:1 ~cores:1 in
+    let log = ref [] in
+    for i = 1 to 20 do
+      Net.send net ~src:a ~dst:b ~size:10 ~cost:0.001 (fun () ->
+          log := (i, Net.now net) :: !log)
+    done;
+    ignore (Engine.run e);
+    !log
+  in
+  Alcotest.(check bool) "two runs identical" true (run () = run ())
+
+let test_cpu_queueing () =
+  (* one core: two 1-second jobs arriving together finish at 1 and 2 *)
+  let e = Engine.create ~seed:"cpu" in
+  let net = Net.create ~latency:{ Net.lan with lan_jitter = 0. } e in
+  let _a = Net.add_node net ~machine:0 ~cores:1 in
+  let b = Net.add_node net ~machine:1 ~cores:1 in
+  let finishes = ref [] in
+  Net.exec net ~dst:b ~cost:1.0 (fun () -> finishes := Net.now net :: !finishes);
+  Net.exec net ~dst:b ~cost:1.0 (fun () -> finishes := Net.now net :: !finishes);
+  ignore (Engine.run e);
+  match List.rev !finishes with
+  | [ f1; f2 ] ->
+    Alcotest.(check bool) "first at ~1s" true (abs_float (f1 -. 1.0) < 0.01);
+    Alcotest.(check bool) "second at ~2s" true (abs_float (f2 -. 2.0) < 0.01)
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_multicore_parallelism () =
+  let e = Engine.create ~seed:"cores" in
+  let net = Net.create e in
+  let b = Net.add_node net ~machine:0 ~cores:2 in
+  let finishes = ref [] in
+  Net.exec net ~dst:b ~cost:1.0 (fun () -> finishes := Net.now net :: !finishes);
+  Net.exec net ~dst:b ~cost:1.0 (fun () -> finishes := Net.now net :: !finishes);
+  ignore (Engine.run e);
+  List.iter
+    (fun f -> Alcotest.(check bool) "parallel finish ~1s" true (abs_float (f -. 1.0) < 0.01))
+    !finishes
+
+let test_colocation_contention () =
+  (* four nodes on one machine run slower than one per machine *)
+  let run nodes_per_machine =
+    let e = Engine.create ~seed:"cont" in
+    let net = Net.create e in
+    let ids =
+      Array.init 4 (fun i ->
+          Net.add_node net ~machine:(if nodes_per_machine = 1 then i else 0) ~cores:1)
+    in
+    let last = ref 0. in
+    Array.iter (fun id -> Net.exec net ~dst:id ~cost:1.0 (fun () -> last := Net.now net)) ids;
+    ignore (Engine.run e);
+    !last
+  in
+  Alcotest.(check bool) "co-location slower" true (run 4 > run 1)
+
+let test_wan_latency () =
+  let run latency =
+    let e = Engine.create ~seed:"wan" in
+    let net = Net.create ~latency e in
+    let a = Net.add_node net ~machine:0 ~cores:1 in
+    let b = Net.add_node net ~machine:1 ~cores:1 in
+    let arrival = ref 0. in
+    Net.send net ~src:a ~dst:b ~size:10 ~cost:0. (fun () -> arrival := Net.now net);
+    ignore (Engine.run e);
+    !arrival
+  in
+  let lan = run Net.lan in
+  let wan = run (Net.wan ()) in
+  Alcotest.(check bool) "wan adds ~25ms" true (wan -. lan > 0.02 && wan -. lan < 0.03)
+
+let test_loopback_cheap () =
+  let e = Engine.create ~seed:"loop" in
+  let net = Net.create e in
+  let a = Net.add_node net ~machine:0 ~cores:1 in
+  let b = Net.add_node net ~machine:0 ~cores:1 in
+  let arrival = ref 0. in
+  Net.send net ~src:a ~dst:b ~size:10 ~cost:0. (fun () -> arrival := Net.now net);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "loopback < 0.1ms" true (!arrival < 0.0001)
+
+let test_drop_and_duplicate () =
+  let run drop_prob duplicate_prob =
+    let e = Engine.create ~seed:"faults" in
+    let net = Net.create ~latency:{ Net.lan with drop_prob; duplicate_prob } e in
+    let a = Net.add_node net ~machine:0 ~cores:1 in
+    let b = Net.add_node net ~machine:1 ~cores:1 in
+    let received = ref 0 in
+    for _ = 1 to 1000 do
+      Net.send net ~src:a ~dst:b ~size:1 ~cost:0. (fun () -> incr received)
+    done;
+    ignore (Engine.run e);
+    !received
+  in
+  let dropped = run 0.5 0. in
+  Alcotest.(check bool) "about half dropped" true (dropped > 350 && dropped < 650);
+  let duplicated = run 0. 0.5 in
+  Alcotest.(check bool) "about half duplicated" true (duplicated > 1350 && duplicated < 1650);
+  Alcotest.(check int) "no faults" 1000 (run 0. 0.)
+
+let test_stats () =
+  let s = Stats.sample_set () in
+  List.iter (Stats.record s) [ 1.; 2.; 3.; 4.; 100. ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check bool) "mean" true (abs_float (Stats.mean s -. 22.) < 0.001);
+  Alcotest.(check bool) "median" true (abs_float (Stats.median s -. 3.) < 0.001);
+  Alcotest.(check bool) "max" true (Stats.max_sample s = 100.);
+  Alcotest.(check bool) "min" true (Stats.min_sample s = 1.);
+  Alcotest.(check bool) "throughput" true
+    (abs_float (Stats.throughput ~completed:50 ~duration:10. -. 5.) < 0.001);
+  Alcotest.(check bool) "empty throughput" true (Stats.throughput ~completed:5 ~duration:0. = 0.)
+
+let prop_execution_time_ordered =
+  QCheck.Test.make ~name:"events execute in time order" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 0 10_000))
+    (fun delays ->
+       let e = Engine.create ~seed:"prop" in
+       let log = ref [] in
+       List.iter
+         (fun d ->
+            let at = float_of_int d /. 100. in
+            Engine.schedule_at e ~at (fun () -> log := Engine.now e :: !log))
+         delays;
+       ignore (Engine.run e);
+       let times = List.rev !log in
+       let rec sorted = function
+         | a :: (b :: _ as rest) -> a <= b && sorted rest
+         | _ -> true
+       in
+       sorted times && List.length times = List.length delays)
+
+let prop_cpu_never_overlaps =
+  QCheck.Test.make ~name:"single core serializes work" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (int_range 1 100))
+    (fun costs ->
+       let e = Engine.create ~seed:"cpu-prop" in
+       let net = Net.create e in
+       let node = Net.add_node net ~machine:0 ~cores:1 in
+       let total = List.fold_left ( + ) 0 costs in
+       let finish = ref 0. in
+       List.iter
+         (fun c ->
+            Net.exec net ~dst:node ~cost:(float_of_int c /. 1000.)
+              (fun () -> finish := Net.now net))
+         costs;
+       ignore (Engine.run e);
+       (* all work serialized: completion >= sum of costs *)
+       !finish >= float_of_int total /. 1000. -. 1e-9)
+
+let () =
+  Alcotest.run "sim"
+    [ ("engine",
+       [ Alcotest.test_case "event ordering" `Quick test_event_ordering;
+         Alcotest.test_case "tie break" `Quick test_tie_break_by_insertion;
+         Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+         Alcotest.test_case "run until" `Quick test_run_until;
+         Alcotest.test_case "past clamped" `Quick test_past_clamped ]);
+      ("net",
+       [ Alcotest.test_case "determinism" `Quick test_determinism;
+         Alcotest.test_case "cpu queueing" `Quick test_cpu_queueing;
+         Alcotest.test_case "multicore" `Quick test_multicore_parallelism;
+         Alcotest.test_case "co-location contention" `Quick test_colocation_contention;
+         Alcotest.test_case "wan latency" `Quick test_wan_latency;
+         Alcotest.test_case "loopback" `Quick test_loopback_cheap;
+         Alcotest.test_case "drop/duplicate" `Quick test_drop_and_duplicate ]);
+      ("stats", [ Alcotest.test_case "summary stats" `Quick test_stats ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_execution_time_ordered; prop_cpu_never_overlaps ]) ]

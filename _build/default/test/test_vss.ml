@@ -1,0 +1,243 @@
+(* Secret-sharing tests: GF(256) field, byte-wise Shamir, scalar Shamir,
+   Pedersen VSS, ElGamal-opening VSS — reconstruction, threshold
+   secrecy sanity, verifiability, homomorphism. *)
+
+module Gf256 = Dd_vss.Gf256
+module Shamir_bytes = Dd_vss.Shamir_bytes
+module Shamir_scalar = Dd_vss.Shamir_scalar
+module Pedersen_vss = Dd_vss.Pedersen_vss
+module Elgamal_vss = Dd_vss.Elgamal_vss
+module Nat = Dd_bignum.Nat
+module Drbg = Dd_crypto.Drbg
+module Group_ctx = Dd_group.Group_ctx
+module Elgamal = Dd_commit.Elgamal
+
+let gctx = Lazy.force Group_ctx.default
+let fn = Group_ctx.scalar_field gctx
+let rng () = Drbg.create ~seed:"vss-tests"
+
+(* --- GF(256) ------------------------------------------------------------- *)
+
+let test_gf256_field_axioms () =
+  (* exhaustive checks over the whole field where cheap *)
+  for a = 0 to 255 do
+    Alcotest.(check int) "a+a=0" 0 (Gf256.add a a);
+    Alcotest.(check int) "a*1=a" a (Gf256.mul a 1);
+    Alcotest.(check int) "a*0=0" 0 (Gf256.mul a 0);
+    if a <> 0 then Alcotest.(check int) "a * a^-1 = 1" 1 (Gf256.mul a (Gf256.inv a))
+  done
+
+let test_gf256_mul_matches_aes () =
+  (* known products in the AES field *)
+  Alcotest.(check int) "0x53 * 0xCA = 1" 1 (Gf256.mul 0x53 0xCA);
+  Alcotest.(check int) "2 * 0x80 = 0x1b" 0x1b (Gf256.mul 2 0x80)
+
+let test_gf256_inv_zero () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf256.inv 0))
+
+let test_gf256_poly_eval () =
+  (* p(x) = 5 + 3x over GF(256): p(0)=5, p(1)=6 (xor) *)
+  Alcotest.(check int) "constant term" 5 (Gf256.poly_eval [| 5; 3 |] 0);
+  Alcotest.(check int) "at 1" (5 lxor 3) (Gf256.poly_eval [| 5; 3 |] 1)
+
+(* --- Shamir over bytes ----------------------------------------------------- *)
+
+let test_shamir_bytes_roundtrip () =
+  let rng = rng () in
+  let secret = "the 64-bit receipt!" in
+  let shares = Shamir_bytes.split rng ~secret ~threshold:3 ~shares:5 in
+  Alcotest.(check int) "share count" 5 (Array.length shares);
+  (* any 3 shares reconstruct *)
+  let pick idxs = List.map (fun i -> shares.(i)) idxs in
+  List.iter
+    (fun idxs ->
+       Alcotest.(check string) "reconstruct" secret
+         (Shamir_bytes.reconstruct ~threshold:3 (pick idxs)))
+    [ [ 0; 1; 2 ]; [ 2; 3; 4 ]; [ 0; 2; 4 ]; [ 4; 1; 3 ] ]
+
+let test_shamir_bytes_below_threshold_differs () =
+  (* 2-of-5 shares interpolated as if threshold were 2 must NOT yield
+     the secret (information-theoretic hiding sanity check) *)
+  let rng = rng () in
+  let secret = "secret!!" in
+  let shares = Shamir_bytes.split rng ~secret ~threshold:3 ~shares:5 in
+  let fake = Shamir_bytes.reconstruct ~threshold:2 [ shares.(0); shares.(1) ] in
+  Alcotest.(check bool) "under-threshold garbage" false (String.equal fake secret)
+
+let test_shamir_bytes_validation () =
+  let rng = rng () in
+  let shares = Shamir_bytes.split rng ~secret:"s" ~threshold:2 ~shares:3 in
+  Alcotest.check_raises "wrong count"
+    (Invalid_argument "Shamir_bytes.reconstruct: need exactly threshold shares")
+    (fun () -> ignore (Shamir_bytes.reconstruct ~threshold:2 [ shares.(0) ]));
+  Alcotest.check_raises "duplicate x"
+    (Invalid_argument "Shamir_bytes.reconstruct: duplicate x")
+    (fun () -> ignore (Shamir_bytes.reconstruct ~threshold:2 [ shares.(0); shares.(0) ]));
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Shamir_bytes.split: bad threshold")
+    (fun () -> ignore (Shamir_bytes.split rng ~secret:"s" ~threshold:4 ~shares:3))
+
+let prop_shamir_bytes =
+  QCheck.Test.make ~name:"k-of-n byte sharing reconstructs" ~count:50
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 40)) (int_range 1 7))
+    (fun (secret, k) ->
+       let n = k + 3 in
+       let rng = Drbg.create ~seed:("sb" ^ secret ^ string_of_int k) in
+       let shares = Shamir_bytes.split rng ~secret ~threshold:k ~shares:n in
+       let subset = Array.to_list (Array.sub shares (n - k) k) in
+       String.equal secret (Shamir_bytes.reconstruct ~threshold:k subset))
+
+(* --- Shamir over scalars ---------------------------------------------------- *)
+
+let test_shamir_scalar_roundtrip () =
+  let rng = rng () in
+  let secret = Nat.of_hex "deadbeefcafebabe0123456789" in
+  let _, shares = Shamir_scalar.split fn rng ~secret ~threshold:3 ~shares:6 in
+  let subset = [ shares.(5); shares.(0); shares.(3) ] in
+  Alcotest.(check bool) "reconstructs" true
+    (Nat.equal secret (Shamir_scalar.reconstruct fn ~threshold:3 subset))
+
+let test_shamir_scalar_homomorphic () =
+  let rng = rng () in
+  let a = Nat.of_int 111 and b = Nat.of_int 222 in
+  let _, sa = Shamir_scalar.split fn rng ~secret:a ~threshold:2 ~shares:4 in
+  let _, sb = Shamir_scalar.split fn rng ~secret:b ~threshold:2 ~shares:4 in
+  let sum = Array.init 4 (fun i -> Shamir_scalar.add fn sa.(i) sb.(i)) in
+  Alcotest.(check bool) "share-wise sum reconstructs a+b" true
+    (Nat.equal (Nat.of_int 333)
+       (Shamir_scalar.reconstruct fn ~threshold:2 [ sum.(1); sum.(3) ]))
+
+let test_shamir_scalar_mismatched_x () =
+  let rng = rng () in
+  let _, sa = Shamir_scalar.split fn rng ~secret:Nat.one ~threshold:2 ~shares:3 in
+  Alcotest.check_raises "x mismatch"
+    (Invalid_argument "Shamir_scalar.add: mismatched evaluation points")
+    (fun () -> ignore (Shamir_scalar.add fn sa.(0) sa.(1)))
+
+(* --- Pedersen VSS ------------------------------------------------------------ *)
+
+let test_pedersen_vss_verify_and_reconstruct () =
+  let rng = rng () in
+  let secret = Nat.of_int 424242 in
+  let commitments, shares = Pedersen_vss.deal gctx rng ~secret ~threshold:3 ~shares:5 in
+  Array.iter
+    (fun s ->
+       Alcotest.(check bool) "share verifies" true
+         (Pedersen_vss.verify_share gctx commitments s))
+    shares;
+  let recon =
+    Pedersen_vss.reconstruct gctx ~threshold:3 [ shares.(0); shares.(2); shares.(4) ]
+  in
+  Alcotest.(check bool) "reconstructs" true (Nat.equal secret recon);
+  (* the reconstructed pair re-opens the constant-term commitment *)
+  let f, g = Pedersen_vss.reconstruct_with_blinding gctx ~threshold:3
+      [ shares.(1); shares.(2); shares.(3) ]
+  in
+  Alcotest.(check bool) "opens secret commitment" true
+    (Dd_commit.Pedersen.verify gctx (Pedersen_vss.secret_commitment commitments) ~msg:f ~rand:g)
+
+let test_pedersen_vss_detects_tampering () =
+  let rng = rng () in
+  let commitments, shares = Pedersen_vss.deal gctx rng ~secret:Nat.one ~threshold:2 ~shares:4 in
+  let bad = { shares.(0) with Pedersen_vss.f = Nat.add shares.(0).Pedersen_vss.f Nat.one } in
+  Alcotest.(check bool) "tampered share rejected" false
+    (Pedersen_vss.verify_share gctx commitments bad)
+
+let test_pedersen_vss_homomorphic () =
+  let rng = rng () in
+  let ca, sa = Pedersen_vss.deal gctx rng ~secret:(Nat.of_int 10) ~threshold:2 ~shares:3 in
+  let cb, sb = Pedersen_vss.deal gctx rng ~secret:(Nat.of_int 32) ~threshold:2 ~shares:3 in
+  let csum = Pedersen_vss.add_commitments gctx ca cb in
+  let ssum = Array.init 3 (fun i -> Pedersen_vss.add_shares gctx sa.(i) sb.(i)) in
+  Array.iter
+    (fun s ->
+       Alcotest.(check bool) "summed share verifies vs summed commitments" true
+         (Pedersen_vss.verify_share gctx csum s))
+    ssum;
+  Alcotest.(check bool) "sums to 42" true
+    (Nat.equal (Nat.of_int 42)
+       (Pedersen_vss.reconstruct gctx ~threshold:2 [ ssum.(0); ssum.(2) ]))
+
+(* --- ElGamal-opening VSS ------------------------------------------------------ *)
+
+let test_elgamal_vss_end_to_end () =
+  let rng = rng () in
+  let commitment, opening = Elgamal.commit_random gctx rng ~msg:(Nat.of_int 1) in
+  let aux, shares = Elgamal_vss.deal gctx rng ~opening ~threshold:2 ~shares:3 in
+  Array.iter
+    (fun s ->
+       Alcotest.(check bool) "share verifies against the public commitment" true
+         (Elgamal_vss.verify_share gctx ~commitment ~aux s))
+    shares;
+  let o = Elgamal_vss.reconstruct gctx ~threshold:2 [ shares.(0); shares.(2) ] in
+  Alcotest.(check bool) "reconstructed opening opens the commitment" true
+    (Elgamal.verify gctx commitment o);
+  Alcotest.(check bool) "message preserved" true (Nat.equal o.Elgamal.msg Nat.one)
+
+let test_elgamal_vss_tamper () =
+  let rng = rng () in
+  let commitment, opening = Elgamal.commit_random gctx rng ~msg:Nat.zero in
+  let aux, shares = Elgamal_vss.deal gctx rng ~opening ~threshold:2 ~shares:3 in
+  let bad = { shares.(0) with Elgamal_vss.msg = Nat.add shares.(0).Elgamal_vss.msg Nat.one } in
+  Alcotest.(check bool) "tampered rejected" false
+    (Elgamal_vss.verify_share gctx ~commitment ~aux bad)
+
+let test_elgamal_vss_homomorphic_tally () =
+  (* the trustee workflow in miniature: sum shares over a "tally set",
+     reconstruct one opening of the homomorphic total *)
+  let rng = rng () in
+  let votes = [ 1; 0; 1; 1 ] in   (* option-0 coordinate values of four ballots *)
+  let dealt =
+    List.map
+      (fun v ->
+         let c, o = Elgamal.commit_random gctx rng ~msg:(Nat.of_int v) in
+         let _, shares = Elgamal_vss.deal gctx rng ~opening:o ~threshold:2 ~shares:3 in
+         (c, shares))
+      votes
+  in
+  let esum = Elgamal.sum gctx (List.map fst dealt) in
+  let trustee_share x =
+    Elgamal_vss.sum_shares gctx ~x (List.map (fun (_, sh) -> sh.(x - 1)) dealt)
+  in
+  let total =
+    Elgamal_vss.reconstruct gctx ~threshold:2 [ trustee_share 1; trustee_share 3 ]
+  in
+  Alcotest.(check bool) "total opens Esum" true (Elgamal.verify gctx esum total);
+  Alcotest.(check int) "count = 3" 3 (Nat.to_int total.Elgamal.msg)
+
+let prop_scalar_shamir =
+  QCheck.Test.make ~name:"scalar k-of-n reconstructs" ~count:25
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 5))
+    (fun (s, k) ->
+       let n = k + 2 in
+       let rng = Drbg.create ~seed:(Printf.sprintf "ss%d.%d" s k) in
+       let secret = Nat.of_int s in
+       let _, shares = Shamir_scalar.split fn rng ~secret ~threshold:k ~shares:n in
+       let subset = Array.to_list (Array.sub shares 1 k) in
+       Nat.equal secret (Shamir_scalar.reconstruct fn ~threshold:k subset))
+
+let () =
+  Alcotest.run "vss"
+    [ ("gf256",
+       [ Alcotest.test_case "field axioms (exhaustive)" `Quick test_gf256_field_axioms;
+         Alcotest.test_case "AES-field products" `Quick test_gf256_mul_matches_aes;
+         Alcotest.test_case "inv zero" `Quick test_gf256_inv_zero;
+         Alcotest.test_case "poly eval" `Quick test_gf256_poly_eval ]);
+      ("shamir-bytes",
+       [ Alcotest.test_case "roundtrip any quorum" `Quick test_shamir_bytes_roundtrip;
+         Alcotest.test_case "below threshold" `Quick test_shamir_bytes_below_threshold_differs;
+         Alcotest.test_case "input validation" `Quick test_shamir_bytes_validation;
+         QCheck_alcotest.to_alcotest prop_shamir_bytes ]);
+      ("shamir-scalar",
+       [ Alcotest.test_case "roundtrip" `Quick test_shamir_scalar_roundtrip;
+         Alcotest.test_case "additive homomorphism" `Quick test_shamir_scalar_homomorphic;
+         Alcotest.test_case "mismatched x" `Quick test_shamir_scalar_mismatched_x;
+         QCheck_alcotest.to_alcotest prop_scalar_shamir ]);
+      ("pedersen-vss",
+       [ Alcotest.test_case "verify + reconstruct" `Quick test_pedersen_vss_verify_and_reconstruct;
+         Alcotest.test_case "tamper detection" `Quick test_pedersen_vss_detects_tampering;
+         Alcotest.test_case "homomorphic" `Quick test_pedersen_vss_homomorphic ]);
+      ("elgamal-vss",
+       [ Alcotest.test_case "end to end" `Quick test_elgamal_vss_end_to_end;
+         Alcotest.test_case "tamper detection" `Quick test_elgamal_vss_tamper;
+         Alcotest.test_case "homomorphic tally" `Quick test_elgamal_vss_homomorphic_tally ]) ]
