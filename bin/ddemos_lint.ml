@@ -1,0 +1,66 @@
+(* ddemos-lint: enforce the codebase's security & sans-IO invariants.
+
+   Usage: ddemos_lint [--json] [--list-rules] [paths...]
+
+   Walks every .ml under the given paths (default: lib), runs the rule
+   registry (docs/INVARIANTS.md), prints findings as file:line:col
+   lines (or a JSON array with --json) and exits 1 when any survive
+   suppression. Wired into the build as `dune build @lint`. *)
+
+module Lint = Dd_analysis.Lint
+module Rules = Dd_analysis.Rules
+module Findings = Dd_analysis.Findings
+
+let messages_file files =
+  List.find_opt (fun f -> Filename.basename f = "messages.ml") files
+
+let () =
+  let json = ref false and list_rules = ref false and paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+       if i > 0 then
+         match arg with
+         | "--json" -> json := true
+         | "--list-rules" -> list_rules := true
+         | "--help" | "-h" ->
+           print_endline "usage: ddemos_lint [--json] [--list-rules] [paths...]";
+           exit 0
+         | p -> paths := p :: !paths)
+    Sys.argv;
+  let roots = if !paths = [] then [ "lib" ] else List.rev !paths in
+  (match List.filter (fun r -> not (Sys.file_exists r)) roots with
+   | [] -> ()
+   | missing ->
+     Printf.eprintf "ddemos-lint: no such file or directory: %s\n"
+       (String.concat ", " missing);
+     exit 2);
+  let files = Lint.ml_files roots in
+  (* keep R4 in sync with the real message types: harvest the
+     constructors from messages.ml when it is in scope *)
+  let wire_constructors =
+    match messages_file files with
+    | Some path ->
+      (match Lint.read_file path with
+       | Some source ->
+         (match Lint.harvest_wire_constructors ~source with
+          | [] -> Rules.default_wire_constructors
+          | cs -> cs)
+       | None -> Rules.default_wire_constructors)
+    | None -> Rules.default_wire_constructors
+  in
+  let rules = Rules.all ~wire_constructors () in
+  if !list_rules then begin
+    List.iter (fun (r : Rules.t) -> Printf.printf "%-18s %s\n" r.Rules.name r.Rules.short) rules;
+    exit 0
+  end;
+  let findings =
+    Findings.sort (List.concat_map (fun f -> Lint.lint_file ~rules f) files)
+  in
+  if !json then print_endline (Findings.list_to_json findings)
+  else begin
+    List.iter (fun f -> print_endline (Findings.to_text f)) findings;
+    Printf.eprintf "ddemos-lint: %d files checked, %d finding%s\n"
+      (List.length files) (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+  end;
+  exit (if findings = [] then 0 else 1)

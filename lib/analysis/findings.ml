@@ -1,0 +1,49 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~file ~loc message =
+  let pos = loc.Location.loc_start in
+  { rule; file; line = pos.Lexing.pos_lnum; col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message }
+
+let sort fs =
+  List.sort
+    (fun a b ->
+       match compare a.file b.file with
+       | 0 ->
+         (match compare (a.line, a.col) (b.line, b.col) with
+          | 0 -> compare a.rule b.rule
+          | c -> c)
+       | c -> c)
+    fs
+
+let to_text f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+(* Minimal JSON escaping: the fields we emit only ever contain paths,
+   rule names and fixed message text, but stay correct on any input. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (escape f.rule) (escape f.file) f.line f.col (escape f.message)
+
+let list_to_json fs =
+  "[" ^ String.concat "," (List.map to_json fs) ^ "]"

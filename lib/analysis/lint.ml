@@ -1,0 +1,79 @@
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+    let loc, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) ->
+        (e.Location.main.Location.loc, Format.asprintf "%t" e.Location.main.Location.txt)
+      | _ -> (Location.in_file file, Printexc.to_string exn)
+    in
+    Error (loc, msg)
+
+let lint_string ~rules ~file ~source =
+  match parse ~file source with
+  | Error (loc, msg) ->
+    [ Findings.make ~rule:"parse" ~file ~loc ("syntax error: " ^ msg) ]
+  | Ok structure ->
+    let allows = Suppress.scan source in
+    rules
+    |> List.concat_map (fun (r : Rules.t) ->
+        if r.Rules.applies file then r.Rules.check ~file structure else [])
+    |> List.filter (fun (f : Findings.t) ->
+        not (Suppress.allowed allows ~rule:f.Findings.rule ~line:f.Findings.line))
+    |> Findings.sort
+
+let lint_file ~rules path =
+  match read_file path with
+  | None ->
+    [ Findings.make ~rule:"parse" ~file:path ~loc:(Location.in_file path)
+        "cannot read file" ]
+  | Some source -> lint_string ~rules ~file:path ~source
+
+let skip_dir name = name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let ml_files roots =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      if not (skip_dir (Filename.basename path)) || List.mem path roots then
+        Sys.readdir path |> Array.to_list |> List.sort compare
+        |> List.iter (fun entry -> walk (Filename.concat path entry))
+    end
+    else if Filename.check_suffix path ".ml" then acc := path :: !acc
+  in
+  List.iter (fun root -> if Sys.file_exists root then walk root) roots;
+  List.sort compare !acc
+
+let harvest_wire_constructors ~source =
+  match parse ~file:"<harvest>" source with
+  | Error _ -> []
+  | Ok structure ->
+    let acc = ref [] in
+    let type_decl (td : Parsetree.type_declaration) =
+      if List.mem td.Parsetree.ptype_name.Asttypes.txt Rules.wire_type_names then
+        match td.Parsetree.ptype_kind with
+        | Parsetree.Ptype_variant constructors ->
+          List.iter
+            (fun (c : Parsetree.constructor_declaration) ->
+               acc := c.Parsetree.pcd_name.Asttypes.txt :: !acc)
+            constructors
+        | _ -> ()
+    in
+    let it =
+      { Ast_iterator.default_iterator with
+        type_declaration = (fun it td -> type_decl td;
+                             Ast_iterator.default_iterator.type_declaration it td) }
+    in
+    it.structure it structure;
+    List.rev !acc

@@ -1,0 +1,22 @@
+(** Parsing and running the rule set over files and directory trees. *)
+
+(** Lint in-memory source. [file] selects which rules apply (path
+    scoping) and is reported in findings; suppression comments in
+    [source] are honored. A syntax error yields a single ["parse"]
+    finding rather than an exception. *)
+val lint_string :
+  rules:Rules.t list -> file:string -> source:string -> Findings.t list
+
+val lint_file : rules:Rules.t list -> string -> Findings.t list
+
+(** All [.ml] files under the given files/directories (recursively),
+    sorted; [_build] and dot-directories are skipped. *)
+val ml_files : string list -> string list
+
+(** Constructors of the wire-message types ([Rules.wire_type_names])
+    declared in [source], used to keep R4 in sync with [messages.ml].
+    Empty if the source declares none (or does not parse). *)
+val harvest_wire_constructors : source:string -> string list
+
+(** Read a file, or [None] if unreadable. *)
+val read_file : string -> string option

@@ -1,0 +1,298 @@
+open Parsetree
+
+type t = {
+  name : string;
+  short : string;
+  applies : string -> bool;
+  check : file:string -> Parsetree.structure -> Findings.t list;
+}
+
+(* --- path scoping ------------------------------------------------------- *)
+
+let components path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+(* [under ["lib"; "core"] "lib/core/vc_node.ml"] is true; absolute and
+   _build-relative paths work because we only require the component
+   sequence to appear somewhere in the path. *)
+let under dirs path =
+  let cs = components path in
+  let rec prefix = function
+    | [], _ -> true
+    | _, [] -> false
+    | d :: ds, c :: cs -> d = c && prefix (ds, cs)
+  in
+  let rec scan cs = cs <> [] && (prefix (dirs, cs) || scan (List.tl cs)) in
+  scan cs
+
+(* --- longident helpers -------------------------------------------------- *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (l, _) -> flatten l
+
+(* Compare a use site against a dotted name, ignoring an explicit
+   [Stdlib.] prefix so [Stdlib.failwith] and [failwith] both match. *)
+let matches_name lid dotted =
+  let norm = function "Stdlib" :: rest -> rest | l -> l in
+  norm (flatten lid) = norm (String.split_on_char '.' dotted)
+
+let last_component lid =
+  match List.rev (flatten lid) with c :: _ -> c | [] -> ""
+
+(* Shared driver: build an [Ast_iterator] whose [expr] hook appends
+   findings, run it over the structure, return them. *)
+let over_expressions ~file f structure =
+  let acc = ref [] in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+           (match f ~file e with [] -> () | fs -> acc := fs @ !acc);
+           Ast_iterator.default_iterator.expr it e) }
+  in
+  it.structure it structure;
+  !acc
+
+let finding ~rule ~file ~loc fmt = Printf.ksprintf (Findings.make ~rule ~file ~loc) fmt
+
+(* === R1: ct-equality ==================================================== *)
+
+(* Secret-bearing names. An argument participates when it is a bare
+   identifier or a record-field access whose (last) name is one of
+   these or carries one of the suffixes: intermediate path components
+   (module prefixes, the record being projected from) do not count, so
+   [share.Shamir_bytes.x = node + 1] is fine while [u.u_code = code]
+   is not. *)
+let secret_exact =
+  [ "code"; "codes"; "vote_code"; "receipt"; "mac"; "msk"; "secret"; "sk";
+    "seed"; "share"; "key"; "tag"; "digest" ]
+
+let secret_suffixes =
+  [ "_code"; "_receipt"; "_mac"; "_msk"; "_secret"; "_seed"; "_share"; "_key";
+    "_tag"; "_digest"; "_hmac" ]
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let secret_name n =
+  let n = String.lowercase_ascii n in
+  List.mem n secret_exact || List.exists (has_suffix n) secret_suffixes
+
+(* The name an argument expression exposes for the secret heuristic. *)
+let arg_name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (last_component txt)
+  | Pexp_field (_, { txt; _ }) -> Some (last_component txt)
+  | _ -> None
+
+let banned_comparison lid =
+  match flatten lid with
+  | [ "=" ] -> Some "="
+  | [ "<>" ] -> Some "<>"
+  | [ "compare" ] | [ "Stdlib"; "compare" ] -> Some "compare"
+  | [ "String"; "equal" ] -> Some "String.equal"
+  | [ "String"; "compare" ] -> Some "String.compare"
+  | [ "Bytes"; "equal" ] -> Some "Bytes.equal"
+  | [ "Bytes"; "compare" ] -> Some "Bytes.compare"
+  | _ -> None
+
+let ct_equality =
+  { name = "ct-equality";
+    short = "secret-bearing values must be compared with Dd_crypto.Ct.equal";
+    applies =
+      (fun p -> under [ "lib"; "crypto" ] p || under [ "lib"; "core" ] p
+                || under [ "lib"; "vss" ] p);
+    check =
+      (fun ~file structure ->
+         over_expressions ~file
+           (fun ~file e ->
+              match e.pexp_desc with
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+                (match banned_comparison txt with
+                 | None -> []
+                 | Some op ->
+                   let plain = List.filter_map
+                       (function (Asttypes.Nolabel, a) -> Some a | _ -> None) args
+                   in
+                   let secret =
+                     List.filter_map arg_name plain |> List.find_opt secret_name
+                   in
+                   (match secret with
+                    | None -> []
+                    | Some name ->
+                      [ finding ~rule:"ct-equality" ~file ~loc:e.pexp_loc
+                          "(%s) on secret-bearing value `%s` leaks timing on the first \
+                           differing byte; use Dd_crypto.Ct.equal" op name ]))
+              | _ -> [])
+           structure) }
+
+(* === R2: sans-io ======================================================== *)
+
+(* Node and protocol code must be deterministic given its inputs: the
+   simulator replays elections from a seed, so ambient randomness,
+   wall-clock time and console IO are confined to lib/sim, bin/ and
+   bench/. *)
+let banned_io_modules = [ "Random"; "Unix" ]
+
+let banned_io_values =
+  [ "Sys.time"; "Unix.gettimeofday"; "Unix.time";
+    "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
+    "print_float"; "print_bytes"; "prerr_string"; "prerr_endline"; "prerr_newline";
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "stdout"; "stderr"; "read_line" ]
+
+let sans_io =
+  { name = "sans-io";
+    short = "no ambient randomness / wall-clock / console IO outside lib/sim";
+    applies = (fun p -> under [ "lib" ] p && not (under [ "lib"; "sim" ] p));
+    check =
+      (fun ~file structure ->
+         over_expressions ~file
+           (fun ~file e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; _ } ->
+                let head =
+                  match flatten txt with
+                  | "Stdlib" :: m :: _ -> m
+                  | m :: _ :: _ -> m
+                  | _ -> ""
+                in
+                if List.mem head banned_io_modules then
+                  [ finding ~rule:"sans-io" ~file ~loc:e.pexp_loc
+                      "`%s` is ambient nondeterminism; randomness must come from the \
+                       injected Dd_crypto.Drbg, time from the injected `now`"
+                      (String.concat "." (flatten txt)) ]
+                else if List.exists (matches_name txt) banned_io_values then
+                  [ finding ~rule:"sans-io" ~file ~loc:e.pexp_loc
+                      "`%s` does IO or reads ambient state; node code is sans-IO — route \
+                       effects through the env record (or move this to lib/sim, bin/ or bench/)"
+                      (String.concat "." (flatten txt)) ]
+                else []
+              | _ -> [])
+           structure) }
+
+(* === R3: exception-hygiene ============================================= *)
+
+(* A Byzantine peer controls every field of every message a node
+   handles; a raising lookup or assert in a handler is a remote crash
+   (loss of liveness beyond the fv/fb budget). Handlers must use _opt
+   variants and drop or reject malformed input explicitly. *)
+let banned_raising =
+  [ ("Hashtbl.find", "Hashtbl.find_opt");
+    ("List.find", "List.find_opt");
+    ("List.assoc", "List.assoc_opt");
+    ("List.hd", "a match on the list");
+    ("List.tl", "a match on the list");
+    ("List.nth", "List.nth_opt");
+    ("Option.get", "a match on the option");
+    ("Array.find", "Array.find_opt");
+    ("Queue.pop", "Queue.take_opt");
+    ("Queue.peek", "Queue.peek_opt");
+    ("int_of_string", "int_of_string_opt");
+    ("failwith", "an explicit drop/reject of the message");
+    ("invalid_arg", "an explicit drop/reject of the message") ]
+
+let exception_hygiene =
+  { name = "exception-hygiene";
+    short = "no raising APIs in Byzantine-facing handler code; use _opt + explicit drop";
+    applies = (fun p -> under [ "lib"; "core" ] p || under [ "lib"; "consensus" ] p);
+    check =
+      (fun ~file structure ->
+         over_expressions ~file
+           (fun ~file e ->
+              match e.pexp_desc with
+              | Pexp_assert
+                  { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+                ->
+                (* [assert false] marks dead code; reaching it is a logic
+                   bug, not an input-validation failure *)
+                []
+              | Pexp_assert _ ->
+                [ finding ~rule:"exception-hygiene" ~file ~loc:e.pexp_loc
+                    "assert raises on adversarial input; validate and drop/reject \
+                     explicitly instead" ]
+              | Pexp_ident { txt; _ } ->
+                (match
+                   List.find_opt (fun (b, _) -> matches_name txt b) banned_raising
+                 with
+                 | Some (b, instead) ->
+                   [ finding ~rule:"exception-hygiene" ~file ~loc:e.pexp_loc
+                       "`%s` raises on missing/malformed input — a Byzantine peer can \
+                        crash this node; use %s" b instead ]
+                 | None -> [])
+              | _ -> [])
+           structure) }
+
+(* === R4: wire-exhaustive =============================================== *)
+
+let wire_type_names = [ "vc_msg"; "bb_msg" ]
+
+let default_wire_constructors =
+  [ "Vote"; "Endorse"; "Endorsement"; "Vote_p"; "Announce_batch"; "Consensus";
+    "Recover_request"; "Recover_response"; "Vote_set_submit"; "Trustee_post" ]
+
+(* Constructor names mentioned anywhere in a case pattern. *)
+let rec pattern_constructors p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, sub) ->
+    last_component txt
+    :: (match sub with Some (_, q) -> pattern_constructors q | None -> [])
+  | Ppat_or (a, b) -> pattern_constructors a @ pattern_constructors b
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) | Ppat_exception q | Ppat_open (_, q) ->
+    pattern_constructors q
+  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pattern_constructors ps
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, q) -> pattern_constructors q) fields
+  | _ -> []
+
+(* Is the toplevel of the pattern a catch-all (possibly aliased or
+   or-combined with one)? *)
+let rec catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) -> catch_all q
+  | Ppat_or (a, b) -> catch_all a || catch_all b
+  | _ -> false
+
+let wire_exhaustive ~constructors =
+  { name = "wire-exhaustive";
+    short = "no wildcard arms in matches over protocol message types";
+    applies = (fun _ -> true);
+    check =
+      (fun ~file structure ->
+         over_expressions ~file
+           (fun ~file e ->
+              let cases =
+                match e.pexp_desc with
+                | Pexp_match (_, cases) -> cases
+                | Pexp_function cases -> cases
+                | _ -> []
+              in
+              if cases = [] then []
+              else begin
+                let over_wire =
+                  List.exists
+                    (fun c ->
+                       List.exists (fun n -> List.mem n constructors)
+                         (pattern_constructors c.pc_lhs))
+                    cases
+                in
+                if not over_wire then []
+                else
+                  List.filter_map
+                    (fun c ->
+                       if catch_all c.pc_lhs then
+                         Some
+                           (finding ~rule:"wire-exhaustive" ~file ~loc:c.pc_lhs.ppat_loc
+                              "wildcard arm in a match over a wire-message type silently \
+                               discards any future variant; list the constructors explicitly")
+                       else None)
+                    cases
+              end)
+           structure) }
+
+let all ?(wire_constructors = default_wire_constructors) () =
+  [ ct_equality; sans_io; exception_hygiene;
+    wire_exhaustive ~constructors:wire_constructors ]

@@ -1,0 +1,43 @@
+(** The rule registry. Each rule is an [Ast_iterator]-based pass over
+    one file's parsetree, scoped to the directories where its invariant
+    applies. docs/INVARIANTS.md states each rule's threat-model
+    rationale. *)
+
+type t = {
+  name : string;
+  short : string;                       (** one-line description for --list-rules *)
+  applies : string -> bool;             (** does this rule cover the given path? *)
+  check : file:string -> Parsetree.structure -> Findings.t list;
+}
+
+(** R1: no early-exit equality on secret-bearing values
+    (vote codes, receipts, MACs, keys, shares) — require [Dd_crypto.Ct.equal].
+    Scope: lib/crypto, lib/core, lib/vss. *)
+val ct_equality : t
+
+(** R2: sans-IO hygiene — no ambient randomness, wall-clock time, or
+    console IO outside the simulator; nondeterminism flows through the
+    injected [Drbg] / [now]. Scope: lib/** except lib/sim. *)
+val sans_io : t
+
+(** R3: Byzantine-input exception hygiene — no raising lookup/partial
+    APIs ([Hashtbl.find], [List.find], [Option.get], [failwith],
+    [assert], ...) in node code that handles adversarial messages;
+    use [_opt] variants with explicit drop/reject.
+    Scope: lib/core, lib/consensus. *)
+val exception_hygiene : t
+
+(** R4: wire-message exhaustiveness — no wildcard arms in matches over
+    the protocol message types, so adding a variant forces every
+    dispatch site to decide. Scope: all linted files. *)
+val wire_exhaustive : constructors:string list -> t
+
+(** Constructors of [Messages.vc_msg] / [Messages.bb_msg] as of this
+    writing; the driver re-harvests them from [messages.ml] so the rule
+    tracks the real type. *)
+val default_wire_constructors : string list
+
+(** Names of the type declarations whose constructors R4 protects. *)
+val wire_type_names : string list
+
+val all : ?wire_constructors:string list -> unit -> t list

@@ -1,0 +1,60 @@
+(* (line, rule) pairs harvested from "lint: allow" comments. The scan
+   is purely textual — comments are dropped by the parser, so the AST
+   rules cannot see them — and deliberately forgiving: it looks for the
+   marker anywhere in the line and reads the following words as rule
+   names until a word that cannot be a rule name (or the comment
+   terminator) is reached. *)
+
+type t = (int * string) list
+
+let marker = "lint: allow"
+
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+(* Index of [marker] inside [line], or -1. *)
+let find_marker line =
+  let n = String.length line and m = String.length marker in
+  let rec go i =
+    if i + m > n then -1
+    else if String.sub line i m = marker then i
+    else go (i + 1)
+  in
+  go 0
+
+let rules_after line start =
+  let n = String.length line in
+  let rec skip_ws i = if i < n && line.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec words i acc =
+    let i = skip_ws i in
+    if i >= n || not (is_rule_char line.[i]) then acc
+    else begin
+      let j = ref i in
+      while !j < n && is_rule_char line.[!j] do incr j done;
+      words !j (String.sub line i (!j - i) :: acc)
+    end
+  in
+  words start []
+
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  let _, acc =
+    List.fold_left
+      (fun (lineno, acc) line ->
+         let acc =
+           match find_marker line with
+           | -1 -> acc
+           | i ->
+             List.fold_left
+               (fun acc rule -> (lineno, rule) :: acc)
+               acc
+               (rules_after line (i + String.length marker))
+         in
+         (lineno + 1, acc))
+      (1, []) lines
+  in
+  acc
+
+let allowed t ~rule ~line =
+  List.exists (fun (l, r) -> r = rule && (l = line || l = line - 1)) t

@@ -1,0 +1,15 @@
+(** Suppression comments.
+
+    A finding of rule [r] on line [n] is suppressed when the source
+    carries [(* lint: allow r <justification> *)] on line [n] itself or
+    on line [n - 1] (the comment-above idiom). Several rules can be
+    allowed at once: [(* lint: allow ct-equality sans-io ... *)].
+    Everything after the rule names is free-form justification. *)
+
+type t
+
+(** Scan raw source text for allow comments. *)
+val scan : string -> t
+
+(** Is [rule] allowed at [line]? *)
+val allowed : t -> rule:string -> line:int -> bool

@@ -89,7 +89,9 @@ let round_state t r =
     st
 
 let create ~n ~f ~me ~slots ~initial ~coin ~rng ~broadcast ~on_decide =
+  (* lint: allow exception-hygiene — constructor precondition on local config, not peer input *)
   if n < 3 * f + 1 then invalid_arg "Binary_batch.create: need n >= 3f+1";
+  (* lint: allow exception-hygiene — constructor precondition on local config, not peer input *)
   if Array.length initial <> slots then invalid_arg "Binary_batch.create: initial arity";
   { n; f; me; slots; coin; rng; broadcast; on_decide;
     est = Array.map (fun b -> if b then 1 else 0) initial;

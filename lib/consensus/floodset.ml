@@ -29,6 +29,7 @@ type 'a t = {
 }
 
 let create ~n ~f ~me ~initial =
+  (* lint: allow exception-hygiene — constructor precondition on local config, not peer input *)
   if f < 0 || f >= n then invalid_arg "Floodset.create: need 0 <= f < n";
   { n; f; me;
     known = List.sort_uniq compare initial;
@@ -63,5 +64,6 @@ let current_round t = t.round
 let finished t = t.round > rounds_needed t
 
 let decide t =
+  (* lint: allow exception-hygiene — caller-side API contract, unreachable from the network *)
   if not (finished t) then invalid_arg "Floodset.decide: rounds remain";
   t.known

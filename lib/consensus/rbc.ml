@@ -36,6 +36,7 @@ type t = {
 }
 
 let create ~n ~f ~me ~send_all ~deliver =
+  (* lint: allow exception-hygiene — constructor precondition on local config, not peer input *)
   if n < 3 * f + 1 then invalid_arg "Rbc.create: need n >= 3f+1";
   { n; f; me; send_all; deliver; instances = Hashtbl.create 64 }
 

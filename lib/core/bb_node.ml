@@ -73,7 +73,10 @@ let published t = t.pub
 (* --- vote set agreement ---------------------------------------------- *)
 
 let sets_equal a b =
-  List.length a = List.length b && List.for_all2 (fun (s1, c1) (s2, c2) -> s1 = s2 && c1 = c2) a b
+  List.length a = List.length b
+  && List.for_all2
+       (fun (s1, code1) (s2, code2) -> s1 = s2 && Dd_crypto.Ct.equal code1 code2)
+       a b
 
 (* Decrypt every vote code in the initialization data with the
    reconstructed msk and publish the mapping. *)
@@ -134,7 +137,7 @@ let compute_encrypted_tally t =
     t.pub.encrypted_tally <- Some esum
 
 let try_reconstruct_msk t =
-  if t.pub.msk = None then begin
+  if Option.is_none t.pub.msk then begin
     let quorum = t.cfg.Types.nv - t.cfg.Types.fv in
     let shares = t.msk_shares in
     if List.length shares >= quorum then begin
@@ -144,7 +147,7 @@ let try_reconstruct_msk t =
       let n = Array.length arr in
       let attempts = ref 0 in
       let rec try_from start acc k =
-        if t.pub.msk <> None || !attempts > 64 then ()
+        if Option.is_some t.pub.msk || !attempts > 64 then ()
         else if k = 0 then begin
           incr attempts;
           let candidate = Shamir_bytes.reconstruct ~threshold:quorum (List.rev acc) in
@@ -158,7 +161,7 @@ let try_reconstruct_msk t =
           end
         end else
           for i = start to n - k do
-            if t.pub.msk = None then try_from (i + 1) (arr.(i) :: acc) (k - 1)
+            if Option.is_none t.pub.msk then try_from (i + 1) (arr.(i) :: acc) (k - 1)
           done
       in
       try_from 0 [] quorum

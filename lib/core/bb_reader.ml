@@ -25,7 +25,9 @@ let final_set ~cfg nodes =
   read ~quorum:(cfg.Types.fb + 1)
     ~equal:(fun a b ->
         List.length a = List.length b
-        && List.for_all2 (fun (s1, c1) (s2, c2) -> s1 = s2 && c1 = c2) a b)
+        && List.for_all2
+             (fun (s1, code1) (s2, code2) -> s1 = s2 && Dd_crypto.Ct.equal code1 code2)
+             a b)
     ~extract:(fun bb -> (Bb_node.published bb).Bb_node.final_set)
     nodes
 

@@ -88,6 +88,7 @@ let inverse_perm perm =
 let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
   (match Types.validate_config cfg with
    | Ok () -> ()
+   (* lint: allow exception-hygiene — the EA is the trusted dealer; config comes from the operator *)
    | Error e -> invalid_arg ("Ea.setup: " ^ e));
   let gctx = Lazy.force Group_ctx.default in
   let n = cfg.Types.n_voters and m = cfg.Types.m_options in

@@ -145,6 +145,7 @@ let expected_tally cfg votes =
 let run (p : params) : result =
   (match Types.validate_config p.cfg with
    | Ok () -> ()
+   (* lint: allow exception-hygiene — operator-facing config validation, not a network input *)
    | Error e -> invalid_arg ("Election.run: " ^ e));
   let cfg = p.cfg in
   let engine = Engine.create ~seed:("engine|" ^ p.seed) in
@@ -260,7 +261,7 @@ let run (p : params) : result =
            incr vc_submitted;
            if !vc_submitted >= honest_vc then phases.t_vsc_done <- Net.now net
          end
-       | _ -> ());
+       | Messages.Vote_set_submit _ | Messages.Trustee_post _ -> ());
       let cost =
         match msg with
         | Messages.Vote_set_submit { set; _ } ->
@@ -301,8 +302,9 @@ let run (p : params) : result =
                 end
               | Messages.Trustee_post _ -> ())
            | nodes ->
-             let bb = List.nth nodes dst in
-             Bb_node.handle bb msg)
+             (match List.nth_opt nodes dst with
+              | Some bb -> Bb_node.handle bb msg
+              | None -> ()))
     in
     { Vc_node.me = i;
       cfg;
@@ -512,8 +514,8 @@ let run (p : params) : result =
     (fun ~client ~req outcome ->
        match Hashtbl.find_opt pending req with
        | None -> ()   (* stale reply after patience expired *)
+       | Some (c, _, _, _, _) when c <> client -> ()  (* misrouted reply: drop *)
        | Some (c, plan, node, t_submit, attempt) ->
-         assert (c = client);
          Hashtbl.remove pending req;
          match outcome with
          | Types.Receipt r ->

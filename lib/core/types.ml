@@ -3,7 +3,7 @@
 type part_id = A | B
 
 let part_index = function A -> 0 | B -> 1
-let part_of_index = function 0 -> A | 1 -> B | _ -> invalid_arg "part_of_index"
+let part_of_index = function 0 -> Some A | 1 -> Some B | _ -> None
 let part_label = function A -> "A" | B -> "B"
 let other_part = function A -> B | B -> A
 

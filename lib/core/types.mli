@@ -7,8 +7,8 @@ type part_id = A | B
 
 val part_index : part_id -> int
 
-(** Raises [Invalid_argument] outside {0, 1}. *)
-val part_of_index : int -> part_id
+(** [None] outside {0, 1}. *)
+val part_of_index : int -> part_id option
 
 val part_label : part_id -> string
 val other_part : part_id -> part_id

@@ -33,6 +33,7 @@ let pick_node rng ~nv ~blacklist =
   let candidates = List.filter (fun i -> not (List.mem i blacklist)) (List.init nv Fun.id) in
   match candidates with
   | [] -> None
+  (* lint: allow exception-hygiene — index drawn uniformly below the length *)
   | _ -> Some (List.nth candidates (Dd_crypto.Drbg.int rng (List.length candidates)))
 
 (* Audit information the voter may hand to a third-party auditor: the

@@ -203,6 +203,32 @@ let prop_ct_matches_equal =
     QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 20)) (string_of_size (QCheck.Gen.int_range 0 20)))
     (fun (a, b) -> Ct.equal a b = String.equal a b)
 
+let prop_ct_reflexive =
+  QCheck.Test.make ~name:"Ct.equal reflexive" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun a -> Ct.equal a a)
+
+let prop_ct_symmetric =
+  QCheck.Test.make ~name:"Ct.equal symmetric" ~count:500
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 32)) (string_of_size (QCheck.Gen.int_range 0 32)))
+    (fun (a, b) -> Ct.equal a b = Ct.equal b a)
+
+(* flipping any single byte must be detected, wherever it sits *)
+let prop_ct_detects_flip =
+  QCheck.Test.make ~name:"Ct.equal detects single-byte flip" ~count:500
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 64)) small_nat)
+    (fun (a, i) ->
+       let i = i mod String.length a in
+       let b = Bytes.of_string a in
+       Bytes.set b i (Char.chr (Char.code a.[i] lxor 0x01));
+       not (Ct.equal a (Bytes.to_string b)))
+
+(* a strict prefix is never equal: length mismatch short-circuits *)
+let prop_ct_prefix_not_equal =
+  QCheck.Test.make ~name:"Ct.equal rejects strict prefixes" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 64))
+    (fun a -> not (Ct.equal a (String.sub a 0 (String.length a - 1))))
+
 let prop_aes_roundtrip =
   QCheck.Test.make ~name:"cbc decrypt . encrypt = id" ~count:100
     QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
@@ -236,4 +262,6 @@ let () =
          Alcotest.test_case "int roughly uniform" `Quick test_drbg_int_uniformish ]);
       ("ct",
        (Alcotest.test_case "equal" `Quick test_ct_equal)
-       :: List.map QCheck_alcotest.to_alcotest [ prop_ct_matches_equal; prop_aes_roundtrip ]) ]
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_ct_matches_equal; prop_ct_reflexive; prop_ct_symmetric;
+              prop_ct_detects_flip; prop_ct_prefix_not_equal; prop_aes_roundtrip ]) ]

@@ -1,0 +1,180 @@
+(* ddemos-lint rule tests: every rule must fire on a known-bad snippet
+   and stay silent on the matching known-good one, suppression comments
+   must work, and rule scoping must follow the directory layout. The
+   fixtures are in-memory sources run through the same [Lint.lint_string]
+   path the CLI driver uses. *)
+
+module Lint = Dd_analysis.Lint
+module Rules = Dd_analysis.Rules
+module Findings = Dd_analysis.Findings
+
+let rules = Rules.all ()
+
+let lint ?(file = "lib/core/fixture.ml") source = Lint.lint_string ~rules ~file ~source
+
+let rules_hit fs = List.sort_uniq compare (List.map (fun f -> f.Findings.rule) fs)
+
+let check_fires name rule ?file source =
+  let fs = lint ?file source in
+  Alcotest.(check bool)
+    (name ^ ": fires " ^ rule)
+    true
+    (List.exists (fun f -> f.Findings.rule = rule) fs)
+
+let check_clean name ?file source =
+  let fs = lint ?file source in
+  Alcotest.(check (list string)) (name ^ ": clean") [] (rules_hit fs)
+
+(* --- R1: ct-equality --------------------------------------------------- *)
+
+let test_ct_equality () =
+  check_fires "poly eq on vote_code" "ct-equality"
+    "let check vote_code submitted = vote_code = submitted";
+  check_fires "string.equal on receipt" "ct-equality"
+    "let check receipt r = String.equal receipt r";
+  check_fires "compare on mac" "ct-equality"
+    "let order mac other = compare mac other";
+  check_fires "record field" "ct-equality"
+    "let check u submitted = u.u_code = submitted";
+  check_fires "neq on key" "ct-equality"
+    "let changed key k' = key <> k'";
+  check_clean "Ct.equal is the fix"
+    "let check vote_code submitted = Dd_crypto.Ct.equal vote_code submitted";
+  check_clean "non-secret names are fine"
+    "let same serial other = serial = other";
+  check_clean "public field of secret record"
+    "let aligned share node = share.Shamir_bytes.x = node + 1";
+  (* out of scope: the simulator compares freely *)
+  check_clean "sim out of scope" ~file:"lib/sim/fixture.ml"
+    "let check vote_code submitted = vote_code = submitted"
+
+(* --- R2: sans-io ------------------------------------------------------- *)
+
+let test_sans_io () =
+  check_fires "Stdlib.Random" "sans-io" "let jitter () = Random.int 100";
+  check_fires "Unix time" "sans-io" "let now () = Unix.gettimeofday ()";
+  check_fires "Sys.time" "sans-io" "let now () = Sys.time ()";
+  check_fires "console" "sans-io" {|let log msg = print_endline msg|};
+  check_fires "printf" "sans-io" {|let log x = Printf.printf "%d" x|};
+  check_clean "drbg is the fix"
+    "let jitter rng = Dd_crypto.Drbg.int rng 100";
+  check_clean "injected now is the fix"
+    "let within env = env.now () < env.election_end ()";
+  check_clean "sim may do IO" ~file:"lib/sim/fixture.ml"
+    {|let log msg = print_endline msg; Printf.printf "t=%f" (Unix.gettimeofday ())|}
+
+(* --- R3: exception-hygiene --------------------------------------------- *)
+
+let test_exception_hygiene () =
+  check_fires "Hashtbl.find" "exception-hygiene"
+    "let lookup tbl serial = Hashtbl.find tbl serial";
+  check_fires "List.find" "exception-hygiene"
+    "let pick l = List.find (fun x -> x > 0) l";
+  check_fires "Option.get" "exception-hygiene"
+    "let force x = Option.get x";
+  check_fires "failwith" "exception-hygiene"
+    {|let reject () = failwith "bad message"|};
+  check_fires "assert" "exception-hygiene"
+    "let handle n = assert (n >= 0)";
+  check_clean "assert false marks dead code"
+    "let unreachable () = assert false";
+  check_clean "find_opt is the fix"
+    "let lookup tbl serial = Hashtbl.find_opt tbl serial";
+  check_clean "crypto out of scope" ~file:"lib/crypto/fixture.ml"
+    "let lookup tbl serial = Hashtbl.find tbl serial"
+
+(* --- R4: wire-exhaustive ----------------------------------------------- *)
+
+let test_wire_exhaustive () =
+  check_fires "wildcard over vc_msg" "wire-exhaustive"
+    {|let f (m : Messages.vc_msg) =
+        match m with
+        | Messages.Vote _ -> 1
+        | _ -> 0|};
+  check_fires "catch-all variable" "wire-exhaustive"
+    {|let f m =
+        match m with
+        | Messages.Vote_set_submit _ -> 1
+        | other -> ignore other; 0|};
+  check_fires "guarded wildcard still drops" "wire-exhaustive"
+    {|let f m late =
+        match m with
+        | Messages.Endorse _ -> 1
+        | _ when late -> 2
+        | _ -> 0|};
+  check_clean "explicit arms are the fix"
+    {|let f m =
+        match m with
+        | Messages.Vote_set_submit _ -> 1
+        | Messages.Trustee_post _ -> 0|};
+  check_clean "matches over other types may use wildcards"
+    {|let f x = match x with Some (1, _) -> 1 | _ -> 0|}
+
+(* --- suppressions ------------------------------------------------------ *)
+
+let test_suppression () =
+  check_clean "same-line allow"
+    "let check vote_code s = vote_code = s (* lint: allow ct-equality bootstrapping *)";
+  check_clean "line-above allow"
+    "(* lint: allow ct-equality fixture justification *)\n\
+     let check vote_code s = vote_code = s";
+  check_fires "wrong rule name does not suppress" "ct-equality"
+    "(* lint: allow sans-io *)\nlet check vote_code s = vote_code = s";
+  check_fires "allow two lines up does not suppress" "ct-equality"
+    "(* lint: allow ct-equality *)\n\n\
+     let check vote_code s = vote_code = s";
+  check_clean "multiple rules in one comment"
+    "(* lint: allow ct-equality exception-hygiene *)\n\
+     let check vote_code s = assert (vote_code = s)"
+
+(* --- parse errors and the driver plumbing ------------------------------ *)
+
+let test_parse_error () =
+  let fs = lint "let let let" in
+  Alcotest.(check (list string)) "parse finding" [ "parse" ] (rules_hit fs)
+
+let test_harvest () =
+  Alcotest.(check (list string)) "harvests both wire types"
+    [ "Ping"; "Pong"; "Post" ]
+    (Lint.harvest_wire_constructors
+       ~source:"type vc_msg = Ping of int | Pong\ntype bb_msg = Post\ntype other = Not_wire");
+  Alcotest.(check (list string)) "nothing to harvest" []
+    (Lint.harvest_wire_constructors ~source:"let x = 1")
+
+let test_findings_output () =
+  let f =
+    match lint "let check vote_code s = vote_code = s" with
+    | [ f ] -> f
+    | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+  in
+  Alcotest.(check int) "line" 1 f.Findings.line;
+  Alcotest.(check string) "file" "lib/core/fixture.ml" f.Findings.file;
+  let json = Findings.list_to_json [ f ] in
+  Alcotest.(check bool) "json shape" true
+    (String.length json > 2 && json.[0] = '[' && String.length (Findings.to_text f) > 0)
+
+(* The shipped tree must lint clean: the @lint alias is the real gate,
+   but catching a regression here gives a much faster signal. *)
+let test_tree_clean () =
+  let root = "../lib" in
+  if Sys.file_exists root && Sys.is_directory root then begin
+    let files = Lint.ml_files [ root ] in
+    Alcotest.(check bool) "found the tree" true (List.length files > 30);
+    let fs = List.concat_map (fun f -> Lint.lint_file ~rules f) files in
+    List.iter (fun f -> Printf.eprintf "%s\n" (Findings.to_text f)) fs;
+    Alcotest.(check int) "tree findings" 0 (List.length fs)
+  end
+
+let () =
+  Alcotest.run "lint"
+    [ ("rules",
+       [ Alcotest.test_case "R1 ct-equality" `Quick test_ct_equality;
+         Alcotest.test_case "R2 sans-io" `Quick test_sans_io;
+         Alcotest.test_case "R3 exception-hygiene" `Quick test_exception_hygiene;
+         Alcotest.test_case "R4 wire-exhaustive" `Quick test_wire_exhaustive ]);
+      ("suppression", [ Alcotest.test_case "allow comments" `Quick test_suppression ]);
+      ("driver",
+       [ Alcotest.test_case "parse errors" `Quick test_parse_error;
+         Alcotest.test_case "constructor harvest" `Quick test_harvest;
+         Alcotest.test_case "findings output" `Quick test_findings_output;
+         Alcotest.test_case "shipped tree is clean" `Quick test_tree_clean ]) ]
