@@ -223,6 +223,30 @@ let table1 () =
 
 (* --- Bechamel microbenchmarks: one Test.make per table/figure --------- *)
 
+let json_mode = Array.exists (( = ) "--json") Sys.argv
+
+module Nat = Dd_bignum.Nat
+module Modular = Dd_bignum.Modular
+module Curve = Dd_group.Curve
+
+(* Write the microbenchmark rows as a JSON baseline artifact. The
+   [*.seed-baseline] entries are the seed revision's algorithms measured
+   in the same run (see seed_baseline.ml), so every file carries its own
+   before/after comparison — no cross-machine or cross-run deltas. *)
+let write_json rows =
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"ddemos-bench-micro/1\",\n";
+  Printf.fprintf oc "  \"mode\": \"%s\",\n" (if full_scale then "full" else "quick");
+  Printf.fprintf oc "  \"unit\": \"ns/op\",\n  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+       Printf.fprintf oc "    %S: %.1f%s\n" name ns (if i < n - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  pr "wrote BENCH_micro.json (%d kernels)\n\n" n
+
 let micro () =
   let open Bechamel in
   let gctx = Lazy.force Dd_group.Group_ctx.default in
@@ -250,14 +274,50 @@ let micro () =
   let aes_w = Dd_crypto.Aes128.expand_key aes_key in
   let enc = Dd_crypto.Aes128.cbc_encrypt ~key:aes_key ~iv:(Dd_crypto.Drbg.bytes rng 16) code in
   ignore enc;
+  (* arithmetic-stack operands: fast contexts vs frozen seed baselines *)
+  let fp_secp = Curve.field (Dd_group.Group_ctx.curve gctx) in
+  let fp_p256 = Modular.create Curve.nist_p256.Curve.p in
+  let bar_secp = Seed_baseline.barrett Curve.secp256k1.Curve.p in
+  let bar_p256 = Seed_baseline.barrett Curve.nist_p256.Curve.p in
+  let fx = Modular.of_bytes_be fp_secp (Dd_crypto.Drbg.bytes rng 32) in
+  let fy = Modular.of_bytes_be fp_secp (Dd_crypto.Drbg.bytes rng 32) in
+  let px = Modular.of_bytes_be fp_p256 (Dd_crypto.Drbg.bytes rng 32) in
+  let py = Modular.of_bytes_be fp_p256 (Dd_crypto.Drbg.bytes rng 32) in
+  let curve = Dd_group.Group_ctx.curve gctx in
+  (* the full seed arithmetic stack, replicated (see seed_baseline.ml) *)
+  let sc = Seed_baseline.scurve Curve.secp256k1 in
+  let sg = Seed_baseline.of_curve_point curve (Curve.generator curve) in
+  let sg_table = Seed_baseline.make_base_table sc sg in
+  let pk_seed = Seed_baseline.of_curve_point curve pk in
+  let scalar = Dd_group.Group_ctx.random_scalar gctx rng in
+  let point = Curve.mul curve scalar (Curve.generator curve) in
+  let spoint = Seed_baseline.of_curve_point curve point in
+  let pk_table = Dd_sig.Schnorr.make_pk_table gctx pk in
+  let sig_s, sig_e =
+    let bytes = Dd_sig.Schnorr.encode gctx signature in
+    let len = Curve.byte_len curve in
+    (Nat.of_bytes_be (String.sub bytes 0 len), Nat.of_bytes_be (String.sub bytes len len))
+  in
+  let pts64 =
+    Array.init 64 (fun i -> Curve.mul_int curve (i + 2) (Curve.generator curve))
+  in
   let tests =
     [ (* fig 4a-4f: the vote-collection path *)
       Test.make ~name:"fig4.vote-code-hash-validate"
         (Staged.stage (fun () -> Ballot_store.verify_vote_code store ~serial:7 ~vote_code:code));
       Test.make ~name:"fig4.endorsement-sign"
         (Staged.stage (fun () -> Dd_sig.Schnorr.sign gctx rng ~sk ~pk "endorse|bench|7|code"));
+      (* the hot path: Auth caches a comb table per signer, so UCERT /
+         endorsement checks take the doubling-free route *)
       Test.make ~name:"fig4.endorsement-verify"
+        (Staged.stage (fun () ->
+             Dd_sig.Schnorr.verify_with_table gctx ~pk ~pk_table "endorse|bench|7|code" signature));
+      Test.make ~name:"fig4.endorsement-verify.no-table"
         (Staged.stage (fun () -> Dd_sig.Schnorr.verify gctx ~pk "endorse|bench|7|code" signature));
+      Test.make ~name:"fig4.endorsement-verify.seed-baseline"
+        (Staged.stage (fun () ->
+             Seed_baseline.schnorr_verify gctx sc ~g_table:sg_table ~pk_seed ~pk
+               "endorse|bench|7|code" ~s:sig_s ~e:sig_e));
       Test.make ~name:"fig4.receipt-reconstruct"
         (Staged.stage (fun () -> Dd_vss.Shamir_bytes.reconstruct ~threshold:3 share_subset));
       (* fig 5a: ballot derivation (the PostgreSQL-lookup stand-in) *)
@@ -282,7 +342,31 @@ let micro () =
         (Staged.stage (fun () -> Dd_commit.Elgamal.verify gctx commitment opening));
       (* table 1: the Tcomp building block *)
       Test.make ~name:"table1.ucert-entry-verify"
-        (Staged.stage (fun () -> Dd_sig.Schnorr.verify gctx ~pk "endorse|bench|7|code" signature)) ]
+        (Staged.stage (fun () ->
+             Dd_sig.Schnorr.verify_with_table gctx ~pk ~pk_table "endorse|bench|7|code" signature));
+      (* arithmetic stack: field multiplication, before/after *)
+      Test.make ~name:"arith.field-mul.secp256k1"
+        (Staged.stage (fun () -> Modular.mul fp_secp fx fy));
+      Test.make ~name:"arith.field-mul.secp256k1.seed-baseline"
+        (Staged.stage (fun () -> Seed_baseline.field_mul bar_secp fx fy));
+      Test.make ~name:"arith.field-mul.p256"
+        (Staged.stage (fun () -> Modular.mul fp_p256 px py));
+      Test.make ~name:"arith.field-mul.p256.seed-baseline"
+        (Staged.stage (fun () -> Seed_baseline.field_mul bar_p256 px py));
+      (* arithmetic stack: scalar multiplication variants *)
+      Test.make ~name:"arith.point-mul.fixed-window"
+        (Staged.stage (fun () -> Curve.mul curve scalar point));
+      Test.make ~name:"arith.point-mul.wnaf-vartime"
+        (Staged.stage (fun () -> Curve.mul_vartime curve scalar point));
+      Test.make ~name:"arith.point-mul.seed-baseline"
+        (Staged.stage (fun () -> Seed_baseline.point_mul sc scalar spoint));
+      Test.make ~name:"arith.mul2-strauss-shamir"
+        (Staged.stage (fun () -> Dd_group.Group_ctx.mul2_g gctx sig_s sig_e point));
+      (* arithmetic stack: batch normalization (64 points) *)
+      Test.make ~name:"arith.to-affine.batch64"
+        (Staged.stage (fun () -> Curve.to_affine_batch curve pts64));
+      Test.make ~name:"arith.to-affine.loop64"
+        (Staged.stage (fun () -> Array.map (Curve.to_affine curve) pts64)) ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -293,13 +377,18 @@ let micro () =
   let results = Analyze.all ols instance raw in
   pr "# Microbenchmarks (this machine), one per table/figure kernel\n";
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  List.iter
-    (fun (name, r) ->
-       match Analyze.OLS.estimates r with
-       | Some [ est ] -> pr "%-45s %12.0f ns/op\n" name est
-       | _ -> pr "%-45s %12s\n" name "n/a")
-    (List.sort compare rows);
+  let rows =
+    List.filter_map
+      (fun (name, r) ->
+         match Analyze.OLS.estimates r with
+         | Some [ est ] -> Some (name, est)
+         | _ -> None)
+      rows
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> pr "%-50s %12.0f ns/op\n" name est) rows;
   pr "\n";
+  if json_mode then write_json rows;
   flush_section ()
 
 (* Ablations for the design choices DESIGN.md calls out: the batched
@@ -386,7 +475,9 @@ let thm1 () =
 
 let () =
   let want name =
-    let args = Array.to_list Sys.argv |> List.filter (fun a -> a <> "--full") in
+    let args =
+      Array.to_list Sys.argv |> List.filter (fun a -> a <> "--full" && a <> "--json")
+    in
     match args with
     | [ _ ] -> true          (* no selection: run everything *)
     | _ :: sel -> List.mem name sel

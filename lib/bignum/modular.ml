@@ -1,36 +1,237 @@
-(* Modular arithmetic with a precomputed Barrett context. The slow
-   Nat.divmod is used once, to compute the Barrett constant; every
-   subsequent reduction costs two multiplications. *)
+(* Modular arithmetic with a reduction strategy chosen at [create] time:
+
+   - secp256k1's field prime is pseudo-Mersenne (p = 2^256 - 2^32 - 977),
+     so reduction is two fold-and-add passes: x = hi*2^256 + lo means
+     x = hi*(2^32 + 977) + lo (mod p). No division, no big products.
+
+   - NIST P-256's prime is a generalized-Mersenne word-sliding prime
+     (p = 2^256 - 2^224 + 2^192 + 2^96 - 1): each 32-bit word of the
+     512-bit product above position 8 reduces to a small signed
+     combination of lower words (FIPS 186-4 D.2.3), so reduction is one
+     signed accumulation pass over 16 words plus a small correction.
+
+   - Everything else (both curve orders, test moduli) uses Barrett: the
+     slow Nat.divmod runs once to compute the Barrett constant, and each
+     reduction costs two multiplications.
+
+   The fast paths run on reused scratch buffers via Nat's limb kernels,
+   so a field multiplication performs one schoolbook product and a
+   couple of linear passes without intermediate allocations. Contexts
+   are therefore NOT re-entrant across threads; the codebase is
+   sans-IO/single-threaded (see lib/sim), which makes this safe. *)
+
+let base_bits = 30
+let limb_mask = (1 lsl base_bits) - 1
+
+(* Scratch for the specialized reductions, sized for inputs up to
+   576 bits (any product of two 256-bit field residues is < 2^512;
+   larger ad-hoc inputs fall back to Nat.rem). *)
+type scratch = {
+  buf : int array;        (* 20 limbs: the value being reduced *)
+  hbuf : int array;       (* secp256k1: hi = buf >> 256 *)
+  words : int array;      (* P-256: 16 32-bit words of the input *)
+  acc : int array;        (* P-256: 8 signed per-word accumulators *)
+}
+
+let make_scratch () = {
+  buf = Array.make 20 0;
+  hbuf = Array.make 12 0;
+  words = Array.make 16 0;
+  acc = Array.make 8 0;
+}
+
+type reduction =
+  | Barrett of Nat.t        (* mu = floor(B^(2k) / modulus) *)
+  | Secp256k1 of scratch
+  | P256 of scratch
 
 type ctx = {
   modulus : Nat.t;
-  k : int;          (* number of 30-bit limbs in the modulus *)
-  mu : Nat.t;       (* floor(B^(2k) / modulus), B = 2^30 *)
-  prime : bool;     (* enables Fermat inversion *)
+  k : int;                  (* number of 30-bit limbs in the modulus *)
+  red : reduction;
+  prime : bool;             (* enables Fermat inversion *)
+  m_limbs : int array;      (* modulus as a limb buffer (fast paths) *)
+  u_mults : Nat.t array;    (* P-256: e * (2^256 mod p) for small e *)
 }
 
-let base_bits = 30
+let secp256k1_p =
+  Nat.of_hex "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
 
-let create ?(prime = true) modulus =
+let nist_p256_p =
+  Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+
+(* 2^256 mod p256 = 2^224 - 2^192 - 2^96 + 1 *)
+let nist_p256_u =
+  Nat.sub (Nat.shift_left Nat.one 256) nist_p256_p
+
+let create ?(prime = true) ?(fast = true) modulus =
   if Nat.compare modulus Nat.two < 0 then invalid_arg "Modular.create: modulus < 2";
   let k = (Nat.bit_length modulus + base_bits - 1) / base_bits in
-  let b2k = Nat.shift_left Nat.one (2 * k * base_bits) in
-  { modulus; k; mu = Nat.div b2k modulus; prime }
+  let red =
+    if fast && Nat.equal modulus secp256k1_p then Secp256k1 (make_scratch ())
+    else if fast && Nat.equal modulus nist_p256_p then P256 (make_scratch ())
+    else begin
+      let b2k = Nat.shift_left Nat.one (2 * k * base_bits) in
+      Barrett (Nat.div b2k modulus)
+    end
+  in
+  let m_limbs = Array.make (k + 1) 0 in
+  ignore (Nat.to_limbs_into modulus m_limbs);
+  let u_mults =
+    match red with
+    | P256 _ -> Array.init 9 (fun e -> Nat.mul nist_p256_u (Nat.of_int e))
+    | _ -> [||]
+  in
+  { modulus; k; red; prime; m_limbs; u_mults }
 
 let modulus ctx = ctx.modulus
 
+let reduction_name ctx =
+  match ctx.red with
+  | Barrett _ -> "barrett"
+  | Secp256k1 _ -> "pseudo-mersenne-secp256k1"
+  | P256 _ -> "word-sliding-p256"
+
+(* --- Barrett ----------------------------------------------------------- *)
+
 (* Barrett reduction of x < B^(2k); falls back to divmod for larger x. *)
-let reduce ctx x =
-  if Nat.compare x ctx.modulus < 0 then x
-  else if Nat.bit_length x > 2 * ctx.k * base_bits then Nat.rem x ctx.modulus
+let reduce_barrett ctx mu x =
+  if Nat.bit_length x > 2 * ctx.k * base_bits then Nat.rem x ctx.modulus
   else begin
     let q1 = Nat.shift_right x ((ctx.k - 1) * base_bits) in
-    let q2 = Nat.mul q1 ctx.mu in
+    let q2 = Nat.mul q1 mu in
     let q3 = Nat.shift_right q2 ((ctx.k + 1) * base_bits) in
     let r = Nat.sub x (Nat.mul q3 ctx.modulus) in
     let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
     let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
     if Nat.compare r ctx.modulus >= 0 then Nat.rem r ctx.modulus else r
+  end
+
+(* --- secp256k1 pseudo-Mersenne ----------------------------------------- *)
+
+let limb_bits buf n =
+  if n = 0 then 0
+  else begin
+    let rec width v = if v = 0 then 0 else 1 + width (v lsr 1) in
+    ((n - 1) * base_bits) + width buf.(n - 1)
+  end
+
+(* Reduce (st.buf, n) mod p = 2^256 - c, c = 2^32 + 977, by folding the
+   part above bit 256 down: x = hi*2^256 + lo = hi*c + lo (mod p). The
+   fold accumulates hi*c directly into the low part as two fused
+   add-multiply passes — c = 977 + 4*2^30, so hi*c is hi*977 at limb 0
+   plus hi*4 at limb 1. Two folds bring any 576-bit input below 2^256;
+   one conditional subtract finishes. *)
+let reduce_secp256k1 ctx st n =
+  let n = ref n in
+  while limb_bits st.buf !n > 256 do
+    (* hbuf := buf >> 256 (limb 8, bit offset 16) *)
+    let nh0 = !n - 8 in
+    for i = 0 to nh0 - 1 do
+      let lo = st.buf.(i + 8) lsr 16 in
+      let hi =
+        if i + 9 < !n then (st.buf.(i + 9) lsl 14) land limb_mask else 0
+      in
+      st.hbuf.(i) <- lo lor hi
+    done;
+    let nh = Nat.trim_limbs st.hbuf nh0 in
+    (* buf := buf mod 2^256 *)
+    st.buf.(8) <- st.buf.(8) land 0xffff;
+    let nl = Nat.trim_limbs st.buf 9 in
+    let n1 = Nat.addmul1_into st.buf nl st.hbuf nh ~shift:0 977 in
+    n := Nat.addmul1_into st.buf n1 st.hbuf nh ~shift:1 4
+  done;
+  while Nat.compare_limbs st.buf !n ctx.m_limbs ctx.k >= 0 do
+    n := Nat.sub_into st.buf !n ctx.m_limbs ctx.k
+  done;
+  Nat.of_limbs st.buf !n
+
+(* --- NIST P-256 word-sliding ------------------------------------------- *)
+
+(* 32-bit word j of (buf, n): bits [32j, 32j + 32). A word spans at most
+   three 30-bit limbs. *)
+let word32 buf n j =
+  let bit = 32 * j in
+  let limb = bit / base_bits and off = bit mod base_bits in
+  let v = if limb < n then buf.(limb) lsr off else 0 in
+  let v =
+    if limb + 1 < n then v lor (buf.(limb + 1) lsl (base_bits - off)) else v
+  in
+  let v =
+    if off + 32 > 2 * base_bits && limb + 2 < n
+    then v lor (buf.(limb + 2) lsl ((2 * base_bits) - off))
+    else v
+  in
+  v land 0xffffffff
+
+(* Write eight 32-bit words (little-endian) into a 9-limb buffer. *)
+let limbs_of_words32 limbs w =
+  Array.fill limbs 0 9 0;
+  for j = 0 to 7 do
+    let bit = 32 * j in
+    let limb = bit / base_bits and off = bit mod base_bits in
+    limbs.(limb) <- (limbs.(limb) lor (w.(j) lsl off)) land limb_mask;
+    limbs.(limb + 1) <-
+      (limbs.(limb + 1) lor (w.(j) lsr (base_bits - off))) land limb_mask
+  done;
+  Nat.of_limbs limbs 9
+
+(* FIPS 186-4 D.2.3: with the 512-bit input split into 32-bit words
+   c0..c15, the reduction is s1 + 2*s2 + 2*s3 + s4 + s5 - s6 - s7 - s8
+   - s9, expanded below into one signed sum per output word. The final
+   signed carry e is folded back via 2^256 = u (mod p). *)
+let reduce_p256 ctx st n =
+  let c = st.words and d = st.acc in
+  for j = 0 to 15 do c.(j) <- word32 st.buf n j done;
+  d.(0) <- c.(0) + c.(8) + c.(9) - c.(11) - c.(12) - c.(13) - c.(14);
+  d.(1) <- c.(1) + c.(9) + c.(10) - c.(12) - c.(13) - c.(14) - c.(15);
+  d.(2) <- c.(2) + c.(10) + c.(11) - c.(13) - c.(14) - c.(15);
+  d.(3) <- c.(3) + (2 * c.(11)) + (2 * c.(12)) + c.(13) - c.(15) - c.(8) - c.(9);
+  d.(4) <- c.(4) + (2 * c.(12)) + (2 * c.(13)) + c.(14) - c.(9) - c.(10);
+  d.(5) <- c.(5) + (2 * c.(13)) + (2 * c.(14)) + c.(15) - c.(10) - c.(11);
+  d.(6) <- c.(6) + c.(13) + (3 * c.(14)) + (2 * c.(15)) - c.(8) - c.(9);
+  d.(7) <- c.(7) + c.(8) + (3 * c.(15)) - c.(10) - c.(11) - c.(12) - c.(13);
+  let carry = ref 0 in
+  for i = 0 to 7 do
+    let t = d.(i) + !carry in
+    let w = t land 0xffffffff in
+    d.(i) <- w;
+    carry := (t - w) asr 32
+  done;
+  let e = !carry in     (* |e| <= 8: each d.(i) sums at most 7 words *)
+  let v = limbs_of_words32 st.hbuf d in
+  let r =
+    if e = 0 then v
+    else if e > 0 then Nat.add v ctx.u_mults.(e)
+    else begin
+      let t = ctx.u_mults.(-e) in
+      if Nat.compare v t >= 0 then Nat.sub v t
+      else Nat.sub (Nat.add v ctx.modulus) t
+    end
+  in
+  let r = ref r in
+  while Nat.compare !r ctx.modulus >= 0 do r := Nat.sub !r ctx.modulus done;
+  !r
+
+(* --- dispatch ----------------------------------------------------------- *)
+
+let reduce_limbs ctx st n =
+  match ctx.red with
+  | Barrett _ -> assert false (* never dispatched here *)
+  | Secp256k1 _ -> reduce_secp256k1 ctx st n
+  | P256 _ -> reduce_p256 ctx st n
+
+let reduce ctx x =
+  if Nat.compare x ctx.modulus < 0 then x
+  else begin
+    match ctx.red with
+    | Barrett mu -> reduce_barrett ctx mu x
+    | (Secp256k1 st | P256 st) ->
+      if Nat.bit_length x > 512 then Nat.rem x ctx.modulus
+      else begin
+        let n = Nat.to_limbs_into x st.buf in
+        reduce_limbs ctx st n
+      end
   end
 
 let add ctx a b =
@@ -43,8 +244,22 @@ let sub ctx a b =
 
 let neg ctx a = if Nat.is_zero a then a else Nat.sub ctx.modulus a
 
-let mul ctx a b = reduce ctx (Nat.mul a b)
-let sqr ctx a = reduce ctx (Nat.sqr a)
+(* Multiplication of residues: the fast paths write the schoolbook
+   product straight into the reduction scratch, skipping the
+   intermediate Nat allocation that the Barrett path pays. *)
+let mul ctx a b =
+  match ctx.red with
+  | Barrett mu -> reduce_barrett ctx mu (Nat.mul a b)
+  | (Secp256k1 st | P256 st) ->
+    if Nat.compare a ctx.modulus >= 0 || Nat.compare b ctx.modulus >= 0 then
+      (* out-of-contract inputs: reduce first, stay correct *)
+      Nat.rem (Nat.mul a b) ctx.modulus
+    else begin
+      let n = Nat.mul_into st.buf a b in
+      reduce_limbs ctx st n
+    end
+
+let sqr ctx a = mul ctx a a
 
 let double ctx a = add ctx a a
 

@@ -1,21 +1,42 @@
-(** Modular arithmetic over a fixed modulus, with Barrett reduction.
+(** Modular arithmetic over a fixed modulus, with a reduction strategy
+    selected at [create] time.
 
-    A [ctx] captures the modulus together with the precomputed Barrett
-    constant; create it once and reuse it for every operation. All inputs
-    are expected to be reduced residues (in [0, modulus)); [reduce] and
-    [of_nat] bring arbitrary naturals into range. *)
+    The two curve field primes the system uses get specialized
+    reductions — pseudo-Mersenne folding for secp256k1's
+    [p = 2^256 - 2^32 - 977] and the FIPS 186-4 word-sliding reduction
+    for NIST P-256 — running over reused scratch buffers (no per-op
+    allocation in the inner loop). Any other modulus (including both
+    curve orders) falls back to Barrett reduction. A [ctx] captures the
+    modulus plus the precomputed constants and scratch; create it once
+    and reuse it for every operation.
+
+    Because the fast paths share scratch buffers, a [ctx] must not be
+    used from multiple threads concurrently. The codebase is sans-IO
+    and single-threaded (enforced by ddemos-lint), so this never
+    arises in-system.
+
+    All binary operations expect reduced residues (in [0, modulus));
+    [reduce] and [of_nat] bring arbitrary naturals into range. *)
 
 type ctx
 
-(** [create ?prime m] builds a context for modulus [m >= 2]. When [prime]
-    is [true] (the default), [inv] uses Fermat's little theorem; pass
-    [~prime:false] for composite moduli to use extended Euclid instead. *)
-val create : ?prime:bool -> Nat.t -> ctx
+(** [create ?prime ?fast m] builds a context for modulus [m >= 2]. When
+    [prime] is [true] (the default), [inv] uses Fermat's little theorem;
+    pass [~prime:false] for composite moduli to use extended Euclid
+    instead. When [fast] is [true] (the default) the specialized
+    reduction is selected for recognized primes; [~fast:false] forces
+    Barrett everywhere — the reference the differential tests and the
+    seed-baseline benchmarks compare against. *)
+val create : ?prime:bool -> ?fast:bool -> Nat.t -> ctx
 
 val modulus : ctx -> Nat.t
 
-(** Reduce an arbitrary natural modulo the modulus. Fast (Barrett) when
-    the argument is below [B^2k], i.e. for any product of two residues. *)
+(** Which reduction strategy [create] selected: ["barrett"],
+    ["pseudo-mersenne-secp256k1"], or ["word-sliding-p256"]. *)
+val reduction_name : ctx -> string
+
+(** Reduce an arbitrary natural modulo the modulus. Fast for any
+    product of two residues; falls back to long division beyond that. *)
 val reduce : ctx -> Nat.t -> Nat.t
 
 val add : ctx -> Nat.t -> Nat.t -> Nat.t

@@ -66,3 +66,52 @@ val of_decimal : string -> t
 val to_decimal : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Limb-level kernels}
+
+    Allocation-free building blocks over raw little-endian limb buffers
+    ([base_bits]-bit limbs in plain [int array]s, paired with a
+    significant-limb count). These exist for [Modular]'s specialized
+    reductions, which run one scalar multiplication's worth of field
+    operations through a handful of reused scratch buffers instead of
+    allocating a fresh array per limb operation. Buffers may hold stale
+    garbage beyond the count: kernels read guarded and write
+    unconditionally. Counts returned are trimmed (no most-significant
+    zero limbs). *)
+
+(** Bits per limb (30). *)
+val base_bits : int
+
+(** [trim_limbs buf n] is the count of significant limbs in [buf.(0..n-1)]. *)
+val trim_limbs : int array -> int -> int
+
+(** [of_limbs buf n] copies the first [n] limbs out into a value. *)
+val of_limbs : int array -> int -> t
+
+(** [to_limbs_into a buf] copies [a]'s limbs into [buf] (which must be
+    large enough) and returns the limb count. *)
+val to_limbs_into : t -> int array -> int
+
+val compare_limbs : int array -> int -> int array -> int -> int
+
+(** [add_into dst ndst src nsrc]: [dst := dst + src], returning the new
+    count. [dst] needs room for [max ndst nsrc + 1] limbs. *)
+val add_into : int array -> int -> int array -> int -> int
+
+(** [sub_into dst ndst src nsrc]: [dst := dst - src] (caller guarantees
+    [dst >= src]), returning the new count. *)
+val sub_into : int array -> int -> int array -> int -> int
+
+(** [addmul1_into dst ndst src nsrc ~shift m]: fused
+    [dst := dst + (src * m) << (shift limbs)] in one pass, returning
+    the new count. Requires [0 <= m < 2^32] (keeps [m * limb + carry]
+    within native-int headroom) and room for
+    [max ndst (nsrc + shift) + 1] limbs. *)
+val addmul1_into : int array -> int -> int array -> int -> shift:int -> int -> int
+
+(** [mul_limbs_into dst a na b nb]: [dst := a * b] (schoolbook); [dst]
+    must not alias the inputs and needs [na + nb] limbs of room. *)
+val mul_limbs_into : int array -> int array -> int -> int array -> int -> int
+
+(** [mul_into dst a b]: product of two values into a scratch buffer. *)
+val mul_into : int array -> t -> t -> int

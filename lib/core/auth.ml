@@ -34,6 +34,8 @@ type keys = {
   gctx : Dd_group.Group_ctx.t;
   sk : Schnorr.secret_key;
   pks : Schnorr.public_key array;       (* indexed by node id *)
+  pk_tables : Schnorr.pk_table Lazy.t array;  (* comb tables, built on first
+                                                 verify against that signer *)
   mac_keys : string array;              (* pairwise keys, indexed by peer *)
   rng : Dd_crypto.Drbg.t;
 }
@@ -52,10 +54,17 @@ let deal_clique ~scheme ~gctx ~seed ~n =
     let lo = min i j and hi = max i j in
     Dd_crypto.Sha256.digest_list [ "mac-key"; seed; string_of_int lo; string_of_int hi ]
   in
+  (* Tables are shared across the clique (they depend only on the public
+     keys) and lazy, so dealing stays cheap and MAC-scheme runs never
+     pay for them. *)
+  let pk_tables =
+    Array.map (fun pk -> lazy (Schnorr.make_pk_table gctx pk)) pks
+  in
   Array.init n (fun i ->
       { scheme; me = i; gctx;
         sk = fst key_pairs.(i);
         pks;
+        pk_tables;
         mac_keys = Array.init n (fun j -> pair_key i j);
         rng = Dd_crypto.Drbg.fork master ~label:(Printf.sprintf "rng%d" i) })
 
@@ -71,7 +80,8 @@ let verify (k : keys) ~signer msg = function
   | Schnorr_tag s ->
     k.scheme = Schnorr_scheme
     && signer >= 0 && signer < Array.length k.pks
-    && Schnorr.verify k.gctx ~pk:k.pks.(signer) msg s
+    && Schnorr.verify_with_table k.gctx ~pk:k.pks.(signer)
+         ~pk_table:(Lazy.force k.pk_tables.(signer)) msg s
   | Mac_tag tags ->
     k.scheme = Mac_scheme
     && signer >= 0 && signer < Array.length k.mac_keys

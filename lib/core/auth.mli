@@ -20,6 +20,8 @@ type keys = {
   gctx : Dd_group.Group_ctx.t;
   sk : Dd_sig.Schnorr.secret_key;
   pks : Dd_sig.Schnorr.public_key array;
+  pk_tables : Dd_sig.Schnorr.pk_table Lazy.t array;
+      (** per-signer comb tables; forced on first Schnorr verify *)
   mac_keys : string array;
   rng : Dd_crypto.Drbg.t;
 }

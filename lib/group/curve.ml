@@ -21,6 +21,7 @@ type t = {
   fp : Modular.ctx;     (* arithmetic mod p *)
   fn : Modular.ctx;     (* arithmetic mod order *)
   byte_len : int;       (* field element encoding length *)
+  sqrt_e : Nat.t;       (* (p+1)/4, cached for field_sqrt (p = 3 mod 4) *)
 }
 
 type point =
@@ -51,11 +52,12 @@ let nist_p256 =
     name = "nist-p256";
   }
 
-let create params = {
+let create ?(fast = true) params = {
   params;
-  fp = Modular.create params.p;
-  fn = Modular.create params.order;
+  fp = Modular.create ~fast params.p;
+  fn = Modular.create ~fast params.order;
   byte_len = (Nat.bit_length params.p + 7) / 8;
+  sqrt_e = Nat.shift_right (Nat.add params.p Nat.one) 2;
 }
 
 let field t = t.fp
@@ -76,6 +78,37 @@ let to_affine t = function
     let zi = Modular.inv fp z in
     let zi2 = Modular.sqr fp zi in
     Some (Modular.mul fp x zi2, Modular.mul fp y (Modular.mul fp zi2 zi))
+
+(* Montgomery-trick batch normalization: one modular inversion for the
+   whole array instead of one per point. prefix.(i) is the product of
+   the Z coordinates of the finite points before index i; the backward
+   pass peels per-point inverses off the inverted total. *)
+let to_affine_batch t pts =
+  let fp = t.fp in
+  let n = Array.length pts in
+  if n = 0 then [||]
+  else begin
+    let prefix = Array.make n Nat.one in
+    let running = ref Nat.one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !running;
+      match pts.(i) with
+      | Infinity -> ()
+      | Jacobian (_, _, z) -> running := Modular.mul fp !running z
+    done;
+    let inv_run = ref (Modular.inv fp !running) in
+    let out = Array.make n None in
+    for i = n - 1 downto 0 do
+      match pts.(i) with
+      | Infinity -> ()
+      | Jacobian (x, y, z) ->
+        let zi = Modular.mul fp !inv_run prefix.(i) in
+        inv_run := Modular.mul fp !inv_run z;
+        let zi2 = Modular.sqr fp zi in
+        out.(i) <- Some (Modular.mul fp x zi2, Modular.mul fp y (Modular.mul fp zi2 zi))
+    done;
+    out
+  end
 
 let of_affine _t (x, y) = Jacobian (x, y, Nat.one)
 
@@ -163,21 +196,85 @@ let neg t = function
 
 let sub t p q = add t p (neg t q)
 
-(* Scalar multiplication, MSB-first double-and-add. The scalar is
-   reduced mod the group order first. *)
+(* 4-bit window digit w of scalar k (little-endian window index). *)
+let window4 k w =
+  (if Nat.testbit k (4*w) then 1 else 0)
+  lor (if Nat.testbit k (4*w + 1) then 2 else 0)
+  lor (if Nat.testbit k (4*w + 2) then 4 else 0)
+  lor (if Nat.testbit k (4*w + 3) then 8 else 0)
+
+(* Scalar multiplication for secret scalars: fixed 4-bit windows,
+   MSB-first. The window count is fixed by the order's bit length and
+   every window performs one table lookup and one add (the d = 0 slot
+   holds Infinity), so the sequence of group operations does not depend
+   on the scalar's value — see the timing contract in curve.mli. *)
 let mul t k pt =
   let k = Modular.reduce t.fn k in
-  let nbits = Nat.bit_length k in
+  let tbl = Array.make 16 Infinity in
+  tbl.(1) <- pt;
+  for d = 2 to 15 do tbl.(d) <- add t tbl.(d - 1) pt done;
+  let windows = (Nat.bit_length t.params.order + 3) / 4 in
   let acc = ref Infinity in
-  for i = nbits - 1 downto 0 do
-    acc := double t !acc;
-    if Nat.testbit k i then acc := add t !acc pt
+  for w = windows - 1 downto 0 do
+    acc := double t (double t (double t (double t !acc)));
+    acc := add t !acc tbl.(window4 k w)
   done;
   !acc
 
 let mul_int t k pt =
   if k < 0 then invalid_arg "Curve.mul_int: negative scalar";
   mul t (Nat.of_int k) pt
+
+(* Width-5 wNAF digit expansion: MSB-first list of digits in
+   {0, +-1, +-3, ..., +-15}, adjacent nonzero digits separated by at
+   least four zeros. Consing while consuming the scalar LSB-first
+   leaves the most significant digit at the head. *)
+let wnaf5 k =
+  let digits = ref [] in
+  let k = ref k in
+  while not (Nat.is_zero !k) do
+    if Nat.is_odd !k then begin
+      let d =
+        (if Nat.testbit !k 0 then 1 else 0)
+        lor (if Nat.testbit !k 1 then 2 else 0)
+        lor (if Nat.testbit !k 2 then 4 else 0)
+        lor (if Nat.testbit !k 3 then 8 else 0)
+        lor (if Nat.testbit !k 4 then 16 else 0)
+      in
+      let d = if d >= 16 then d - 32 else d in
+      digits := d :: !digits;
+      if d >= 0 then k := Nat.sub !k (Nat.of_int d)
+      else k := Nat.add !k (Nat.of_int (-d))
+    end else digits := 0 :: !digits;
+    k := Nat.shift_right !k 1
+  done;
+  !digits
+
+(* Odd multiples 1P, 3P, ..., 15P and their negations, indexed by d/2
+   for odd digit d. *)
+let odd_multiples t pt =
+  let tbl = Array.make 8 pt in
+  let p2 = double t pt in
+  for i = 1 to 7 do tbl.(i) <- add t tbl.(i - 1) p2 done;
+  (tbl, Array.map (neg t) tbl)
+
+(* Variable-time scalar multiplication by width-5 wNAF: ~51 adds for a
+   256-bit scalar instead of the ~64 a 4-bit window needs, and zero
+   digits cost only a double. Public inputs only — see curve.mli. *)
+let mul_vartime t k pt =
+  let k = Modular.reduce t.fn k in
+  if Nat.is_zero k || is_infinity pt then Infinity
+  else begin
+    let tbl, ntbl = odd_multiples t pt in
+    let acc = ref Infinity in
+    List.iter
+      (fun d ->
+        acc := double t !acc;
+        if d > 0 then acc := add t !acc tbl.(d / 2)
+        else if d < 0 then acc := add t !acc ntbl.((-d) / 2))
+      (wnaf5 k);
+    !acc
+  end
 
 (* Fixed-base multiplication with a per-curve precomputed window table
    for the generator: 4-bit windows over the 256-bit scalar. *)
@@ -195,17 +292,42 @@ let make_base_table t pt =
   done;
   table
 
+(* Fixed-base multiplication off the comb table: no doublings at all
+   (each row already carries its 16^w factor). Every window performs a
+   lookup and an add unconditionally — row slot 0 holds Infinity — so
+   the group-operation sequence is scalar-independent, making this safe
+   for secret scalars (signing nonces, VSS evaluation points). *)
 let mul_base_table t (table : base_table) k =
   let k = Modular.reduce t.fn k in
   let acc = ref Infinity in
   let windows = Array.length table in
   for w = 0 to windows - 1 do
-    let d =
-      (if Nat.testbit k (4*w) then 1 else 0)
-      lor (if Nat.testbit k (4*w + 1) then 2 else 0)
-      lor (if Nat.testbit k (4*w + 2) then 4 else 0)
-      lor (if Nat.testbit k (4*w + 3) then 8 else 0)
-    in
+    acc := add t !acc table.(w).(window4 k w)
+  done;
+  !acc
+
+(* Strauss-Shamir shared-accumulator computation of u*B + v*P, where B
+   is the fixed base behind [table]. The v*P half runs width-5 wNAF
+   (doublings + sparse adds); the u*B half needs no doublings of its
+   own, so its comb-table adds simply fold into the same accumulator —
+   one joint chain instead of two multiplications plus a final add.
+   Variable time; public inputs only. *)
+let mul2 t (table : base_table) u v p =
+  let u = Modular.reduce t.fn u in
+  let v = Modular.reduce t.fn v in
+  let acc = ref Infinity in
+  if not (Nat.is_zero v || is_infinity p) then begin
+    let tbl, ntbl = odd_multiples t p in
+    List.iter
+      (fun d ->
+        acc := double t !acc;
+        if d > 0 then acc := add t !acc tbl.(d / 2)
+        else if d < 0 then acc := add t !acc ntbl.((-d) / 2))
+      (wnaf5 v)
+  end;
+  let windows = Array.length table in
+  for w = 0 to windows - 1 do
+    let d = window4 u w in
     if d <> 0 then acc := add t !acc table.(w).(d)
   done;
   !acc
@@ -243,10 +365,11 @@ let decode t s =
   else None
 
 (* Square root mod p for p = 3 mod 4 (both supported curves):
-   sqrt(a) = a^((p+1)/4) when a is a quadratic residue. *)
+   sqrt(a) = a^((p+1)/4) when a is a quadratic residue. The exponent is
+   cached in [t] — recomputing it per probe used to cost a 256-bit
+   add+shift on every decode_compressed and hash_to_point attempt. *)
 let field_sqrt t a =
-  let e = Nat.shift_right (Nat.add t.params.p Nat.one) 2 in
-  let y = Modular.pow t.fp a e in
+  let y = Modular.pow t.fp a t.sqrt_e in
   if Nat.equal (Modular.sqr t.fp y) (Modular.reduce t.fp a) then Some y else None
 
 (* Compressed encoding: 0x00 for infinity, else 0x02/0x03 (y parity)

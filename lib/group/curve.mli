@@ -3,7 +3,26 @@
 
     This is the algebraic substrate for the paper's lifted-ElGamal
     option-encoding commitments, Chaum-Pedersen zero-knowledge proofs,
-    Pedersen VSS, and Schnorr signatures. *)
+    Pedersen VSS, and Schnorr signatures.
+
+    {2 Timing contract}
+
+    Scalar multiplications come in two flavors and callers must pick by
+    the secrecy of the scalar, not by speed alone:
+
+    - {b Secret scalars} (signing nonces, VSS shares and evaluation
+      points, ElGamal randomness): use {!mul} or {!mul_base_table}.
+      Both process a fixed number of 4-bit windows determined by the
+      group order's bit length, performing one table lookup and one
+      add per window unconditionally — the sequence of group
+      operations does not depend on the scalar. (The underlying bignum
+      ops are not constant-time, so this is uniformity of operation
+      sequence, not a full constant-time guarantee.)
+    - {b Public data} (signature verification, proof verification,
+      checking commitments already on the wire): {!mul_vartime} and
+      {!mul2} are substantially faster but their operation count and
+      branching depend on the scalar's value. Never pass them a
+      secret. *)
 
 module Nat = Dd_bignum.Nat
 module Modular = Dd_bignum.Modular
@@ -30,12 +49,17 @@ val secp256k1 : params
 (** NIST P-256 (a = -3): a second supported parameter set. *)
 val nist_p256 : params
 
-val create : params -> t
+(** [create ?fast params] builds the group context, precomputing the
+    field contexts and the cached [(p+1)/4] square-root exponent.
+    [~fast:false] forces Barrett reduction in both fields (reference
+    path for differential tests and seed-baseline benchmarks). *)
+val create : ?fast:bool -> params -> t
 
-(** Barrett context for the base field F_p. *)
+(** Modular context for the base field F_p (specialized reduction when
+    the prime is recognized, Barrett otherwise — see {!Modular}). *)
 val field : t -> Modular.ctx
 
-(** Barrett context for Z_n, n the group order. *)
+(** Modular context for Z_n, n the group order. *)
 val scalar_field : t -> Modular.ctx
 
 val order : t -> Nat.t
@@ -47,6 +71,13 @@ val is_infinity : point -> bool
 
 (** [to_affine t p] is [None] for infinity and [Some (x, y)] otherwise. *)
 val to_affine : t -> point -> (Nat.t * Nat.t) option
+
+(** Normalize a whole array with a single modular inversion
+    (Montgomery's trick); element [i] is [None] iff [pts.(i)] is
+    infinity. Cost: one [inv] plus ~3 field mults per point, versus
+    one [inv] per point for repeated {!to_affine}. *)
+val to_affine_batch : t -> point array -> (Nat.t * Nat.t) option array
+
 val of_affine : t -> Nat.t * Nat.t -> point
 val on_curve : t -> Nat.t * Nat.t -> bool
 
@@ -55,15 +86,30 @@ val double : t -> point -> point
 val neg : t -> point -> point
 val sub : t -> point -> point -> point
 
-(** [mul t k p] is [k] dot [p]; [k] is reduced mod the group order. *)
+(** [mul t k p] is [k] dot [p]; [k] is reduced mod the group order.
+    Fixed 4-bit windows with a scalar-independent operation sequence —
+    safe for secret scalars (see the timing contract above). *)
 val mul : t -> Nat.t -> point -> point
 val mul_int : t -> int -> point -> point
 
-(** Precomputed 4-bit-window table for a fixed base, giving roughly a
-    4x speedup on repeated multiplications of the same point. *)
+(** [mul_vartime t k p] computes [k] dot [p] by width-5 wNAF.
+    {b Variable time}: only for public scalars and points (verification
+    of signatures, proofs, and other on-the-wire data). *)
+val mul_vartime : t -> Nat.t -> point -> point
+
+(** Precomputed comb table for a fixed base: [table.(w).(d)] holds
+    [d * 16^w * B], so fixed-base multiplication needs no doublings at
+    all. Safe for secret scalars — every window does one lookup and
+    one add unconditionally. *)
 type base_table
 val make_base_table : t -> point -> base_table
 val mul_base_table : t -> base_table -> Nat.t -> point
+
+(** [mul2 t table u v p] is [u*B + v*p] (B the fixed base behind
+    [table]) by Strauss-Shamir: the wNAF chain for [v*p] and the comb
+    adds for [u*B] share one accumulator. {b Variable time}: public
+    inputs only — this is the verifier's kernel ([s*G + e*PK]). *)
+val mul2 : t -> base_table -> Nat.t -> Nat.t -> point -> point
 
 val equal : t -> point -> point -> bool
 

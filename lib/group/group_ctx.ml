@@ -14,8 +14,8 @@ type t = {
   h_table : Curve.base_table;
 }
 
-let create ?(params = Curve.secp256k1) () =
-  let curve = Curve.create params in
+let create ?(fast = true) ?(params = Curve.secp256k1) () =
+  let curve = Curve.create ~fast params in
   let g = Curve.generator curve in
   let h = Curve.hash_to_point curve "d-demos second generator H" in
   {
@@ -31,6 +31,7 @@ let default = lazy (create ())
 let curve t = t.curve
 let g t = t.g
 let h t = t.h
+let g_table t = t.g_table
 
 (* Fast fixed-base scalar multiplications. *)
 let mul_g t k = Curve.mul_base_table t.curve t.g_table k
@@ -42,6 +43,17 @@ let mul t k pt =
   if pt == t.g then mul_g t k
   else if pt == t.h then mul_h t k
   else Curve.mul t.curve k pt
+
+(* Variable-time variant for public data (verification). The fixed-base
+   comb path is already vartime-competitive, so G and H still dispatch
+   to their tables; arbitrary points take the wNAF path. *)
+let mul_vartime t k pt =
+  if pt == t.g then mul_g t k
+  else if pt == t.h then mul_h t k
+  else Curve.mul_vartime t.curve k pt
+
+(* u*G + v*P in one Strauss-Shamir pass: the verifier's kernel. *)
+let mul2_g t u v pt = Curve.mul2 t.curve t.g_table u v pt
 
 let order t = Curve.order t.curve
 let scalar_field t = Curve.scalar_field t.curve

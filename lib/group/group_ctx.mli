@@ -7,7 +7,9 @@ module Modular = Dd_bignum.Modular
 
 type t
 
-val create : ?params:Curve.params -> unit -> t
+(** [create ?fast ?params ()] builds the context. [~fast:false] forces
+    Barrett reduction throughout (reference/baseline path). *)
+val create : ?fast:bool -> ?params:Curve.params -> unit -> t
 
 (** One process-wide context over secp256k1 (table construction costs a
     few hundred milliseconds; share it). *)
@@ -17,13 +19,25 @@ val curve : t -> Curve.t
 val g : t -> Curve.point
 val h : t -> Curve.point
 
+(** The precomputed comb table for G (for {!Curve.mul2} callers). *)
+val g_table : t -> Curve.base_table
+
 (** Fixed-base multiplications by G and H using the precomputed tables. *)
 val mul_g : t -> Nat.t -> Curve.point
 val mul_h : t -> Nat.t -> Curve.point
 
 (** General multiplication; physically-equal G or H arguments take the
-    fixed-base fast path. *)
+    fixed-base fast path. Safe for secret scalars. *)
 val mul : t -> Nat.t -> Curve.point -> Curve.point
+
+(** Like {!mul} but arbitrary points take the width-5 wNAF path.
+    {b Variable time} — public scalars and points only (see the timing
+    contract in curve.mli). *)
+val mul_vartime : t -> Nat.t -> Curve.point -> Curve.point
+
+(** [mul2_g t u v p] is [u*G + v*p] by Strauss-Shamir off the G table.
+    {b Variable time} — verification only. *)
+val mul2_g : t -> Nat.t -> Nat.t -> Curve.point -> Curve.point
 
 val order : t -> Nat.t
 val scalar_field : t -> Modular.ctx

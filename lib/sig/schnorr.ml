@@ -33,10 +33,27 @@ let sign gctx rng ~sk ~pk msg =
   let s = Modular.sub fn k (Modular.mul fn e sk) in
   { s; e }
 
+(* Verification works on public data only, so it may take the
+   variable-time multi-scalar paths (see the timing contract in
+   curve.mli). *)
 let verify gctx ~pk msg { s; e } =
-  let curve = Group_ctx.curve gctx in
   (* r' = s*G + e*PK; valid iff H(r', pk, msg) = e *)
-  let r' = Curve.add curve (Group_ctx.mul_g gctx s) (Curve.mul curve e pk) in
+  let r' = Group_ctx.mul2_g gctx s e pk in
+  Nat.equal e (challenge gctx ~commitment:r' ~pk msg)
+
+(* A comb table for PK turns e*PK into doubling-free comb adds; with
+   many signatures under one key (every endorsement a node checks
+   carries the same VC signer set) the table amortizes fast. *)
+type pk_table = Curve.base_table
+
+let make_pk_table gctx pk = Curve.make_base_table (Group_ctx.curve gctx) pk
+
+let verify_with_table gctx ~pk ~pk_table msg { s; e } =
+  let curve = Group_ctx.curve gctx in
+  let r' =
+    Curve.add curve (Group_ctx.mul_g gctx s)
+      (Curve.mul_base_table curve pk_table e)
+  in
   Nat.equal e (challenge gctx ~commitment:r' ~pk msg)
 
 let encode gctx { s; e } =

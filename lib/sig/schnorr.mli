@@ -15,7 +15,24 @@ val keygen : Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> secret_key * public_key
 val sign :
   Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> sk:secret_key -> pk:public_key -> string -> signature
 
+(** [challenge gctx ~commitment ~pk msg] is the Fiat-Shamir challenge
+    scalar. Exposed so benchmarks and tests can reconstruct the
+    verification equation from its parts. *)
+val challenge :
+  Dd_group.Group_ctx.t -> commitment:Curve.point -> pk:public_key -> string -> Nat.t
+
+(** Verify via one Strauss-Shamir pass ([s*G + e*PK]); public data
+    only, so the variable-time paths are fine here. *)
 val verify : Dd_group.Group_ctx.t -> pk:public_key -> string -> signature -> bool
+
+(** Precomputed comb table for a public key, for verifying many
+    signatures under the same key (e.g. a node's fellow VCs during an
+    election). [verify_with_table] replaces the [e*PK] half of the
+    verification equation with doubling-free comb adds. *)
+type pk_table
+val make_pk_table : Dd_group.Group_ctx.t -> public_key -> pk_table
+val verify_with_table :
+  Dd_group.Group_ctx.t -> pk:public_key -> pk_table:pk_table -> string -> signature -> bool
 
 val encode : Dd_group.Group_ctx.t -> signature -> string
 val decode : Dd_group.Group_ctx.t -> string -> signature option

@@ -61,7 +61,11 @@ let verify_share gctx ~(commitment : Elgamal.t) ~(aux : aux) (s : share) =
        xj := Modular.mul fn !xj x;
        let c1, c2 = Elgamal.components cj in
        let curve = Group_ctx.curve gctx in
-       let scaled = Elgamal.make ~c1:(Curve.mul curve !xj c1) ~c2:(Curve.mul curve !xj c2) in
+       (* Aux commitments and evaluation points are public — vartime. *)
+       let scaled =
+         Elgamal.make ~c1:(Curve.mul_vartime curve !xj c1)
+           ~c2:(Curve.mul_vartime curve !xj c2)
+       in
        rhs := Elgamal.add gctx !rhs scaled)
     aux;
   Elgamal.equal gctx lhs !rhs

@@ -1,5 +1,6 @@
 (* Unit and property tests for the arbitrary-precision naturals and
-   Barrett modular arithmetic. *)
+   modular arithmetic, including differential suites pitting the
+   specialized curve-prime reductions against the Barrett reference. *)
 
 module Nat = Dd_bignum.Nat
 module Modular = Dd_bignum.Modular
@@ -17,9 +18,13 @@ let gen_nat_bits bits =
 
 let arb_nat = QCheck.make ~print:Nat.to_decimal (gen_nat_bits 256)
 let arb_small = QCheck.make ~print:Nat.to_decimal (gen_nat_bits 64)
+let arb_nat512 = QCheck.make ~print:Nat.to_decimal (gen_nat_bits 512)
 
 let secp_p =
   Nat.of_hex "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+
+let p256_p =
+  Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
 
 (* --- unit tests ------------------------------------------------------ *)
 
@@ -200,6 +205,97 @@ let prop_inv_involutive =
        QCheck.assume (not (Nat.is_zero x));
        Nat.equal x (Modular.inv ctx (Modular.inv ctx x)))
 
+(* --- differential: specialized reductions vs Barrett ----------------- *)
+
+let fast_secp = Modular.create secp_p
+let slow_secp = Modular.create ~fast:false secp_p
+let fast_p256 = Modular.create p256_p
+let slow_p256 = Modular.create ~fast:false p256_p
+
+let prop_fast_reduce_secp =
+  QCheck.Test.make ~name:"secp256k1 fast reduce = Barrett (512-bit inputs)"
+    ~count:1000 arb_nat512
+    (fun x -> Nat.equal (Modular.reduce fast_secp x) (Modular.reduce slow_secp x))
+
+let prop_fast_reduce_p256 =
+  QCheck.Test.make ~name:"p256 fast reduce = Barrett (512-bit inputs)"
+    ~count:1000 arb_nat512
+    (fun x -> Nat.equal (Modular.reduce fast_p256 x) (Modular.reduce slow_p256 x))
+
+let prop_fast_mul_secp =
+  QCheck.Test.make ~name:"secp256k1 fast mul = Barrett mul" ~count:1000
+    (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+       let a = Modular.reduce slow_secp a and b = Modular.reduce slow_secp b in
+       Nat.equal (Modular.mul fast_secp a b) (Modular.mul slow_secp a b))
+
+let prop_fast_mul_p256 =
+  QCheck.Test.make ~name:"p256 fast mul = Barrett mul" ~count:1000
+    (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+       let a = Modular.reduce slow_p256 a and b = Modular.reduce slow_p256 b in
+       Nat.equal (Modular.mul fast_p256 a b) (Modular.mul slow_p256 a b))
+
+(* The limb kernels against the immutable Nat operations they mirror. *)
+let prop_limb_kernels =
+  QCheck.Test.make ~name:"limb kernels match Nat ops" ~count:500
+    (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+       let bl = Array.make 20 0 in
+       let nb = Nat.to_limbs_into b bl in
+       let dst = Array.make 44 0 in
+       let na = Nat.to_limbs_into a dst in
+       let nadd = Nat.add_into dst na bl nb in
+       let ok_add = Nat.equal (Nat.of_limbs dst nadd) (Nat.add a b) in
+       let nsub = Nat.sub_into dst nadd bl nb in
+       let ok_sub = Nat.equal (Nat.of_limbs dst nsub) a in
+       let nam = Nat.addmul1_into dst nsub bl nb ~shift:1 977 in
+       let ok_addmul =
+         Nat.equal (Nat.of_limbs dst nam)
+           (Nat.add a (Nat.shift_left (Nat.mul b (Nat.of_int 977)) Nat.base_bits))
+       in
+       let prod = Array.make 40 0 in
+       let np = Nat.mul_into prod a b in
+       let ok_mul = Nat.equal (Nat.of_limbs prod np) (Nat.mul a b) in
+       ok_add && ok_sub && ok_addmul && ok_mul)
+
+(* Exercise the limb-wise long division (divisors > 1 limb). *)
+let prop_divmod_large_divisor =
+  QCheck.Test.make ~name:"divmod invariant, multi-limb divisors" ~count:300
+    (QCheck.pair arb_nat512 arb_nat)
+    (fun (a, b) ->
+       QCheck.assume (not (Nat.is_zero b));
+       let q, r = Nat.divmod a b in
+       Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let test_fast_reduction_edges () =
+  Alcotest.(check string) "secp strategy" "pseudo-mersenne-secp256k1"
+    (Modular.reduction_name fast_secp);
+  Alcotest.(check string) "p256 strategy" "word-sliding-p256"
+    (Modular.reduction_name fast_p256);
+  Alcotest.(check string) "non-curve modulus stays Barrett" "barrett"
+    (Modular.reduction_name (Modular.create (Nat.of_int 97)));
+  List.iter
+    (fun (name, prime, fast, slow) ->
+       let check label x =
+         Alcotest.check nat
+           (Printf.sprintf "%s %s" name label)
+           (Modular.reduce slow x) (Modular.reduce fast x)
+       in
+       let pm1 = Nat.sub prime Nat.one in
+       check "(p-1)^2" (Nat.mul pm1 pm1);
+       check "p itself" prime;
+       check "2p" (Nat.add prime prime);
+       check "2^512 - 1" (Nat.sub (Nat.shift_left Nat.one 512) Nat.one);
+       check "2^600 falls back" (Nat.shift_left Nat.one 600);
+       (* out-of-contract mul operands (>= p) still reduce correctly *)
+       Alcotest.check nat
+         (Printf.sprintf "%s unreduced mul operands" name)
+         (Modular.mul slow (Modular.reduce slow (Nat.add prime Nat.two)) Nat.two)
+         (Modular.mul fast (Nat.add prime Nat.two) Nat.two))
+    [ ("secp256k1", secp_p, fast_secp, slow_secp);
+      ("p256", p256_p, fast_p256, slow_p256) ]
+
 let test_barrett_edges () =
   (* single-limb fast path *)
   let ctx3 = Modular.create (Nat.of_int 3) in
@@ -242,10 +338,15 @@ let () =
          Alcotest.test_case "pow" `Quick test_modular_pow;
          Alcotest.test_case "inv prime" `Quick test_modular_inv;
          Alcotest.test_case "inv composite" `Quick test_modular_inv_composite;
-         Alcotest.test_case "Barrett edge cases" `Quick test_barrett_edges ]);
+         Alcotest.test_case "Barrett edge cases" `Quick test_barrett_edges;
+         Alcotest.test_case "fast reduction edge cases" `Quick test_fast_reduction_edges ]);
       ("nat-properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_add_comm; prop_add_assoc; prop_mul_comm; prop_mul_distributes;
-           prop_divmod_invariant; prop_sub_inverse; prop_sqr_is_mul;
-           prop_bytes_roundtrip; prop_decimal_roundtrip;
-           prop_barrett_matches_divmod; prop_pow_add_exponents; prop_inv_involutive ]) ]
+           prop_divmod_invariant; prop_divmod_large_divisor; prop_sub_inverse;
+           prop_sqr_is_mul; prop_bytes_roundtrip; prop_decimal_roundtrip;
+           prop_barrett_matches_divmod; prop_pow_add_exponents; prop_inv_involutive ]);
+      ("reduction-differential",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_fast_reduce_secp; prop_fast_reduce_p256;
+           prop_fast_mul_secp; prop_fast_mul_p256; prop_limb_kernels ]) ]

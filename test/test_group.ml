@@ -216,6 +216,107 @@ let prop_table_matches_plain =
   QCheck.Test.make ~name:"table mul = plain mul" ~count:30 arb_scalar
     (fun a -> Curve.equal c (Group_ctx.mul_g gctx a) (Curve.mul c a g))
 
+(* --- differential: fast scalar-multiplication paths ---------------------- *)
+
+(* Reference double-and-add, independent of every optimized path. *)
+let naive_mul curve k pt =
+  let k = Dd_bignum.Modular.reduce (Curve.scalar_field curve) k in
+  let acc = ref Curve.infinity in
+  for i = Nat.bit_length k - 1 downto 0 do
+    acc := Curve.double curve !acc;
+    if Nat.testbit k i then acc := Curve.add curve !acc pt
+  done;
+  !acc
+
+(* Both curves: the uniform fixed-window path covers a <> 0 arithmetic
+   on P-256, the wNAF path covers negated-point table entries. *)
+let curves = [ ("secp256k1", c, g); ("p256", p256, Curve.generator p256) ]
+
+let prop_mul_matches_naive =
+  QCheck.Test.make ~name:"mul and mul_vartime = naive double-and-add" ~count:25
+    (QCheck.pair arb_scalar arb_scalar)
+    (fun (a, k) ->
+       List.for_all
+         (fun (_, cv, gv) ->
+            let pt = naive_mul cv a gv in
+            let want = naive_mul cv k pt in
+            Curve.equal cv want (Curve.mul cv k pt)
+            && Curve.equal cv want (Curve.mul_vartime cv k pt))
+         curves)
+
+let prop_mul2_matches_parts =
+  QCheck.Test.make ~name:"mul2 table u v P = uG + vP" ~count:25
+    (QCheck.triple arb_scalar arb_scalar arb_scalar)
+    (fun (u, v, a) ->
+       let p = Curve.mul c a g in
+       let table = Group_ctx.g_table gctx in
+       Curve.equal c
+         (Curve.mul2 c table u v p)
+         (Curve.add c (naive_mul c u g) (naive_mul c v p)))
+
+let prop_to_affine_batch_matches =
+  QCheck.Test.make ~name:"to_affine_batch = pointwise to_affine" ~count:20
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 9) arb_scalar)
+    (fun ks ->
+       (* interleave finite points with infinities *)
+       let pts =
+         Array.of_list
+           (List.concat_map (fun k -> [ Curve.mul c k g; Curve.infinity ]) ks)
+       in
+       let batch = Curve.to_affine_batch c pts in
+       Array.for_all2
+         (fun got pt ->
+            match got, Curve.to_affine c pt with
+            | None, None -> true
+            | Some (x, y), Some (x', y') -> Nat.equal x x' && Nat.equal y y'
+            | _ -> false)
+         batch pts)
+
+let test_mul_edge_cases () =
+  List.iter
+    (fun (name, cv, gv) ->
+       let order = Curve.order cv in
+       let chk label want got =
+         Alcotest.(check bool) (Printf.sprintf "%s %s" name label) true
+           (Curve.equal cv want got)
+       in
+       chk "vartime 0*G = O" Curve.infinity (Curve.mul_vartime cv Nat.zero gv);
+       chk "vartime k*O = O" Curve.infinity
+         (Curve.mul_vartime cv (Nat.of_int 7) Curve.infinity);
+       chk "vartime n*G = O" Curve.infinity (Curve.mul_vartime cv order gv);
+       chk "vartime (n-1)*G = -G" (Curve.neg cv gv)
+         (Curve.mul_vartime cv (Nat.sub order Nat.one) gv);
+       chk "vartime (n+1)*G = G" gv
+         (Curve.mul_vartime cv (Nat.add order Nat.one) gv);
+       chk "fixed-window n*G = O" Curve.infinity (Curve.mul cv order gv);
+       chk "fixed-window (n-1)*G = -G" (Curve.neg cv gv)
+         (Curve.mul cv (Nat.sub order Nat.one) gv);
+       (* P + (-P) through the vartime adds *)
+       chk "P + (-P) = O" Curve.infinity
+         (Curve.add cv (Curve.mul_vartime cv Nat.two gv)
+            (Curve.neg cv (Curve.mul_vartime cv Nat.two gv))))
+    curves;
+  (* mul2 degenerate inputs *)
+  let table = Group_ctx.g_table gctx in
+  let chk label want got =
+    Alcotest.(check bool) label true (Curve.equal c want got)
+  in
+  chk "mul2 0 0 P = O" Curve.infinity (Curve.mul2 c table Nat.zero Nat.zero g);
+  chk "mul2 u 0 P = uG" (Curve.mul c (Nat.of_int 9) g)
+    (Curve.mul2 c table (Nat.of_int 9) Nat.zero g);
+  chk "mul2 0 v P = vP" (Curve.mul c (Nat.of_int 11) g)
+    (Curve.mul2 c table Nat.zero (Nat.of_int 11) g);
+  chk "mul2 with P = O" (Curve.mul c (Nat.of_int 5) g)
+    (Curve.mul2 c table (Nat.of_int 5) (Nat.of_int 13) Curve.infinity);
+  chk "mul2 order scalars = O" Curve.infinity
+    (Curve.mul2 c table (Curve.order c) (Curve.order c) g)
+
+let test_to_affine_batch_edges () =
+  Alcotest.(check int) "empty batch" 0 (Array.length (Curve.to_affine_batch c [||]));
+  (match Curve.to_affine_batch c [| Curve.infinity; Curve.infinity |] with
+   | [| None; None |] -> ()
+   | _ -> Alcotest.fail "all-infinity batch")
+
 let () =
   Alcotest.run "group"
     [ ("known-answers",
@@ -238,4 +339,10 @@ let () =
       ("group-laws",
        List.map QCheck_alcotest.to_alcotest
          [ prop_add_comm; prop_add_assoc; prop_scalar_distributes; prop_double_is_add;
-           prop_neg_inverse; prop_codec_roundtrip; prop_table_matches_plain ]) ]
+           prop_neg_inverse; prop_codec_roundtrip; prop_table_matches_plain ]);
+      ("scalar-mul-differential",
+       Alcotest.test_case "edge cases" `Quick test_mul_edge_cases
+       :: Alcotest.test_case "batch normalization edges" `Quick test_to_affine_batch_edges
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_mul_matches_naive; prop_mul2_matches_parts;
+              prop_to_affine_batch_matches ]) ]

@@ -60,6 +60,24 @@ let test_tampered_signature_rejected () =
   | Some s' -> Alcotest.(check bool) "tampered rejected" false (Schnorr.verify gctx ~pk "m" s')
   | None -> ()
 
+let test_verify_with_table () =
+  let rng = rng () in
+  let sk, pk = Schnorr.keygen gctx rng in
+  let pk_table = Schnorr.make_pk_table gctx pk in
+  let s = Schnorr.sign gctx rng ~sk ~pk "tabled" in
+  Alcotest.(check bool) "accepts" true
+    (Schnorr.verify_with_table gctx ~pk ~pk_table "tabled" s);
+  Alcotest.(check bool) "agrees with plain verify" true
+    (Schnorr.verify gctx ~pk "tabled" s
+     = Schnorr.verify_with_table gctx ~pk ~pk_table "tabled" s);
+  Alcotest.(check bool) "wrong message rejected" false
+    (Schnorr.verify_with_table gctx ~pk ~pk_table "tampered" s);
+  let _, pk2 = Schnorr.keygen gctx rng in
+  let s2 = Schnorr.sign gctx rng ~sk ~pk "other" in
+  Alcotest.(check bool) "mismatched table rejected" false
+    (Schnorr.verify_with_table gctx ~pk:pk2
+       ~pk_table:(Schnorr.make_pk_table gctx pk2) "other" s2)
+
 let prop_sign_verify =
   QCheck.Test.make ~name:"sign/verify completeness" ~count:15
     QCheck.(string_of_size (QCheck.Gen.int_range 0 100))
@@ -78,4 +96,5 @@ let () =
          Alcotest.test_case "randomized" `Quick test_signature_randomized;
          Alcotest.test_case "codec" `Quick test_codec;
          Alcotest.test_case "tampered" `Quick test_tampered_signature_rejected;
+         Alcotest.test_case "verify with pk table" `Quick test_verify_with_table;
          QCheck_alcotest.to_alcotest prop_sign_verify ]) ]
