@@ -57,7 +57,23 @@ let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
      with
      | Bb_reader.No_majority -> None
      | Bb_reader.Agreed fp ->
-       match List.find_opt (fun bb -> String.equal (fingerprint bb) fp) nodes with
+       (* adopt the bulk data from a node that not only matches the
+          replicated-init majority but also published the agreed final
+          set with its codes opened — a Byzantine node serving
+          tampered or incomplete state can share the (untampered) init
+          fingerprint, so fingerprint alone must not select it *)
+       let consistent bb =
+         String.equal (fingerprint bb) fp
+         && (match (Bb_node.published bb).Bb_node.final_set with
+             | Some s ->
+               List.length s = List.length final_set
+               && List.for_all2
+                    (fun (s1, c1) (s2, c2) -> s1 = s2 && Dd_crypto.Ct.equal c1 c2)
+                    s final_set
+             | None -> false)
+         && (Bb_node.published bb).Bb_node.opened_codes <> None
+       in
+       match List.find_opt consistent nodes with
        | None -> None
        | Some majority_node ->
          let pub = Bb_node.published majority_node in

@@ -23,18 +23,25 @@
 
 module Engine = Dd_sim.Engine
 module Net = Dd_sim.Net
+module Fault_plan = Dd_sim.Fault_plan
 module Stats = Dd_sim.Stats
 module Drbg = Dd_crypto.Drbg
 module Binary_batch = Dd_consensus.Binary_batch
+module Shamir_bytes = Dd_vss.Shamir_bytes
 
 type vote_intent = {
   vi_serial : int;
   vi_choice : int;
 }
 
-type byzantine_behavior =
-  | Silent                 (* crashes: receives everything, does nothing *)
-  | Drop_receipts          (* runs the protocol but never answers voters *)
+(* Re-exported so existing callers keep using Election.Silent etc. *)
+type byzantine_behavior = Adversary.behavior =
+  | Silent
+  | Drop_receipts
+  | Equivocate
+  | Corrupt_shares
+  | Byzantine_consensus
+  | Malformed_wire
 
 type fidelity =
   | Full of Ea.setup
@@ -49,7 +56,18 @@ type params = {
   concurrent_clients : int;
   votes : vote_intent list;
   byzantine_vc : (int * byzantine_behavior) list;
+  byzantine_bb : int list;  (* BB nodes answering with tampered state *)
+  faults : Fault_plan.t;    (* timed partitions, crashes, link faults *)
   voter_patience : float;
+  (* exponential backoff on top of [d]-patience: attempt k waits
+     patience * min(backoff^(k-1), cap) * (1 + U[0,jitter)) *)
+  retry_backoff : float;
+  retry_cap : float;
+  retry_jitter : float;
+  (* how many times a voter may clear an exhausted blacklist and start
+     over (after a backoff wait) before giving up; 1 = the original
+     single pass over the nodes *)
+  blacklist_rounds : int;
   coin : Binary_batch.coin;
   vc_machines : int;        (* physical machines hosting VC nodes *)
   vc_cores : int;
@@ -67,7 +85,11 @@ let default_params ?(fidelity = Modeled) cfg ~votes =
   { cfg; fidelity; seed = "election-seed";
     latency = Net.lan; costs = Cost_model.default;
     concurrent_clients = 40; votes;
-    byzantine_vc = []; voter_patience = 20.;
+    byzantine_vc = []; byzantine_bb = [];
+    faults = Fault_plan.none;
+    voter_patience = 20.;
+    retry_backoff = 2.0; retry_cap = 8.0; retry_jitter = 0.1;
+    blacklist_rounds = 1;
     coin = Binary_batch.Local;
     vc_machines = 4; vc_cores = 6;
     max_sim_time = 500_000.;
@@ -104,7 +126,26 @@ type result = {
   bb_nodes : Bb_node.t list;
   setup : Ea.setup option;
   vc_submit_sets : (int * (int * string) list) list;  (* per honest VC node *)
+  (* [true] when the run hit [max_sim_time] with events still queued —
+     timeout, as opposed to quiescence *)
+  timed_out : bool;
+  dropped : int;                          (* messages lost to faults *)
+  (* union over honest nodes of conflicting-UCERT observations:
+     (serial, node's certified code, conflicting certified code).
+     Empty whenever at most fv collectors are Byzantine. *)
+  ucert_conflicts : (int * string * string) list;
 }
+
+(* --- simulated-network topology, for building fault plans ----------- *)
+(* [run] registers nodes densely in this order, so ids are static:
+   VC i, then BB j, then trustee k, then client c; machines are
+   i mod vc_machines / 100+j / 200+k / 1000+c respectively. *)
+
+let vc_net_node (_ : params) i = i
+let bb_net_node p j = p.cfg.Types.nv + j
+let trustee_net_node p k = p.cfg.Types.nv + p.cfg.Types.nb + k
+let client_net_node p c = p.cfg.Types.nv + p.cfg.Types.nb + p.cfg.Types.nt + c
+let vc_machine p i = i mod p.vc_machines
 
 (* ---------------------------------------------------------------- *)
 
@@ -149,7 +190,7 @@ let run (p : params) : result =
    | Error e -> invalid_arg ("Election.run: " ^ e));
   let cfg = p.cfg in
   let engine = Engine.create ~seed:("engine|" ^ p.seed) in
-  let net = Net.create ~latency:p.latency engine in
+  let net = Net.create ~latency:p.latency ~faults:p.faults engine in
 
   (* --- node ids on the simulated network --- *)
   let vc_net = Array.init cfg.Types.nv (fun i ->
@@ -211,9 +252,22 @@ let run (p : params) : result =
 
   (* --- forward declarations for mutually recursive wiring --- *)
   let vc_nodes : Vc_node.t option array = Array.make cfg.Types.nv None in
+  let adversaries : Adversary.t option array = Array.make cfg.Types.nv None in
   let client_reply :
     (client:int -> req:int -> Types.vote_outcome -> unit) ref =
     ref (fun ~client:_ ~req:_ _ -> ())
+  in
+
+  (* Deliver a VC message: Byzantine destinations see it through their
+     adversary wrapper (which may act on it, forward it, or eat it). *)
+  let deliver_vc dst msg =
+    match vc_nodes.(dst) with
+    | None -> ()
+    | Some node ->
+      (match adversaries.(dst) with
+       | Some adv ->
+         Adversary.handle_incoming adv ~honest:(fun m -> Vc_node.handle node m) msg
+       | None -> Vc_node.handle node msg)
   in
 
   let vc_submitted = ref 0 in
@@ -236,19 +290,26 @@ let run (p : params) : result =
   (* --- VC node environments --- *)
   let make_vc_env i : Vc_node.env =
     let send_vc ~dst msg =
-      match byz dst with
-      | Some Silent -> ()   (* still charge the network, but drop handling *)
-      | _ ->
+      let msg =
+        match adversaries.(i) with
+        | None -> Some msg
+        | Some adv -> Adversary.transform_outgoing adv ~dst msg
+      in
+      match msg with
+      | None -> ()   (* withheld by the adversary *)
+      | Some msg ->
         let cost = vc_msg_cost p.costs cfg msg in
         let size = Messages.vc_msg_size msg in
         Net.send net ~src:vc_net.(i) ~dst:vc_net.(dst) ~size ~cost
-          (fun () ->
-             match vc_nodes.(dst) with
-             | Some node -> Vc_node.handle node msg
-             | None -> ())
+          (fun () -> deliver_vc dst msg)
     in
     let reply ~client ~req outcome =
-      if byz i = Some Drop_receipts then ()
+      let suppressed =
+        match byz i with
+        | Some b -> Adversary.suppresses_replies b
+        | None -> false
+      in
+      if suppressed then ()
       else
         Net.send net ~src:vc_net.(i) ~dst:client_net.(client) ~size:64 ~cost:0.00001
           (fun () -> !client_reply ~client ~req outcome)
@@ -272,7 +333,13 @@ let run (p : params) : result =
         (fun () ->
            match bb_nodes with
            | [] ->
-             (* modeled BB: final-set agreement only *)
+             (* modeled BB: final-set agreement only. A Byzantine BB
+                node simply contributes nothing to the emulated fb+1
+                agreement (its copy is tampered, hence never identical
+                to an honest one); real wrong-answer reads need full
+                fidelity's Bb_reader *)
+             if List.mem dst p.byzantine_bb then ()
+             else
              (match msg with
               | Messages.Vote_set_submit { sender; set; _ } ->
                 let sets =
@@ -302,6 +369,28 @@ let run (p : params) : result =
                 end
               | Messages.Trustee_post _ -> ())
            | nodes ->
+             (* a Byzantine BB node stores a tampered vote set and a
+                corrupted msk share, so every read it later serves is
+                genuinely wrong — Bb_reader's fb+1 majority must mask it *)
+             let msg =
+               if not (List.mem dst p.byzantine_bb) then msg
+               else
+                 match msg with
+                 | Messages.Vote_set_submit { sender; set; msk_share } ->
+                   let set = match set with [] -> [] | _ :: rest -> rest in
+                   let data = msk_share.Shamir_bytes.data in
+                   let data =
+                     if String.length data = 0 then data
+                     else
+                       String.mapi
+                         (fun k c ->
+                            if k = 0 then Char.chr (Char.code c lxor 0xFF) else c)
+                         data
+                   in
+                   Messages.Vote_set_submit
+                     { sender; set; msk_share = { msk_share with Shamir_bytes.data = data } }
+                 | Messages.Trustee_post _ -> msg
+             in
              (match List.nth_opt nodes dst with
               | Some bb -> Bb_node.handle bb msg
               | None -> ()))
@@ -321,7 +410,20 @@ let run (p : params) : result =
       verify_share_tags = (setup_opt <> None) }
   in
   for i = 0 to cfg.Types.nv - 1 do
-    vc_nodes.(i) <- Some (Vc_node.create (make_vc_env i))
+    let env = make_vc_env i in
+    vc_nodes.(i) <- Some (Vc_node.create env);
+    match byz i with
+    | None -> ()
+    | Some behavior ->
+      (* the adversary shares the node's store and keys (a Byzantine
+         insider holds genuine credentials) and sends through the same
+         transform-aware path *)
+      adversaries.(i) <-
+        Some
+          (Adversary.create ~behavior ~me:i ~cfg ~keys:env.Vc_node.keys
+             ~store:env.Vc_node.store ~gctx
+             ~rng:(Drbg.create ~seed:(Printf.sprintf "adv-rng|%s|%d" p.seed i))
+             ~send_vc:env.Vc_node.send_vc)
   done;
 
   (* --- full-mode trustees --- *)
@@ -441,17 +543,27 @@ let run (p : params) : result =
       if p.run_vsc then
         Array.iteri
           (fun i _ ->
-             match byz i, vc_nodes.(i) with
-             | None, Some node ->
+             let participates =
+               match byz i with
+               | None -> true
+               | Some b -> Adversary.runs_vsc b
+             in
+             match vc_nodes.(i) with
+             | Some node when participates ->
                Net.exec net ~dst:vc_net.(i) ~cost:0.001
                  (fun () -> Vc_node.start_vote_set_consensus node)
-             | _ -> ())
+             | Some _ | None -> ())
           vc_net
     end
   in
 
   let client_rng c = Drbg.create ~seed:(Printf.sprintf "client|%s|%d" p.seed c) in
   let client_rngs = Array.init n_clients client_rng in
+
+  let retry_delay c ~attempt =
+    Voter.retry_delay ~backoff:p.retry_backoff ~cap:p.retry_cap
+      ~jitter:p.retry_jitter client_rngs.(c) ~patience:p.voter_patience ~attempt
+  in
 
   let rec start_next c =
     match queues.(c) with
@@ -468,14 +580,23 @@ let run (p : params) : result =
         Voter.make_plan ~patience:p.voter_patience rng ~ballot:(ballot_for intent.vi_serial)
           ~choice:intent.vi_choice
       in
-      submit c plan 1
+      submit c plan ~attempt:1 ~round:1
 
-  and submit c plan attempt =
+  and submit c plan ~attempt ~round =
     let rng = client_rngs.(c) in
     match Voter.pick_node rng ~nv:cfg.Types.nv ~blacklist:blacklists.(c) with
     | None ->
-      incr exhausted;
-      start_next c
+      if round < p.blacklist_rounds then begin
+        (* every node timed out once: forget the blacklist and try the
+           whole cluster again after a backoff wait (the cluster may be
+           partitioned or crashed-and-recovering, not Byzantine) *)
+        blacklists.(c) <- [];
+        Engine.schedule_after engine ~delay:(retry_delay c ~attempt)
+          (fun () -> submit c plan ~attempt:(attempt + 1) ~round:(round + 1))
+      end else begin
+        incr exhausted;
+        start_next c
+      end
     | Some node ->
       incr next_req;
       let req = !next_req in
@@ -489,24 +610,17 @@ let run (p : params) : result =
             client = c; req }
       in
       let cost = vc_msg_cost p.costs cfg msg in
-      (match byz node with
-       | Some Silent ->
-         (* the node is down: the request vanishes; patience timer fires *)
-         ()
-       | _ ->
-         Net.send net ~src:client_net.(c) ~dst:vc_net.(node) ~size:(Messages.vc_msg_size msg)
-           ~cost
-           (fun () ->
-              match vc_nodes.(node) with
-              | Some vcn -> Vc_node.handle vcn msg
-              | None -> ()));
-      (* [d]-patience: blacklist and resubmit on timeout *)
-      Engine.schedule_after engine ~delay:p.voter_patience
+      Net.send net ~src:client_net.(c) ~dst:vc_net.(node) ~size:(Messages.vc_msg_size msg)
+        ~cost
+        (fun () -> deliver_vc node msg);
+      (* [d]-patience with exponential backoff: blacklist and resubmit
+         on timeout *)
+      Engine.schedule_after engine ~delay:(retry_delay c ~attempt)
         (fun () ->
            if Hashtbl.mem pending req then begin
              Hashtbl.remove pending req;
              blacklists.(c) <- node :: blacklists.(c);
-             submit c plan (attempt + 1)
+             submit c plan ~attempt:(attempt + 1) ~round
            end)
   in
 
@@ -532,7 +646,7 @@ let run (p : params) : result =
              incr receipts_bad;
              (* a bad receipt means a malicious responder: blacklist, retry *)
              blacklists.(c) <- node :: blacklists.(c);
-             submit c plan (attempt + 1)
+             submit c plan ~attempt:(attempt + 1) ~round:1
            end
          | Types.Rejected _ ->
            incr rejections;
@@ -550,7 +664,7 @@ let run (p : params) : result =
    | None -> ());
 
   (* run everything *)
-  ignore (Engine.run ~until:p.max_sim_time engine);
+  let _, run_outcome = Engine.run ~until:p.max_sim_time engine in
 
   (* --- results --- *)
   let tally =
@@ -602,4 +716,18 @@ let run (p : params) : result =
     bytes = Net.bytes_sent net;
     bb_nodes;
     setup = setup_opt;
-    vc_submit_sets = !honest_submits }
+    vc_submit_sets = !honest_submits;
+    timed_out = (match run_outcome with `Paused -> true | `Drained -> false);
+    dropped = Net.messages_dropped net;
+    ucert_conflicts =
+      (let acc = ref [] in
+       Array.iteri
+         (fun i node_opt ->
+            match node_opt, byz i with
+            | Some node, None ->
+              List.iter
+                (fun c -> if not (List.mem c !acc) then acc := c :: !acc)
+                (Vc_node.ucert_conflicts node)
+            | Some _, Some _ | None, _ -> ())
+         vc_nodes;
+       !acc) }

@@ -17,9 +17,15 @@ type vote_intent = {
   vi_choice : int;
 }
 
-type byzantine_behavior =
+(** Byzantine VC behaviors, re-exported from {!Adversary} (see there
+    for the attack each one mounts). *)
+type byzantine_behavior = Adversary.behavior =
   | Silent          (** crash-faulty: never responds to anything *)
   | Drop_receipts   (** runs the protocol but never answers voters *)
+  | Equivocate      (** endorses conflicting codes, attacking UCERT uniqueness *)
+  | Corrupt_shares  (** flips bytes in disclosed VOTE_P receipt shares *)
+  | Byzantine_consensus  (** corrupts/withholds Vote Set Consensus traffic *)
+  | Malformed_wire  (** re-encodes outgoing messages with a flipped byte *)
 
 type fidelity =
   | Full of Ea.setup
@@ -34,7 +40,13 @@ type params = {
   concurrent_clients : int;     (** the paper's "cc" *)
   votes : vote_intent list;
   byzantine_vc : (int * byzantine_behavior) list;
+  byzantine_bb : int list;      (** BB nodes serving tampered state (majority reads must mask them) *)
+  faults : Dd_sim.Fault_plan.t; (** timed partitions, crashes, link faults *)
   voter_patience : float;       (** the [d] of [d]-patience *)
+  retry_backoff : float;        (** attempt k waits patience * min(backoff^(k-1), cap) *)
+  retry_cap : float;
+  retry_jitter : float;         (** relative jitter in [0, retry_jitter) per wait *)
+  blacklist_rounds : int;       (** full passes over the cluster before a voter gives up *)
   coin : Dd_consensus.Binary_batch.coin;
   vc_machines : int;            (** physical machines hosting VC nodes *)
   vc_cores : int;
@@ -71,7 +83,30 @@ type result = {
   bb_nodes : Bb_node.t list;      (** full mode only (for auditing) *)
   setup : Ea.setup option;
   vc_submit_sets : (int * (int * string) list) list;
+  timed_out : bool;               (** hit [max_sim_time] with events still queued *)
+  dropped : int;                  (** messages lost to drops, cuts, crashes *)
+  ucert_conflicts : (int * string * string) list;
+  (** conflicting valid UCERTs observed by honest nodes, as (serial,
+      certified code, conflicting code) — the over-threshold
+      equivocation detection signal; empty with at most [fv] Byzantine
+      collectors *)
 }
+
+(** {2 Simulated-network topology}
+
+    [run] registers network nodes densely in creation order — VC nodes
+    first, then BB nodes, trustees, and clients — so fault plans can
+    target them by id. VC [i] lives on machine [i mod vc_machines], BB
+    [j] on machine [100 + j], trustee [k] on [200 + k], client [c] on
+    [1000 + c]. *)
+
+val vc_net_node : params -> int -> Dd_sim.Net.node_id
+val bb_net_node : params -> int -> Dd_sim.Net.node_id
+val trustee_net_node : params -> int -> Dd_sim.Net.node_id
+val client_net_node : params -> int -> Dd_sim.Net.node_id
+
+(** The physical machine hosting VC node [i]. *)
+val vc_machine : params -> int -> int
 
 (** The per-vote intents' ground-truth tally (duplicate serials count
     once). *)

@@ -82,6 +82,11 @@ type t = {
   (* counters for observability *)
   mutable votes_accepted : int;
   mutable receipts_issued : int;
+  (* valid UCERTs seen for a code conflicting with one we already hold
+     certified: (serial, our code, their code). Non-empty only when
+     more than fv collectors equivocated (Section III-D's uniqueness
+     argument) — the chaos harness's detection signal. *)
+  mutable ucert_conflicts : (int * string * string) list;
 }
 
 let create env =
@@ -96,7 +101,8 @@ let create env =
         pending_consensus = [] };
     quorum = env.cfg.Types.nv - env.cfg.Types.fv;
     votes_accepted = 0;
-    receipts_issued = 0 }
+    receipts_issued = 0;
+    ucert_conflicts = [] }
 
 let ballot_rt t serial =
   match Hashtbl.find_opt t.ballots serial with
@@ -119,6 +125,19 @@ let peers t = List.init t.env.cfg.Types.nv (fun i -> i) |> List.filter (fun i ->
 let multicast t msg = List.iter (fun dst -> t.env.send_vc ~dst msg) (peers t)
 
 let election_id t = t.env.cfg.Types.election_id
+
+(* Callers pass a [code] backed by a UCERT they already verified: if we
+   hold a certified code for the same serial and it differs, two valid
+   uniqueness certificates exist — record the safety violation. *)
+let note_conflict t serial (b : ballot_rt) ~code =
+  match b.ucert with
+  | Some u when not (Dd_crypto.Ct.equal u.Messages.u_code code) ->
+    if not
+        (List.exists
+           (fun (s, _, theirs) -> s = serial && Dd_crypto.Ct.equal theirs code)
+           t.ucert_conflicts)
+    then t.ucert_conflicts <- (serial, u.Messages.u_code, code) :: t.ucert_conflicts
+  | Some _ | None -> ()
 
 let verify_receipt_share t ~serial ~part ~pos ~node (share : Shamir_bytes.share) tag =
   share.Shamir_bytes.x = node + 1
@@ -276,6 +295,7 @@ let on_vote_p t ~sender ~serial ~vote_code ~part ~pos ~share ~share_tag ~ucert =
   && Dd_crypto.Ct.equal ucert.Messages.u_code vote_code
   then begin
     let b = ballot_rt t serial in
+    note_conflict t serial b ~code:vote_code;
     let lines = Ballot_store.lines t.env.store ~serial ~part in
     let pos_ok = pos >= 0 && pos < Array.length lines in
     (* the sender's disclosed share must carry the EA's authenticator
@@ -421,6 +441,7 @@ let adopt_entry t (serial, code, ucert) =
   && Messages.verify_ucert t.env.keys ~election_id:(election_id t) ~quorum:t.quorum ucert
   then begin
     let b = ballot_rt t serial in
+    note_conflict t serial b ~code;
     if b.ucert = None then begin
       b.ucert <- Some ucert;
       match b.status with
@@ -490,7 +511,26 @@ let on_recover_response t ~sender:_ ~entries =
 
 (* --- dispatch ---------------------------------------------------------- *)
 
+(* Dispatch guard: network input can be garbled or hostile, so reject
+   any message naming a peer id outside the cluster before a handler
+   uses it as a reply destination or a counting key. Deeper fields
+   (serials, positions, shares, tags) are validated by the handlers
+   against the ballot store and the EA's authenticators. *)
+let peer_plausible t (msg : Messages.vc_msg) =
+  let node i = i >= 0 && i < t.env.cfg.Types.nv in
+  match msg with
+  | Messages.Vote _ -> true
+  | Messages.Endorse { responder; _ } -> node responder
+  | Messages.Endorsement { signer; _ } -> node signer
+  | Messages.Vote_p { sender; _ } -> node sender
+  | Messages.Announce_batch { sender; _ } -> node sender
+  | Messages.Consensus { sender; _ } -> node sender
+  | Messages.Recover_request { sender; _ } -> node sender
+  | Messages.Recover_response { sender; _ } -> node sender
+
 let handle t (msg : Messages.vc_msg) =
+  if not (peer_plausible t msg) then ()
+  else
   match msg with
   | Messages.Vote { serial; vote_code; client; req } -> on_vote t ~client ~req ~serial ~vote_code
   | Messages.Endorse { serial; vote_code; responder } -> on_endorse t ~responder ~serial ~vote_code
@@ -506,4 +546,5 @@ let handle t (msg : Messages.vc_msg) =
 let phase t = t.phase
 let votes_accepted t = t.votes_accepted
 let receipts_issued t = t.receipts_issued
+let ucert_conflicts t = t.ucert_conflicts
 let decisions t = Array.copy t.vsc.decisions

@@ -37,5 +37,12 @@ val phase : t -> phase
 val votes_accepted : t -> int
 val receipts_issued : t -> int
 
+(** Valid uniqueness certificates seen for a code conflicting with one
+    this node already holds certified, as (serial, our code, their
+    code). Always empty with at most [fv] Byzantine collectors
+    (Section III-D); non-empty means equivocation beyond the fault
+    threshold was detected. *)
+val ucert_conflicts : t -> (int * string * string) list
+
 (** Per-ballot consensus outcomes ([None] until decided). *)
 val decisions : t -> bool option array

@@ -28,6 +28,22 @@ let expected_receipt plan =
 
 let receipt_valid plan receipt = Dd_crypto.Ct.equal receipt (expected_receipt plan)
 
+(* Exponential backoff with jitter on top of [d]-patience: attempt k
+   waits patience * min(backoff^(k-1), cap), stretched by up to
+   [jitter] relative jitter so retry storms against a recovering node
+   decorrelate. Attempt 1 is plain patience (the paper's [d]). *)
+let retry_delay ?(backoff = 2.0) ?(cap = 8.0) ?(jitter = 0.1) rng ~patience ~attempt =
+  let attempt = if attempt < 1 then 1 else attempt in
+  let mult = ref 1.0 in
+  for _ = 2 to attempt do
+    if !mult < cap then mult := !mult *. backoff
+  done;
+  let base = patience *. (if !mult > cap then cap else !mult) in
+  if jitter <= 0. then base
+  else
+    base
+    *. (1. +. (jitter *. float_of_int (Dd_crypto.Drbg.int rng 1000) /. 1000.))
+
 (* Pick the next VC node: uniform over the non-blacklisted ones. *)
 let pick_node rng ~nv ~blacklist =
   let candidates = List.filter (fun i -> not (List.mem i blacklist)) (List.init nv Fun.id) in

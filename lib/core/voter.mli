@@ -25,6 +25,17 @@ val expected_receipt : plan -> string
     paper; constant-time here). *)
 val receipt_valid : plan -> string -> bool
 
+(** [retry_delay rng ~patience ~attempt] is how long attempt [attempt]
+    (1-based) waits for a receipt before giving up on its node:
+    [patience * min(backoff^(attempt-1), cap)], stretched by a relative
+    jitter drawn uniformly from [[0, jitter)] — exponential backoff on
+    top of [d]-patience, so retry storms against a recovering or
+    partitioned cluster decorrelate. Attempt 1 waits plain [patience]
+    (up to jitter). *)
+val retry_delay :
+  ?backoff:float -> ?cap:float -> ?jitter:float -> Dd_crypto.Drbg.t ->
+  patience:float -> attempt:int -> float
+
 (** Choose a VC node uniformly among the non-blacklisted ones; [None]
     when every node has been blacklisted. *)
 val pick_node : Dd_crypto.Drbg.t -> nv:int -> blacklist:int list -> int option

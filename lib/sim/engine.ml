@@ -81,10 +81,19 @@ let schedule_at t ~at action =
 
 let schedule_after t ~delay action = schedule_at t ~at:(t.now +. delay) action
 
-(* Run until the queue drains or [until] is passed; returns the number
-   of events executed. *)
+type run_outcome = [ `Drained | `Paused ]
+
+(* Run until the queue drains or [until] is passed. Returns the number
+   of events executed and how the run ended:
+
+   - [`Drained]: the queue is empty. [now] stays at the last executed
+     event (it is NOT advanced to [until]) — quiescence, not timeout.
+   - [`Paused]: an event beyond [until] remains queued; it is pushed
+     back, [now] is set to exactly [until], and the caller may resume
+     later. *)
 let run ?until t =
   let executed = ref 0 in
+  let outcome = ref `Drained in
   let continue = ref true in
   while !continue do
     match pop t with
@@ -95,12 +104,13 @@ let run ?until t =
          (* put it back: the caller may resume later *)
          push t ev;
          t.now <- limit;
+         outcome := `Paused;
          continue := false
        | _ ->
          t.now <- ev.at;
          ev.action ();
          incr executed)
   done;
-  !executed
+  (!executed, !outcome)
 
 let pending t = t.size

@@ -17,10 +17,18 @@ val rng : t -> Dd_crypto.Drbg.t
 val schedule_at : t -> at:time -> (unit -> unit) -> unit
 val schedule_after : t -> delay:time -> (unit -> unit) -> unit
 
-(** Execute events until the queue drains, or until virtual time
-    exceeds [until] (remaining events stay queued and [now] advances
-    to [until]). Returns the number of events executed. *)
-val run : ?until:time -> t -> int
+(** How a {!run} ended: [`Drained] means the queue emptied — quiescence
+    — and [now] stays at the last executed event's time (it is {e not}
+    advanced to [until]); [`Paused] means an event beyond [until] is
+    still queued — timeout — the event stays queued, [now] is exactly
+    [until], and the run may be resumed with a later limit. *)
+type run_outcome = [ `Drained | `Paused ]
+
+(** Execute events in (time, seq) order until the queue drains or the
+    next event lies beyond [until]. Returns the number of events
+    executed and the {!run_outcome}. Without [until] the outcome is
+    always [`Drained]. *)
+val run : ?until:time -> t -> int * run_outcome
 
 (** Number of queued events. *)
 val pending : t -> int

@@ -1,0 +1,89 @@
+(** Declarative, time-windowed fault schedules for {!Net}.
+
+    A fault plan is a list of fault specifications — partitions,
+    per-link overrides, crashes, reordering, delay spikes — each active
+    over a half-open window [[from_, until_)] of virtual time. The plan
+    is pure data: {!Net.send} consults it on every send and samples any
+    probabilistic faults from the engine's seeded DRBG, so runs remain
+    pure functions of their seed.
+
+    Same-machine (loopback) deliveries are exempt from every link-level
+    fault (partitions, drops, duplication, reordering, spikes): local
+    channels in the paper's deployment model are reliable. Crashes
+    still apply — a crashed node neither sends nor receives anything,
+    including to and from itself over loopback, but its state survives
+    for recovery. *)
+
+type window = { from_ : float; until_ : float }
+
+type spec =
+  | Partition of { machines : int list; w : window }
+  | Link of {
+      src : int option;
+      dst : int option;
+      drop : float;
+      extra_delay : float;
+      jitter : float;
+      duplicate : float;
+      w : window;
+    }
+  | Crash of { node : int; at : float; recover : float option }
+  | Reorder of { prob : float; horizon : float; w : window }
+  | Delay_spike of { extra : float; w : window }
+
+type t = spec list
+
+val none : t
+
+(** Cut every link between the listed machines and all other machines
+    during the window. Links within the group, and within the rest of
+    the world, are unaffected. *)
+val partition : machines:int list -> from_:float -> until_:float -> spec
+
+(** Per-link override, matched on node ids ([None] = wildcard).
+    [drop]/[duplicate] compose with the base latency model's
+    probabilities as independent fault sources; [extra_delay] (plus
+    uniform [[0, jitter)]) adds to the sampled link latency. *)
+val link :
+  ?src:int -> ?dst:int -> ?drop:float -> ?extra_delay:float ->
+  ?jitter:float -> ?duplicate:float -> from_:float -> until_:float ->
+  unit -> spec
+
+(** Node [node] is network-dead from [at] until [recover] (forever when
+    [None]): it sends and receives nothing, but its in-memory state
+    survives — the crash-recover model. *)
+val crash : ?recover:float -> node:int -> at:float -> unit -> spec
+
+(** Each inter-machine message is independently held back by uniform
+    [[0, horizon)] with probability [prob] — bounded reordering. *)
+val reorder : prob:float -> horizon:float -> from_:float -> until_:float -> spec
+
+(** Flat extra latency on every inter-machine link during the window. *)
+val delay_spike : extra:float -> from_:float -> until_:float -> spec
+
+(** Is [node] crashed at virtual time [at]? *)
+val crashed : t -> node:int -> at:float -> bool
+
+(** The combined condition of one directed link at one instant.
+    [drop]/[duplicate] are the {e extra} probabilities from the plan
+    (to be composed with the base model by the caller); [reorder_*]
+    describe the bounded-reordering lottery. *)
+type link_condition = {
+  cut : bool;
+  drop : float;
+  extra_delay : float;
+  jitter : float;
+  duplicate : float;
+  reorder_prob : float;
+  reorder_horizon : float;
+}
+
+(** The no-fault condition. *)
+val clear : link_condition
+
+val link_condition :
+  t -> src:int -> src_machine:int -> dst:int -> dst_machine:int ->
+  at:float -> link_condition
+
+(** Human-readable summary, for chaos-runner replay lines. *)
+val describe : t -> string

@@ -7,7 +7,14 @@
    earliest-free core for its service time, and co-locating many nodes
    on one machine multiplies service times (the memory-bus contention
    the paper observed when packing four logical VC nodes per physical
-   machine). Faults: links can drop or duplicate, per a seeded DRBG.
+   machine). Faults: links can drop or duplicate, per a seeded DRBG,
+   and a declarative [Fault_plan] adds timed partitions, per-link
+   overrides, crashes, reordering, and delay spikes.
+
+   Only inter-machine links fault: same-machine (loopback) deliveries
+   are reliable, as local channels are in the paper's deployment
+   model. Crashes are the exception — a crashed node neither sends nor
+   receives anything, even over loopback.
 
    Messages are represented as closures, so the model is independent
    of any protocol's message type: the sender captures the typed
@@ -41,21 +48,24 @@ type node = {
 type t = {
   engine : Engine.t;
   latency : latency_model;
+  faults : Fault_plan.t;
   mutable nodes : node array;
   machine_population : (int, int) Hashtbl.t; (* machine -> node count *)
   contention : int -> float;  (* co-located node count -> service multiplier *)
   mutable messages_sent : int;
   mutable bytes_sent : int;
+  mutable messages_dropped : int;  (* drops, cuts, and crash losses *)
 }
 
 (* Default contention curve: up to 3 nodes per machine run at full
    speed; a 4th overloads the shared memory bus. *)
 let default_contention k = if k <= 3 then 1.0 else 1.0 +. 0.35 *. float_of_int (k - 3)
 
-let create ?(latency = lan) ?(contention = default_contention) engine =
-  { engine; latency; nodes = [||];
+let create ?(latency = lan) ?(contention = default_contention)
+    ?(faults = Fault_plan.none) engine =
+  { engine; latency; faults; nodes = [||];
     machine_population = Hashtbl.create 16;
-    contention; messages_sent = 0; bytes_sent = 0 }
+    contention; messages_sent = 0; bytes_sent = 0; messages_dropped = 0 }
 
 let engine t = t.engine
 let now t = Engine.now t.engine
@@ -105,27 +115,68 @@ let sample_latency t ~src ~dst =
     base +. t.latency.wan_extra
   end
 
+let machine_of t id = (node t id).machine
+
+let node_up t id = not (Fault_plan.crashed t.faults ~node:id ~at:(now t))
+
+(* Draw against probability [p]; never touches the DRBG when p = 0, so
+   fault-free runs keep their exact event schedule. *)
+let prob_hit rng p =
+  p > 0. && Dd_crypto.Drbg.int rng 1_000_000 < int_of_float (p *. 1e6)
+
+let drop_message t = t.messages_dropped <- t.messages_dropped + 1
+
 let send t ~src ~dst ~size ~cost action =
   let rng = Engine.rng t.engine in
-  let deliver () =
-    let latency = sample_latency t ~src ~dst in
-    t.messages_sent <- t.messages_sent + 1;
-    t.bytes_sent <- t.bytes_sent + size;
-    let arrival = now t +. latency in
-    let n = node t dst in
-    let finish = occupy_cpu t n ~from:arrival ~cost in
-    Engine.schedule_at t.engine ~at:finish action
-  in
-  let dropped =
-    t.latency.drop_prob > 0.
-    && Dd_crypto.Drbg.int rng 1_000_000 < int_of_float (t.latency.drop_prob *. 1e6)
-  in
-  if not dropped then begin
-    deliver ();
-    if t.latency.duplicate_prob > 0.
-    && Dd_crypto.Drbg.int rng 1_000_000 < int_of_float (t.latency.duplicate_prob *. 1e6)
-    then deliver ()
+  let s = node t src and d = node t dst in
+  let local = s.machine = d.machine in
+  let at = now t in
+  if Fault_plan.crashed t.faults ~node:src ~at then drop_message t
+  else begin
+    (* Loopback is reliable: only inter-machine links consult the base
+       drop/duplicate probabilities or the fault plan's link faults. *)
+    let cond =
+      if local then Fault_plan.clear
+      else
+        Fault_plan.link_condition t.faults ~src ~src_machine:s.machine
+          ~dst ~dst_machine:d.machine ~at
+    in
+    if cond.Fault_plan.cut then drop_message t
+    else if prob_hit rng (if local then 0. else t.latency.drop_prob)
+         || prob_hit rng cond.Fault_plan.drop
+    then drop_message t
+    else begin
+      let deliver () =
+        let latency = sample_latency t ~src ~dst in
+        let extra =
+          cond.Fault_plan.extra_delay
+          +. (if cond.Fault_plan.jitter > 0. then
+                cond.Fault_plan.jitter
+                *. float_of_int (Dd_crypto.Drbg.int rng 1000) /. 1000.
+              else 0.)
+          +. (if prob_hit rng cond.Fault_plan.reorder_prob then
+                cond.Fault_plan.reorder_horizon
+                *. float_of_int (Dd_crypto.Drbg.int rng 1000) /. 1000.
+              else 0.)
+        in
+        t.messages_sent <- t.messages_sent + 1;
+        t.bytes_sent <- t.bytes_sent + size;
+        let arrival = at +. latency +. extra in
+        (* A message in flight to a node that is down on arrival is lost;
+           CPU time is only occupied on live deliveries. *)
+        if Fault_plan.crashed t.faults ~node:dst ~at:arrival then drop_message t
+        else begin
+          let finish = occupy_cpu t d ~from:arrival ~cost in
+          Engine.schedule_at t.engine ~at:finish action
+        end
+      in
+      deliver ();
+      if prob_hit rng (if local then 0. else t.latency.duplicate_prob)
+      || prob_hit rng cond.Fault_plan.duplicate
+      then deliver ()
+    end
   end
 
 let messages_sent t = t.messages_sent
 let bytes_sent t = t.bytes_sent
+let messages_dropped t = t.messages_dropped

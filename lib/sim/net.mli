@@ -2,6 +2,13 @@
     drop and duplicate faults), per-node multi-core CPU queues, and a
     machine co-location contention multiplier reproducing the paper's
     memory-bus saturation at four logical nodes per physical machine.
+    A declarative {!Fault_plan} adds timed partitions, per-link
+    overrides, crash(-recover) schedules, bounded reordering, and delay
+    spikes.
+
+    Same-machine (loopback) deliveries are reliable: neither the base
+    [drop_prob]/[duplicate_prob] nor any link-level fault applies to
+    them. Crashed nodes send and receive nothing, loopback included.
 
     Messages are closures, so the model is protocol-agnostic. *)
 
@@ -25,7 +32,9 @@ val wan : ?extra:float -> unit -> latency_model
 
 type t
 
-val create : ?latency:latency_model -> ?contention:(int -> float) -> Engine.t -> t
+val create :
+  ?latency:latency_model -> ?contention:(int -> float) ->
+  ?faults:Fault_plan.t -> Engine.t -> t
 
 val engine : t -> Engine.t
 val now : t -> float
@@ -41,8 +50,20 @@ val exec_at : t -> dst:node_id -> at:float -> cost:float -> (unit -> unit) -> un
 
 (** Send a message of [size] bytes whose handling costs [cost] CPU
     seconds at the destination; [action] runs at handling completion.
-    Subject to link latency, drops, and duplication. *)
+    Inter-machine sends are subject to link latency, drops,
+    duplication, and the fault plan; same-machine sends only to
+    loopback latency (and endpoint crashes). *)
 val send : t -> src:node_id -> dst:node_id -> size:int -> cost:float -> (unit -> unit) -> unit
+
+(** The physical machine a node was registered on. *)
+val machine_of : t -> node_id -> int
+
+(** Is the node not crashed (per the fault plan) at the current virtual
+    time? *)
+val node_up : t -> node_id -> bool
 
 val messages_sent : t -> int
 val bytes_sent : t -> int
+
+(** Messages lost to drops, partition cuts, and endpoint crashes. *)
+val messages_dropped : t -> int
