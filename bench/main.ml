@@ -294,12 +294,54 @@ let micro () =
   let spoint = Seed_baseline.of_curve_point curve point in
   let pk_table = Dd_sig.Schnorr.make_pk_table gctx pk in
   let sig_s, sig_e =
+    (* signatures now encode (s, compressed R); the seed baseline's
+       (s, e) form is reconstructed by hashing R back into e *)
     let bytes = Dd_sig.Schnorr.encode gctx signature in
     let len = Curve.byte_len curve in
-    (Nat.of_bytes_be (String.sub bytes 0 len), Nat.of_bytes_be (String.sub bytes len len))
+    let r = Option.get (Curve.decode_compressed curve (String.sub bytes len (len + 1))) in
+    (Nat.of_bytes_be (String.sub bytes 0 len),
+     Dd_sig.Schnorr.challenge gctx ~commitment:r ~pk "endorse|bench|7|code")
   in
   let pts64 =
     Array.init 64 (fun i -> Curve.mul_int curve (i + 2) (Curve.generator curve))
+  in
+  (* msm operands: random scalars on random points, batch-verifier shape *)
+  let msm_pairs n =
+    Array.init n (fun i ->
+        (Dd_group.Group_ctx.random_scalar gctx rng,
+         Curve.mul curve (Dd_group.Group_ctx.random_scalar gctx rng)
+           (Curve.mul_int curve (i + 2) (Curve.generator curve))))
+  in
+  let msm64 = msm_pairs 64 and msm512 = msm_pairs 512 in
+  (* UCERT fixture: a 16-collector Schnorr clique at quorum Nv - fv = 11,
+     the worst-case Table I verification load *)
+  let ucert_keys =
+    Ddemos.Auth.deal_clique ~scheme:Ddemos.Auth.Schnorr_scheme ~gctx ~seed:"bench-ucert" ~n:16
+  in
+  let ucert_quorum = 11 in
+  let ucert =
+    let body = Ddemos.Messages.endorsement_body ~election_id:"bench-ucert" ~serial:7 ~code in
+    { Ddemos.Messages.u_serial = 7; u_code = code;
+      endorsements =
+        List.init ucert_quorum (fun i -> (i, Ddemos.Auth.sign ucert_keys.(i) body)) }
+  in
+  let ucert_verifier = ucert_keys.(12) in
+  (* whole-election audit fixture: a real 100-voter full-crypto election
+     whose BB view both audit variants then verify *)
+  let audit_view =
+    let cfg =
+      { Types.default_config with
+        Types.n_voters = 100; Types.m_options = 2; Types.election_id = "bench-audit" }
+    in
+    let setup = Ddemos.Ea.setup cfg ~seed:"bench-audit" in
+    let votes =
+      List.init 100 (fun i -> { Election.vi_serial = i; Election.vi_choice = i mod 2 })
+    in
+    let p = Election.default_params ~fidelity:(Election.Full setup) cfg ~votes in
+    let r = Election.run { p with Election.seed = "bench-audit"; concurrent_clients = 16 } in
+    match Ddemos.Auditor.assemble ~cfg ~gctx:setup.Ddemos.Ea.gctx r.Election.bb_nodes with
+    | Some v -> v
+    | None -> failwith "bench: audit view did not assemble"
   in
   let tests =
     [ (* fig 4a-4f: the vote-collection path *)
@@ -340,10 +382,23 @@ let micro () =
         (Staged.stage (fun () -> Dd_zkp.Ballot_proof.finalize gctx state ~challenge));
       Test.make ~name:"fig5c.opening-verify"
         (Staged.stage (fun () -> Dd_commit.Elgamal.verify gctx commitment opening));
+      (* fig 5c: the whole-election audit, batched vs equation-by-equation *)
+      Test.make ~name:"fig5c.audit-full.100"
+        (Staged.stage (fun () ->
+             [ Ddemos.Auditor.check_openings audit_view; Ddemos.Auditor.check_zk audit_view ]));
+      Test.make ~name:"fig5c.audit-full.100.loop"
+        (Staged.stage (fun () ->
+             [ Ddemos.Auditor.check_openings ~batch:false audit_view;
+               Ddemos.Auditor.check_zk ~batch:false audit_view ]));
       (* table 1: the Tcomp building block *)
       Test.make ~name:"table1.ucert-entry-verify"
         (Staged.stage (fun () ->
              Dd_sig.Schnorr.verify_with_table gctx ~pk ~pk_table "endorse|bench|7|code" signature));
+      (* table 1: a full quorum-11 UCERT through the batch verifier *)
+      Test.make ~name:"table1.ucert-verify-batch"
+        (Staged.stage (fun () ->
+             Ddemos.Messages.verify_ucert ucert_verifier ~election_id:"bench-ucert"
+               ~quorum:ucert_quorum ucert));
       (* arithmetic stack: field multiplication, before/after *)
       Test.make ~name:"arith.field-mul.secp256k1"
         (Staged.stage (fun () -> Modular.mul fp_secp fx fy));
@@ -366,7 +421,17 @@ let micro () =
       Test.make ~name:"arith.to-affine.batch64"
         (Staged.stage (fun () -> Curve.to_affine_batch curve pts64));
       Test.make ~name:"arith.to-affine.loop64"
-        (Staged.stage (fun () -> Array.map (Curve.to_affine curve) pts64)) ]
+        (Staged.stage (fun () -> Array.map (Curve.to_affine curve) pts64));
+      (* arithmetic stack: multi-scalar multiplication vs a mul loop *)
+      Test.make ~name:"arith.msm.64"
+        (Staged.stage (fun () -> Curve.msm curve msm64));
+      Test.make ~name:"arith.msm.512"
+        (Staged.stage (fun () -> Curve.msm curve msm512));
+      Test.make ~name:"arith.msm.loop64"
+        (Staged.stage (fun () ->
+             Array.fold_left
+               (fun acc (k, p) -> Curve.add curve acc (Curve.mul_vartime curve k p))
+               Curve.infinity msm64)) ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

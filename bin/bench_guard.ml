@@ -1,0 +1,67 @@
+(* Bench-regression guard: compare a fresh `bench micro --json` run
+   against the committed BENCH_micro.json baseline and fail when any
+   kernel regresses past the allowed factor.
+
+   Usage: bench_guard BASELINE.json FRESH.json [factor]
+
+   The factor defaults to 2.5x, deliberately loose: CI machines are
+   noisy and bechamel quick-mode estimates jitter by tens of percent,
+   so the guard only catches order-of-magnitude mistakes (a dropped
+   fast path, an accidental serial fallback), not small drifts. It is
+   advisory (continue-on-error) on pull requests and enforced on the
+   nightly sweep. *)
+
+let parse_results path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> Printf.eprintf "bench_guard: %s\n" msg; exit 2
+  in
+  let tbl = Hashtbl.create 64 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       (* result lines look like  "micro arith.msm.64": 27982565.4,  —
+          non-numeric metadata lines simply fail the scan and are
+          skipped *)
+       match Scanf.sscanf line "%S: %f" (fun k v -> (k, v)) with
+       | k, v -> Hashtbl.replace tbl k v
+       | exception Scanf.Scan_failure _ | exception Failure _ | exception End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  tbl
+
+let () =
+  let baseline, fresh, factor =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f, 2.5)
+    | [| _; b; f; x |] -> (b, f, float_of_string x)
+    | _ ->
+      prerr_endline "usage: bench_guard BASELINE.json FRESH.json [factor]";
+      exit 2
+  in
+  let base = parse_results baseline and cur = parse_results fresh in
+  if Hashtbl.length base = 0 then begin
+    Printf.eprintf "bench_guard: no results parsed from %s\n" baseline;
+    exit 2
+  end;
+  let regressions = ref [] and checked = ref 0 and missing = ref [] in
+  Hashtbl.iter
+    (fun key bv ->
+       match Hashtbl.find_opt cur key with
+       | None -> missing := key :: !missing
+       | Some cv ->
+         incr checked;
+         if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions)
+    base;
+  List.iter
+    (fun key -> Printf.printf "WARN  %s: present in baseline, missing from fresh run\n" key)
+    (List.sort compare !missing);
+  List.iter
+    (fun (key, bv, cv) ->
+       Printf.printf "FAIL  %s: %.1f -> %.1f ns/op (%.2fx > %.2fx allowed)\n"
+         key bv cv (cv /. bv) factor)
+    (List.sort compare !regressions);
+  Printf.printf "bench_guard: %d keys checked against %s, %d regression(s), factor %.2fx\n"
+    !checked baseline (List.length !regressions) factor;
+  if !regressions <> [] then exit 1

@@ -54,6 +54,34 @@ let verify gctx commitment opening =
   && Curve.equal c commitment.c2
     (Curve.add c (Group_ctx.mul_g gctx opening.msg) (Group_ctx.mul_h gctx opening.rand))
 
+(* Fold the two opening equations into an MSM accumulator under fresh
+   random weights: rand*G - c1 = O and msg*G + rand*H - c2 = O. The
+   G/H legs collapse into the accumulator's comb-table coefficients,
+   so a batch of n openings costs one 2n-point MSM instead of 3n
+   fixed-base multiplications. *)
+let accumulate gctx acc rng commitment (opening : opening) =
+  let fn = Group_ctx.scalar_field gctx in
+  let module Modular = Dd_bignum.Modular in
+  let msg = Modular.reduce fn opening.msg and rand = Modular.reduce fn opening.rand in
+  let w1 = Dd_group.Batch.weight rng in
+  Group_ctx.acc_add acc (Modular.mul fn w1 rand) (Group_ctx.g gctx);
+  Group_ctx.acc_sub acc w1 commitment.c1;
+  let w2 = Dd_group.Batch.weight rng in
+  Group_ctx.acc_add acc (Modular.mul fn w2 msg) (Group_ctx.g gctx);
+  Group_ctx.acc_add acc (Modular.mul fn w2 rand) (Group_ctx.h gctx);
+  Group_ctx.acc_sub acc w2 commitment.c2
+
+(* Verify many (commitment, opening) pairs at once; soundness 2^-128
+   per batch (see Dd_group.Batch). Vartime, public data only. *)
+let verify_batch gctx rng (items : (t * opening) array) =
+  match Array.length items with
+  | 0 -> true
+  | 1 -> let c, o = items.(0) in verify gctx c o
+  | _ ->
+    let acc = Group_ctx.msm_acc gctx in
+    Array.iter (fun (c, o) -> accumulate gctx acc rng c o) items;
+    Group_ctx.acc_check acc
+
 let equal gctx a b =
   let c = Group_ctx.curve gctx in
   Curve.equal c a.c1 b.c1 && Curve.equal c a.c2 b.c2

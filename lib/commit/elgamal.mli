@@ -34,6 +34,19 @@ val sum_openings : Group_ctx.t -> opening list -> opening
 (** Check that [opening] opens [t]. *)
 val verify : Group_ctx.t -> t -> opening -> bool
 
+(** Fold one pair's two opening equations into an MSM accumulator
+    under fresh random weights from the DRBG (building block for
+    {!verify_batch} and the unit-vector batch check). {b Variable
+    time} — published data only. *)
+val accumulate :
+  Group_ctx.t -> Group_ctx.msm_acc -> Dd_crypto.Drbg.t -> t -> opening -> unit
+
+(** Verify many (commitment, opening) pairs with one multi-scalar
+    multiplication; accepts a batch containing an invalid opening with
+    probability at most 2^-128. {b Variable time} — published data
+    only. *)
+val verify_batch : Group_ctx.t -> Dd_crypto.Drbg.t -> (t * opening) array -> bool
+
 val equal : Group_ctx.t -> t -> t -> bool
 
 (** Canonical byte encoding (for hashing into transcripts). *)

@@ -58,6 +58,22 @@ let verify gctx (c : t) (o : opening) =
     !ok
   end
 
+(* Batch the coordinate checks of many unit vectors: length checks
+   stay serial, every coordinate's two opening equations flatten into
+   one ElGamal batch (one MSM for the whole list). *)
+let verify_batch gctx rng (items : (t * opening) list) =
+  let ok = ref true in
+  let coords =
+    List.concat_map
+      (fun ((c : t), (o : opening)) ->
+         if Array.length c <> Array.length o then begin
+           ok := false; []
+         end
+         else Array.to_list (Array.mapi (fun i ci -> (ci, o.(i))) c))
+      items
+  in
+  !ok && Elgamal.verify_batch gctx rng (Array.of_list coords)
+
 (* Check an opening decodes to the unit vector for [choice]. *)
 let opening_is_unit (o : opening) ~choice =
   Array.length o > choice

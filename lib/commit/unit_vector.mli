@@ -26,6 +26,13 @@ val sum_openings : Dd_group.Group_ctx.t -> options:int -> opening list -> openin
 (** Verify every coordinate opening. *)
 val verify : Dd_group.Group_ctx.t -> t -> opening -> bool
 
+(** Verify many unit-vector openings at once: all coordinate equations
+    of all vectors fold into one multi-scalar multiplication
+    (soundness 2^-128 per batch; see {!Dd_group.Batch}). {b Variable
+    time} — published data only. *)
+val verify_batch :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> (t * opening) list -> bool
+
 (** Does the opening carry exactly the unit vector for [choice]? *)
 val opening_is_unit : opening -> choice:int -> bool
 

@@ -7,9 +7,11 @@
    catching a cheating EA by 2 (Theorem 3: error 2^-theta + 2^-d). *)
 
 module Elgamal = Dd_commit.Elgamal
+module Unit_vector = Dd_commit.Unit_vector
 module Ballot_proof = Dd_zkp.Ballot_proof
 module Challenge = Dd_zkp.Challenge
 module Group_ctx = Dd_group.Group_ctx
+module Batch = Dd_group.Batch
 module Nat = Dd_bignum.Nat
 
 type check = {
@@ -135,19 +137,46 @@ let check_single_part v =
   in
   check "c:single-part-used" ok "no ballot has both parts voted"
 
-(* (d) openings of unused parts are valid unit vectors *)
-let check_openings v =
-  let ok = ref true and checked = ref 0 in
-  Hashtbl.iter
-    (fun (serial, part) (openings : Elgamal.opening array array) ->
+(* First-offender bookkeeping for the expensive checks: keep the
+   failing (serial, part) with the smallest key so the report names a
+   deterministic culprit regardless of discovery order. *)
+type offender = { o_serial : int; o_part : Types.part_id; o_why : string }
+
+let note_offender bad serial part why =
+  let key = (serial, Types.part_index part) in
+  match !bad with
+  | Some o when (o.o_serial, Types.part_index o.o_part) <= key -> ()
+  | _ -> bad := Some { o_serial = serial; o_part = part; o_why = why }
+
+let offender_detail o =
+  Printf.sprintf "ballot %d part %s: %s" o.o_serial (Types.part_label o.o_part) o.o_why
+
+(* (d) openings of unused parts are valid unit vectors.
+
+   With [batch] (the default), all opening equations fold into one MSM
+   under Fiat-Shamir-derived random weights (the auditor holds no
+   entropy source; seeding the weights from the verified data itself
+   keeps audits replayable and is sound because the EA commits to the
+   data before the weights exist). A failing batch is bisected to name
+   the first offending (serial, part). The unit-ness of the committed
+   vectors is a cheap scalar check and stays serial on both paths. *)
+let check_openings ?(batch = true) v =
+  let items =
+    Hashtbl.fold (fun key op acc -> (key, op) :: acc) v.unused_openings []
+    |> List.sort (fun ((s1, p1), _) ((s2, p2), _) ->
+        compare (s1, Types.part_index p1) (s2, Types.part_index p2))
+  in
+  let bad = ref None and checked = ref 0 in
+  let crypto = ref [] in
+  List.iter
+    (fun ((serial, part), (openings : Elgamal.opening array array)) ->
        let entries = v.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
-       if Array.length openings <> Array.length entries then ok := false
+       if Array.length openings <> Array.length entries then
+         note_offender bad serial part "opening count does not match the ballot"
        else
          Array.iteri
            (fun pos per_coord ->
               incr checked;
-              let commitment = entries.(pos).Ea.commitment in
-              if not (Dd_commit.Unit_vector.verify v.gctx commitment per_coord) then ok := false;
               (* the committed vector must be a unit vector *)
               let ones =
                 Array.fold_left
@@ -157,11 +186,55 @@ let check_openings v =
                      else acc + 1000)
                   0 per_coord
               in
-              if ones <> 1 then ok := false)
+              if ones <> 1 then
+                note_offender bad serial part
+                  (Printf.sprintf "position %d does not open to a unit vector" pos);
+              crypto := (serial, part, pos, (entries.(pos).Ea.commitment, per_coord)) :: !crypto)
            openings)
-    v.unused_openings;
-  check "d:openings-valid" !ok
-    (Printf.sprintf "%d unused-part positions open to valid unit vectors" !checked)
+    items;
+  let crypto = Array.of_list (List.rev !crypto) in
+  if batch then begin
+    let seed_parts =
+      v.cfg.Types.election_id
+      :: List.concat_map
+        (fun (serial, part, pos, ((c : Unit_vector.t), (o : Unit_vector.opening))) ->
+           Printf.sprintf "%d:%s:%d" serial (Types.part_label part) pos
+           :: Unit_vector.encode v.gctx c
+           :: Array.to_list
+             (Array.map
+                (fun (op : Elgamal.opening) ->
+                   Nat.to_bytes_be ~len:32 op.Elgamal.msg
+                   ^ Nat.to_bytes_be ~len:32 op.Elgamal.rand)
+                o))
+        (Array.to_list crypto)
+    in
+    let check_range ~lo ~len =
+      if len = 1 then
+        (let _, _, _, (c, o) = crypto.(lo) in Unit_vector.verify v.gctx c o)
+      else
+        let rng =
+          Batch.derive_rng ~label:(Printf.sprintf "audit-openings:%d:%d" lo len) seed_parts
+        in
+        Unit_vector.verify_batch v.gctx rng
+          (Array.to_list (Array.map (fun (_, _, _, cv) -> cv) (Array.sub crypto lo len)))
+    in
+    match Batch.find_failures ~n:(Array.length crypto) ~check:check_range with
+    | [] -> ()
+    | idx :: _ ->
+      let serial, part, pos, _ = crypto.(idx) in
+      note_offender bad serial part (Printf.sprintf "position %d opening invalid" pos)
+  end
+  else
+    Array.iter
+      (fun (serial, part, pos, (c, o)) ->
+         if not (Unit_vector.verify v.gctx c o) then
+           note_offender bad serial part (Printf.sprintf "position %d opening invalid" pos))
+      crypto;
+  match !bad with
+  | None ->
+    check "d:openings-valid" true
+      (Printf.sprintf "%d unused-part positions open to valid unit vectors" !checked)
+  | Some o -> check "d:openings-valid" false (offender_detail o)
 
 (* voter coins and the master challenge, recomputed from public data *)
 let master_challenge v =
@@ -170,30 +243,75 @@ let master_challenge v =
   in
   Challenge.master v.gctx ~election_id:v.cfg.Types.election_id ~coins
 
-(* (e) ZK proofs of used parts verify under the recomputed challenge *)
-let check_zk v =
+(* (e) ZK proofs of used parts verify under the recomputed challenge.
+
+   Same batching strategy as (d): every ballot proof of every used
+   part folds into one MSM under Fiat-Shamir weights; bisection names
+   the first offending (serial, part) when the batch fails. *)
+let check_zk ?(batch = true) v =
   let master = master_challenge v in
-  let ok = ref true and checked = ref 0 in
+  let bad = ref None and checked = ref 0 in
+  let crypto = ref [] in
   List.iter
     (fun (serial, (part, _)) ->
        match Hashtbl.find_opt v.zk_finals (serial, part) with
-       | None -> ok := false
+       | None -> note_offender bad serial part "no ZK final move published"
        | Some finals ->
          let entries = v.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
-         if Array.length finals <> Array.length entries then ok := false
+         if Array.length finals <> Array.length entries then
+           note_offender bad serial part "final-move count does not match the ballot"
          else begin
            let challenge = Challenge.for_proof v.gctx ~master_challenge:master ~serial
              ~part:(match part with Types.A -> `A | Types.B -> `B) in
            Array.iteri
              (fun pos (e : Ea.bb_part_entry) ->
                 incr checked;
-                if not (Ballot_proof.verify v.gctx ~commitments:e.Ea.commitment e.Ea.zk_first
-                          ~challenge finals.(pos))
-                then ok := false)
+                crypto := (serial, part, pos,
+                           { Ballot_proof.commitments = e.Ea.commitment;
+                             fm = e.Ea.zk_first; challenge; fin = finals.(pos) }) :: !crypto)
              entries
          end)
-    v.voted;
-  check "e:zk-proofs" !ok (Printf.sprintf "%d used-part proofs verified" !checked)
+    (List.sort compare v.voted);
+  let crypto = Array.of_list (List.rev !crypto) in
+  let verify_one (inst : Ballot_proof.instance) =
+    Ballot_proof.verify v.gctx ~commitments:inst.Ballot_proof.commitments
+      inst.Ballot_proof.fm ~challenge:inst.Ballot_proof.challenge inst.Ballot_proof.fin
+  in
+  if batch then begin
+    let seed_parts =
+      v.cfg.Types.election_id
+      :: List.concat_map
+        (fun (serial, part, pos, (inst : Ballot_proof.instance)) ->
+           [ Printf.sprintf "%d:%s:%d" serial (Types.part_label part) pos;
+             Ballot_proof.encode_first_move v.gctx inst.Ballot_proof.fm;
+             Ballot_proof.encode_final_move inst.Ballot_proof.fin;
+             Nat.to_bytes_be ~len:32 inst.Ballot_proof.challenge ])
+        (Array.to_list crypto)
+    in
+    let check_range ~lo ~len =
+      if len = 1 then (let _, _, _, inst = crypto.(lo) in verify_one inst)
+      else
+        let rng =
+          Batch.derive_rng ~label:(Printf.sprintf "audit-zk:%d:%d" lo len) seed_parts
+        in
+        Ballot_proof.verify_batch v.gctx rng
+          (Array.map (fun (_, _, _, inst) -> inst) (Array.sub crypto lo len))
+    in
+    match Batch.find_failures ~n:(Array.length crypto) ~check:check_range with
+    | [] -> ()
+    | idx :: _ ->
+      let serial, part, pos, _ = crypto.(idx) in
+      note_offender bad serial part (Printf.sprintf "position %d proof invalid" pos)
+  end
+  else
+    Array.iter
+      (fun (serial, part, pos, inst) ->
+         if not (verify_one inst) then
+           note_offender bad serial part (Printf.sprintf "position %d proof invalid" pos))
+      crypto;
+  match !bad with
+  | None -> check "e:zk-proofs" true (Printf.sprintf "%d used-part proofs verified" !checked)
+  | Some o -> check "e:zk-proofs" false (offender_detail o)
 
 (* tally consistency: Esum from the final set opens to the published
    counts, and the counts sum to the number of voted ballots *)
@@ -245,12 +363,12 @@ let check_voter_unused v (info : Voter.audit_info) =
     check "g:unused-part-matches" !ok
       (Printf.sprintf "ballot %d's unused part matches the printed ballot" serial)
 
-let audit ?(voter_audits = []) v =
+let audit ?(voter_audits = []) ?batch v =
   [ check_distinct_codes v;
     check_single_submission v;
     check_single_part v;
-    check_openings v;
-    check_zk v;
+    check_openings ?batch v;
+    check_zk ?batch v;
     check_tally v ]
   @ List.concat_map (fun info -> [ check_voter_code v info; check_voter_unused v info ])
     voter_audits

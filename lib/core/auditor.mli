@@ -36,13 +36,22 @@ val assemble :
     unit vectors, (e) used-part ZK proofs verify under the voter-coin
     challenge, tally consistency, and — per delegated [voter_audits] —
     (f) the cast code is in the final set and (g) the opened unused
-    part matches the printed ballot. *)
-val audit : ?voter_audits:Voter.audit_info list -> view -> check list
+    part matches the printed ballot.
+
+    With [batch] (the default), the expensive checks (d) and (e) fold
+    their group equations into one multi-scalar multiplication each,
+    under random weights derived Fiat-Shamir-style from the audited
+    data (sound — the EA commits before the weights exist — and
+    replayable). A failing batch is bisected so the report still
+    names the first offending (serial, part). [~batch:false] keeps
+    the equation-by-equation reference path. *)
+val audit : ?voter_audits:Voter.audit_info list -> ?batch:bool -> view -> check list
 
 val all_ok : check list -> bool
 val pp_checks : Format.formatter -> check list -> unit
 
-(** Exposed for targeted testing. *)
-val check_zk : view -> check
-val check_openings : view -> check
+(** Exposed for targeted testing and benchmarks. On failure, [detail]
+    names the first offending (serial, part) on both paths. *)
+val check_zk : ?batch:bool -> view -> check
+val check_openings : ?batch:bool -> view -> check
 val check_voter_unused : view -> Voter.audit_info -> check

@@ -36,6 +36,8 @@ type keys = {
   pks : Schnorr.public_key array;       (* indexed by node id *)
   pk_tables : Schnorr.pk_table Lazy.t array;  (* comb tables, built on first
                                                  verify against that signer *)
+  pk_pre : Dd_group.Curve.precomp Lazy.t array;  (* wide msm tables for the
+                                                    batch path, same sharing *)
   mac_keys : string array;              (* pairwise keys, indexed by peer *)
   rng : Dd_crypto.Drbg.t;
 }
@@ -60,11 +62,13 @@ let deal_clique ~scheme ~gctx ~seed ~n =
   let pk_tables =
     Array.map (fun pk -> lazy (Schnorr.make_pk_table gctx pk)) pks
   in
+  let pk_pre = Array.map (fun pk -> lazy (Schnorr.precompute_pk gctx pk)) pks in
   Array.init n (fun i ->
       { scheme; me = i; gctx;
         sk = fst key_pairs.(i);
         pks;
         pk_tables;
+        pk_pre;
         mac_keys = Array.init n (fun j -> pair_key i j);
         rng = Dd_crypto.Drbg.fork master ~label:(Printf.sprintf "rng%d" i) })
 
@@ -87,3 +91,30 @@ let verify (k : keys) ~signer msg = function
     && signer >= 0 && signer < Array.length k.mac_keys
     && k.me < Array.length tags
     && Dd_crypto.Ct.equal tags.(k.me) (Dd_crypto.Hmac.sha256 ~key:k.mac_keys.(signer) msg)
+
+(* Verify many [(signer, msg, tag)] triples at once. Under
+   [Schnorr_scheme] the whole list folds into one randomized batch
+   (one MSM + one batch normalization — the UCERT hot path); HMACs
+   are already cheap, so [Mac_scheme] just checks serially. Weights
+   come from the node's own DRBG stream, so a Byzantine signer cannot
+   predict them. *)
+let verify_batch (k : keys) (items : (int * string * tag) list) =
+  match k.scheme with
+  | Mac_scheme -> List.for_all (fun (signer, msg, tag) -> verify k ~signer msg tag) items
+  | Schnorr_scheme ->
+    let ok = ref true in
+    let sigs =
+      List.filter_map
+        (fun (signer, msg, tag) ->
+           match tag with
+           | Schnorr_tag s when signer >= 0 && signer < Array.length k.pks ->
+             Some (signer, (k.pks.(signer), msg, s))
+           | _ -> ok := false; None)
+        items
+    in
+    !ok
+    && (let pre =
+          Array.of_list (List.map (fun (signer, _) -> Lazy.force k.pk_pre.(signer)) sigs)
+        in
+        Schnorr.verify_batch ~pre k.gctx k.rng
+          (Array.of_list (List.map snd sigs)))

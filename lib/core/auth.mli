@@ -22,6 +22,9 @@ type keys = {
   pks : Dd_sig.Schnorr.public_key array;
   pk_tables : Dd_sig.Schnorr.pk_table Lazy.t array;
       (** per-signer comb tables; forced on first Schnorr verify *)
+  pk_pre : Dd_group.Curve.precomp Lazy.t array;
+      (** per-signer wide msm tables; forced on first batch verify
+          against that signer *)
   mac_keys : string array;
   rng : Dd_crypto.Drbg.t;
 }
@@ -37,3 +40,10 @@ val sign : keys -> string -> tag
 (** [verify k ~signer msg tag]: does [tag] authenticate [msg] from
     [signer], as seen by node [k.me]? Cross-scheme tags never verify. *)
 val verify : keys -> signer:int -> string -> tag -> bool
+
+(** Verify many [(signer, msg, tag)] triples at once. Schnorr tags
+    fold into one randomized batch verification (soundness 2^-128 per
+    batch; the UCERT validation hot path); MAC tags are checked
+    serially. Any invalid signer index or cross-scheme tag fails the
+    batch. *)
+val verify_batch : keys -> (int * string * tag) list -> bool

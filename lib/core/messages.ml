@@ -20,7 +20,7 @@ let verify_ucert keys ~election_id ~quorum (u : ucert) =
   let body = endorsement_body ~election_id ~serial:u.u_serial ~code:u.u_code in
   let distinct = List.sort_uniq compare (List.map fst u.endorsements) in
   List.length distinct >= quorum
-  && List.for_all (fun (signer, tag) -> Auth.verify keys ~signer body tag) u.endorsements
+  && Auth.verify_batch keys (List.map (fun (signer, tag) -> (signer, body, tag)) u.endorsements)
 
 let share_body ~election_id ~serial ~part ~pos ~node ~(share : Dd_vss.Shamir_bytes.share) =
   String.concat "|"
@@ -57,7 +57,7 @@ type bb_msg =
 
 (* Rough wire sizes in bytes, for the network model. *)
 let tag_size = function
-  | Auth.Schnorr_tag _ -> 64
+  | Auth.Schnorr_tag _ -> 65   (* scalar s + compressed nonce point R *)
   | Auth.Mac_tag tags -> 32 * Array.length tags
 
 let ucert_size u =

@@ -16,17 +16,50 @@ type params = {
   name : string;
 }
 
+(* GLV endomorphism data for j-invariant-0 curves (secp256k1): with
+   beta a primitive cube root of unity mod p, (x, y) -> (beta*x, y) is
+   multiplication by the scalar lambda, and (a1, -b1), (a2, b2) is a
+   short lattice basis for splitting a 256-bit scalar into two signed
+   ~128-bit halves. Used only by the vartime msm path. *)
+type endo = {
+  e_lambda : Nat.t;     (* phi(P) = lambda * P *)
+  e_beta : Nat.t;       (* phi(x, y) = (beta * x, y) *)
+  e_a1 : Nat.t;
+  e_b1 : Nat.t;         (* magnitude; the basis vector is (a1, -b1) *)
+  e_a2 : Nat.t;
+  e_b2 : Nat.t;
+}
+
+type point =
+  | Infinity
+  | Jacobian of Nat.t * Nat.t * Nat.t  (* X, Y, Z with Z <> 0 *)
+
+(* Wide affine odd-multiple tables for a fixed point (and its phi-image
+   on endo curves), precomputed once and reused across msm calls. The
+   in-loop msm tables are width 5 because their build cost is paid per
+   call; a precomputed table affords width [precomp_width], cutting the
+   point's digit adds by a third and skipping its per-call table build
+   and normalization entirely. Used for the generator (every batch
+   verification folds its s_i*G legs into one generator term) and for
+   long-lived verification keys (a VC node checks every UCERT against
+   the same signer clique). *)
+type precomp = {
+  pre_pt : point;       (* the base point, affine-normalized *)
+  ptp : point array;    (* P, 3P, ..., (2^(w-1)-1)P, affine *)
+  ptn : point array;    (* negations *)
+  pphi : point array;   (* phi-images (x scaled by beta); [||] if no endo *)
+  pnphi : point array;
+}
+
 type t = {
   params : params;
   fp : Modular.ctx;     (* arithmetic mod p *)
   fn : Modular.ctx;     (* arithmetic mod order *)
   byte_len : int;       (* field element encoding length *)
   sqrt_e : Nat.t;       (* (p+1)/4, cached for field_sqrt (p = 3 mod 4) *)
+  endo : endo option;   (* GLV split for the msm path, where applicable *)
+  mutable gen_tables : precomp option;  (* lazy wide generator table *)
 }
-
-type point =
-  | Infinity
-  | Jacobian of Nat.t * Nat.t * Nat.t  (* X, Y, Z with Z <> 0 *)
 
 (* secp256k1: y^2 = x^3 + 7. *)
 let secp256k1 = {
@@ -52,13 +85,8 @@ let nist_p256 =
     name = "nist-p256";
   }
 
-let create ?(fast = true) params = {
-  params;
-  fp = Modular.create ~fast params.p;
-  fn = Modular.create ~fast params.order;
-  byte_len = (Nat.bit_length params.p + 7) / 8;
-  sqrt_e = Nat.shift_right (Nat.add params.p Nat.one) 2;
-}
+(* [create] lives below [mul_vartime]: validating the endomorphism
+   constants needs a scalar multiplication. *)
 
 let field t = t.fp
 let scalar_field t = t.fn
@@ -94,6 +122,7 @@ let to_affine_batch t pts =
       prefix.(i) <- !running;
       match pts.(i) with
       | Infinity -> ()
+      | Jacobian (_, _, z) when Nat.equal z Nat.one -> ()  (* already affine *)
       | Jacobian (_, _, z) -> running := Modular.mul fp !running z
     done;
     let inv_run = ref (Modular.inv fp !running) in
@@ -101,6 +130,7 @@ let to_affine_batch t pts =
     for i = n - 1 downto 0 do
       match pts.(i) with
       | Infinity -> ()
+      | Jacobian (x, y, z) when Nat.equal z Nat.one -> out.(i) <- Some (x, y)
       | Jacobian (x, y, z) ->
         let zi = Modular.mul fp !inv_run prefix.(i) in
         inv_run := Modular.mul fp !inv_run z;
@@ -139,9 +169,14 @@ let double t pt =
         Modular.double fp (Modular.sub fp t0 (Modular.add fp xx yyyy))
       in
       let m =
-        Modular.add fp
-          (Modular.add fp (Modular.double fp xx) xx)
-          (Modular.mul fp t.params.a (Modular.sqr fp zz))
+        (* a is a public curve constant, so branching on it leaks
+           nothing; a = 0 (secp256k1) skips a square and a multiply *)
+        if Nat.is_zero t.params.a then
+          Modular.add fp (Modular.double fp xx) xx
+        else
+          Modular.add fp
+            (Modular.add fp (Modular.double fp xx) xx)
+            (Modular.mul fp t.params.a (Modular.sqr fp zz))
       in
       let x3 = Modular.sub fp (Modular.sqr fp m) (Modular.double fp s) in
       let y3 =
@@ -225,30 +260,51 @@ let mul_int t k pt =
   if k < 0 then invalid_arg "Curve.mul_int: negative scalar";
   mul t (Nat.of_int k) pt
 
-(* Width-5 wNAF digit expansion: MSB-first list of digits in
-   {0, +-1, +-3, ..., +-15}, adjacent nonzero digits separated by at
-   least four zeros. Consing while consuming the scalar LSB-first
-   leaves the most significant digit at the head. *)
-let wnaf5 k =
-  let digits = ref [] in
-  let k = ref k in
-  while not (Nat.is_zero !k) do
-    if Nat.is_odd !k then begin
-      let d =
-        (if Nat.testbit !k 0 then 1 else 0)
-        lor (if Nat.testbit !k 1 then 2 else 0)
-        lor (if Nat.testbit !k 2 then 4 else 0)
-        lor (if Nat.testbit !k 3 then 8 else 0)
-        lor (if Nat.testbit !k 4 then 16 else 0)
-      in
-      let d = if d >= 16 then d - 32 else d in
-      digits := d :: !digits;
-      if d >= 0 then k := Nat.sub !k (Nat.of_int d)
-      else k := Nat.add !k (Nat.of_int (-d))
-    end else digits := 0 :: !digits;
-    k := Nat.shift_right !k 1
-  done;
-  !digits
+(* Width-w wNAF digit expansion: MSB-first list of odd digits in
+   {0, +-1, +-3, ..., +-(2^(w-1)-1)}, adjacent nonzero digits separated
+   by at least w-1 zeros. Works on the scalar's raw bytes with an int
+   carry — per-bit bignum arithmetic would dominate msm setup time.
+   Consing while consuming the scalar LSB-first leaves the most
+   significant digit at the head. *)
+let wnaf w k =
+  if Nat.is_zero k then []
+  else begin
+    let half = 1 lsl (w - 1) in
+    let full = 1 lsl w in
+    let bytes = Nat.to_bytes_be k in
+    let nb = String.length bytes in
+    let bit i =
+      let byte = nb - 1 - (i lsr 3) in
+      if byte < 0 then 0 else (Char.code (String.unsafe_get bytes byte) lsr (i land 7)) land 1
+    in
+    let nbits = 8 * nb in
+    let digits = ref [] in
+    let carry = ref 0 in
+    let i = ref 0 in
+    while !i < nbits || !carry = 1 do
+      let b = bit !i + !carry in
+      if b land 1 = 0 then begin
+        carry := b lsr 1;
+        digits := 0 :: !digits;
+        incr i
+      end else begin
+        (* odd position: take w bits; subtracting 2^w when the window
+           tops 2^(w-1)-1 pushes a carry into the next window *)
+        let d = ref b in
+        for j = 1 to w - 1 do d := !d lor (bit (!i + j) lsl j) done;
+        let d, c = if !d >= half then (!d - full, 1) else (!d, 0) in
+        carry := c;
+        digits := d :: !digits;
+        for _ = 1 to w - 1 do digits := 0 :: !digits done;
+        i := !i + w
+      end
+    done;
+    (* trim leading zeros so digit-string lengths stay tight *)
+    let rec drop = function 0 :: tl -> drop tl | l -> l in
+    drop !digits
+  end
+
+let wnaf5 k = wnaf 5 k
 
 (* Odd multiples 1P, 3P, ..., 15P and their negations, indexed by d/2
    for odd digit d. *)
@@ -275,6 +331,52 @@ let mul_vartime t k pt =
       (wnaf5 k);
     !acc
   end
+
+(* Candidate GLV constants for secp256k1: lambda, beta and the short
+   lattice basis, as in libsecp256k1. They are verified algebraically
+   by [endo_valid] before use, so a bad constant degrades [msm] to the
+   generic path instead of producing wrong results. *)
+let secp256k1_endo = {
+  e_lambda = Nat.of_hex "5363ad4cc05c30e0a5261c028812645a122e22ea20816678df02967c1b23bd72";
+  e_beta = Nat.of_hex "7ae96a2b657c07106e64479eac3434e99cf0497512f58995c1396c28719501ee";
+  e_a1 = Nat.of_hex "3086d221a7d46bcde86c90e49284eb15";
+  e_b1 = Nat.of_hex "e4437ed6010e88286f547fa90abfe4c3";
+  e_a2 = Nat.of_hex "114ca50f7a8e2f3f657c1108d9d44cfd8";
+  e_b2 = Nat.of_hex "3086d221a7d46bcde86c90e49284eb15";
+}
+
+(* Accept an endomorphism only if it checks out on this curve: the
+   curve must have a = 0 (j-invariant 0), beta must be a nontrivial
+   cube root of unity mod p (so (x, y) -> (beta*x, y) maps the curve
+   to itself), (beta*gx, gy) must equal lambda*G (pinning the map to
+   multiplication by lambda rather than lambda^2), and the lattice
+   basis must satisfy a1 = b1*lambda and a2 = -b2*lambda (mod n). *)
+let endo_valid t e =
+  let fp = t.fp and fn = t.fn in
+  Nat.is_zero t.params.a
+  && not (Nat.equal e.e_beta Nat.one)
+  && Nat.equal (Modular.mul fp e.e_beta (Modular.sqr fp e.e_beta)) Nat.one
+  && Nat.equal (Modular.mul fn e.e_b1 e.e_lambda) (Modular.reduce fn e.e_a1)
+  && Nat.is_zero
+       (Modular.add fn (Modular.reduce fn e.e_a2) (Modular.mul fn e.e_b2 e.e_lambda))
+  && (match to_affine t (mul_vartime t e.e_lambda (generator t)) with
+      | Some (x, y) ->
+        Nat.equal x (Modular.mul fp e.e_beta t.params.gx) && Nat.equal y t.params.gy
+      | None -> false)
+
+let create ?(fast = true) params =
+  let t = {
+    params;
+    fp = Modular.create ~fast params.p;
+    fn = Modular.create ~fast params.order;
+    byte_len = (Nat.bit_length params.p + 7) / 8;
+    sqrt_e = Nat.shift_right (Nat.add params.p Nat.one) 2;
+    endo = None;
+    gen_tables = None;
+  } in
+  if String.equal params.name "secp256k1" && endo_valid t secp256k1_endo
+  then { t with endo = Some secp256k1_endo }
+  else t
 
 (* Fixed-base multiplication with a per-curve precomputed window table
    for the generator: 4-bit windows over the 256-bit scalar. *)
@@ -331,6 +433,363 @@ let mul2 t (table : base_table) u v p =
     if d <> 0 then acc := add t !acc table.(w).(d)
   done;
   !acc
+
+(* --- multi-scalar multiplication (batch verification kernel) ---------- *)
+
+(* Mixed addition p + q where q is affine-normalized (Z = 1), by
+   madd-2007-bl: drops the Z2 arithmetic of the general formula (~30%
+   fewer field mults per add). Callers must only pass a [q] built by
+   [of_affine] (or Infinity); both are exactly what [normalize_batch]
+   below produces. *)
+let add_mixed t p q =
+  match p, q with
+  | Infinity, r | r, Infinity -> r
+  | Jacobian (x1, y1, z1), Jacobian (x2, y2, _z2) ->
+    let fp = t.fp in
+    let z1z1 = Modular.sqr fp z1 in
+    let u2 = Modular.mul fp x2 z1z1 in
+    let s2 = Modular.mul fp y2 (Modular.mul fp z1 z1z1) in
+    if Nat.equal x1 u2 then begin
+      if Nat.equal y1 s2 then double t p else Infinity
+    end else begin
+      let h = Modular.sub fp u2 x1 in
+      let i = Modular.sqr fp (Modular.double fp h) in
+      let j = Modular.mul fp h i in
+      let r = Modular.double fp (Modular.sub fp s2 y1) in
+      let v = Modular.mul fp x1 i in
+      let x3 = Modular.sub fp (Modular.sub fp (Modular.sqr fp r) j) (Modular.double fp v) in
+      let y3 =
+        Modular.sub fp
+          (Modular.mul fp r (Modular.sub fp v x3))
+          (Modular.double fp (Modular.mul fp y1 j))
+      in
+      let z3 = Modular.double fp (Modular.mul fp z1 h) in
+      if Nat.is_zero z3 then Infinity else Jacobian (x3, y3, z3)
+    end
+
+(* Re-express every point with Z = 1 (one inversion total, Montgomery's
+   trick), so the msm inner loops can take [add_mixed]. Infinity maps to
+   Infinity, which [add_mixed] handles. *)
+let normalize_batch t pts =
+  Array.map
+    (function None -> Infinity | Some xy -> of_affine t xy)
+    (to_affine_batch t pts)
+
+(* GLV decomposition k = k1 + k2*lambda (mod n), both halves ~128 bits.
+   c1 = round(b2*k/n) and c2 = round(b1*k/n) project k onto the short
+   basis; k1 = k - c1*a1 - c2*a2 and k2 = c1*b1 - c2*b2 come out signed,
+   returned as (negate, magnitude). The identity holds for *any* c1,
+   c2 once [endo_valid] has checked the basis congruences — the
+   rounding only controls how short the halves are, never soundness. *)
+let endo_split t e k =
+  (* n is within 2^-127 of 2^bits, so dividing by n rounds the same as
+     shifting by bits up to +-2 — which only lengthens the halves by a
+     couple of bits, never breaks the k1 + k2*lambda identity. *)
+  let bits = Nat.bit_length t.params.order in
+  let round_div num = Nat.shift_right num bits in
+  let c1 = round_div (Nat.mul e.e_b2 k) in
+  let c2 = round_div (Nat.mul e.e_b1 k) in
+  let signed_sub a b =
+    if Nat.compare a b >= 0 then (false, Nat.sub a b) else (true, Nat.sub b a)
+  in
+  let k1 = signed_sub k (Nat.add (Nat.mul c1 e.e_a1) (Nat.mul c2 e.e_a2)) in
+  let k2 = signed_sub (Nat.mul c1 e.e_b1) (Nat.mul c2 e.e_b2) in
+  (k1, k2)
+
+(* Window width for precomputed tables: 2^(8-2) = 64 odd multiples,
+   cutting the point's digit density from 1/6 (width 5) to 1/9 for a
+   one-time build of ~64 additions per point. *)
+let precomp_width = 8
+
+let precompute t p =
+  match to_affine t p with
+  | None ->
+    (* the identity contributes nothing; msm drops such terms *)
+    { pre_pt = Infinity; ptp = [||]; ptn = [||]; pphi = [||]; pnphi = [||] }
+  | Some xy ->
+    let p = of_affine t xy in
+    let half = 1 lsl (precomp_width - 2) in
+    let p2 =
+      match to_affine t (double t p) with
+      | Some xy -> of_affine t xy
+      | None -> assert false (* 2P = O is impossible in an odd-order group *)
+    in
+    let tbl = Array.make half p in
+    for i = 1 to half - 1 do tbl.(i) <- add_mixed t tbl.(i - 1) p2 done;
+    let tbl = normalize_batch t tbl in
+    let phi =
+      match t.endo with
+      | None -> [||]
+      | Some e ->
+        Array.map
+          (function
+            | Infinity -> Infinity
+            | Jacobian (x, y, z) -> Jacobian (Modular.mul t.fp e.e_beta x, y, z))
+          tbl
+    in
+    { pre_pt = p; ptp = tbl; ptn = Array.map (neg t) tbl;
+      pphi = phi; pnphi = Array.map (neg t) phi }
+
+let precomp_point pc = pc.pre_pt
+
+let gen_tables t =
+  match t.gen_tables with
+  | Some g -> g
+  | None ->
+    let gt = precompute t (generator t) in
+    t.gen_tables <- Some gt;
+    gt
+
+(* Joint Strauss for small-to-medium batches: per-point wNAF digit
+   strings share one doubling chain, so n points cost ~256 doubles
+   total plus sparse adds each, instead of n*(256 doubles + adds) run
+   serially. The per-point odd-multiple tables are batch-normalized
+   once so every digit add is a mixed add.
+
+   Each entry is one digit string walking a (positive, negative) table
+   pair. On a curve with a GLV endomorphism, a full-width scalar splits
+   into two ~128-bit strings — the second walking a phi-image of the
+   first's table (x scaled by beta: one field mul per entry instead of
+   rebuilding the odd multiples) — which halves the length of the
+   shared doubling chain; signs fold in by swapping the table pair.
+   Scalars already short enough to be single strings (the batch
+   verifiers' 128-bit random weights) get width-4 tables instead: with
+   only one string amortizing the table, the smaller build wins.
+   Generator terms skip table building entirely via the process-wide
+   [gen_tables]. *)
+let msm_strauss t (pre : (Nat.t * precomp) array) (pairs : (Nat.t * point) array) =
+  (* generator terms ride the process-wide precomputed table instead of
+     building a per-call one *)
+  let is_gen = function
+    | Jacobian (x, y, z) ->
+      Nat.equal z Nat.one && Nat.equal x t.params.gx && Nat.equal y t.params.gy
+    | Infinity -> false
+  in
+  let pre =
+    let extra = ref [] in
+    Array.iter (fun (k, p) -> if is_gen p then extra := (k, gen_tables t) :: !extra) pairs;
+    if !extra = [] then pre else Array.append pre (Array.of_list !extra)
+  in
+  let pairs =
+    if Array.exists (fun (_, p) -> is_gen p) pairs
+    then Array.of_list (List.filter (fun (_, p) -> not (is_gen p)) (Array.to_list pairs))
+    else pairs
+  in
+  let n = Array.length pairs in
+  (* per-pair odd-multiple table size: 4 = single short string (the
+     batch verifiers' 128-bit weights), 8 = full width / GLV *)
+  let sizes = Array.make n 8 in
+  (match t.endo with
+   | None -> ()
+   | Some _ ->
+     Array.iteri
+       (fun j (k, _) -> if Nat.bit_length k <= 140 then sizes.(j) <- 4)
+       pairs);
+  let offs = Array.make n 0 in
+  let total = ref 0 in
+  for j = 0 to n - 1 do
+    offs.(j) <- !total;
+    total := !total + sizes.(j)
+  done;
+  (* Normalize every input point and its double first (one shared
+     inversion): the odd-multiple additions per point then all take the
+     mixed path instead of the full Jacobian formula, and the base
+     entries enter the flat table already affine. *)
+  let base = Array.make (2 * n) Infinity in
+  Array.iteri
+    (fun j (_, p) ->
+       base.(2 * j) <- p;
+       base.(2 * j + 1) <- double t p)
+    pairs;
+  let base = normalize_batch t base in
+  let flat = Array.make (max !total 1) Infinity in
+  for j = 0 to n - 1 do
+    let sz = sizes.(j) in
+    let off = offs.(j) in
+    flat.(off) <- base.(2 * j);
+    let p2 = base.(2 * j + 1) in
+    for i = 1 to sz - 1 do
+      flat.(off + i) <- add_mixed t flat.(off + i - 1) p2
+    done
+  done;
+  let flat = normalize_batch t flat in
+  let nflat = Array.map (neg t) flat in
+  let glv w m1 m2 tp tn ptp ptn =
+    let entry (negate, m) a b =
+      if Nat.is_zero m then None
+      else if negate then Some (Array.of_list (wnaf w m), b, a, 0)
+      else Some (Array.of_list (wnaf w m), a, b, 0)
+    in
+    List.filter_map Fun.id [ entry m1 tp tn; entry m2 ptp ptn ]
+  in
+  let pre_entries =
+    List.concat_map
+      (fun (k, pc) ->
+         match t.endo with
+         | Some e when Array.length pc.pphi > 0 ->
+           let m1, m2 = endo_split t e k in
+           glv precomp_width m1 m2 pc.ptp pc.ptn pc.pphi pc.pnphi
+         | _ -> [ (Array.of_list (wnaf precomp_width k), pc.ptp, pc.ptn, 0) ])
+      (Array.to_list pre)
+  in
+  let pair_entries =
+    match t.endo with
+    | None ->
+      List.mapi
+        (fun j (k, _) -> (Array.of_list (wnaf 5 k), flat, nflat, offs.(j)))
+        (Array.to_list pairs)
+    | Some e ->
+      (* phi maps a normalized (x, y, 1) to (beta*x, y, 1), so the
+         phi-slice entries stay valid mixed-add inputs; the slice is
+         eight field multiplications, not eight point additions *)
+      let phi_slice off =
+        let f =
+          Array.init 8 (fun i ->
+              match flat.(off + i) with
+              | Infinity -> Infinity
+              | Jacobian (x, y, z) -> Jacobian (Modular.mul t.fp e.e_beta x, y, z))
+        in
+        (f, Array.map (neg t) f)
+      in
+      List.concat
+        (List.mapi
+           (fun j (k, _) ->
+              if sizes.(j) = 4 then
+                [ (Array.of_list (wnaf 4 k), flat, nflat, offs.(j)) ]
+              else begin
+                let m1, m2 = endo_split t e k in
+                let off = offs.(j) in
+                let sl p = Array.sub p off 8 in
+                let phi, nphi = phi_slice off in
+                glv 5 m1 m2 (sl flat) (sl nflat) phi nphi
+              end)
+           (Array.to_list pairs))
+  in
+  let entries = Array.of_list (pre_entries @ pair_entries) in
+  let maxlen =
+    Array.fold_left (fun m (d, _, _, _) -> max m (Array.length d)) 0 entries
+  in
+  (* Resolve every nonzero digit to its table point up front: the
+     doubling loop then walks a per-position add schedule with no
+     per-entry bookkeeping inside it (shorter digit strings align at
+     the least-significant end). Add order within a position is
+     irrelevant — the group is abelian. *)
+  let sched = Array.make (max maxlen 1) [] in
+  Array.iter
+    (fun (d, tp, tn, off) ->
+       let shift = maxlen - Array.length d in
+       Array.iteri
+         (fun pos dg ->
+            if dg > 0 then sched.(pos + shift) <- tp.(off + dg / 2) :: sched.(pos + shift)
+            else if dg < 0 then sched.(pos + shift) <- tn.(off + (-dg) / 2) :: sched.(pos + shift))
+         d)
+    entries;
+  let acc = ref Infinity in
+  for i = 0 to maxlen - 1 do
+    acc := double t !acc;
+    List.iter (fun q -> acc := add_mixed t !acc q) sched.(i)
+  done;
+  !acc
+
+(* Bucketed Pippenger for large batches: per c-bit window, points
+   accumulate into their digit's bucket (mixed adds against the
+   batch-normalized inputs) and the window sum comes out of a running
+   suffix sum; cost is ~windows * (n + 2^(c+1)) adds + 256 doubles,
+   sublinear per point once n dominates the bucket count. *)
+let msm_pippenger t ~window:c (pairs : (Nat.t * point) array) =
+  let pts = normalize_batch t (Array.map snd pairs) in
+  let nbits = Nat.bit_length t.params.order in
+  let windows = (nbits + c - 1) / c in
+  let nbuckets = (1 lsl c) - 1 in
+  let buckets = Array.make (nbuckets + 1) Infinity in
+  let digit k w =
+    let base = w * c in
+    let d = ref 0 in
+    for b = c - 1 downto 0 do
+      d := (!d lsl 1) lor (if Nat.testbit k (base + b) then 1 else 0)
+    done;
+    !d
+  in
+  let acc = ref Infinity in
+  for w = windows - 1 downto 0 do
+    if w < windows - 1 then for _ = 1 to c do acc := double t !acc done;
+    Array.fill buckets 0 (nbuckets + 1) Infinity;
+    Array.iteri
+      (fun i (k, _) ->
+         let d = digit k w in
+         if d <> 0 then buckets.(d) <- add_mixed t buckets.(d) pts.(i))
+      pairs;
+    (* sum_d d * bucket(d) as a running suffix sum: the suffix sum after
+       step d is bucket(d) + ... + bucket(max), and adding it once per
+       step contributes each bucket exactly d times *)
+    let suffix = ref Infinity and wsum = ref Infinity in
+    for d = nbuckets downto 1 do
+      suffix := add t !suffix buckets.(d);
+      wsum := add t !wsum !suffix
+    done;
+    acc := add t !acc !wsum
+  done;
+  !acc
+
+(* Multi-scalar multiplication sum_i k_i * P_i (+ sum_j k_j * Q_j for
+   precomputed Q_j). Strategy is chosen from the (post-filtering) batch
+   size: wNAF Strauss while the shared doubling chain dominates,
+   bucketed Pippenger once bucket reuse wins (precomputed tables are
+   flattened back to plain pairs there — bucket accumulation never
+   walks odd-multiple tables); [?window] forces the Pippenger path with
+   the given window width (differential tests use this to cover both
+   paths at small n). Variable time — public scalars and points only
+   (curve.mli). *)
+let msm_dispatch ?window t (pre : (Nat.t * precomp) array) (pairs : (Nat.t * point) array) =
+  (* Scalars of one or two bits (notably the pinned weight 1 some batch
+     verifiers use) are cheaper as a couple of direct additions than as
+     a table-and-digit-string entry. *)
+  let tiny = ref Infinity in
+  let keep_tiny k p =
+    let kp =
+      match Nat.to_int k with
+      | 1 -> p
+      | 2 -> double t p
+      | _ -> add t p (double t p)
+    in
+    tiny := add t !tiny kp
+  in
+  let live_filter to_pt l =
+    Array.of_list
+      (List.filter_map
+         (fun (k, x) ->
+            let k = Modular.reduce t.fn k in
+            if Nat.is_zero k || is_infinity (to_pt x) then None
+            else if Nat.bit_length k <= 2 then (keep_tiny k (to_pt x); None)
+            else Some (k, x))
+         (Array.to_list l))
+  in
+  let live_pre = live_filter (fun pc -> pc.pre_pt) pre in
+  let live = live_filter (fun p -> p) pairs in
+  let main =
+    match window, Array.length live_pre, Array.length live with
+    | None, 0, 0 -> Infinity
+    | None, 0, 1 -> let k, p = live.(0) in mul_vartime t k p
+    | None, np, n when np + n <= 256 -> msm_strauss t live_pre live
+    | _ ->
+      let flat =
+        Array.append (Array.map (fun (k, pc) -> (k, pc.pre_pt)) live_pre) live
+      in
+      let c =
+        match window with
+        | Some c ->
+          if c < 1 || c > 16 then invalid_arg "Curve.msm: window out of range";
+          c
+        | None ->
+          let rec ilog2 v = if v <= 1 then 0 else 1 + ilog2 (v lsr 1) in
+          min 12 (max 4 (ilog2 (Array.length flat) - 2))
+      in
+      if Array.length flat = 0 then Infinity else msm_pippenger t ~window:c flat
+  in
+  add t main !tiny
+
+let msm ?window t pairs = msm_dispatch ?window t [||] pairs
+let msm_pre t pre pairs = msm_dispatch t pre pairs
 
 let equal t p q =
   match p, q with

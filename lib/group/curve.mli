@@ -19,10 +19,13 @@
       ops are not constant-time, so this is uniformity of operation
       sequence, not a full constant-time guarantee.)
     - {b Public data} (signature verification, proof verification,
-      checking commitments already on the wire): {!mul_vartime} and
-      {!mul2} are substantially faster but their operation count and
-      branching depend on the scalar's value. Never pass them a
-      secret. *)
+      checking commitments already on the wire): {!mul_vartime},
+      {!mul2} and {!msm} are substantially faster but their operation
+      count and branching depend on the scalar's value. Never pass
+      them a secret. The randomized batch verifiers built on {!msm}
+      ([Schnorr.verify_batch], [Chaum_pedersen.verify_batch], the
+      commitment/VSS batch openings) inherit this rule: batch
+      verification is for public transcripts only. *)
 
 module Nat = Dd_bignum.Nat
 module Modular = Dd_bignum.Modular
@@ -110,6 +113,41 @@ val mul_base_table : t -> base_table -> Nat.t -> point
     adds for [u*B] share one accumulator. {b Variable time}: public
     inputs only — this is the verifier's kernel ([s*G + e*PK]). *)
 val mul2 : t -> base_table -> Nat.t -> Nat.t -> point -> point
+
+(** [msm t pairs] is the multi-scalar multiplication
+    [sum_i k_i * P_i]. Zero scalars and infinity points are skipped;
+    the algorithm is chosen from the surviving batch size: joint
+    width-5 wNAF Strauss (one shared doubling chain, per-point
+    odd-multiple tables batch-normalized so digit adds are mixed adds)
+    for small batches, bucketed Pippenger above ~256 points with the
+    window width derived from [n]. [?window] forces the Pippenger path
+    with that width (used by differential tests to cover both paths at
+    any size). This is the kernel behind the randomized batch
+    verifiers. {b Variable time}: public scalars and points only. *)
+val msm : ?window:int -> t -> (Nat.t * point) array -> point
+
+(** Wide precomputed odd-multiple tables (width 8, and the GLV
+    phi-image on curves with an endomorphism) for a point that recurs
+    across many msm calls — the generator gets one automatically, and
+    long-lived verification keys are worth one: a batch verifier checks
+    every certificate against the same signer set, so the table build
+    amortizes exactly like the serial path's comb tables. The identity
+    precomputes to an empty table that [msm_pre] skips. *)
+type precomp
+val precompute : t -> point -> precomp
+
+(** The affine-normalized base point behind a precomputed table —
+    callers that also need the point itself (e.g. to hash its canonical
+    encoding) can reuse the normalization paid at build time. *)
+val precomp_point : precomp -> point
+
+(** [msm_pre t pre pairs] is [msm] over the concatenation of both term
+    lists, with the [pre] terms walking their precomputed tables
+    instead of per-call ones (wider windows, no table build or
+    normalization cost). Falls back to flattening the precomputed
+    terms into plain pairs on the Pippenger path. {b Variable time}:
+    public scalars and points only. *)
+val msm_pre : t -> (Nat.t * precomp) array -> (Nat.t * point) array -> point
 
 val equal : t -> point -> point -> bool
 

@@ -55,6 +55,73 @@ let mul_vartime t k pt =
 (* u*G + v*P in one Strauss-Shamir pass: the verifier's kernel. *)
 let mul2_g t u v pt = Curve.mul2 t.curve t.g_table u v pt
 
+(* Multi-scalar multiplication over the shared curve (vartime, public
+   data only — see the timing contract in curve.mli). *)
+let msm t pairs = Curve.msm t.curve pairs
+
+(* --- MSM accumulator for the randomized batch verifiers -------------- *)
+(* Batch verifiers fold many equations sum_j k_j * P_j = O into one
+   linear combination. Most terms hit the two fixed generators, so the
+   accumulator recognizes G and H by physical equality (the same trick
+   as [mul]) and folds their coefficients into two scalars; at check
+   time those two legs go through the doubling-free comb tables and
+   only the remaining terms pay for the MSM. *)
+
+type msm_acc = {
+  actx : t;
+  mutable ag : Nat.t;                        (* coefficient of G *)
+  mutable ah : Nat.t;                        (* coefficient of H *)
+  mutable terms : (Nat.t * Curve.point) list;
+  mutable pterms : (Nat.t * Curve.precomp) list;  (* precomputed-table terms *)
+  mutable nterms : int;
+}
+
+let msm_acc t =
+  { actx = t; ag = Nat.zero; ah = Nat.zero; terms = []; pterms = []; nterms = 0 }
+
+let acc_add a k p =
+  let fn = Curve.scalar_field a.actx.curve in
+  if p == a.actx.g then a.ag <- Modular.add fn a.ag k
+  else if p == a.actx.h then a.ah <- Modular.add fn a.ah k
+  else begin
+    a.terms <- (k, p) :: a.terms;
+    a.nterms <- a.nterms + 1
+  end
+
+(* Accumulate k * Q for a point with a precomputed wide table (e.g. a
+   cached verification key): the MSM then skips Q's per-call table
+   build and walks the wider precomputed windows. *)
+let acc_add_pre a k pc =
+  a.pterms <- (k, pc) :: a.pterms;
+  a.nterms <- a.nterms + 1
+
+(* Accumulate k * (-P): subtraction side of a verification equation. *)
+let acc_sub a k p =
+  let fn = Curve.scalar_field a.actx.curve in
+  if p == a.actx.g then a.ag <- Modular.sub fn a.ag k
+  else if p == a.actx.h then a.ah <- Modular.sub fn a.ah k
+  else begin
+    a.terms <- (k, Curve.neg a.actx.curve p) :: a.terms;
+    a.nterms <- a.nterms + 1
+  end
+
+(* Does the accumulated combination equal the identity? When there are
+   free terms, the folded G/H coefficients ride along as two more MSM
+   pairs — their marginal cost inside the shared Strauss chain is below
+   a comb multiplication, especially once the GLV split halves the
+   chain. With no free terms (pure fixed-base batches), the comb tables
+   win and the MSM is skipped entirely. *)
+let acc_check a =
+  let t = a.actx in
+  match a.terms, a.pterms with
+  | [], [] ->
+    Curve.is_infinity (Curve.add t.curve (mul_g t a.ag) (mul_h t a.ah))
+  | terms, pterms ->
+    let terms = if Nat.is_zero a.ag then terms else (a.ag, t.g) :: terms in
+    let terms = if Nat.is_zero a.ah then terms else (a.ah, t.h) :: terms in
+    Curve.is_infinity
+      (Curve.msm_pre t.curve (Array.of_list pterms) (Array.of_list terms))
+
 let order t = Curve.order t.curve
 let scalar_field t = Curve.scalar_field t.curve
 

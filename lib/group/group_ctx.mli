@@ -39,6 +39,32 @@ val mul_vartime : t -> Nat.t -> Curve.point -> Curve.point
     {b Variable time} — verification only. *)
 val mul2_g : t -> Nat.t -> Nat.t -> Curve.point -> Curve.point
 
+(** {!Curve.msm} over the shared curve. {b Variable time} —
+    verification only. *)
+val msm : t -> (Nat.t * Curve.point) array -> Curve.point
+
+(** MSM accumulator for the randomized batch verifiers: collects terms
+    [k * P] (or [k * -P] via {!acc_sub}) of a folded verification
+    equation. Terms hitting the (physically equal) fixed generators G
+    and H fold into two scalar coefficients served by the comb tables
+    at {!acc_check} time; everything else lands in one {!Curve.msm}.
+    {b Variable time} — public equation data only. *)
+type msm_acc
+
+val msm_acc : t -> msm_acc
+val acc_add : msm_acc -> Nat.t -> Curve.point -> unit
+val acc_sub : msm_acc -> Nat.t -> Curve.point -> unit
+
+(** [acc_add_pre a k pc] accumulates [k * Q] for a point with a
+    precomputed wide msm table ({!Curve.precompute}) — long-lived
+    verification keys skip their per-call table build this way. *)
+val acc_add_pre : msm_acc -> Nat.t -> Curve.precomp -> unit
+
+(** [acc_check a] holds iff the accumulated combination is the
+    identity — i.e. every folded equation holds (up to the 2^-128
+    weight-collision probability, see {!Batch}). *)
+val acc_check : msm_acc -> bool
+
 val order : t -> Nat.t
 val scalar_field : t -> Modular.ctx
 

@@ -7,39 +7,57 @@ module Nat = Dd_bignum.Nat
 module Modular = Dd_bignum.Modular
 module Group_ctx = Dd_group.Group_ctx
 module Curve = Dd_group.Curve
+module Batch = Dd_group.Batch
 
 type secret_key = Nat.t
 type public_key = Curve.point
 
+(* The signature carries the nonce commitment R rather than the
+   challenge hash e: verifiers recompute e = H(R, pk, msg) and check
+   the group equation s*G + e*PK = R directly, which is what makes
+   signatures *batchable* — n equations fold into one random linear
+   combination and a single MSM (with the (s, e) encoding, each R
+   would first have to be recovered by its own full mul2). Cost of the
+   serial path is unchanged: one double-scalar multiplication plus a
+   point equality instead of plus a hash comparison. *)
 type signature = {
   s : Nat.t;
-  e : Nat.t;   (* challenge hash; (s, e) encoding makes verification cheap *)
+  r : Curve.point;
 }
 
 let keygen gctx rng =
   let sk = Group_ctx.random_scalar gctx rng in
   (sk, Group_ctx.mul_g gctx sk)
 
+let domain = "schnorr-sig"
+
 let challenge gctx ~commitment ~pk msg =
   let curve = Group_ctx.curve gctx in
   Curve.hash_to_scalar curve
-    [ "schnorr-sig"; Curve.encode curve commitment; Curve.encode curve pk; msg ]
+    [ domain; Curve.encode curve commitment; Curve.encode curve pk; msg ]
 
 let sign gctx rng ~sk ~pk msg =
   let fn = Group_ctx.scalar_field gctx in
   let k = Group_ctx.random_scalar gctx rng in
-  let r = Group_ctx.mul_g gctx k in
+  let r =
+    (* store R in canonical affine form: it travels on the wire, and a
+       decoded signature must compare structurally equal to the
+       original (k is nonzero mod n, so R is never the identity) *)
+    let curve = Group_ctx.curve gctx in
+    match Curve.to_affine curve (Group_ctx.mul_g gctx k) with
+    | Some xy -> Curve.of_affine curve xy
+    | None -> Curve.infinity
+  in
   let e = challenge gctx ~commitment:r ~pk msg in
   let s = Modular.sub fn k (Modular.mul fn e sk) in
-  { s; e }
+  { s; r }
 
 (* Verification works on public data only, so it may take the
    variable-time multi-scalar paths (see the timing contract in
    curve.mli). *)
-let verify gctx ~pk msg { s; e } =
-  (* r' = s*G + e*PK; valid iff H(r', pk, msg) = e *)
-  let r' = Group_ctx.mul2_g gctx s e pk in
-  Nat.equal e (challenge gctx ~commitment:r' ~pk msg)
+let verify gctx ~pk msg { s; r } =
+  let e = challenge gctx ~commitment:r ~pk msg in
+  Curve.equal (Group_ctx.curve gctx) (Group_ctx.mul2_g gctx s e pk) r
 
 (* A comb table for PK turns e*PK into doubling-free comb adds; with
    many signatures under one key (every endorsement a node checks
@@ -48,25 +66,104 @@ type pk_table = Curve.base_table
 
 let make_pk_table gctx pk = Curve.make_base_table (Group_ctx.curve gctx) pk
 
-let verify_with_table gctx ~pk ~pk_table msg { s; e } =
+let verify_with_table gctx ~pk ~pk_table msg { s; r } =
   let curve = Group_ctx.curve gctx in
-  let r' =
-    Curve.add curve (Group_ctx.mul_g gctx s)
-      (Curve.mul_base_table curve pk_table e)
-  in
-  Nat.equal e (challenge gctx ~commitment:r' ~pk msg)
+  let e = challenge gctx ~commitment:r ~pk msg in
+  Curve.equal curve
+    (Curve.add curve (Group_ctx.mul_g gctx s) (Curve.mul_base_table curve pk_table e))
+    r
 
-let encode gctx { s; e } =
-  let len = Curve.byte_len (Group_ctx.curve gctx) in
-  Nat.to_bytes_be ~len s ^ Nat.to_bytes_be ~len e
+(* A wide precomputed msm table for a verification key: with the same
+   signer set checked over and over (every UCERT carries the same VC
+   clique), the batch path amortizes per-key tables exactly like
+   [verify_with_table] amortizes its comb table on the serial path. *)
+let precompute_pk gctx pk = Curve.precompute (Group_ctx.curve gctx) pk
+
+(* Batch verification: fold n equations s_i*G + e_i*PK_i - R_i = O
+   with independent random weights into one MSM (soundness 2^-128 per
+   batch; see Batch). The challenge hashes need every R_i and PK_i in
+   affine form, so one Montgomery-trick normalization replaces the n
+   point-encoding inversions the serial path pays — at UCERT batch
+   sizes that amortization is worth as much as the MSM itself. [?pre]
+   supplies a per-item precomputed table for the public keys (parallel
+   to [items]); the keys then skip both the normalization here and
+   their table builds inside the MSM. *)
+let verify_batch ?pre gctx rng (items : (Curve.point * string * signature) array) =
+  let n = Array.length items in
+  (match pre with
+   | Some p when Array.length p <> n ->
+     invalid_arg "Schnorr.verify_batch: pre/items length mismatch"
+   | _ -> ());
+  if n = 0 then true
+  else if n = 1 then (let pk, msg, sg = items.(0) in verify gctx ~pk msg sg)
+  else begin
+    let curve = Group_ctx.curve gctx in
+    let fn = Group_ctx.scalar_field gctx in
+    let len = Curve.byte_len curve in
+    let pts = Array.make (2 * n) Curve.infinity in
+    Array.iteri
+      (fun i (pk, _, sg) ->
+         pts.(2 * i) <- sg.r;
+         pts.(2 * i + 1) <-
+           (match pre with
+            | Some p -> Curve.precomp_point p.(i)  (* already affine *)
+            | None -> pk))
+      items;
+    let aff = Curve.to_affine_batch curve pts in
+    (* byte-identical to Curve.encode, from the batched affine forms *)
+    let enc = function
+      | None -> "\x00"
+      | Some (x, y) -> "\x04" ^ Nat.to_bytes_be ~len x ^ Nat.to_bytes_be ~len y
+    in
+    let acc = Group_ctx.msm_acc gctx in
+    Array.iteri
+      (fun i (pk, msg, sg) ->
+         let e =
+           Curve.hash_to_scalar curve [ domain; enc aff.(2 * i); enc aff.(2 * i + 1); msg ]
+         in
+         (* Pinning the first weight to 1 is sound: a bad item i > 0 is
+            caught except with probability 2^-128 over its own weight,
+            and a bad item 0 alone leaves the sum off the identity
+            deterministically. It saves item 0's R table in the MSM. *)
+         let w = if i = 0 then Nat.one else Batch.weight rng in
+         Group_ctx.acc_add acc (Modular.mul fn w (Modular.reduce fn sg.s)) (Group_ctx.g gctx);
+         let we = Modular.mul fn w e in
+         (match pre with
+          | Some p -> Group_ctx.acc_add_pre acc we p.(i)
+          | None ->
+            (* hand the MSM the affine form of PK we already paid for:
+               its input normalization then has less left to invert *)
+            let pk =
+              match aff.(2 * i + 1) with Some xy -> Curve.of_affine curve xy | None -> pk
+            in
+            Group_ctx.acc_add acc we pk);
+         Group_ctx.acc_sub acc w sg.r)
+      items;
+    Group_ctx.acc_check acc
+  end
+
+(* Localize the invalid signatures of a failing batch (sorted indices;
+   [] iff the whole batch verifies). *)
+let verify_batch_find gctx rng items =
+  Batch.find_failures ~n:(Array.length items)
+    ~check:(fun ~lo ~len ->
+        if len = 1 then (let pk, msg, sg = items.(lo) in verify gctx ~pk msg sg)
+        else verify_batch gctx rng (Array.sub items lo len))
+
+let encode gctx { s; r } =
+  let curve = Group_ctx.curve gctx in
+  let len = Curve.byte_len curve in
+  Nat.to_bytes_be ~len s ^ Curve.encode_compressed curve r
 
 let decode gctx bytes =
-  let len = Curve.byte_len (Group_ctx.curve gctx) in
-  if String.length bytes <> 2 * len then None
+  let curve = Group_ctx.curve gctx in
+  let len = Curve.byte_len curve in
+  if String.length bytes <> 2 * len + 1 then None
   else
-    Some
-      { s = Nat.of_bytes_be (String.sub bytes 0 len);
-        e = Nat.of_bytes_be (String.sub bytes len len) }
+    match Curve.decode_compressed curve (String.sub bytes len (len + 1)) with
+    | Some r when not (Curve.is_infinity r) ->
+      Some { s = Nat.of_bytes_be (String.sub bytes 0 len); r }
+    | _ -> None
 
 let encode_pk gctx pk = Curve.encode (Group_ctx.curve gctx) pk
 let decode_pk gctx s = Curve.decode (Group_ctx.curve gctx) s

@@ -70,6 +70,42 @@ let verify_share gctx ~(commitment : Elgamal.t) ~(aux : aux) (s : share) =
     aux;
   Elgamal.equal gctx lhs !rhs
 
+(* Batch verify_share over many (commitment, aux, share) triples: the
+   componentwise equations
+     rand*G - c1 - sum_j x^j*aux_c1_j = O
+     msg*G + rand*H - c2 - sum_j x^j*aux_c2_j = O       (j >= 1)
+   each get a fresh random weight and fold into one MSM accumulator.
+   Soundness 2^-128 per batch; public data only (vartime). *)
+let verify_shares_batch gctx rng (items : (Elgamal.t * aux * share) array) =
+  match Array.length items with
+  | 0 -> true
+  | 1 -> let c, aux, s = items.(0) in verify_share gctx ~commitment:c ~aux s
+  | _ ->
+    let fn = Group_ctx.scalar_field gctx in
+    let acc = Group_ctx.msm_acc gctx in
+    Array.iter
+      (fun (commitment, (aux : aux), (s : share)) ->
+         let msg = Modular.reduce fn s.msg and rand = Modular.reduce fn s.rand in
+         let w1 = Dd_group.Batch.weight rng in
+         let w2 = Dd_group.Batch.weight rng in
+         Group_ctx.acc_add acc (Modular.mul fn w1 rand) (Group_ctx.g gctx);
+         Group_ctx.acc_add acc (Modular.mul fn w2 msg) (Group_ctx.g gctx);
+         Group_ctx.acc_add acc (Modular.mul fn w2 rand) (Group_ctx.h gctx);
+         let c1, c2 = Elgamal.components commitment in
+         Group_ctx.acc_sub acc w1 c1;
+         Group_ctx.acc_sub acc w2 c2;
+         let x = Modular.of_int fn s.x in
+         let xj = ref x in   (* x^j, starting at j = 1 *)
+         Array.iter
+           (fun cj ->
+              let a1, a2 = Elgamal.components cj in
+              Group_ctx.acc_sub acc (Modular.mul fn w1 !xj) a1;
+              Group_ctx.acc_sub acc (Modular.mul fn w2 !xj) a2;
+              xj := Modular.mul fn !xj x)
+           aux)
+      items;
+    Group_ctx.acc_check acc
+
 let reconstruct gctx ~threshold (shares : share list) : Elgamal.opening =
   let fn = Group_ctx.scalar_field gctx in
   let msg =

@@ -23,6 +23,13 @@ val deal :
 val verify_share :
   Dd_group.Group_ctx.t -> commitment:Elgamal.t -> aux:aux -> share -> bool
 
+(** Verify many (commitment, aux, share) triples with one multi-scalar
+    multiplication under random 128-bit weights; accepts a batch
+    containing a bad share with probability at most 2^-128.
+    {b Variable time} — public data only. *)
+val verify_shares_batch :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> (Elgamal.t * aux * share) array -> bool
+
 val reconstruct :
   Dd_group.Group_ctx.t -> threshold:int -> share list -> Elgamal.opening
 

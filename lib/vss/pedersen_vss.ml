@@ -56,6 +56,33 @@ let verify_share gctx (commitments : commitments) (s : share) =
     commitments;
   Curve.equal curve lhs !rhs
 
+(* Batch the check above over many (commitments, share) pairs: each
+   equation f*G + g*H - sum_j x^j*C_j = O gets one random weight, all
+   fold into one MSM accumulator (the G/H legs ride the comb tables).
+   A trustee receiving shares of every ballot's prover state verifies
+   them all for roughly the cost of one. Soundness 2^-128 per batch. *)
+let verify_shares_batch gctx rng (items : (commitments * share) array) =
+  match Array.length items with
+  | 0 -> true
+  | 1 -> let c, s = items.(0) in verify_share gctx c s
+  | _ ->
+    let fn = Group_ctx.scalar_field gctx in
+    let acc = Group_ctx.msm_acc gctx in
+    Array.iter
+      (fun ((commitments : commitments), (s : share)) ->
+         let w = Dd_group.Batch.weight rng in
+         Group_ctx.acc_add acc (Modular.mul fn w (Modular.reduce fn s.f)) (Group_ctx.g gctx);
+         Group_ctx.acc_add acc (Modular.mul fn w (Modular.reduce fn s.g)) (Group_ctx.h gctx);
+         let x = Modular.of_int fn s.x in
+         let xj = ref w in   (* w * x^j, starting at j = 0 *)
+         Array.iter
+           (fun c ->
+              Group_ctx.acc_sub acc !xj c;
+              xj := Modular.mul fn !xj x)
+           commitments)
+      items;
+    Group_ctx.acc_check acc
+
 (* The public commitment to the secret itself is the constant-term
    commitment. *)
 let secret_commitment (commitments : commitments) = commitments.(0)

@@ -24,6 +24,14 @@ val deal :
 (** Check one share against the public commitments. *)
 val verify_share : Dd_group.Group_ctx.t -> commitments -> share -> bool
 
+(** Check many (commitments, share) pairs with one multi-scalar
+    multiplication under random 128-bit weights; accepts a batch
+    containing a bad share with probability at most 2^-128.
+    {b Variable time} — commitments and evaluation points are
+    public. *)
+val verify_shares_batch :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> (commitments * share) array -> bool
+
 (** The Pedersen commitment to the secret (the constant coefficient). *)
 val secret_commitment : commitments -> Pedersen.t
 

@@ -150,6 +150,55 @@ let verify ?(k = 1) gctx ~(commitments : Elgamal.t array) (fm : first_move) ~cha
       ~challenge ~response:fin.sum_z
   end
 
+(* One ballot part's complete proof transcript, for batch verification. *)
+type instance = {
+  commitments : Elgamal.t array;
+  fm : first_move;
+  challenge : Nat.t;
+  fin : final_move;
+}
+
+(* Batch-verify many ballot parts: the scalar checks (arities,
+   c0 + c1 = challenge) stay serial — they are cheap — while every
+   Chaum-Pedersen equation of every part folds into one shared MSM
+   accumulator. An election with v ballots of m options turns
+   v*(2m+1) proof verifications (each two curve multiplications plus
+   an add) into one MSM. Soundness 2^-128 per batch. *)
+let verify_batch ?(k = 1) gctx rng (instances : instance array) =
+  match Array.length instances with
+  | 0 -> true
+  | 1 ->
+    let i = instances.(0) in
+    verify ~k gctx ~commitments:i.commitments i.fm ~challenge:i.challenge i.fin
+  | _ ->
+    let fn = Group_ctx.scalar_field gctx in
+    let acc = Group_ctx.msm_acc gctx in
+    let ok = ref true in
+    Array.iter
+      (fun inst ->
+         let n = Array.length inst.commitments in
+         if Array.length inst.fm.row_moves <> n
+         || Array.length inst.fin.row_finals <> n then ok := false
+         else begin
+           Array.iteri
+             (fun i c ->
+                let m = inst.fm.row_moves.(i) and f = inst.fin.row_finals.(i) in
+                if not (Nat.equal (Modular.add fn f.c0 f.c1)
+                          (Modular.reduce fn inst.challenge)) then ok := false;
+                Chaum_pedersen.accumulate gctx acc rng
+                  { stmt = branch_statement gctx c 0; fm = m.a0;
+                    challenge = f.c0; response = f.z0 };
+                Chaum_pedersen.accumulate gctx acc rng
+                  { stmt = branch_statement gctx c 1; fm = m.a1;
+                    challenge = f.c1; response = f.z1 })
+             inst.commitments;
+           Chaum_pedersen.accumulate gctx acc rng
+             { stmt = sum_statement ~k gctx inst.commitments; fm = inst.fm.sum_move;
+               challenge = inst.challenge; response = inst.fin.sum_z }
+         end)
+      instances;
+    !ok && Group_ctx.acc_check acc
+
 (* --- serialization -------------------------------------------------- *)
 (* Fixed-width scalar encoding: states travel from the EA to the
    trustees as VSS-shared byte strings, and moves live on the BB. *)

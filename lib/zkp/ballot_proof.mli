@@ -28,6 +28,21 @@ val verify :
   ?k:int -> Dd_group.Group_ctx.t -> commitments:Elgamal.t array -> first_move ->
   challenge:Nat.t -> final_move -> bool
 
+(** One ballot part's complete transcript, for batch verification. *)
+type instance = {
+  commitments : Elgamal.t array;
+  fm : first_move;
+  challenge : Nat.t;
+  fin : final_move;
+}
+
+(** Verify many ballot parts with one multi-scalar multiplication: the
+    cheap scalar checks stay serial, every Chaum-Pedersen equation
+    folds into one randomized linear combination (soundness 2^-128 per
+    batch). {b Variable time} — published transcripts only. *)
+val verify_batch :
+  ?k:int -> Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> instance array -> bool
+
 (** Byte encodings: the state is what the EA secret-shares to the
     trustees; the moves are what lives on the BB. *)
 val encode_state : prover_state -> string

@@ -44,6 +44,43 @@ let verify gctx (st : statement) (fm : first_move) ~challenge ~response =
   in
   check st.g1 fm.t1 st.h1 && check st.g2 fm.t2 st.h2
 
+(* A complete transcript, ready for batch verification. *)
+type instance = {
+  stmt : statement;
+  fm : first_move;
+  challenge : Nat.t;
+  response : Nat.t;
+}
+
+(* Fold both verification equations of [inst] into [acc] under fresh
+   random weights: for each equation z*g - t - c*h = O, accumulate
+   w*z on g, subtract w on t and w*c on h. Terms on the fixed
+   generators G and H collapse into the accumulator's comb-table legs
+   (ballot-proof statements always have g1 = G and g2 = H). *)
+let accumulate gctx acc rng (inst : instance) =
+  let fn = Group_ctx.scalar_field gctx in
+  let eq g t h =
+    let w = Dd_group.Batch.weight rng in
+    Group_ctx.acc_add acc (Modular.mul fn w (Modular.reduce fn inst.response)) g;
+    Group_ctx.acc_sub acc w t;
+    Group_ctx.acc_sub acc (Modular.mul fn w (Modular.reduce fn inst.challenge)) h
+  in
+  eq inst.stmt.g1 inst.fm.t1 inst.stmt.h1;
+  eq inst.stmt.g2 inst.fm.t2 inst.stmt.h2
+
+(* Verify many transcripts at once: 2n equations, one MSM (plus the two
+   comb legs). Soundness 2^-128 per batch (see Batch). *)
+let verify_batch gctx rng (instances : instance array) =
+  match Array.length instances with
+  | 0 -> true
+  | 1 ->
+    let i = instances.(0) in
+    verify gctx i.stmt i.fm ~challenge:i.challenge ~response:i.response
+  | _ ->
+    let acc = Group_ctx.msm_acc gctx in
+    Array.iter (accumulate gctx acc rng) instances;
+    Group_ctx.acc_check acc
+
 (* Simulate an accepting transcript for a chosen challenge (used by the
    OR composition for the branch the prover cannot prove). *)
 let simulate gctx rng (st : statement) ~challenge =

@@ -30,6 +30,28 @@ val respond :
 val verify :
   Dd_group.Group_ctx.t -> statement -> first_move -> challenge:Nat.t -> response:Nat.t -> bool
 
+(** A complete transcript, as consumed by the batch verifier. *)
+type instance = {
+  stmt : statement;
+  fm : first_move;
+  challenge : Nat.t;
+  response : Nat.t;
+}
+
+(** Fold one transcript's two verification equations into an MSM
+    accumulator under fresh random weights from the DRBG. Lets callers
+    (e.g. ballot-proof batching) combine many proofs into one
+    {!Dd_group.Group_ctx.acc_check}. {b Variable time} — public
+    transcripts only. *)
+val accumulate :
+  Dd_group.Group_ctx.t -> Dd_group.Group_ctx.msm_acc -> Dd_crypto.Drbg.t -> instance -> unit
+
+(** Verify many transcripts with one multi-scalar multiplication;
+    accepts a batch containing an invalid transcript with probability
+    at most 2^-128. {b Variable time} — public transcripts only. *)
+val verify_batch :
+  Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> instance array -> bool
+
 (** Accepting transcript for a chosen challenge without the witness
     (honest-verifier zero-knowledge simulator; used in OR proofs). *)
 val simulate :

@@ -137,6 +137,62 @@ let test_demos_encoding_scalability_wall () =
     (fun () ->
        ignore (Demos_encoding.make_params gctx ~n_voters:200_000_000 ~options:(huge + 1)))
 
+(* --- batch verification ------------------------------------------------------ *)
+
+module Batch = Dd_group.Batch
+
+let test_elgamal_batch () =
+  let rng = rng () in
+  let items = Array.init 10 (fun i -> Elgamal.commit_random gctx rng ~msg:(Nat.of_int i)) in
+  Alcotest.(check bool) "empty batch" true (Elgamal.verify_batch gctx rng [||]);
+  Alcotest.(check bool) "10 valid" true (Elgamal.verify_batch gctx rng items);
+  List.iter
+    (fun j ->
+       let tampered = Array.copy items in
+       let c, o = tampered.(j) in
+       tampered.(j) <- (c, { o with Elgamal.rand = Nat.add o.Elgamal.rand Nat.one });
+       Alcotest.(check bool) (Printf.sprintf "bad opening %d rejected" j) false
+         (Elgamal.verify_batch gctx rng tampered);
+       let found =
+         Batch.find_failures ~n:(Array.length tampered)
+           ~check:(fun ~lo ~len ->
+               Elgamal.verify_batch gctx
+                 (Drbg.create ~seed:(Printf.sprintf "eb%d.%d" lo len))
+                 (Array.sub tampered lo len))
+       in
+       Alcotest.(check (list int)) (Printf.sprintf "bisection names %d" j) [ j ] found)
+    [ 0; 4; 9 ]
+
+let test_unit_vector_batch () =
+  let rng = rng () in
+  let items = List.init 6 (fun i -> Unit_vector.commit gctx rng ~options:4 ~choice:(i mod 4)) in
+  Alcotest.(check bool) "6 valid" true (Unit_vector.verify_batch gctx rng items);
+  (* forge one coordinate opening of vector 4 *)
+  let tampered =
+    List.mapi
+      (fun i (c, o) ->
+         if i <> 4 then (c, o)
+         else
+           (c,
+            Array.mapi
+              (fun j (op : Elgamal.opening) ->
+                 if j = 1 then { op with Elgamal.rand = Nat.add op.Elgamal.rand Nat.one }
+                 else op)
+              o))
+      items
+  in
+  Alcotest.(check bool) "tampered vector rejected" false
+    (Unit_vector.verify_batch gctx rng tampered);
+  let arr = Array.of_list tampered in
+  let found =
+    Batch.find_failures ~n:(Array.length arr)
+      ~check:(fun ~lo ~len ->
+          Unit_vector.verify_batch gctx
+            (Drbg.create ~seed:(Printf.sprintf "uv%d.%d" lo len))
+            (Array.to_list (Array.sub arr lo len)))
+  in
+  Alcotest.(check (list int)) "bisection names vector 4" [ 4 ] found
+
 (* --- properties ----------------------------------------------------------- *)
 
 let arb_msg = QCheck.map Nat.of_int QCheck.(int_range 0 1000)
@@ -185,6 +241,9 @@ let () =
        [ Alcotest.test_case "commit/verify" `Quick test_pedersen;
          Alcotest.test_case "homomorphic" `Quick test_pedersen_homomorphic;
          Alcotest.test_case "codec" `Quick test_pedersen_codec ]);
+      ("batch",
+       [ Alcotest.test_case "elgamal openings" `Quick test_elgamal_batch;
+         Alcotest.test_case "unit vectors" `Quick test_unit_vector_batch ]);
       ("demos-encoding",
        [ Alcotest.test_case "homomorphic tally" `Quick test_demos_encoding_tally;
          Alcotest.test_case "scalability wall" `Quick test_demos_encoding_scalability_wall ]);

@@ -211,6 +211,58 @@ let test_honest_ea_passes_delegated_audit () =
     let checks = Auditor.audit ~voter_audits:[ Voter.audit_info plan ] view in
     Alcotest.(check bool) "delegated audit passes" true (Auditor.all_ok checks)
 
+let test_audit_names_first_offender () =
+  (* the batch path (MSM + bisection) and the serial reference path
+     must name the same first offending (serial, part) *)
+  let module Elgamal = Dd_commit.Elgamal in
+  let module Nat = Dd_bignum.Nat in
+  let r = run_full ~seed:"offender" [ (0, 0); (1, 1); (2, 2); (3, 1); (4, 0) ] in
+  match Auditor.assemble ~cfg:small_cfg ~gctx:(Lazy.force setup).Ea.gctx r.Election.bb_nodes with
+  | None -> Alcotest.fail "no audit view"
+  | Some view ->
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) view.Auditor.unused_openings []
+      |> List.sort (fun (s1, p1) (s2, p2) ->
+          compare (s1, Types.part_index p1) (s2, Types.part_index p2))
+    in
+    (* forge a coordinate's randomness (the message stays 0/1, so only
+       the crypto check can catch it) *)
+    let tamper (serial, part) =
+      let ops = Hashtbl.find view.Auditor.unused_openings (serial, part) in
+      let o = ops.(0).(0) in
+      ops.(0).(0) <- { o with Elgamal.rand = Nat.add o.Elgamal.rand Nat.one }
+    in
+    let expected (serial, part) =
+      Printf.sprintf "ballot %d part %s: position 0 opening invalid" serial
+        (Types.part_label part)
+    in
+    let first = List.hd keys and last = List.nth keys (List.length keys - 1) in
+    tamper last;
+    let batch_check = Auditor.check_openings ~batch:true view in
+    Alcotest.(check bool) "batch path fails" false batch_check.Auditor.ok;
+    Alcotest.(check string) "batch path names the offender" (expected last)
+      batch_check.Auditor.detail;
+    let serial_check = Auditor.check_openings ~batch:false view in
+    Alcotest.(check bool) "serial path fails" false serial_check.Auditor.ok;
+    Alcotest.(check string) "serial path agrees" (expected last) serial_check.Auditor.detail;
+    (* a second, earlier offender takes precedence on both paths *)
+    tamper first;
+    Alcotest.(check string) "batch names the smallest key" (expected first)
+      (Auditor.check_openings ~batch:true view).Auditor.detail;
+    Alcotest.(check string) "serial names the smallest key" (expected first)
+      (Auditor.check_openings ~batch:false view).Auditor.detail;
+    (* check_zk names its offender the same way on both paths *)
+    let vserial, (vpart, _) = List.hd (List.sort compare view.Auditor.voted) in
+    Hashtbl.remove view.Auditor.zk_finals (vserial, vpart);
+    let expect_zk =
+      Printf.sprintf "ballot %d part %s: no ZK final move published" vserial
+        (Types.part_label vpart)
+    in
+    Alcotest.(check string) "zk batch path" expect_zk
+      (Auditor.check_zk ~batch:true view).Auditor.detail;
+    Alcotest.(check string) "zk serial path" expect_zk
+      (Auditor.check_zk ~batch:false view).Auditor.detail
+
 (* --- network faults ------------------------------------------------------------ *)
 
 let test_lossy_network_recovered_by_patience () =
@@ -358,7 +410,8 @@ let () =
          Alcotest.test_case "blacklist" `Quick test_voter_blacklist_exhaustion ]);
       ("verifiability",
        [ Alcotest.test_case "malicious EA detected" `Quick test_malicious_ea_detected;
-         Alcotest.test_case "honest EA passes delegated audit" `Quick test_honest_ea_passes_delegated_audit ]);
+         Alcotest.test_case "honest EA passes delegated audit" `Quick test_honest_ea_passes_delegated_audit;
+         Alcotest.test_case "audit names first offender" `Quick test_audit_names_first_offender ]);
       ("network-faults",
        [ Alcotest.test_case "5% loss, patience recovers" `Quick
            test_lossy_network_recovered_by_patience;

@@ -317,6 +317,100 @@ let test_to_affine_batch_edges () =
    | [| None; None |] -> ()
    | _ -> Alcotest.fail "all-infinity batch")
 
+(* --- differential: multi-scalar multiplication --------------------------- *)
+
+let naive_msm cv pairs =
+  Array.fold_left (fun acc (k, p) -> Curve.add cv acc (naive_mul cv k p)) Curve.infinity pairs
+
+(* secp256k1 exercises the GLV-split Strauss entries and the cached
+   wide generator table; P-256 the plain-wNAF entries. *)
+let prop_msm_matches_naive =
+  QCheck.Test.make ~name:"msm = sum of naive muls" ~count:12
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 8) (QCheck.pair arb_scalar arb_scalar))
+    (fun seeds ->
+       List.for_all
+         (fun (_, cv, gv) ->
+            let pairs =
+              Array.of_list
+                (List.mapi
+                   (fun i (k, a) ->
+                      (* every third point is the generator, so the run
+                         also covers the precomputed-table fast path *)
+                      if i mod 3 = 2 then (k, gv) else (k, naive_mul cv a gv))
+                   seeds)
+            in
+            Curve.equal cv (naive_msm cv pairs) (Curve.msm cv pairs))
+         curves)
+
+let prop_msm_forced_pippenger =
+  QCheck.Test.make ~name:"forced-window Pippenger = naive" ~count:8
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 6) (QCheck.pair arb_scalar arb_scalar))
+       (QCheck.int_range 1 16))
+    (fun (seeds, w) ->
+       List.for_all
+         (fun (_, cv, gv) ->
+            let pairs =
+              Array.of_list (List.map (fun (k, a) -> (k, naive_mul cv a gv)) seeds)
+            in
+            Curve.equal cv (naive_msm cv pairs) (Curve.msm ~window:w cv pairs))
+         curves)
+
+let prop_msm_pre_matches_naive =
+  QCheck.Test.make ~name:"msm_pre = naive over precomputed + plain pairs" ~count:8
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 3) (QCheck.pair arb_scalar arb_scalar))
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 3) (QCheck.pair arb_scalar arb_scalar)))
+    (fun (pre_seeds, pair_seeds) ->
+       List.for_all
+         (fun (_, cv, gv) ->
+            let pre_pts = List.map (fun (k, a) -> (k, naive_mul cv a gv)) pre_seeds in
+            let pairs = List.map (fun (k, a) -> (k, naive_mul cv a gv)) pair_seeds in
+            let want = naive_msm cv (Array.of_list (pre_pts @ pairs)) in
+            let pre =
+              Array.of_list (List.map (fun (k, p) -> (k, Curve.precompute cv p)) pre_pts)
+            in
+            Curve.equal cv want (Curve.msm_pre cv pre (Array.of_list pairs)))
+         curves)
+
+let test_msm_edge_cases () =
+  List.iter
+    (fun (name, cv, gv) ->
+       let order = Curve.order cv in
+       let chk label want got =
+         Alcotest.(check bool) (Printf.sprintf "%s %s" name label) true
+           (Curve.equal cv want got)
+       in
+       let chk_naive label pairs = chk label (naive_msm cv pairs) (Curve.msm cv pairs) in
+       let p = Curve.mul_int cv 7 gv in
+       chk "n=0" Curve.infinity (Curve.msm cv [||]);
+       chk_naive "n=1" [| (Nat.of_int 42, p) |];
+       chk "zero and order scalars drop" (Curve.mul_int cv 5 p)
+         (Curve.msm cv [| (Nat.zero, gv); (Nat.of_int 5, p); (order, gv) |]);
+       chk "infinity points drop" (Curve.mul_int cv 9 gv)
+         (Curve.msm cv [| (Nat.of_int 3, Curve.infinity); (Nat.of_int 9, gv) |]);
+       chk "all-degenerate batch" Curve.infinity
+         (Curve.msm cv [| (Nat.zero, p); (Nat.of_int 4, Curve.infinity); (order, gv) |]);
+       chk "duplicate points merge" (Curve.mul_int cv 10 p)
+         (Curve.msm cv [| (Nat.of_int 4, p); (Nat.of_int 6, p) |]);
+       chk "P and -P cancel" Curve.infinity
+         (Curve.msm cv [| (Nat.of_int 8, p); (Nat.of_int 8, Curve.neg cv p) |]);
+       (* tiny scalars ride the direct-add path (pinned batch weights) *)
+       chk_naive "tiny scalars"
+         [| (Nat.one, p); (Nat.two, gv); (Nat.of_int 3, Curve.double cv p) |];
+       chk_naive "scalar above the order reduces"
+         [| (Nat.add order (Nat.of_int 5), p) |];
+       (* precompute: the table is faithful, and degenerate inputs are inert *)
+       chk "precomp_point returns the point" p (Curve.precomp_point (Curve.precompute cv p));
+       let k = Nat.of_hex "fedcba9876543210fedcba9876543210fedcba9876543210" in
+       chk "msm_pre with empty pairs" (naive_mul cv k p)
+         (Curve.msm_pre cv [| (k, Curve.precompute cv p) |] [||]);
+       chk "precomputed infinity is inert" (naive_mul cv k p)
+         (Curve.msm_pre cv
+            [| (Nat.of_int 6, Curve.precompute cv Curve.infinity) |]
+            [| (k, p) |]))
+    curves
+
 let () =
   Alcotest.run "group"
     [ ("known-answers",
@@ -345,4 +439,9 @@ let () =
        :: Alcotest.test_case "batch normalization edges" `Quick test_to_affine_batch_edges
        :: List.map QCheck_alcotest.to_alcotest
             [ prop_mul_matches_naive; prop_mul2_matches_parts;
-              prop_to_affine_batch_matches ]) ]
+              prop_to_affine_batch_matches ]);
+      ("msm-differential",
+       Alcotest.test_case "edge cases" `Quick test_msm_edge_cases
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_msm_matches_naive; prop_msm_forced_pippenger;
+              prop_msm_pre_matches_naive ]) ]

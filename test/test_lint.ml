@@ -110,6 +110,28 @@ let test_wire_exhaustive () =
   check_clean "matches over other types may use wildcards"
     {|let f x = match x with Some (1, _) -> 1 | _ -> 0|}
 
+(* --- R5: vartime-public-only ------------------------------------------- *)
+
+let test_vartime_public_only () =
+  check_fires "sk into mul_vartime" "vartime-public-only"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c sk g = Curve.mul_vartime c sk g";
+  check_fires "witness into msm" "vartime-public-only"
+    ~file:"lib/zkp/fixture.ml"
+    "let leak c witness p = Curve.msm c [| (witness, p) |]";
+  check_fires "suffixed name into mul2" "vartime-public-only"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c table trustee_sk e pk = Curve.mul2 c table trustee_sk e pk";
+  check_fires "record field" "vartime-public-only"
+    ~file:"lib/vss/fixture.ml"
+    "let leak c st p = Curve.mul_vartime c st.nonce p";
+  check_clean "public scalars are fine" ~file:"lib/sig/fixture.ml"
+    "let verify c s e pk = Curve.mul2 c table s e pk";
+  check_clean "constant-time mul is the fix" ~file:"lib/sig/fixture.ml"
+    "let ok c sk g = Curve.mul c sk g";
+  check_clean "unrelated callee with secret arg" ~file:"lib/sig/fixture.ml"
+    "let derive sk = Dd_crypto.Sha256.digest sk"
+
 (* --- suppressions ------------------------------------------------------ *)
 
 let test_suppression () =
@@ -171,7 +193,8 @@ let () =
        [ Alcotest.test_case "R1 ct-equality" `Quick test_ct_equality;
          Alcotest.test_case "R2 sans-io" `Quick test_sans_io;
          Alcotest.test_case "R3 exception-hygiene" `Quick test_exception_hygiene;
-         Alcotest.test_case "R4 wire-exhaustive" `Quick test_wire_exhaustive ]);
+         Alcotest.test_case "R4 wire-exhaustive" `Quick test_wire_exhaustive;
+         Alcotest.test_case "R5 vartime-public-only" `Quick test_vartime_public_only ]);
       ("suppression", [ Alcotest.test_case "allow comments" `Quick test_suppression ]);
       ("driver",
        [ Alcotest.test_case "parse errors" `Quick test_parse_error;

@@ -78,6 +78,58 @@ let test_verify_with_table () =
     (Schnorr.verify_with_table gctx ~pk:pk2
        ~pk_table:(Schnorr.make_pk_table gctx pk2) "other" s2)
 
+(* --- batch verification --------------------------------------------------- *)
+
+let make_batch ?(seed = "batch") n =
+  let rng = Drbg.create ~seed in
+  Array.init n (fun i ->
+      let sk, pk = Schnorr.keygen gctx rng in
+      let msg = Printf.sprintf "batch message %d" i in
+      (pk, msg, Schnorr.sign gctx rng ~sk ~pk msg))
+
+let precompute items = Array.map (fun (pk, _, _) -> Schnorr.precompute_pk gctx pk) items
+
+let test_batch_accepts_valid () =
+  let rng = rng () in
+  Alcotest.(check bool) "empty batch" true (Schnorr.verify_batch gctx rng [||]);
+  Alcotest.(check bool) "singleton" true (Schnorr.verify_batch gctx rng (make_batch 1));
+  let items = make_batch 9 in
+  Alcotest.(check bool) "9 valid" true (Schnorr.verify_batch gctx rng items);
+  Alcotest.(check bool) "9 valid with precomputed keys" true
+    (Schnorr.verify_batch ~pre:(precompute items) gctx rng items);
+  Alcotest.(check (list int)) "find on a clean batch" []
+    (Schnorr.verify_batch_find gctx rng items)
+
+let test_batch_rejects_forged () =
+  (* one forged item among n: cover index 0 (the pinned weight), a
+     middle index, and the last; bisection must name exactly it *)
+  List.iter
+    (fun j ->
+       let items = make_batch ~seed:(Printf.sprintf "forge%d" j) 7 in
+       let pk, _, s = items.(j) in
+       items.(j) <- (pk, "forged", s);
+       let rng = rng () in
+       Alcotest.(check bool) (Printf.sprintf "forged %d rejected" j) false
+         (Schnorr.verify_batch gctx rng items);
+       Alcotest.(check bool) (Printf.sprintf "forged %d rejected with pre" j) false
+         (Schnorr.verify_batch ~pre:(precompute items) gctx rng items);
+       Alcotest.(check (list int)) (Printf.sprintf "bisection names %d" j) [ j ]
+         (Schnorr.verify_batch_find gctx rng items))
+    [ 0; 3; 6 ]
+
+let test_batch_find_multiple () =
+  let items = make_batch ~seed:"multi" 8 in
+  List.iter (fun j -> let pk, _, s = items.(j) in items.(j) <- (pk, "bad", s)) [ 2; 5 ];
+  Alcotest.(check (list int)) "both forged indices named" [ 2; 5 ]
+    (Schnorr.verify_batch_find gctx (rng ()) items)
+
+let test_batch_pre_length_mismatch () =
+  let items = make_batch 3 in
+  let pre = precompute (make_batch 2) in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Schnorr.verify_batch: pre/items length mismatch")
+    (fun () -> ignore (Schnorr.verify_batch ~pre gctx (rng ()) items))
+
 let prop_sign_verify =
   QCheck.Test.make ~name:"sign/verify completeness" ~count:15
     QCheck.(string_of_size (QCheck.Gen.int_range 0 100))
@@ -97,4 +149,9 @@ let () =
          Alcotest.test_case "codec" `Quick test_codec;
          Alcotest.test_case "tampered" `Quick test_tampered_signature_rejected;
          Alcotest.test_case "verify with pk table" `Quick test_verify_with_table;
-         QCheck_alcotest.to_alcotest prop_sign_verify ]) ]
+         QCheck_alcotest.to_alcotest prop_sign_verify ]);
+      ("batch",
+       [ Alcotest.test_case "accepts valid batches" `Quick test_batch_accepts_valid;
+         Alcotest.test_case "rejects one forged item" `Quick test_batch_rejects_forged;
+         Alcotest.test_case "localizes several" `Quick test_batch_find_multiple;
+         Alcotest.test_case "pre length mismatch" `Quick test_batch_pre_length_mismatch ]) ]

@@ -205,6 +205,56 @@ let test_elgamal_vss_homomorphic_tally () =
   Alcotest.(check bool) "total opens Esum" true (Elgamal.verify gctx esum total);
   Alcotest.(check int) "count = 3" 3 (Nat.to_int total.Elgamal.msg)
 
+(* --- batch share verification ------------------------------------------------ *)
+
+module Batch = Dd_group.Batch
+
+let test_pedersen_vss_batch () =
+  let rng = rng () in
+  let commitments, shares =
+    Pedersen_vss.deal gctx rng ~secret:(Nat.of_int 7) ~threshold:3 ~shares:6
+  in
+  let items = Array.map (fun s -> (commitments, s)) shares in
+  Alcotest.(check bool) "all shares verify" true
+    (Pedersen_vss.verify_shares_batch gctx rng items);
+  let bad = Array.copy items in
+  bad.(2) <-
+    (commitments, { shares.(2) with Pedersen_vss.g = Nat.add shares.(2).Pedersen_vss.g Nat.one });
+  Alcotest.(check bool) "one bad share fails the batch" false
+    (Pedersen_vss.verify_shares_batch gctx rng bad);
+  let found =
+    Batch.find_failures ~n:(Array.length bad)
+      ~check:(fun ~lo ~len ->
+          Pedersen_vss.verify_shares_batch gctx
+            (Drbg.create ~seed:(Printf.sprintf "pvb%d.%d" lo len))
+            (Array.sub bad lo len))
+  in
+  Alcotest.(check (list int)) "bisection names share 2" [ 2 ] found
+
+let test_elgamal_vss_batch () =
+  let rng = rng () in
+  let items =
+    Array.init 4 (fun i ->
+        let commitment, opening = Elgamal.commit_random gctx rng ~msg:(Nat.of_int (i land 1)) in
+        let aux, shares = Elgamal_vss.deal gctx rng ~opening ~threshold:2 ~shares:3 in
+        (commitment, aux, shares.(i mod 3)))
+  in
+  Alcotest.(check bool) "all shares verify" true
+    (Elgamal_vss.verify_shares_batch gctx rng items);
+  let bad = Array.copy items in
+  let c, aux, s = bad.(1) in
+  bad.(1) <- (c, aux, { s with Elgamal_vss.rand = Nat.add s.Elgamal_vss.rand Nat.one });
+  Alcotest.(check bool) "one bad share fails the batch" false
+    (Elgamal_vss.verify_shares_batch gctx rng bad);
+  let found =
+    Batch.find_failures ~n:(Array.length bad)
+      ~check:(fun ~lo ~len ->
+          Elgamal_vss.verify_shares_batch gctx
+            (Drbg.create ~seed:(Printf.sprintf "evb%d.%d" lo len))
+            (Array.sub bad lo len))
+  in
+  Alcotest.(check (list int)) "bisection names share 1" [ 1 ] found
+
 let prop_scalar_shamir =
   QCheck.Test.make ~name:"scalar k-of-n reconstructs" ~count:25
     QCheck.(pair (int_range 0 1_000_000) (int_range 1 5))
@@ -240,4 +290,7 @@ let () =
       ("elgamal-vss",
        [ Alcotest.test_case "end to end" `Quick test_elgamal_vss_end_to_end;
          Alcotest.test_case "tamper detection" `Quick test_elgamal_vss_tamper;
-         Alcotest.test_case "homomorphic tally" `Quick test_elgamal_vss_homomorphic_tally ]) ]
+         Alcotest.test_case "homomorphic tally" `Quick test_elgamal_vss_homomorphic_tally ]);
+      ("batch",
+       [ Alcotest.test_case "pedersen shares" `Quick test_pedersen_vss_batch;
+         Alcotest.test_case "elgamal-opening shares" `Quick test_elgamal_vss_batch ]) ]

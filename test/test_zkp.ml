@@ -209,6 +209,60 @@ let test_k_of_m_validation () =
     (Invalid_argument "Unit_vector.commit_k: duplicate choice")
     (fun () -> ignore (Unit_vector.commit_k gctx rng ~options:4 ~choices:[ 1; 1 ]))
 
+(* --- batch verification --------------------------------------------------- *)
+
+let make_cp_instances ?(seed = "cp-batch") n =
+  let rng = Drbg.create ~seed in
+  Array.init n (fun _ ->
+      let x = Group_ctx.random_scalar gctx rng in
+      let st = ddh_statement x in
+      let w, fm = Chaum_pedersen.commit gctx rng st in
+      let challenge = Group_ctx.random_scalar gctx rng in
+      let response = Chaum_pedersen.respond gctx ~state:w ~witness:x ~challenge in
+      { Chaum_pedersen.stmt = st; fm; challenge; response })
+
+let test_cp_batch_accepts () =
+  let rng = rng () in
+  Alcotest.(check bool) "empty batch" true (Chaum_pedersen.verify_batch gctx rng [||]);
+  Alcotest.(check bool) "8 valid" true
+    (Chaum_pedersen.verify_batch gctx rng (make_cp_instances 8))
+
+let test_cp_batch_rejects_and_localizes () =
+  List.iter
+    (fun j ->
+       let insts = make_cp_instances ~seed:(Printf.sprintf "cp-forge%d" j) 6 in
+       insts.(j) <-
+         { insts.(j) with
+           Chaum_pedersen.response = Nat.add insts.(j).Chaum_pedersen.response Nat.one };
+       Alcotest.(check bool) (Printf.sprintf "forged %d rejected" j) false
+         (Chaum_pedersen.verify_batch gctx (rng ()) insts);
+       (* bisection over sub-batches names exactly the forged index *)
+       let found =
+         Dd_group.Batch.find_failures ~n:(Array.length insts)
+           ~check:(fun ~lo ~len ->
+               Chaum_pedersen.verify_batch gctx
+                 (Drbg.create ~seed:(Printf.sprintf "cpf%d.%d" lo len))
+                 (Array.sub insts lo len))
+       in
+       Alcotest.(check (list int)) (Printf.sprintf "bisection names %d" j) [ j ] found)
+    [ 0; 2; 5 ]
+
+let test_ballot_proof_batch () =
+  let insts =
+    Array.init 5 (fun i ->
+        let rng, commitments, openings = make_part ~m:3 ~choice:(i mod 3) in
+        let state, fm = Ballot_proof.prove_commit gctx rng ~commitments ~openings in
+        let challenge = Group_ctx.random_scalar gctx rng in
+        let fin = Ballot_proof.finalize gctx state ~challenge in
+        { Ballot_proof.commitments; fm; challenge; fin })
+  in
+  Alcotest.(check bool) "5 valid" true (Ballot_proof.verify_batch gctx (rng ()) insts);
+  insts.(3) <-
+    { insts.(3) with
+      Ballot_proof.challenge = Nat.add insts.(3).Ballot_proof.challenge Nat.one };
+  Alcotest.(check bool) "tampered proof rejected" false
+    (Ballot_proof.verify_batch gctx (rng ()) insts)
+
 (* --- challenge extraction ----------------------------------------------- *)
 
 let test_challenge_from_coins () =
@@ -257,6 +311,11 @@ let () =
          Alcotest.test_case "sum violation" `Quick test_ballot_proof_sum_violation;
          Alcotest.test_case "state serialization" `Quick test_state_serialization;
          Alcotest.test_case "final move encoding" `Quick test_final_move_encoding_stable ]);
+      ("batch",
+       [ Alcotest.test_case "CP batch accepts" `Quick test_cp_batch_accepts;
+         Alcotest.test_case "CP batch rejects + localizes" `Quick
+           test_cp_batch_rejects_and_localizes;
+         Alcotest.test_case "ballot-proof batch" `Quick test_ballot_proof_batch ]);
       ("k-of-m",
        [ Alcotest.test_case "2-of-5 proof" `Quick test_k_of_m_proof;
          Alcotest.test_case "approval tally" `Quick test_k_of_m_tally;
