@@ -35,6 +35,21 @@ module Stats = Dd_sim.Stats
 
 let full_scale = Array.exists (( = ) "--full") Sys.argv
 
+(* [--domains N] caps the multicore scaling points (micro suite runs
+   d in {1,2,4} filtered to <= N). Default 4 so the committed baseline
+   always carries the scaling entries; pass [--domains 1] on a
+   single-core box to skip the oversubscribed points. *)
+let bench_domains =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then 4
+    else if Sys.argv.(i) = "--domains" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some d when d >= 1 -> min d 64
+      | _ -> 4
+    else scan (i + 1)
+  in
+  scan 1
+
 let scale n = if full_scale then n else max 200 (n / 100)
 
 (* one simulated election for a figure data point *)
@@ -249,7 +264,7 @@ let write_json rows =
 
 let micro () =
   let open Bechamel in
-  let gctx = Lazy.force Dd_group.Group_ctx.default in
+  let gctx = Dd_group.Group_ctx.default () in
   let rng = Dd_crypto.Drbg.create ~seed:"bench-micro" in
   let cfg4 = { Types.default_config with Types.n_voters = 1000; Types.m_options = 4 } in
   let store = Ballot_store.virtual_prf ~seed:"bench" ~cfg:cfg4 ~node:0 in
@@ -438,19 +453,55 @@ let micro () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests) in
-  let results = Analyze.all ols instance raw in
-  pr "# Microbenchmarks (this machine), one per table/figure kernel\n";
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  let rows =
-    List.filter_map
-      (fun (name, r) ->
-         match Analyze.OLS.estimates r with
-         | Some [ est ] -> Some (name, est)
-         | _ -> None)
-      rows
-    |> List.sort compare
+  let measure tests =
+    let raw =
+      Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests)
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.filter_map (fun (name, r) ->
+        match Analyze.OLS.estimates r with
+        | Some [ est ] -> Some (name, est)
+        | _ -> None)
   in
+  let rows = measure tests in
+  (* Multicore scaling points: the same audit and EA-setup workloads
+     driven through explicit pools of 1/2/4 domains. Each domain count
+     is measured in its OWN Benchmark.all phase with only its own pool
+     alive: even idle worker domains turn every minor GC into a
+     multi-domain stop-the-world barrier, which would distort the
+     serial kernels above by several x. The .d1 entry takes the
+     bit-identical serial fast path, so dN/d1 is a pure scheduling
+     ratio (bench_guard compares those ratios, not absolute times,
+     across machines). *)
+  let ea_cfg =
+    { Types.default_config with
+      Types.n_voters = 100; Types.m_options = 2; Types.election_id = "bench-ea" }
+  in
+  let scaling_rows =
+    List.concat_map
+      (fun d ->
+         if d > bench_domains then []
+         else begin
+           let pool = Dd_parallel.Pool.create ~domains:d () in
+           let audit =
+             Test.make ~name:(Printf.sprintf "fig5c.audit-full.100.d%d" d)
+               (Staged.stage (fun () ->
+                    [ Ddemos.Auditor.check_openings ~pool audit_view;
+                      Ddemos.Auditor.check_zk ~pool audit_view ]))
+           in
+           let setup =
+             Test.make ~name:(Printf.sprintf "ea-setup.100.d%d" d)
+               (Staged.stage (fun () -> Ddemos.Ea.setup ~pool ea_cfg ~seed:"bench-ea"))
+           in
+           let r = measure (if d = 2 then [ audit ] else [ audit; setup ]) in
+           Dd_parallel.Pool.shutdown pool;
+           r
+         end)
+      [ 1; 2; 4 ]
+  in
+  let rows = List.sort compare (rows @ scaling_rows) in
+  pr "# Microbenchmarks (this machine), one per table/figure kernel\n";
   List.iter (fun (name, est) -> pr "%-50s %12.0f ns/op\n" name est) rows;
   pr "\n";
   if json_mode then write_json rows;
@@ -476,7 +527,7 @@ let ablation () =
   pr "  naive per-ballot estimate:       %d  (%.0fx more)\n\n" naive
     (float_of_int naive /. float_of_int (max 1 batched_msgs));
   pr "# Ablation: authenticator schemes (wall-clock, this machine)\n";
-  let gctx = Lazy.force Dd_group.Group_ctx.default in
+  let gctx = Dd_group.Group_ctx.default () in
   let time label n f =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to n do ignore (f ()) done;
@@ -540,13 +591,16 @@ let thm1 () =
 
 let () =
   let want name =
-    let args =
-      Array.to_list Sys.argv |> List.filter (fun a -> a <> "--full" && a <> "--json")
+    let rec drop_flags = function
+      | "--domains" :: _ :: rest -> drop_flags rest
+      | [ "--domains" ] -> []
+      | ("--full" | "--json") :: rest -> drop_flags rest
+      | a :: rest -> a :: drop_flags rest
+      | [] -> []
     in
-    match args with
-    | [ _ ] -> true          (* no selection: run everything *)
-    | _ :: sel -> List.mem name sel
-    | [] -> true
+    match drop_flags (List.tl (Array.to_list Sys.argv)) with
+    | [] -> true             (* no selection: run everything *)
+    | sel -> List.mem name sel
   in
   pr "D-DEMOS benchmark harness (%s mode)\n" (if full_scale then "FULL paper-scale" else "quick");
   pr "paper: 200k ballots cast per point; quick mode casts %d per point\n\n" (scale 200_000);

@@ -31,6 +31,22 @@ let parse_results path =
   close_in ic;
   tbl
 
+(* Multicore scaling entries ([...].dN with N > 1) are not compared on
+   absolute time: the committed baseline may come from a many-core box
+   while CI runs on 1-2 cores, so "d4 got slower than the baseline's d4"
+   says nothing. What is machine-portable is the scaling ratio dN/d1 —
+   both measured in the SAME run — so for those keys the guard compares
+   (cur dN / cur d1) against (base dN / base d1). If either run lacks
+   the d1 counterpart it falls back to the absolute comparison. *)
+let scaling_d1_key key =
+  let n = String.length key in
+  let rec digits i = if i > 0 && key.[i - 1] >= '0' && key.[i - 1] <= '9' then digits (i - 1) else i in
+  let d = digits n in
+  if d < n && d >= 2 && key.[d - 1] = 'd' && key.[d - 2] = '.' then
+    let suffix = String.sub key d (n - d) in
+    if suffix <> "1" then Some (String.sub key 0 d ^ "1") else None
+  else None
+
 let () =
   let baseline, fresh, factor =
     match Sys.argv with
@@ -52,15 +68,34 @@ let () =
        | None -> missing := key :: !missing
        | Some cv ->
          incr checked;
-         if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions)
+         let ratio_pair =
+           match scaling_d1_key key with
+           | None -> None
+           | Some k1 ->
+             (match Hashtbl.find_opt base k1, Hashtbl.find_opt cur k1 with
+              | Some b1, Some c1 when b1 > 0. && c1 > 0. ->
+                Some (bv /. b1, cv /. c1)
+              | _ -> None)
+         in
+         (match ratio_pair with
+          | Some (br, cr) ->
+            if cr > br *. factor then regressions := (key ^ " (dN/d1 ratio)", br, cr) :: !regressions
+          | None ->
+            if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions))
     base;
   List.iter
     (fun key -> Printf.printf "WARN  %s: present in baseline, missing from fresh run\n" key)
     (List.sort compare !missing);
   List.iter
     (fun (key, bv, cv) ->
-       Printf.printf "FAIL  %s: %.1f -> %.1f ns/op (%.2fx > %.2fx allowed)\n"
-         key bv cv (cv /. bv) factor)
+       let is_ratio =
+         let tag = " (dN/d1 ratio)" in
+         String.length key >= String.length tag
+         && String.sub key (String.length key - String.length tag) (String.length tag) = tag
+       in
+       let unit = if is_ratio then "" else " ns/op" in
+       Printf.printf "FAIL  %s: %.1f -> %.1f%s (%.2fx > %.2fx allowed)\n"
+         key bv cv unit (cv /. bv) factor)
     (List.sort compare !regressions);
   Printf.printf "bench_guard: %d keys checked against %s, %d regression(s), factor %.2fx\n"
     !checked baseline (List.length !regressions) factor;

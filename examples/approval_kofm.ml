@@ -14,7 +14,7 @@ module Elgamal = Dd_commit.Elgamal
 module Drbg = Dd_crypto.Drbg
 
 let () =
-  let gctx = Lazy.force Group_ctx.default in
+  let gctx = Group_ctx.default () in
   let rng = Drbg.create ~seed:"approval-demo" in
   let m = 5 and k = 2 in
   let candidates = [| "Ada"; "Bea"; "Chi"; "Dev"; "Eli" |] in

@@ -356,6 +356,89 @@ let vartime_public_only =
               | _ -> [])
            structure) }
 
+(* === R6: domain-safe-state ============================================= *)
+
+(* The arithmetic stack (lib/bignum, lib/crypto, lib/group, lib/sig)
+   runs on every domain of the parallel executor, so module-level
+   mutable state there is a data race waiting to happen. Per-domain
+   scratch belongs in [Domain.DLS]; compute-once caches belong in
+   [Dd_parallel.Once] cells or [Atomic] compare-and-set publishes —
+   all three are invisible to this rule. What it flags is a top-level
+   [let] whose right-hand side allocates bare shared mutable state
+   ([ref], [Array.make], [Bytes.create], [Hashtbl.create], ...) or a
+   top-level [lazy] (racing [Lazy.force] raises in OCaml 5).
+   Init-once-then-read-only tables can justify themselves with
+   [(* lint: allow domain-safe-state ... *)]. *)
+
+let mutable_creators =
+  [ "ref"; "Hashtbl.create"; "Array.make"; "Array.create_float";
+    "Bytes.create"; "Bytes.make"; "Buffer.create"; "Queue.create";
+    "Stack.create"; "Mutex.create"; "Condition.create" ]
+
+(* Peel wrappers that do not change what value the binding holds. *)
+let rec binding_body e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
+  | Pexp_letmodule (_, _, e) | Pexp_sequence (_, e) ->
+    binding_body e
+  | Pexp_let (_, _, e) -> binding_body e
+  | _ -> e
+
+let domain_safe_state =
+  { name = "domain-safe-state";
+    short = "no top-level mutable state or lazy in the domain-shared arithmetic stack";
+    applies =
+      (fun p ->
+         under [ "lib"; "bignum" ] p || under [ "lib"; "crypto" ] p
+         || under [ "lib"; "group" ] p || under [ "lib"; "sig" ] p);
+    check =
+      (fun ~file structure ->
+         (* walk top-level bindings only (module-level state); descend
+            into nested modules, whose bindings are just as global *)
+         let acc = ref [] in
+         let rec walk_structure items =
+           List.iter
+             (fun item ->
+                match item.pstr_desc with
+                | Pstr_value (_, bindings) ->
+                  List.iter
+                    (fun vb ->
+                       let body = binding_body vb.pvb_expr in
+                       match body.pexp_desc with
+                       | Pexp_lazy _ ->
+                         acc :=
+                           finding ~rule:"domain-safe-state" ~file ~loc:body.pexp_loc
+                             "top-level `lazy` races under multiple domains \
+                              (Lazy.force raises); use a Dd_parallel.Once cell"
+                           :: !acc
+                       | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+                         when List.exists (matches_name txt) mutable_creators ->
+                         acc :=
+                           finding ~rule:"domain-safe-state" ~file ~loc:body.pexp_loc
+                             "top-level `%s` is shared mutable state; every domain \
+                              sees it — move per-call scratch into Domain.DLS, or \
+                              publish compute-once results via Dd_parallel.Once / \
+                              Atomic"
+                             (String.concat "." (flatten txt))
+                           :: !acc
+                       | _ -> ())
+                    bindings
+                | Pstr_module { pmb_expr; _ } -> walk_module_expr pmb_expr
+                | Pstr_recmodule mbs ->
+                  List.iter (fun { pmb_expr; _ } -> walk_module_expr pmb_expr) mbs
+                | _ -> ())
+             items
+         and walk_module_expr me =
+           match me.pmod_desc with
+           | Pmod_structure items -> walk_structure items
+           | Pmod_functor (_, body) -> walk_module_expr body
+           | Pmod_constraint (me, _) -> walk_module_expr me
+           | _ -> ()
+         in
+         walk_structure structure;
+         List.rev !acc) }
+
 let all ?(wire_constructors = default_wire_constructors) () =
   [ ct_equality; sans_io; exception_hygiene;
-    wire_exhaustive ~constructors:wire_constructors; vartime_public_only ]
+    wire_exhaustive ~constructors:wire_constructors; vartime_public_only;
+    domain_safe_state ]

@@ -40,4 +40,16 @@ val default_wire_constructors : string list
 (** Names of the type declarations whose constructors R4 protects. *)
 val wire_type_names : string list
 
+(** R5: variable-time group operations take public data only —
+    secret-named values must not reach [mul_vartime]/[mul2]/[msm*]/
+    [verify_batch*]. Scope: lib/**. *)
+val vartime_public_only : t
+
+(** R6: no top-level mutable state ([ref]/[Array.make]/[Bytes.create]/
+    [Hashtbl.create]/...) or [lazy] in the domain-shared arithmetic
+    stack; use [Domain.DLS] for scratch and [Dd_parallel.Once] /
+    [Atomic] for compute-once caches. Scope: lib/bignum, lib/crypto,
+    lib/group, lib/sig. *)
+val domain_safe_state : t
+
 val all : ?wire_constructors:string list -> unit -> t list

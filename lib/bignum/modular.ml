@@ -16,9 +16,11 @@
 
    The fast paths run on reused scratch buffers via Nat's limb kernels,
    so a field multiplication performs one schoolbook product and a
-   couple of linear passes without intermediate allocations. Contexts
-   are therefore NOT re-entrant across threads; the codebase is
-   sans-IO/single-threaded (see lib/sim), which makes this safe. *)
+   couple of linear passes without intermediate allocations. The
+   scratch lives in Domain.DLS — one set of buffers per domain, shared
+   by every context in that domain — so contexts are freely shareable
+   across domains (each call borrows its own domain's scratch for the
+   duration of the call only). *)
 
 let base_bits = 30
 let limb_mask = (1 lsl base_bits) - 1
@@ -40,10 +42,15 @@ let make_scratch () = {
   acc = Array.make 8 0;
 }
 
+(* One scratch per domain, shared by all contexts in that domain. A
+   call borrows it only for its own duration, and a domain runs one
+   reduction at a time, so this is race-free. *)
+let scratch_key = Domain.DLS.new_key make_scratch
+
 type reduction =
   | Barrett of Nat.t        (* mu = floor(B^(2k) / modulus) *)
-  | Secp256k1 of scratch
-  | P256 of scratch
+  | Secp256k1
+  | P256
 
 type ctx = {
   modulus : Nat.t;
@@ -68,8 +75,8 @@ let create ?(prime = true) ?(fast = true) modulus =
   if Nat.compare modulus Nat.two < 0 then invalid_arg "Modular.create: modulus < 2";
   let k = (Nat.bit_length modulus + base_bits - 1) / base_bits in
   let red =
-    if fast && Nat.equal modulus secp256k1_p then Secp256k1 (make_scratch ())
-    else if fast && Nat.equal modulus nist_p256_p then P256 (make_scratch ())
+    if fast && Nat.equal modulus secp256k1_p then Secp256k1
+    else if fast && Nat.equal modulus nist_p256_p then P256
     else begin
       let b2k = Nat.shift_left Nat.one (2 * k * base_bits) in
       Barrett (Nat.div b2k modulus)
@@ -79,7 +86,7 @@ let create ?(prime = true) ?(fast = true) modulus =
   ignore (Nat.to_limbs_into modulus m_limbs);
   let u_mults =
     match red with
-    | P256 _ -> Array.init 9 (fun e -> Nat.mul nist_p256_u (Nat.of_int e))
+    | P256 -> Array.init 9 (fun e -> Nat.mul nist_p256_u (Nat.of_int e))
     | _ -> [||]
   in
   { modulus; k; red; prime; m_limbs; u_mults }
@@ -89,8 +96,8 @@ let modulus ctx = ctx.modulus
 let reduction_name ctx =
   match ctx.red with
   | Barrett _ -> "barrett"
-  | Secp256k1 _ -> "pseudo-mersenne-secp256k1"
-  | P256 _ -> "word-sliding-p256"
+  | Secp256k1 -> "pseudo-mersenne-secp256k1"
+  | P256 -> "word-sliding-p256"
 
 (* --- Barrett ----------------------------------------------------------- *)
 
@@ -218,17 +225,18 @@ let reduce_p256 ctx st n =
 let reduce_limbs ctx st n =
   match ctx.red with
   | Barrett _ -> assert false (* never dispatched here *)
-  | Secp256k1 _ -> reduce_secp256k1 ctx st n
-  | P256 _ -> reduce_p256 ctx st n
+  | Secp256k1 -> reduce_secp256k1 ctx st n
+  | P256 -> reduce_p256 ctx st n
 
 let reduce ctx x =
   if Nat.compare x ctx.modulus < 0 then x
   else begin
     match ctx.red with
     | Barrett mu -> reduce_barrett ctx mu x
-    | (Secp256k1 st | P256 st) ->
+    | Secp256k1 | P256 ->
       if Nat.bit_length x > 512 then Nat.rem x ctx.modulus
       else begin
+        let st = Domain.DLS.get scratch_key in
         let n = Nat.to_limbs_into x st.buf in
         reduce_limbs ctx st n
       end
@@ -250,11 +258,12 @@ let neg ctx a = if Nat.is_zero a then a else Nat.sub ctx.modulus a
 let mul ctx a b =
   match ctx.red with
   | Barrett mu -> reduce_barrett ctx mu (Nat.mul a b)
-  | (Secp256k1 st | P256 st) ->
+  | Secp256k1 | P256 ->
     if Nat.compare a ctx.modulus >= 0 || Nat.compare b ctx.modulus >= 0 then
       (* out-of-contract inputs: reduce first, stay correct *)
       Nat.rem (Nat.mul a b) ctx.modulus
     else begin
+      let st = Domain.DLS.get scratch_key in
       let n = Nat.mul_into st.buf a b in
       reduce_limbs ctx st n
     end

@@ -10,10 +10,10 @@
     modulus plus the precomputed constants and scratch; create it once
     and reuse it for every operation.
 
-    Because the fast paths share scratch buffers, a [ctx] must not be
-    used from multiple threads concurrently. The codebase is sans-IO
-    and single-threaded (enforced by ddemos-lint), so this never
-    arises in-system.
+    The fast paths' scratch buffers are domain-local ([Domain.DLS]),
+    so a [ctx] is immutable shared data: any number of domains may use
+    the same context concurrently, each borrowing its own domain's
+    scratch per call.
 
     All binary operations expect reduced residues (in [0, modulus));
     [reduce] and [of_nat] bring arbitrary naturals into range. *)

@@ -13,6 +13,7 @@ module Challenge = Dd_zkp.Challenge
 module Group_ctx = Dd_group.Group_ctx
 module Batch = Dd_group.Batch
 module Nat = Dd_bignum.Nat
+module Pool = Dd_parallel.Pool
 
 type check = {
   name : string;
@@ -151,6 +152,43 @@ let note_offender bad serial part why =
 let offender_detail o =
   Printf.sprintf "ballot %d part %s: %s" o.o_serial (Types.part_label o.o_part) o.o_why
 
+(* First failing index of [check] over [0, n), or [None]. With a
+   multi-domain [?pool] and a large enough space, the range splits into
+   contiguous shards, each shard runs its own bisection ([check]
+   offsets stay global, so shard batches derive the same
+   Fiat-Shamir weights a serial bisection of that range would), and
+   the minimum over shard results is returned — which equals the head
+   of the serial bisection's sorted failure list, so the named
+   offender is identical on both paths (pinned by test_election). *)
+let serial_find_first ~n ~check =
+  match Batch.find_failures ~n ~check with [] -> None | i :: _ -> Some i
+
+let par_find_first pool ~n ~check =
+  match pool with
+  | None -> serial_find_first ~n ~check
+  | Some pool when Pool.size pool <= 1 || n < 64 -> serial_find_first ~n ~check
+  | Some pool ->
+    let nshards = min (Pool.size pool) ((n + 31) / 32) in
+    let firsts =
+      Pool.parallel_map pool ~chunk:1
+        (fun shard ->
+           let slo = shard * n / nshards and shi = (shard + 1) * n / nshards in
+           match
+             Batch.find_failures ~n:(shi - slo)
+               ~check:(fun ~lo ~len -> check ~lo:(slo + lo) ~len)
+           with
+           | [] -> None
+           | i :: _ -> Some (slo + i))
+        (Array.init nshards (fun i -> i))
+    in
+    Array.fold_left
+      (fun acc o ->
+         match acc, o with
+         | Some a, Some b -> Some (min a b)
+         | (Some _ as a), None -> a
+         | None, o -> o)
+      None firsts
+
 (* (d) openings of unused parts are valid unit vectors.
 
    With [batch] (the default), all opening equations fold into one MSM
@@ -159,8 +197,9 @@ let offender_detail o =
    keeps audits replayable and is sound because the EA commits to the
    data before the weights exist). A failing batch is bisected to name
    the first offending (serial, part). The unit-ness of the committed
-   vectors is a cheap scalar check and stays serial on both paths. *)
-let check_openings ?(batch = true) v =
+   vectors is a cheap scalar check and stays serial on both paths.
+   [?pool] shards the batch across domains (see [par_find_first]). *)
+let check_openings ?(batch = true) ?pool v =
   let items =
     Hashtbl.fold (fun key op acc -> (key, op) :: acc) v.unused_openings []
     |> List.sort (fun ((s1, p1), _) ((s2, p2), _) ->
@@ -218,9 +257,9 @@ let check_openings ?(batch = true) v =
         Unit_vector.verify_batch v.gctx rng
           (Array.to_list (Array.map (fun (_, _, _, cv) -> cv) (Array.sub crypto lo len)))
     in
-    match Batch.find_failures ~n:(Array.length crypto) ~check:check_range with
-    | [] -> ()
-    | idx :: _ ->
+    match par_find_first pool ~n:(Array.length crypto) ~check:check_range with
+    | None -> ()
+    | Some idx ->
       let serial, part, pos, _ = crypto.(idx) in
       note_offender bad serial part (Printf.sprintf "position %d opening invalid" pos)
   end
@@ -247,8 +286,9 @@ let master_challenge v =
 
    Same batching strategy as (d): every ballot proof of every used
    part folds into one MSM under Fiat-Shamir weights; bisection names
-   the first offending (serial, part) when the batch fails. *)
-let check_zk ?(batch = true) v =
+   the first offending (serial, part) when the batch fails. [?pool]
+   shards the batch across domains (see [par_find_first]). *)
+let check_zk ?(batch = true) ?pool v =
   let master = master_challenge v in
   let bad = ref None and checked = ref 0 in
   let crypto = ref [] in
@@ -297,9 +337,9 @@ let check_zk ?(batch = true) v =
         Ballot_proof.verify_batch v.gctx rng
           (Array.map (fun (_, _, _, inst) -> inst) (Array.sub crypto lo len))
     in
-    match Batch.find_failures ~n:(Array.length crypto) ~check:check_range with
-    | [] -> ()
-    | idx :: _ ->
+    match par_find_first pool ~n:(Array.length crypto) ~check:check_range with
+    | None -> ()
+    | Some idx ->
       let serial, part, pos, _ = crypto.(idx) in
       note_offender bad serial part (Printf.sprintf "position %d proof invalid" pos)
   end
@@ -363,12 +403,12 @@ let check_voter_unused v (info : Voter.audit_info) =
     check "g:unused-part-matches" !ok
       (Printf.sprintf "ballot %d's unused part matches the printed ballot" serial)
 
-let audit ?(voter_audits = []) ?batch v =
+let audit ?(voter_audits = []) ?batch ?pool v =
   [ check_distinct_codes v;
     check_single_submission v;
     check_single_part v;
-    check_openings ?batch v;
-    check_zk ?batch v;
+    check_openings ?batch ?pool v;
+    check_zk ?batch ?pool v;
     check_tally v ]
   @ List.concat_map (fun info -> [ check_voter_code v info; check_voter_unused v info ])
     voter_audits

@@ -44,14 +44,20 @@ val assemble :
     data (sound — the EA commits before the weights exist — and
     replayable). A failing batch is bisected so the report still
     names the first offending (serial, part). [~batch:false] keeps
-    the equation-by-equation reference path. *)
-val audit : ?voter_audits:Voter.audit_info list -> ?batch:bool -> view -> check list
+    the equation-by-equation reference path.
+
+    A multi-domain [?pool] shards (d) and (e) across domains; the
+    verdict and the named first offender are identical to the serial
+    path (pinned by tests). *)
+val audit :
+  ?voter_audits:Voter.audit_info list -> ?batch:bool ->
+  ?pool:Dd_parallel.Pool.t -> view -> check list
 
 val all_ok : check list -> bool
 val pp_checks : Format.formatter -> check list -> unit
 
 (** Exposed for targeted testing and benchmarks. On failure, [detail]
     names the first offending (serial, part) on both paths. *)
-val check_zk : ?batch:bool -> view -> check
-val check_openings : ?batch:bool -> view -> check
+val check_zk : ?batch:bool -> ?pool:Dd_parallel.Pool.t -> view -> check
+val check_openings : ?batch:bool -> ?pool:Dd_parallel.Pool.t -> view -> check
 val check_voter_unused : view -> Voter.audit_info -> check

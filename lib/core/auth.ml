@@ -17,6 +17,8 @@
    Keys are dealt by the EA at setup, like everything else. *)
 
 module Schnorr = Dd_sig.Schnorr
+module Once = Dd_parallel.Once
+module Pool = Dd_parallel.Pool
 
 type scheme =
   | Schnorr_scheme
@@ -34,9 +36,9 @@ type keys = {
   gctx : Dd_group.Group_ctx.t;
   sk : Schnorr.secret_key;
   pks : Schnorr.public_key array;       (* indexed by node id *)
-  pk_tables : Schnorr.pk_table Lazy.t array;  (* comb tables, built on first
+  pk_tables : Schnorr.pk_table Once.t array;  (* comb tables, built on first
                                                  verify against that signer *)
-  pk_pre : Dd_group.Curve.precomp Lazy.t array;  (* wide msm tables for the
+  pk_pre : Dd_group.Curve.precomp Once.t array;  (* wide msm tables for the
                                                     batch path, same sharing *)
   mac_keys : string array;              (* pairwise keys, indexed by peer *)
   rng : Dd_crypto.Drbg.t;
@@ -57,12 +59,15 @@ let deal_clique ~scheme ~gctx ~seed ~n =
     Dd_crypto.Sha256.digest_list [ "mac-key"; seed; string_of_int lo; string_of_int hi ]
   in
   (* Tables are shared across the clique (they depend only on the public
-     keys) and lazy, so dealing stays cheap and MAC-scheme runs never
-     pay for them. *)
+     keys) and built on first use — as Once cells rather than lazy so a
+     verify race between domains is benign — so dealing stays cheap and
+     MAC-scheme runs never pay for them. *)
   let pk_tables =
-    Array.map (fun pk -> lazy (Schnorr.make_pk_table gctx pk)) pks
+    Array.map (fun pk -> Once.make (fun () -> Schnorr.make_pk_table gctx pk)) pks
   in
-  let pk_pre = Array.map (fun pk -> lazy (Schnorr.precompute_pk gctx pk)) pks in
+  let pk_pre =
+    Array.map (fun pk -> Once.make (fun () -> Schnorr.precompute_pk gctx pk)) pks
+  in
   Array.init n (fun i ->
       { scheme; me = i; gctx;
         sk = fst key_pairs.(i);
@@ -72,9 +77,14 @@ let deal_clique ~scheme ~gctx ~seed ~n =
         mac_keys = Array.init n (fun j -> pair_key i j);
         rng = Dd_crypto.Drbg.fork master ~label:(Printf.sprintf "rng%d" i) })
 
-let sign (k : keys) msg =
+(* [?rng] overrides the node's own nonce stream — parallel callers
+   (Ea.setup) pass a per-task forked DRBG so signing order cannot
+   depend on the schedule; plain callers keep the node stream. *)
+let sign ?rng (k : keys) msg =
   match k.scheme with
-  | Schnorr_scheme -> Schnorr_tag (Schnorr.sign k.gctx k.rng ~sk:k.sk ~pk:k.pks.(k.me) msg)
+  | Schnorr_scheme ->
+    let rng = Option.value rng ~default:k.rng in
+    Schnorr_tag (Schnorr.sign k.gctx rng ~sk:k.sk ~pk:k.pks.(k.me) msg)
   | Mac_scheme ->
     Mac_tag (Array.map (fun key -> Dd_crypto.Hmac.sha256 ~key msg) k.mac_keys)
 
@@ -85,20 +95,31 @@ let verify (k : keys) ~signer msg = function
     k.scheme = Schnorr_scheme
     && signer >= 0 && signer < Array.length k.pks
     && Schnorr.verify_with_table k.gctx ~pk:k.pks.(signer)
-         ~pk_table:(Lazy.force k.pk_tables.(signer)) msg s
+         ~pk_table:(Once.force k.pk_tables.(signer)) msg s
   | Mac_tag tags ->
     k.scheme = Mac_scheme
     && signer >= 0 && signer < Array.length k.mac_keys
     && k.me < Array.length tags
     && Dd_crypto.Ct.equal tags.(k.me) (Dd_crypto.Hmac.sha256 ~key:k.mac_keys.(signer) msg)
 
+(* Minimum batch size before a parallel caller shards across domains;
+   below this (e.g. the quorum-11 UCERT checks inside the simulation)
+   the serial randomized batch always runs, so simulation transcripts
+   are independent of DDEMOS_DOMAINS. *)
+let par_threshold = 64
+
 (* Verify many [(signer, msg, tag)] triples at once. Under
    [Schnorr_scheme] the whole list folds into one randomized batch
    (one MSM + one batch normalization — the UCERT hot path); HMACs
    are already cheap, so [Mac_scheme] just checks serially. Weights
    come from the node's own DRBG stream, so a Byzantine signer cannot
-   predict them. *)
-let verify_batch (k : keys) (items : (int * string * tag) list) =
+   predict them. With [?pool] (more than one domain) and at least
+   [par_threshold] signatures, the batch shards across domains — each
+   shard gets its own DRBG forked serially up front, so weight streams
+   are schedule-independent — and the verdict is the AND of the shard
+   verdicts (a batch that passes under one weighting passes under
+   any). *)
+let verify_batch ?pool (k : keys) (items : (int * string * tag) list) =
   match k.scheme with
   | Mac_scheme -> List.for_all (fun (signer, msg, tag) -> verify k ~signer msg tag) items
   | Schnorr_scheme ->
@@ -113,8 +134,35 @@ let verify_batch (k : keys) (items : (int * string * tag) list) =
         items
     in
     !ok
-    && (let pre =
-          Array.of_list (List.map (fun (signer, _) -> Lazy.force k.pk_pre.(signer)) sigs)
+    && (let n = List.length sigs in
+        let serial () =
+          let pre =
+            Array.of_list (List.map (fun (signer, _) -> Once.force k.pk_pre.(signer)) sigs)
+          in
+          Schnorr.verify_batch ~pre k.gctx k.rng
+            (Array.of_list (List.map snd sigs))
         in
-        Schnorr.verify_batch ~pre k.gctx k.rng
-          (Array.of_list (List.map snd sigs)))
+        match pool with
+        | None -> serial ()
+        | Some pool when Pool.size pool <= 1 || n < par_threshold -> serial ()
+        | Some pool ->
+          let sigs = Array.of_list sigs in
+          (* force every signer's table serially once; shards then only
+             read published values *)
+          let pre = Array.map (fun (signer, _) -> Once.force k.pk_pre.(signer)) sigs in
+          let nshards = min (Pool.size pool) ((n + 31) / 32) in
+          let rngs =
+            Array.init nshards (fun i ->
+                Dd_crypto.Drbg.fork k.rng ~label:(Printf.sprintf "batch-shard%d" i))
+          in
+          let verdicts =
+            Pool.parallel_map pool ~chunk:1
+              (fun shard ->
+                 let lo = shard * n / nshards and hi = (shard + 1) * n / nshards in
+                 let len = hi - lo in
+                 Schnorr.verify_batch ~pre:(Array.sub pre lo len) k.gctx
+                   rngs.(shard)
+                   (Array.init len (fun i -> snd sigs.(lo + i))))
+              (Array.init nshards (fun i -> i))
+          in
+          Array.for_all (fun b -> b) verdicts)

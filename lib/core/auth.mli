@@ -20,10 +20,11 @@ type keys = {
   gctx : Dd_group.Group_ctx.t;
   sk : Dd_sig.Schnorr.secret_key;
   pks : Dd_sig.Schnorr.public_key array;
-  pk_tables : Dd_sig.Schnorr.pk_table Lazy.t array;
-      (** per-signer comb tables; forced on first Schnorr verify *)
-  pk_pre : Dd_group.Curve.precomp Lazy.t array;
-      (** per-signer wide msm tables; forced on first batch verify
+  pk_tables : Dd_sig.Schnorr.pk_table Dd_parallel.Once.t array;
+      (** per-signer comb tables; built on first Schnorr verify
+          (race-safe once cells — any domain may force them) *)
+  pk_pre : Dd_group.Curve.precomp Dd_parallel.Once.t array;
+      (** per-signer wide msm tables; built on first batch verify
           against that signer *)
   mac_keys : string array;
   rng : Dd_crypto.Drbg.t;
@@ -35,7 +36,10 @@ type keys = {
 val deal_clique :
   scheme:scheme -> gctx:Dd_group.Group_ctx.t -> seed:string -> n:int -> keys array
 
-val sign : keys -> string -> tag
+(** [sign ?rng k msg]. [?rng] substitutes a caller-owned DRBG for the
+    node's own nonce stream — parallel setup passes per-ballot forked
+    streams so output is independent of scheduling. *)
+val sign : ?rng:Dd_crypto.Drbg.t -> keys -> string -> tag
 
 (** [verify k ~signer msg tag]: does [tag] authenticate [msg] from
     [signer], as seen by node [k.me]? Cross-scheme tags never verify. *)
@@ -45,5 +49,8 @@ val verify : keys -> signer:int -> string -> tag -> bool
     fold into one randomized batch verification (soundness 2^-128 per
     batch; the UCERT validation hot path); MAC tags are checked
     serially. Any invalid signer index or cross-scheme tag fails the
-    batch. *)
-val verify_batch : keys -> (int * string * tag) list -> bool
+    batch. With [?pool] of more than one domain and at least 64
+    signatures, the batch shards across domains (verdict unchanged:
+    the AND of per-shard randomized batches). *)
+val verify_batch :
+  ?pool:Dd_parallel.Pool.t -> keys -> (int * string * tag) list -> bool

@@ -8,6 +8,7 @@
    attack). *)
 
 module Drbg = Dd_crypto.Drbg
+module Pool = Dd_parallel.Pool
 module Group_ctx = Dd_group.Group_ctx
 module Elgamal = Dd_commit.Elgamal
 module Unit_vector = Dd_commit.Unit_vector
@@ -84,13 +85,20 @@ let inverse_perm perm =
 (* Full-crypto setup. Cost grows with n_voters * m^2; intended for the
    tests, the examples, and the post-election-phase benchmarks. The
    large-scale vote-collection benchmarks use Ballot_store.virtual_prf
-   instead, which derives only the plain material on demand. *)
-let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
+   instead, which derives only the plain material on demand.
+
+   Per-ballot work shards across [?pool] (default: the DDEMOS_DOMAINS
+   pool). Every random draw a ballot part makes comes from its own
+   DRBG, forked serially per (serial, part) before the parallel
+   region, and every write lands in a slot indexed by (serial, part) —
+   so the setup transcript is a pure function of the seed, identical
+   for every pool size (pinned by test_parallel). *)
+let setup ?(scheme = Auth.Schnorr_scheme) ?pool (cfg : Types.config) ~seed =
   (match Types.validate_config cfg with
    | Ok () -> ()
    (* lint: allow exception-hygiene — the EA is the trusted dealer; config comes from the operator *)
    | Error e -> invalid_arg ("Ea.setup: " ^ e));
-  let gctx = Lazy.force Group_ctx.default in
+  let gctx = Group_ctx.default () in
   let n = cfg.Types.n_voters and m = cfg.Types.m_options in
   let nv = cfg.Types.nv and fv = cfg.Types.fv in
   let nt = cfg.Types.nt and ht = cfg.Types.ht in
@@ -101,7 +109,20 @@ let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
   in
   let ea_vc = vc_keys.(nv) and ea_trustee = trustee_keys.(nt) in
   let msk = Ballot_gen.msk ~seed in
-  let ballots = Array.init n (fun serial -> Ballot_gen.voter_ballot ~seed ~serial ~m) in
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  (* one DRBG per (serial, part), forked in fixed serial order: the
+     draws inside the parallel region below cannot depend on which
+     domain runs which ballot *)
+  let part_rngs =
+    Array.init n (fun serial ->
+        Array.init 2 (fun pi ->
+            Drbg.fork rng ~label:(Printf.sprintf "ballot|%d|%d" serial pi)))
+  in
+  let ballots =
+    Pool.parallel_map pool
+      (fun serial -> Ballot_gen.voter_ballot ~seed ~serial ~m)
+      (Array.init n (fun serial -> serial))
+  in
   (* accumulators *)
   let vc_lines =
     Array.init nv (fun _ -> Array.init n (fun _ -> Array.make 2 [||]))
@@ -114,11 +135,12 @@ let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
             t_zk_state_share = { Shamir_bytes.x = 0; Shamir_bytes.data = "" };
             t_zk_state_tag = Auth.Mac_tag [||] }))
   in
-  for serial = 0 to n - 1 do
+  Pool.parallel_for pool n (fun serial ->
     let bb_parts = Array.make 2 [||] in
     List.iter
       (fun part ->
          let pi = Types.part_index part in
+         let rng = part_rngs.(serial).(pi) in
          let mat = Ballot_gen.gen_part ~seed ~serial ~part ~m in
          let inv = inverse_perm mat.Ballot_gen.perm in
          (* VC validation lines with EA-signed receipt shares *)
@@ -138,7 +160,7 @@ let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
                  { Types.code_hash = mat.Ballot_gen.hashes.(pos);
                    Types.salt = mat.Ballot_gen.salts.(pos);
                    Types.receipt_share = share;
-                   Types.share_tag = Some (Auth.sign ea_vc body) })
+                   Types.share_tag = Some (Auth.sign ~rng ea_vc body) })
          done;
          (* commitments, proofs, encrypted codes, trustee shares *)
          let entries =
@@ -180,7 +202,7 @@ let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
            in
            let share = state_shares.(trustee) in
            let tag =
-             Auth.sign ea_trustee
+             Auth.sign ~rng ea_trustee
                (zk_state_body ~election_id:cfg.Types.election_id ~serial ~part ~trustee share)
            in
            trustee_ballots.(trustee).(serial).(pi) <-
@@ -195,8 +217,7 @@ let setup ?(scheme = Auth.Schnorr_scheme) (cfg : Types.config) ~seed =
                   zk_first })
              entries)
       [ Types.A; Types.B ];
-    bb_ballots.(serial) <- { bb_serial = serial; bb_parts }
-  done;
+    bb_ballots.(serial) <- { bb_serial = serial; bb_parts });
   let msk_shares = Ballot_gen.msk_shares ~seed ~threshold:(nv - fv) ~shares:nv in
   { cfg; seed; gctx; ballots; vc_keys; trustee_keys;
     vc_init =

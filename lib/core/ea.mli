@@ -74,6 +74,11 @@ val inverse_perm : int array -> int array
 (** Full-cryptography setup; deterministic in [seed]. Cost grows with
     [n_voters * m_options^2] — intended for tests, examples, and
     post-election benchmarks; large-scale vote-collection runs use
-    {!Ballot_store.virtual_prf} instead. Raises [Invalid_argument] on
-    an invalid configuration. *)
-val setup : ?scheme:Auth.scheme -> Types.config -> seed:string -> setup
+    {!Ballot_store.virtual_prf} instead. Per-ballot generation shards
+    across [?pool] (default: the [DDEMOS_DOMAINS] pool); the output is
+    a pure function of [seed], identical for every pool size, because
+    each (serial, part) draws from its own serially pre-forked DRBG.
+    Raises [Invalid_argument] on an invalid configuration. *)
+val setup :
+  ?scheme:Auth.scheme -> ?pool:Dd_parallel.Pool.t ->
+  Types.config -> seed:string -> setup

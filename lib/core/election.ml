@@ -222,7 +222,7 @@ let run (p : params) : result =
   let gctx =
     match setup_opt with
     | Some s -> s.Ea.gctx
-    | None -> Lazy.force Dd_group.Group_ctx.default
+    | None -> Dd_group.Group_ctx.default ()
   in
   let vc_keys =
     match setup_opt with

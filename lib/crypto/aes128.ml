@@ -2,7 +2,11 @@
    CBC mode with PKCS#7 padding. Used to hide vote codes in the BB
    initialization data, exactly as the paper's AES-128-CBC$ usage. *)
 
+(* Both tables are written only during module initialization (single
+   domain, before any spawn) and are read-only ever after. *)
+(* lint: allow domain-safe-state — init-once at load, read-only after *)
 let sbox = Bytes.create 256
+(* lint: allow domain-safe-state — init-once at load, read-only after *)
 let inv_sbox = Bytes.create 256
 
 (* Build the S-box from the finite-field definition: multiplicative

@@ -36,9 +36,13 @@ let ( ^% ) = Int32.logxor
 let ( &% ) = Int32.logand
 let lnot32 = Int32.lognot
 
-let w = Array.make 64 0l
+(* Message-schedule scratch. One 64-word array per domain (not per
+   call) keeps the hot path allocation-free while letting every domain
+   hash concurrently. *)
+let w_key = Domain.DLS.new_key (fun () -> Array.make 64 0l)
 
 let compress ctx block off =
+  let w = Domain.DLS.get w_key in
   for i = 0 to 15 do
     let b j = Int32.of_int (Char.code (Bytes.get block (off + 4 * i + j))) in
     w.(i) <- Int32.logor (Int32.shift_left (b 0) 24)

@@ -1,7 +1,9 @@
 (** SHA-256 (FIPS 180-4).
 
-    Not thread-safe: the compression function uses a shared scratch
-    buffer, which is fine for this repository's single-domain usage. *)
+    Domain-safe: the compression function's message-schedule scratch is
+    domain-local ([Domain.DLS]), so distinct domains may hash
+    concurrently. A single [ctx] value must still not be shared between
+    domains. *)
 
 type ctx
 

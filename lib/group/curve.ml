@@ -58,7 +58,9 @@ type t = {
   byte_len : int;       (* field element encoding length *)
   sqrt_e : Nat.t;       (* (p+1)/4, cached for field_sqrt (p = 3 mod 4) *)
   endo : endo option;   (* GLV split for the msm path, where applicable *)
-  mutable gen_tables : precomp option;  (* lazy wide generator table *)
+  gen_tables : precomp option Atomic.t;
+  (* generator table cache, published once via compare-and-set: a race
+     may compute it twice, but every domain observes a single value *)
 }
 
 (* secp256k1: y^2 = x^3 + 7. *)
@@ -372,7 +374,7 @@ let create ?(fast = true) params =
     byte_len = (Nat.bit_length params.p + 7) / 8;
     sqrt_e = Nat.shift_right (Nat.add params.p Nat.one) 2;
     endo = None;
-    gen_tables = None;
+    gen_tables = Atomic.make None;
   } in
   if String.equal params.name "secp256k1" && endo_valid t secp256k1_endo
   then { t with endo = Some secp256k1_endo }
@@ -533,12 +535,14 @@ let precompute t p =
 let precomp_point pc = pc.pre_pt
 
 let gen_tables t =
-  match t.gen_tables with
+  match Atomic.get t.gen_tables with
   | Some g -> g
   | None ->
+    (* racing domains may both build the table; exactly one result is
+       published and everyone converges on it *)
     let gt = precompute t (generator t) in
-    t.gen_tables <- Some gt;
-    gt
+    if Atomic.compare_and_set t.gen_tables None (Some gt) then gt
+    else (match Atomic.get t.gen_tables with Some g -> g | None -> gt)
 
 (* Joint Strauss for small-to-medium batches: per-point wNAF digit
    strings share one doubling chain, so n points cost ~256 doubles

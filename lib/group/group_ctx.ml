@@ -26,7 +26,11 @@ let create ?(fast = true) ?(params = Curve.secp256k1) () =
     h_table = Curve.make_base_table curve h;
   }
 
-let default = lazy (create ())
+(* Once, not Lazy: forcing a lazy from two domains at the same time
+   raises; the once cell tolerates the race (worst case both build,
+   one value is published). *)
+let default_once = Dd_parallel.Once.make (fun () -> create ())
+let default () = Dd_parallel.Once.force default_once
 
 let curve t = t.curve
 let g t = t.g

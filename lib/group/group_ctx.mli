@@ -11,9 +11,11 @@ type t
     Barrett reduction throughout (reference/baseline path). *)
 val create : ?fast:bool -> ?params:Curve.params -> unit -> t
 
-(** One process-wide context over secp256k1 (table construction costs a
-    few hundred milliseconds; share it). *)
-val default : t lazy_t
+(** One process-wide context over secp256k1, built on first call (table
+    construction costs a few hundred milliseconds; share it). Safe to
+    call from any domain: a first-use race may build the context twice
+    but exactly one value is published and returned everywhere. *)
+val default : unit -> t
 
 val curve : t -> Curve.t
 val g : t -> Curve.point

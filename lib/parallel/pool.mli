@@ -1,0 +1,58 @@
+(** Fixed-size domain-pool executor.
+
+    A pool of [domains] participants: [domains - 1] persistent worker
+    domains plus the calling domain, which always participates in its
+    own parallel calls (so nested calls cannot deadlock and a pool of
+    size 1 degrades to exactly the serial loop).
+
+    Determinism contract:
+    - {!parallel_for} / {!parallel_map} assign results by index —
+      output is identical for every pool size and schedule.
+    - {!parallel_reduce} combines chunk results in ascending chunk
+      order with a pool-size-independent default chunk, so its result
+      does not depend on the pool either.
+    - If a body raises, all chunks still run and the exception from the
+      {e smallest} chunk index is re-raised in the caller with its
+      original payload and backtrace — matching what the serial loop
+      would have raised first. *)
+
+type t
+
+(** [create ~domains ()] spawns [domains - 1] worker domains.
+    [domains] defaults to 1 (purely serial, spawns nothing).
+    @raise Invalid_argument if [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** Total participants: worker domains + the caller. *)
+val size : t -> int
+
+(** [parallel_for t n f] runs [f 0 .. f (n-1)], partitioned into chunks
+    of [?chunk] indices (default: about 8 chunks per participant).
+    [f] must only write to disjoint, index-addressed state. *)
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+
+(** [parallel_map t f arr] is [Array.map f arr] with elements computed
+    in parallel; result order always matches [arr]. *)
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_reduce t ~map ~fold ~init arr] folds [map arr.(i)] over
+    chunks, then combines the per-chunk partials in chunk order
+    starting from [init]. Deterministic for any pool size; [fold]
+    should be associative for the result to also be independent of
+    [?chunk] (default 32, fixed — not pool-derived). *)
+val parallel_reduce :
+  t -> ?chunk:int -> map:('a -> 'b) -> fold:('b -> 'b -> 'b) -> init:'b ->
+  'a array -> 'b
+
+(** Close the pool and join its workers. Subsequent parallel calls on
+    it raise [Invalid_argument]. Idempotent. *)
+val shutdown : t -> unit
+
+(** Pool size requested by the [DDEMOS_DOMAINS] environment variable
+    (default 1, clamped to [1, 64]; malformed values read as 1). *)
+val env_domains : unit -> int
+
+(** The lazily created process-wide pool, sized by {!env_domains} at
+    first use and shut down via [at_exit]. Callers that take a
+    [?pool] argument default to this. *)
+val get_default : unit -> t

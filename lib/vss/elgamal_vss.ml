@@ -76,7 +76,7 @@ let verify_share gctx ~(commitment : Elgamal.t) ~(aux : aux) (s : share) =
      msg*G + rand*H - c2 - sum_j x^j*aux_c2_j = O       (j >= 1)
    each get a fresh random weight and fold into one MSM accumulator.
    Soundness 2^-128 per batch; public data only (vartime). *)
-let verify_shares_batch gctx rng (items : (Elgamal.t * aux * share) array) =
+let verify_shares_serial gctx rng (items : (Elgamal.t * aux * share) array) =
   match Array.length items with
   | 0 -> true
   | 1 -> let c, aux, s = items.(0) in verify_share gctx ~commitment:c ~aux s
@@ -105,6 +105,29 @@ let verify_shares_batch gctx rng (items : (Elgamal.t * aux * share) array) =
            aux)
       items;
     Group_ctx.acc_check acc
+
+(* Sharded variant; see Pedersen_vss.verify_shares_batch — same
+   verdict-preservation argument, same serial fork discipline. *)
+let verify_shares_batch ?pool gctx rng (items : (Elgamal.t * aux * share) array) =
+  let n = Array.length items in
+  let psize = match pool with Some p -> Dd_parallel.Pool.size p | None -> 1 in
+  if psize <= 1 || n < 64 then verify_shares_serial gctx rng items
+  else begin
+    let pool = Option.get pool in
+    let nshards = min psize ((n + 31) / 32) in
+    let rngs =
+      Array.init nshards (fun i ->
+          Dd_crypto.Drbg.fork rng ~label:(Printf.sprintf "vss-shard%d" i))
+    in
+    let verdicts =
+      Dd_parallel.Pool.parallel_map pool ~chunk:1
+        (fun shard ->
+           let lo = shard * n / nshards and hi = (shard + 1) * n / nshards in
+           verify_shares_serial gctx rngs.(shard) (Array.sub items lo (hi - lo)))
+        (Array.init nshards (fun i -> i))
+    in
+    Array.for_all (fun b -> b) verdicts
+  end
 
 let reconstruct gctx ~threshold (shares : share list) : Elgamal.opening =
   let fn = Group_ctx.scalar_field gctx in

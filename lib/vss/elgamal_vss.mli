@@ -28,6 +28,7 @@ val verify_share :
     containing a bad share with probability at most 2^-128.
     {b Variable time} — public data only. *)
 val verify_shares_batch :
+  ?pool:Dd_parallel.Pool.t ->
   Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> (Elgamal.t * aux * share) array -> bool
 
 val reconstruct :

@@ -61,7 +61,7 @@ let verify_share gctx (commitments : commitments) (s : share) =
    fold into one MSM accumulator (the G/H legs ride the comb tables).
    A trustee receiving shares of every ballot's prover state verifies
    them all for roughly the cost of one. Soundness 2^-128 per batch. *)
-let verify_shares_batch gctx rng (items : (commitments * share) array) =
+let verify_shares_serial gctx rng (items : (commitments * share) array) =
   match Array.length items with
   | 0 -> true
   | 1 -> let c, s = items.(0) in verify_share gctx c s
@@ -82,6 +82,32 @@ let verify_shares_batch gctx rng (items : (commitments * share) array) =
            commitments)
       items;
     Group_ctx.acc_check acc
+
+(* With a multi-domain [?pool] and a large enough batch, shard the
+   items and AND the per-shard randomized batches: a batch that holds
+   under one weighting holds under any, so the verdict is unchanged.
+   Shard DRBGs are forked serially up front — weights cannot depend on
+   the schedule. *)
+let verify_shares_batch ?pool gctx rng (items : (commitments * share) array) =
+  let n = Array.length items in
+  let psize = match pool with Some p -> Dd_parallel.Pool.size p | None -> 1 in
+  if psize <= 1 || n < 64 then verify_shares_serial gctx rng items
+  else begin
+    let pool = Option.get pool in
+    let nshards = min psize ((n + 31) / 32) in
+    let rngs =
+      Array.init nshards (fun i ->
+          Dd_crypto.Drbg.fork rng ~label:(Printf.sprintf "vss-shard%d" i))
+    in
+    let verdicts =
+      Dd_parallel.Pool.parallel_map pool ~chunk:1
+        (fun shard ->
+           let lo = shard * n / nshards and hi = (shard + 1) * n / nshards in
+           verify_shares_serial gctx rngs.(shard) (Array.sub items lo (hi - lo)))
+        (Array.init nshards (fun i -> i))
+    in
+    Array.for_all (fun b -> b) verdicts
+  end
 
 (* The public commitment to the secret itself is the constant-term
    commitment. *)

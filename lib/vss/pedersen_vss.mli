@@ -30,6 +30,7 @@ val verify_share : Dd_group.Group_ctx.t -> commitments -> share -> bool
     {b Variable time} — commitments and evaluation points are
     public. *)
 val verify_shares_batch :
+  ?pool:Dd_parallel.Pool.t ->
   Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> (commitments * share) array -> bool
 
 (** The Pedersen commitment to the secret (the constant coefficient). *)

@@ -8,7 +8,7 @@ module Unit_vector = Dd_commit.Unit_vector
 module Pedersen = Dd_commit.Pedersen
 module Drbg = Dd_crypto.Drbg
 
-let gctx = Lazy.force Group_ctx.default
+let gctx = Group_ctx.default ()
 let rng () = Drbg.create ~seed:"commit-tests"
 
 let test_commit_verify () =

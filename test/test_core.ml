@@ -13,7 +13,7 @@ module Drbg = Dd_crypto.Drbg
 module Shamir_bytes = Dd_vss.Shamir_bytes
 
 let cfg = { Types.default_config with Types.n_voters = 4; Types.m_options = 3 }
-let gctx = Lazy.force Dd_group.Group_ctx.default
+let gctx = Dd_group.Group_ctx.default ()
 
 (* --- config validation -------------------------------------------------- *)
 

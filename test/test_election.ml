@@ -261,7 +261,57 @@ let test_audit_names_first_offender () =
     Alcotest.(check string) "zk batch path" expect_zk
       (Auditor.check_zk ~batch:true view).Auditor.detail;
     Alcotest.(check string) "zk serial path" expect_zk
-      (Auditor.check_zk ~batch:false view).Auditor.detail
+      (Auditor.check_zk ~batch:false view).Auditor.detail;
+    (* the parallel path (below the shard threshold here, so it must
+       degrade to exactly the serial batch) agrees on everything *)
+    let pool = Dd_parallel.Pool.create ~domains:4 () in
+    Alcotest.(check string) "parallel openings agree" (expected first)
+      (Auditor.check_openings ~pool view).Auditor.detail;
+    Alcotest.(check string) "parallel zk agrees" expect_zk
+      (Auditor.check_zk ~pool view).Auditor.detail;
+    Dd_parallel.Pool.shutdown pool
+
+(* A large enough election that the audit crypto batch (one entry per
+   unused-opening position: 32 voters x m=2 = 64) crosses the parallel
+   shard threshold, so [par_find_first] genuinely shards across domains
+   — verdict and first offender must still match the serial paths. *)
+let test_parallel_audit_at_scale () =
+  let module Elgamal = Dd_commit.Elgamal in
+  let module Nat = Dd_bignum.Nat in
+  let cfg = { Types.default_config with Types.n_voters = 32; Types.m_options = 2 } in
+  let s = Ea.setup cfg ~seed:"par-audit" in
+  let votes = List.init 32 (fun i -> (i, i mod 2)) in
+  let p =
+    Election.default_params ~fidelity:(Election.Full s) cfg ~votes:(votes_of votes)
+  in
+  let r = Election.run { p with Election.seed = "par-audit"; concurrent_clients = 8 } in
+  match Auditor.assemble ~cfg ~gctx:s.Ea.gctx r.Election.bb_nodes with
+  | None -> Alcotest.fail "no audit view"
+  | Some view ->
+    let pool = Dd_parallel.Pool.create ~domains:4 () in
+    (* clean view: both schedules say everything is fine *)
+    Alcotest.(check bool) "serial audit passes" true
+      (Auditor.all_ok (Auditor.audit view));
+    Alcotest.(check bool) "parallel audit passes" true
+      (Auditor.all_ok (Auditor.audit ~pool view));
+    (* tamper a middle opening: sharded bisection and serial bisection
+       must name the same (serial, part, position) *)
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) view.Auditor.unused_openings []
+      |> List.sort (fun (s1, p1) (s2, p2) ->
+          compare (s1, Types.part_index p1) (s2, Types.part_index p2))
+    in
+    let victim = List.nth keys (List.length keys / 2) in
+    let ops = Hashtbl.find view.Auditor.unused_openings victim in
+    let o = ops.(1).(0) in
+    ops.(1).(0) <- { o with Elgamal.rand = Nat.add o.Elgamal.rand Nat.one };
+    let serial_check = Auditor.check_openings view in
+    let par_check = Auditor.check_openings ~pool view in
+    Alcotest.(check bool) "serial catches it" false serial_check.Auditor.ok;
+    Alcotest.(check bool) "parallel catches it" false par_check.Auditor.ok;
+    Alcotest.(check string) "same first offender" serial_check.Auditor.detail
+      par_check.Auditor.detail;
+    Dd_parallel.Pool.shutdown pool
 
 (* --- network faults ------------------------------------------------------------ *)
 
@@ -411,7 +461,8 @@ let () =
       ("verifiability",
        [ Alcotest.test_case "malicious EA detected" `Quick test_malicious_ea_detected;
          Alcotest.test_case "honest EA passes delegated audit" `Quick test_honest_ea_passes_delegated_audit;
-         Alcotest.test_case "audit names first offender" `Quick test_audit_names_first_offender ]);
+         Alcotest.test_case "audit names first offender" `Quick test_audit_names_first_offender;
+         Alcotest.test_case "parallel audit at scale" `Slow test_parallel_audit_at_scale ]);
       ("network-faults",
        [ Alcotest.test_case "5% loss, patience recovers" `Quick
            test_lossy_network_recovered_by_patience;

@@ -5,7 +5,7 @@ module Nat = Dd_bignum.Nat
 module Curve = Dd_group.Curve
 module Group_ctx = Dd_group.Group_ctx
 
-let gctx = Lazy.force Group_ctx.default
+let gctx = Group_ctx.default ()
 let c = Group_ctx.curve gctx
 let g = Group_ctx.g gctx
 

@@ -132,6 +132,51 @@ let test_vartime_public_only () =
   check_clean "unrelated callee with secret arg" ~file:"lib/sig/fixture.ml"
     "let derive sk = Dd_crypto.Sha256.digest sk"
 
+(* --- R6: domain-safe-state --------------------------------------------- *)
+
+let test_domain_safe_state () =
+  check_fires "top-level ref" "domain-safe-state"
+    ~file:"lib/bignum/fixture.ml"
+    "let counter = ref 0";
+  check_fires "top-level Array.make" "domain-safe-state"
+    ~file:"lib/crypto/fixture.ml"
+    "let scratch = Array.make 64 0l";
+  check_fires "top-level Bytes.create" "domain-safe-state"
+    ~file:"lib/crypto/fixture.ml"
+    "let buf = Bytes.create 32";
+  check_fires "top-level Hashtbl" "domain-safe-state"
+    ~file:"lib/group/fixture.ml"
+    "let cache = Hashtbl.create 16";
+  check_fires "top-level lazy" "domain-safe-state"
+    ~file:"lib/group/fixture.ml"
+    "let default = lazy (create ())";
+  check_fires "constrained binding still fires" "domain-safe-state"
+    ~file:"lib/sig/fixture.ml"
+    "let tbl : int array = Array.make 8 0";
+  check_fires "nested module is still module state" "domain-safe-state"
+    ~file:"lib/group/fixture.ml"
+    "module Inner = struct let c = ref 0 end";
+  check_clean "DLS is the fix"
+    ~file:"lib/crypto/fixture.ml"
+    "let w_key = Domain.DLS.new_key (fun () -> Array.make 64 0l)";
+  check_clean "Once cell is the fix"
+    ~file:"lib/group/fixture.ml"
+    "let default = Dd_parallel.Once.make (fun () -> create ())";
+  check_clean "Atomic publish is fine"
+    ~file:"lib/group/fixture.ml"
+    "let cell = Atomic.make None";
+  check_clean "array literal constants are fine"
+    ~file:"lib/crypto/fixture.ml"
+    "let k = [| 1l; 2l; 3l |]";
+  check_clean "local mutable state inside a function is fine"
+    ~file:"lib/bignum/fixture.ml"
+    "let f n = let acc = ref 0 in for i = 0 to n do acc := !acc + i done; !acc";
+  check_clean "core is out of scope" ~file:"lib/core/fixture.ml"
+    "let cache = Hashtbl.create 16";
+  check_clean "suppression with justification" ~file:"lib/crypto/fixture.ml"
+    "(* lint: allow domain-safe-state — init-once at load, read-only after *)\n\
+     let sbox = Bytes.create 256"
+
 (* --- suppressions ------------------------------------------------------ *)
 
 let test_suppression () =
@@ -194,7 +239,8 @@ let () =
          Alcotest.test_case "R2 sans-io" `Quick test_sans_io;
          Alcotest.test_case "R3 exception-hygiene" `Quick test_exception_hygiene;
          Alcotest.test_case "R4 wire-exhaustive" `Quick test_wire_exhaustive;
-         Alcotest.test_case "R5 vartime-public-only" `Quick test_vartime_public_only ]);
+         Alcotest.test_case "R5 vartime-public-only" `Quick test_vartime_public_only;
+         Alcotest.test_case "R6 domain-safe-state" `Quick test_domain_safe_state ]);
       ("suppression", [ Alcotest.test_case "allow comments" `Quick test_suppression ]);
       ("driver",
        [ Alcotest.test_case "parse errors" `Quick test_parse_error;

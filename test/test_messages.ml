@@ -9,7 +9,7 @@ module Drbg = Dd_crypto.Drbg
 module Shamir_bytes = Dd_vss.Shamir_bytes
 module Rbc = Dd_consensus.Rbc
 
-let gctx = Lazy.force Dd_group.Group_ctx.default
+let gctx = Dd_group.Group_ctx.default ()
 
 let keys scheme = Auth.deal_clique ~scheme ~gctx ~seed:"msg-test" ~n:4
 

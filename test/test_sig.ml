@@ -5,7 +5,7 @@ module Group_ctx = Dd_group.Group_ctx
 module Drbg = Dd_crypto.Drbg
 module Nat = Dd_bignum.Nat
 
-let gctx = Lazy.force Group_ctx.default
+let gctx = Group_ctx.default ()
 let rng () = Drbg.create ~seed:"sig-tests"
 
 let test_sign_verify () =

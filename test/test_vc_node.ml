@@ -13,7 +13,7 @@ module Auth = Ddemos.Auth
 module Drbg = Dd_crypto.Drbg
 
 let cfg = { Types.default_config with Types.n_voters = 6; Types.m_options = 3 }
-let gctx = Lazy.force Dd_group.Group_ctx.default
+let gctx = Dd_group.Group_ctx.default ()
 let seed = "vcnode-test"
 
 type cluster = {

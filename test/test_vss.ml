@@ -12,7 +12,7 @@ module Drbg = Dd_crypto.Drbg
 module Group_ctx = Dd_group.Group_ctx
 module Elgamal = Dd_commit.Elgamal
 
-let gctx = Lazy.force Group_ctx.default
+let gctx = Group_ctx.default ()
 let fn = Group_ctx.scalar_field gctx
 let rng () = Drbg.create ~seed:"vss-tests"
 

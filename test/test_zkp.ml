@@ -12,7 +12,7 @@ module Ballot_proof = Dd_zkp.Ballot_proof
 module Challenge = Dd_zkp.Challenge
 module Drbg = Dd_crypto.Drbg
 
-let gctx = Lazy.force Group_ctx.default
+let gctx = Group_ctx.default ()
 let c = Group_ctx.curve gctx
 let rng () = Drbg.create ~seed:"zkp-tests"
 
