@@ -1,0 +1,95 @@
+(* Finding baselines: the mechanism that lets a new rule land without
+   blocking CI on legacy findings, without ever hiding new ones.
+
+   A baseline file is line-oriented; '#' starts a comment, blanks are
+   ignored. Each entry is
+
+     <fingerprint> <rule> <file> added=<YYYY-MM-DD>
+
+   Fingerprints come from [Findings.fingerprint_all] and are stable
+   across unrelated edits (no line numbers involved). Matching is by
+   fingerprint alone; rule/file/date are carried for the humans and
+   for the nightly expiry check (CI fails when entries outlive the PR
+   that introduced them — see .github/workflows/ci.yml). *)
+
+type entry = {
+  fp : string;
+  rule : string;
+  file : string;
+  added : string;   (* YYYY-MM-DD *)
+}
+
+let parse source =
+  String.split_on_char '\n' source
+  |> List.filter_map (fun line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> None
+      | fp :: rest ->
+        let field prefix =
+          List.find_map
+            (fun w ->
+               let n = String.length prefix in
+               if String.length w > n && String.sub w 0 n = prefix then
+                 Some (String.sub w n (String.length w - n))
+               else None)
+            rest
+        in
+        let plain = List.filter (fun w -> not (String.contains w '=')) rest in
+        Some
+          { fp;
+            rule = (match plain with r :: _ -> r | [] -> "");
+            file = (match plain with _ :: f :: _ -> f | _ -> "");
+            added = Option.value ~default:"" (field "added=") })
+
+let format entries =
+  let header =
+    "# ddemos-lint baseline: known findings that predate the rule that\n\
+     # reports them. One entry per line: <fingerprint> <rule> <file>\n\
+     # added=<date>. Regenerate with: ddemos_lint --write-baseline <file>.\n\
+     # The nightly lint-baseline-empty check fails when entries linger.\n"
+  in
+  header
+  ^ String.concat ""
+      (List.map
+         (fun e -> Printf.sprintf "%s %s %s added=%s\n" e.fp e.rule e.file e.added)
+         entries)
+
+let of_findings ~date fs =
+  List.map
+    (fun (f : Findings.t) ->
+       { fp = f.Findings.fingerprint; rule = f.Findings.rule; file = f.Findings.file;
+         added = date })
+    fs
+
+type application = {
+  fresh : Findings.t list;       (* not in the baseline: these fail the build *)
+  baselined : Findings.t list;   (* matched an entry: reported, not fatal *)
+  stale : entry list;            (* entries matching no finding: remove them *)
+}
+
+let apply entries fs =
+  let known = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace known e.fp ()) entries;
+  let matched = Hashtbl.create 16 in
+  let fresh, baselined =
+    List.partition
+      (fun (f : Findings.t) ->
+         if Hashtbl.mem known f.Findings.fingerprint then begin
+           Hashtbl.replace matched f.Findings.fingerprint ();
+           false
+         end
+         else true)
+      fs
+  in
+  let stale = List.filter (fun e -> not (Hashtbl.mem matched e.fp)) entries in
+  { fresh; baselined; stale }

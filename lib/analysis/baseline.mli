@@ -1,0 +1,30 @@
+(** Finding baselines: fingerprint lists that let a new rule land
+    without blocking the build on legacy findings. Matching is by the
+    stable fingerprints of {!Findings.fingerprint_all}; entries carry
+    rule/file/date for human audit and for the nightly expiry check. *)
+
+type entry = {
+  fp : string;
+  rule : string;
+  file : string;
+  added : string;  (** YYYY-MM-DD the entry was introduced *)
+}
+
+(** Parse baseline file content ('#' comments and blank lines
+    ignored). Tolerant: unknown trailing words are skipped. *)
+val parse : string -> entry list
+
+(** Render entries back to file content (with the explanatory header);
+    [parse (format es)] round-trips. *)
+val format : entry list -> string
+
+(** Entries covering the given findings, stamped [added=date]. *)
+val of_findings : date:string -> Findings.t list -> entry list
+
+type application = {
+  fresh : Findings.t list;      (** not baselined — these fail the build *)
+  baselined : Findings.t list;  (** matched — reported but not fatal *)
+  stale : entry list;           (** match nothing anymore — remove them *)
+}
+
+val apply : entry list -> Findings.t list -> application

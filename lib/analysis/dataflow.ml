@@ -1,0 +1,213 @@
+(* Forward taint propagation over one expression tree.
+
+   This is the intraprocedural half of the dataflow framework: a
+   syntax-directed evaluator that threads an environment of tainted
+   local names through let-bindings, pattern destructuring, tuples,
+   records, constructors and control flow, and asks a set of client
+   [hooks] about everything it cannot decide syntactically — whether
+   an identifier or record field is a taint source, and what a call
+   does (source? sink? summary?). The client ({!Taint} for rule R7)
+   owns sources, sinks, per-function summaries and finding reports;
+   this module owns only the propagation rules.
+
+   Approximations, by design (documented in docs/INVARIANTS.md §R7):
+   - a tuple/record/array is tainted as a whole if any component is;
+     destructuring a tainted aggregate taints every bound name
+     (except tuple-literal-into-tuple-pattern, which is componentwise);
+   - closures are walked at their definition site with the captured
+     environment (so a sink inside [fun x -> ... captured_secret ...]
+     is found) but a closure *value* itself carries no taint;
+   - taint does not survive the heap: writing a secret into a mutable
+     cell and reading it back elsewhere is invisible. *)
+
+open Parsetree
+
+type taint = {
+  origin : string;        (* human description: "sk (secret-named)" ... *)
+  origin_loc : Location.t;
+}
+
+module Env = Map.Make (String)
+
+type env = taint Env.t
+
+type hooks = {
+  ident : Longident.t -> Location.t -> taint option;
+      (* is this (free) identifier a source? *)
+  field : Longident.t -> Location.t -> taint option;
+      (* is this record field (by label) a declared-secret source? *)
+  call :
+    eval:(env -> expression -> taint option) ->
+    env:env ->
+    callee:Longident.t ->
+    loc:Location.t ->
+    args:(Asttypes.arg_label * expression * taint option) list ->
+    taint option;
+      (* decide the result taint of a call whose argument taints are
+         already computed; sinks are reported from inside this hook *)
+}
+
+let join a b = match a with Some _ -> a | None -> b
+
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    { Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+           (match p.ppat_desc with
+            | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              acc := txt :: !acc
+            | _ -> ());
+           Ast_iterator.default_iterator.pat it p) }
+  in
+  it.pat it p;
+  !acc
+
+(* Remove every name [pat] binds: rebinding always shadows whatever
+   taint the name carried before. *)
+let shadow env pat =
+  List.fold_left (fun env v -> Env.remove v env) env (pattern_vars pat)
+
+(* [bind hooks env pat taint ~rhs] extends [env] with the names bound
+   by [pat]. [taint] is the (aggregate) taint of the matched value;
+   [rhs] is the syntactic right-hand side when there is one, enabling
+   componentwise tuple binding. Record patterns additionally consult
+   [hooks.field] so [let { msk; _ } = setup] taints [msk] when the
+   field is a declared secret even if the record itself is not. *)
+let rec bind hooks eval_in env pat taint ~rhs =
+  let env = shadow env pat in
+  match pat.ppat_desc, taint with
+  | Ppat_var { txt; _ }, Some t -> Env.add txt t env
+  | Ppat_var _, None -> env
+  | Ppat_alias (p, { txt; _ }), _ ->
+    let env = match taint with Some t -> Env.add txt t env | None -> env in
+    bind hooks eval_in env p taint ~rhs
+  | Ppat_tuple ps, _ ->
+    (match rhs with
+     | Some { pexp_desc = Pexp_tuple es; _ } when List.length es = List.length ps ->
+       List.fold_left2
+         (fun env p e ->
+            let t = join taint (eval_in env e) in
+            bind hooks eval_in env p t ~rhs:(Some e))
+         env ps es
+     | _ ->
+       List.fold_left (fun env p -> bind hooks eval_in env p taint ~rhs:None) env ps)
+  | Ppat_record (fields, _), _ ->
+    List.fold_left
+      (fun env ({ Asttypes.txt; loc }, p) ->
+         let t = join taint (hooks.field txt loc) in
+         bind hooks eval_in env p t ~rhs:None)
+      env fields
+  | Ppat_construct (_, Some (_, p)), _ | Ppat_variant (_, Some p), _
+  | Ppat_constraint (p, _), _ | Ppat_open (_, p), _ | Ppat_lazy p, _
+  | Ppat_exception p, _ ->
+    bind hooks eval_in env p taint ~rhs:None
+  | Ppat_or (a, b), _ ->
+    let env = bind hooks eval_in env a taint ~rhs:None in
+    bind hooks eval_in env b taint ~rhs:None
+  | Ppat_array ps, _ ->
+    List.fold_left (fun env p -> bind hooks eval_in env p taint ~rhs:None) env ps
+  | _, _ -> env
+
+let rec eval hooks env e =
+  let eval_in env e = eval hooks env e in
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } ->
+    (match txt with
+     | Longident.Lident name when Env.mem name env -> Some (Env.find name env)
+     | _ -> hooks.ident txt loc)
+  | Pexp_constant _ | Pexp_unreachable -> None
+  | Pexp_let (rf, vbs, body) ->
+    let env' =
+      List.fold_left
+        (fun acc vb ->
+           (* recursive bindings are evaluated in the outer env: a
+              self-referential taint fixpoint is not worth the cycle *)
+           let scrutinee_env = match rf with Asttypes.Recursive -> env | _ -> acc in
+           let t = eval hooks scrutinee_env vb.pvb_expr in
+           bind hooks (eval_in) acc vb.pvb_pat t ~rhs:(Some vb.pvb_expr))
+        env vbs
+    in
+    eval hooks env' body
+  | Pexp_fun (_, default, pat, body) ->
+    Option.iter (fun d -> ignore (eval hooks env d)) default;
+    (* walk the body with the parameter shadowed: captured taint stays
+       visible, so sinks inside local closures are reported here *)
+    ignore (eval hooks (shadow env pat) body);
+    None
+  | Pexp_function cases ->
+    List.iter
+      (fun c ->
+         let env' = bind hooks eval_in env c.pc_lhs None ~rhs:None in
+         Option.iter (fun g -> ignore (eval hooks env' g)) c.pc_guard;
+         ignore (eval hooks env' c.pc_rhs))
+      cases;
+    None
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = callee; loc }; _ }, args) ->
+    let args =
+      List.map (fun (label, a) -> (label, a, eval hooks env a)) args
+    in
+    hooks.call ~eval:(eval hooks) ~env ~callee ~loc ~args
+  | Pexp_apply (f, args) ->
+    ignore (eval hooks env f);
+    List.iter (fun (_, a) -> ignore (eval hooks env a)) args;
+    None
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+    let t = eval hooks env scrut in
+    List.fold_left
+      (fun acc c ->
+         let env' = bind hooks eval_in env c.pc_lhs t ~rhs:(Some scrut) in
+         Option.iter (fun g -> ignore (eval hooks env' g)) c.pc_guard;
+         join acc (eval hooks env' c.pc_rhs))
+      None cases
+  | Pexp_tuple es | Pexp_array es ->
+    List.fold_left (fun acc e -> join acc (eval hooks env e)) None es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+    (match arg with Some a -> eval hooks env a | None -> None)
+  | Pexp_record (fields, base) ->
+    let t =
+      List.fold_left (fun acc (_, v) -> join acc (eval hooks env v)) None fields
+    in
+    (match base with Some b -> join t (eval hooks env b) | None -> t)
+  | Pexp_field (r, { txt; loc }) ->
+    join (hooks.field txt loc) (eval hooks env r)
+  | Pexp_setfield (r, _, v) ->
+    ignore (eval hooks env r);
+    ignore (eval hooks env v);
+    None
+  | Pexp_ifthenelse (c, a, b) ->
+    ignore (eval hooks env c);
+    let t = eval hooks env a in
+    (match b with Some b -> join t (eval hooks env b) | None -> t)
+  | Pexp_sequence (a, b) ->
+    ignore (eval hooks env a);
+    eval hooks env b
+  | Pexp_while (c, body) ->
+    ignore (eval hooks env c);
+    ignore (eval hooks env body);
+    None
+  | Pexp_for (pat, lo, hi, _, body) ->
+    ignore (eval hooks env lo);
+    ignore (eval hooks env hi);
+    ignore (eval hooks (shadow env pat) body);
+    None
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_newtype (_, e)
+  | Pexp_open (_, e) | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e)
+  | Pexp_lazy e ->
+    eval hooks env e
+  | Pexp_assert e ->
+    ignore (eval hooks env e);
+    None
+  | _ ->
+    (* rare forms (objects, letop, packs): walk immediate
+       subexpressions for reporting, expose no taint *)
+    let it =
+      { Ast_iterator.default_iterator with
+        expr = (fun _ c -> ignore (eval hooks env c)) }
+    in
+    Ast_iterator.default_iterator.expr it e;
+    None
+
+let bind_pattern hooks env pat taint ~rhs =
+  bind hooks (eval hooks) env pat taint ~rhs

@@ -1,0 +1,48 @@
+(** The intraprocedural half of the dataflow framework: forward taint
+    propagation over one expression tree, parameterized by client
+    [hooks] that decide sources, field-level secrets, and what calls
+    do (summaries, sinks, reports). {!Taint} instantiates it for rule
+    R7; the propagation rules and their documented approximations live
+    here and in docs/INVARIANTS.md §R7. *)
+
+type taint = {
+  origin : string;          (** human description of where the taint began *)
+  origin_loc : Location.t;
+}
+
+module Env : Map.S with type key = string
+
+(** Tainted local names currently in scope. *)
+type env = taint Env.t
+
+type hooks = {
+  ident : Longident.t -> Location.t -> taint option;
+      (** is this free identifier a source (secret-named, annotated
+          [*.mli] value, ...)? *)
+  field : Longident.t -> Location.t -> taint option;
+      (** is this record label a declared-secret field? consulted on
+          both [r.f] projections and [{ f; _ }] destructuring *)
+  call :
+    eval:(env -> Parsetree.expression -> taint option) ->
+    env:env ->
+    callee:Longident.t ->
+    loc:Location.t ->
+    args:(Asttypes.arg_label * Parsetree.expression * taint option) list ->
+    taint option;
+      (** result taint of a call whose argument taints are already
+          computed; the client reports sink findings from inside this
+          hook (it sees every application with an identifier callee,
+          including operators such as [=] and [:=]) *)
+}
+
+(** [eval hooks env e] walks [e], reporting via [hooks.call] as it
+    goes, and returns the taint the whole expression exposes. *)
+val eval : hooks -> env -> Parsetree.expression -> taint option
+
+(** Extend [env] with the names bound by [pat] when matching a value
+    of the given aggregate [taint]; [rhs] (when syntactically known)
+    enables componentwise tuple binding. Names the pattern binds are
+    always shadowed first. *)
+val bind_pattern :
+  hooks -> env -> Parsetree.pattern -> taint option ->
+  rhs:Parsetree.expression option -> env

@@ -317,7 +317,10 @@ let vartime_secret_name n =
 
 (* The MSM APIs take their scalars inside arrays of pairs, so the scan
    descends through tuple/array/list/record literals to the identifiers
-   and field accesses they carry. *)
+   and field accesses they carry — and through the wrappers that leave
+   the carried value unchanged: a type annotation [(sk : Scalar.t)], a
+   local open [Module.(sk)], and the tail of a sequence [(log (); sk)]
+   all expose the same name. *)
 let rec exposed_names e =
   match e.pexp_desc with
   | Pexp_ident { txt; _ } -> [ last_component txt ]
@@ -325,6 +328,9 @@ let rec exposed_names e =
   | Pexp_tuple es | Pexp_array es -> List.concat_map exposed_names es
   | Pexp_construct (_, Some a) -> exposed_names a
   | Pexp_record (fields, _) -> List.concat_map (fun (_, v) -> exposed_names v) fields
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
+  | Pexp_sequence (_, e) ->
+    exposed_names e
   | _ -> []
 
 let vartime_public_only =
@@ -367,8 +373,8 @@ let vartime_public_only =
    [let] whose right-hand side allocates bare shared mutable state
    ([ref], [Array.make], [Bytes.create], [Hashtbl.create], ...) or a
    top-level [lazy] (racing [Lazy.force] raises in OCaml 5).
-   Init-once-then-read-only tables can justify themselves with
-   [(* lint: allow domain-safe-state ... *)]. *)
+   Init-once-then-read-only tables can justify themselves with a
+   [lint: allow domain-safe-state <why>] comment. *)
 
 let mutable_creators =
   [ "ref"; "Hashtbl.create"; "Array.make"; "Array.create_float";
@@ -438,7 +444,272 @@ let domain_safe_state =
          walk_structure structure;
          List.rev !acc) }
 
+(* === R8: domain-escape ================================================== *)
+
+(* The static complement to R6. R6 forbids shared module-level state
+   in the arithmetic stack; R8 looks at the other side of the race:
+   the closures handed to [Dd_parallel.Pool.parallel_for/map/reduce],
+   which run concurrently on every domain of the pool. Anything such a
+   closure *captures* is shared. The pool's contract
+   (lib/parallel/pool.mli) allows exactly one kind of captured write —
+   disjoint, index-addressed slots, recognizable syntactically because
+   the index chain mentions a name bound inside the closure (the
+   element/chunk parameter or something derived from it). Everything
+   else — [:=] on a captured ref, [Hashtbl.replace] on a captured
+   table, [Buffer.add_*], a captured-array write at a
+   closure-independent index (the pre-PR-5 shared-scratch pattern) —
+   is a data race by construction. Reads or writes of *top-level*
+   mutable bindings of the same module are flagged too: the remedies
+   ([Atomic], [Domain.DLS], [Dd_parallel.Once]) never match these
+   syntactic shapes, so the shipped patterns pass untouched. *)
+
+let parallel_entry_points = [ "parallel_for"; "parallel_map"; "parallel_reduce" ]
+
+let mutators_always =
+  [ (":=", "assignment to a captured ref");
+    ("incr", "increment of a captured ref");
+    ("decr", "decrement of a captured ref");
+    ("Hashtbl.add", "Hashtbl mutation"); ("Hashtbl.replace", "Hashtbl mutation");
+    ("Hashtbl.remove", "Hashtbl mutation"); ("Hashtbl.reset", "Hashtbl mutation");
+    ("Hashtbl.clear", "Hashtbl mutation");
+    ("Buffer.add_string", "Buffer mutation"); ("Buffer.add_bytes", "Buffer mutation");
+    ("Buffer.add_char", "Buffer mutation"); ("Buffer.add_subbytes", "Buffer mutation");
+    ("Buffer.clear", "Buffer mutation"); ("Buffer.reset", "Buffer mutation");
+    ("Queue.push", "Queue mutation"); ("Queue.add", "Queue mutation");
+    ("Queue.pop", "Queue mutation"); ("Queue.take", "Queue mutation");
+    ("Queue.clear", "Queue mutation");
+    ("Stack.push", "Stack mutation"); ("Stack.pop", "Stack mutation");
+    ("Bytes.fill", "Bytes mutation"); ("Bytes.blit", "Bytes mutation");
+    ("Array.fill", "array mutation"); ("Array.blit", "array mutation") ]
+
+let indexed_setters =
+  [ "Array.set"; "Array.unsafe_set"; "Bytes.set"; "Bytes.unsafe_set" ]
+
+let indexed_getters =
+  [ "Array.get"; "Array.unsafe_get"; "Bytes.get"; "Bytes.unsafe_get";
+    "String.get"; "String.unsafe_get" ]
+
+module SS = Set.Make (String)
+
+let pattern_var_set p =
+  let acc = ref SS.empty in
+  let it =
+    { Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+           (match p.ppat_desc with
+            | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> acc := SS.add txt !acc
+            | _ -> ());
+           Ast_iterator.default_iterator.pat it p) }
+  in
+  it.pat it p;
+  !acc
+
+(* Base identifier and index chain of a mutation target:
+   [a.(i).(j)] -> (a, [i; j]); record projections pass through. *)
+let rec target_chain e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident v; _ } -> Some (v, [])
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (Asttypes.Nolabel, tgt) :: idx)
+    when List.exists (matches_name txt) indexed_getters ->
+    (match target_chain tgt with
+     | Some (v, idxs) ->
+       Some (v, idxs @ List.filter_map (function (Asttypes.Nolabel, i) -> Some i | _ -> None) idx)
+     | None -> None)
+  | Pexp_field (r, _) -> target_chain r
+  | Pexp_constraint (e, _) -> target_chain e
+  | _ -> None
+
+(* Does [e] mention any identifier from [bound]? *)
+let mentions_bound bound e =
+  let hit = ref false in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+           (match e.pexp_desc with
+            | Pexp_ident { txt = Longident.Lident v; _ } when SS.mem v bound -> hit := true
+            | _ -> ());
+           Ast_iterator.default_iterator.expr it e) }
+  in
+  it.expr it e;
+  !hit
+
+(* Names of same-file top-level bindings holding bare mutable state
+   (the state R6 bans in the arithmetic stack but other directories
+   may legally hold — until a parallel closure reaches for it). *)
+let top_level_mutables structure =
+  let acc = ref SS.empty in
+  let rec walk items =
+    List.iter
+      (fun item ->
+         match item.pstr_desc with
+         | Pstr_value (_, bindings) ->
+           List.iter
+             (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } ->
+                  let body = binding_body vb.pvb_expr in
+                  (match body.pexp_desc with
+                   | Pexp_lazy _ -> acc := SS.add txt !acc
+                   | Pexp_apply ({ pexp_desc = Pexp_ident { txt = c; _ }; _ }, _)
+                     when List.exists (matches_name c) mutable_creators ->
+                     acc := SS.add txt !acc
+                   | _ -> ())
+                | _ -> ())
+             bindings
+         | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure items; _ }; _ } ->
+           walk items
+         | _ -> ())
+      items
+  in
+  walk structure;
+  !acc
+
+(* Scan one closure body. [bound] = names bound inside the closure so
+   far (its parameters, then everything let-/pattern-bound within);
+   anything not in [bound] is captured. *)
+let scan_closure_body ~file ~entry ~top_mutable ~params body =
+  let acc = ref [] in
+  let add ~loc fmt = Printf.ksprintf (fun m ->
+      acc := finding ~rule:"domain-escape" ~file ~loc "%s" m :: !acc) fmt
+  in
+  let rec go bound e =
+    match e.pexp_desc with
+    | Pexp_let (rf, vbs, body) ->
+      let vars =
+        List.fold_left (fun s vb -> SS.union s (pattern_var_set vb.pvb_pat)) SS.empty vbs
+      in
+      let rhs_bound = match rf with Asttypes.Recursive -> SS.union bound vars | _ -> bound in
+      List.iter (fun vb -> go rhs_bound vb.pvb_expr) vbs;
+      go (SS.union bound vars) body
+    | Pexp_fun (_, default, pat, body) ->
+      Option.iter (go bound) default;
+      go (SS.union bound (pattern_var_set pat)) body
+    | Pexp_function cases ->
+      List.iter
+        (fun c ->
+           let bound = SS.union bound (pattern_var_set c.pc_lhs) in
+           Option.iter (go bound) c.pc_guard;
+           go bound c.pc_rhs)
+        cases
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      go bound scrut;
+      List.iter
+        (fun c ->
+           let bound = SS.union bound (pattern_var_set c.pc_lhs) in
+           Option.iter (go bound) c.pc_guard;
+           go bound c.pc_rhs)
+        cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+      go bound lo; go bound hi;
+      go (SS.union bound (pattern_var_set pat)) body
+    | Pexp_setfield (r, _, v) ->
+      (match target_chain r with
+       | Some (base, _) when not (SS.mem base bound) ->
+         add ~loc:e.pexp_loc
+           "closure passed to `%s` sets a mutable field of captured `%s`; \
+            every domain shares it — use Atomic state or per-domain Domain.DLS"
+           entry base
+       | _ -> ());
+      go bound r; go bound v
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      let plain = List.filter_map
+          (function (Asttypes.Nolabel, a) -> Some a | _ -> None) args
+      in
+      (match List.find_opt (fun (m, _) -> matches_name txt m) mutators_always with
+       | Some (_, what) ->
+         (match plain with
+          | tgt :: _ ->
+            (match target_chain tgt with
+             | Some (base, _) when not (SS.mem base bound) ->
+               add ~loc:e.pexp_loc
+                 "closure passed to `%s` performs %s on captured `%s`; parallel \
+                  bodies may only write disjoint index-addressed slots — use \
+                  Atomic, Domain.DLS, or return values and combine them after \
+                  the parallel call"
+                 entry what base
+             | _ -> ())
+          | [] -> ())
+       | None ->
+         if List.exists (matches_name txt) indexed_setters then
+           match plain with
+           | tgt :: rest ->
+             let indices = match List.rev rest with
+               | _value :: ridx -> List.rev ridx
+               | [] -> []
+             in
+             (match target_chain tgt with
+              | Some (base, chain_idx) when not (SS.mem base bound) ->
+                if not (List.exists (mentions_bound bound) (chain_idx @ indices)) then
+                  add ~loc:e.pexp_loc
+                    "closure passed to `%s` writes captured `%s` at an index \
+                     independent of the closure's parameters — a shared-slot \
+                     race; derive the index from the closure parameter \
+                     (disjoint writes) or use Atomic/Domain.DLS"
+                    entry base
+              | _ -> ())
+           | [] -> ());
+      List.iter (fun (_, a) -> go bound a) args
+    | Pexp_ident { txt = Longident.Lident v; _ }
+      when (not (SS.mem v bound)) && SS.mem v top_mutable ->
+      add ~loc:e.pexp_loc
+        "closure passed to `%s` reaches top-level mutable `%s`; every domain \
+         shares it — publish via Dd_parallel.Once / Atomic, or move scratch \
+         into Domain.DLS"
+        entry v
+    | _ ->
+      let it =
+        { Ast_iterator.default_iterator with expr = (fun _ c -> go bound c) }
+      in
+      Ast_iterator.default_iterator.expr it e
+  in
+  go params body;
+  !acc
+
+(* Peel wrappers and collect a closure literal's parameters + body. *)
+let rec closure_literal e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) ->
+    (match closure_literal body with
+     | Some (params, inner) -> Some (SS.union (pattern_var_set pat) params, inner)
+     | None -> Some (pattern_var_set pat, body))
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> closure_literal e
+  | _ -> None
+
+let domain_escape =
+  { name = "domain-escape";
+    short = "closures given to Dd_parallel.Pool must not mutate captured or top-level state";
+    applies = (fun _ -> true);
+    check =
+      (fun ~file structure ->
+         let top_mutable = top_level_mutables structure in
+         over_expressions ~file
+           (fun ~file e ->
+              match e.pexp_desc with
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+                when List.mem (last_component txt) parallel_entry_points ->
+                let entry = String.concat "." (flatten txt) in
+                List.concat_map
+                  (fun (_, a) ->
+                     match closure_literal a with
+                     | Some (params, body) ->
+                       scan_closure_body ~file ~entry ~top_mutable ~params body
+                     | None ->
+                       (match a.pexp_desc with
+                        | Pexp_function cases ->
+                          List.concat_map
+                            (fun c ->
+                               scan_closure_body ~file ~entry ~top_mutable
+                                 ~params:(pattern_var_set c.pc_lhs) c.pc_rhs)
+                            cases
+                        | _ -> []))
+                  args
+              | _ -> [])
+           structure) }
+
 let all ?(wire_constructors = default_wire_constructors) () =
   [ ct_equality; sans_io; exception_hygiene;
     wire_exhaustive ~constructors:wire_constructors; vartime_public_only;
-    domain_safe_state ]
+    domain_safe_state; domain_escape ]

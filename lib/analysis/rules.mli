@@ -52,4 +52,37 @@ val vartime_public_only : t
     lib/group, lib/sig. *)
 val domain_safe_state : t
 
+(** R8: closures handed to [Dd_parallel.Pool.parallel_for/map/reduce]
+    run on every domain concurrently — they must not mutate captured
+    state (refs, Hashtbl, Buffer, Queue, ...) or touch top-level
+    mutable bindings. The single sanctioned captured write is a
+    disjoint index-addressed slot whose index derives from a
+    closure-bound name. Scope: all linted files. *)
+val domain_escape : t
+
 val all : ?wire_constructors:string list -> unit -> t list
+
+(** {2 Shared syntactic helpers} — used by the interprocedural taint
+    engine ({!Taint}), kept here so R5/R7 agree on the sink surface. *)
+
+(** Is [path] under one of the given top-level directories
+    (["lib/crypto"], ...)? Tolerant of [../] prefixes and absolute
+    paths (dune runs rules from [_build]). *)
+val under : string list -> string -> bool
+
+val flatten : Longident.t -> string list
+val last_component : Longident.t -> string
+
+(** [matches_name lid "Hashtbl.find"] — compares the flattened
+    longident against the dotted name, ignoring a [Stdlib.] prefix. *)
+val matches_name : Longident.t -> string -> bool
+
+(** Callees of the variable-time group surface (R5/R7 sinks). *)
+val vartime_callees : string list
+
+(** Does this identifier look secret-bearing by name (R5 heuristic)? *)
+val vartime_secret_name : string -> bool
+
+(** The operator name when this callee is a banned early-exit
+    comparison ([=], [compare], [String.equal], ...). *)
+val banned_comparison : Longident.t -> string option

@@ -1,17 +1,32 @@
-(* (line, rule) pairs harvested from "lint: allow" comments. The scan
-   is purely textual — comments are dropped by the parser, so the AST
-   rules cannot see them — and deliberately forgiving: it looks for the
-   marker anywhere in the line and reads the following words as rule
-   names until a word that cannot be a rule name (or the comment
-   terminator) is reached. *)
+(* "lint: allow" suppression comments, harvested textually — comments
+   are dropped by the parser, so the AST rules cannot see them.
 
-type t = (int * string) list
+   Grammar, per line: anything, then the marker, then one or more
+   known rule names, then a mandatory free-form justification on the
+   same line. Words are read as rule names only while they match the
+   [known] rule list; the first unrecognized word starts the
+   justification. An allow that names rules but carries no
+   justification is itself reported (rule "bare-allow"): a suppression
+   nobody can audit is a finding, not an exemption. Marker text with
+   no candidate rule word at all (e.g. the marker mentioned inside a
+   string or prose comment) is ignored entirely. *)
+
+type entry = {
+  line : int;
+  rules : string list;      (* recognized rule names, in source order *)
+  justified : bool;         (* non-empty rationale after the rule names *)
+}
+
+type t = entry list
 
 let marker = "lint: allow"
 
 let is_rule_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
   || c = '-' || c = '_'
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 
 (* Index of [marker] inside [line], or -1. *)
 let find_marker line =
@@ -23,21 +38,50 @@ let find_marker line =
   in
   go 0
 
-let rules_after line start =
+(* Rule words from [start]: consume words while they are in [known];
+   return them plus the position where the justification begins. *)
+let rules_after ~known line start =
   let n = String.length line in
-  let rec skip_ws i = if i < n && line.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
   let rec words i acc =
     let i = skip_ws i in
-    if i >= n || not (is_rule_char line.[i]) then acc
+    if i >= n || not (is_rule_char line.[i]) then (List.rev acc, i)
     else begin
       let j = ref i in
       while !j < n && is_rule_char line.[!j] do incr j done;
-      words !j (String.sub line i (!j - i) :: acc)
+      let w = String.sub line i (!j - i) in
+      if List.mem w known then words !j (w :: acc)
+      else (List.rev acc, i)
     end
   in
   words start []
 
-let scan source =
+(* The rest of the line counts as a justification if it contains any
+   alphanumeric outside the comment terminator — dashes and "*)" alone
+   do not explain anything. *)
+let has_justification line start =
+  let n = String.length line in
+  let rec go i =
+    if i >= n then false
+    else if i + 1 < n && line.[i] = '*' && line.[i + 1] = ')' then go (i + 2)
+    else if is_alnum line.[i] then true
+    else go (i + 1)
+  in
+  go start
+
+(* Was there at least one word-like token after the marker? Used to
+   tell a real (but misspelled/bare) allow from an incidental mention
+   of the marker text. *)
+let has_candidate_word line start =
+  let n = String.length line in
+  let rec go i =
+    if i >= n then false
+    else if line.[i] = ' ' || line.[i] = '\t' then go (i + 1)
+    else is_rule_char line.[i]
+  in
+  go start
+
+let scan ~known source =
   let lines = String.split_on_char '\n' source in
   let _, acc =
     List.fold_left
@@ -46,15 +90,32 @@ let scan source =
            match find_marker line with
            | -1 -> acc
            | i ->
-             List.fold_left
-               (fun acc rule -> (lineno, rule) :: acc)
-               acc
-               (rules_after line (i + String.length marker))
+             let start = i + String.length marker in
+             if not (has_candidate_word line start) then acc
+             else begin
+               let rules, rest = rules_after ~known line start in
+               { line = lineno; rules; justified = has_justification line rest }
+               :: acc
+             end
          in
          (lineno + 1, acc))
       (1, []) lines
   in
-  acc
+  List.rev acc
 
 let allowed t ~rule ~line =
-  List.exists (fun (l, r) -> r = rule && (l = line || l = line - 1)) t
+  List.exists
+    (fun e -> List.mem rule e.rules && (e.line = line || e.line = line - 1))
+    t
+
+let unjustified t =
+  List.filter_map
+    (fun e ->
+       if e.rules = [] then
+         (* candidate words present but none is a known rule: a typo'd
+            allow suppresses nothing — surface it even when the rest of
+            the line reads like a justification *)
+         Some (e.line, [])
+       else if e.justified then None
+       else Some (e.line, e.rules))
+    t

@@ -27,9 +27,11 @@ val receipt_shares :
 (** Master vote-code encryption key material: the key, its salt, the
     public commitment [Hmsk = SHA256(msk || salt)], and the VC nodes'
     shares. *)
+(* lint: secret *)
 val msk : seed:string -> string
 val msk_salt : seed:string -> string
 val msk_commitment : seed:string -> string
+(* lint: secret *)
 val msk_shares : seed:string -> threshold:int -> shares:int -> Dd_vss.Shamir_bytes.share array
 
 (** One VC node's validation lines for a ballot part (derived; no EA

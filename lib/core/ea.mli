@@ -34,13 +34,13 @@ type bb_init = {
 
 type vc_node_init = {
   vc_id : int;
-  vc_msk_share : Shamir_bytes.share;
+  vc_msk_share : Shamir_bytes.share;  (* lint: secret *)
   vc_lines : Types.vc_line array array array;  (** serial -> part -> position *)
 }
 
 type trustee_part_data = {
-  t_shares : Elgamal_vss.share array array;  (** position -> coordinate *)
-  t_zk_state_share : Shamir_bytes.share;
+  t_shares : Elgamal_vss.share array array;  (* lint: secret *) (** position -> coordinate *)
+  t_zk_state_share : Shamir_bytes.share;  (* lint: secret *)
   t_zk_state_tag : Auth.tag;
 }
 
@@ -51,7 +51,7 @@ type trustee_init = {
 
 type setup = {
   cfg : Types.config;
-  seed : string;
+  seed : string;  (* lint: secret *)
   gctx : Dd_group.Group_ctx.t;
   ballots : Types.ballot array;      (** distributed to voters *)
   vc_keys : Auth.keys array;         (** clique of nv+1; index nv is the EA *)

@@ -16,6 +16,7 @@ val decrypt_block : key -> string -> string
 (** [cbc_encrypt ~key ~iv msg] PKCS#7-pads [msg] and encrypts it;
     [key] is the 16-byte raw key, [iv] the 16-byte initialization
     vector. The IV is not prepended; callers carry it alongside. *)
+(* lint: public — ciphertext is publishable by design (IND-CPA) *)
 val cbc_encrypt : key:string -> iv:string -> string -> string
 
 (** Inverse of {!cbc_encrypt}. Raises [Invalid_argument] on corrupt

@@ -7,6 +7,7 @@ type t
 val create : seed:string -> t
 
 (** [bytes t n] draws [n] fresh bytes. *)
+(* lint: secret *)
 val bytes : t -> int -> string
 
 val byte : t -> int
@@ -18,6 +19,7 @@ val int : t -> int -> int
 val bool : t -> bool
 
 (** Eight fresh bytes — the paper's 64-bit receipts and serial numbers. *)
+(* lint: secret *)
 val uint64_string : t -> string
 
 (** [fork t ~label] derives an independent child generator; drawing from

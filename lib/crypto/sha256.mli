@@ -14,12 +14,15 @@ val feed : ctx -> string -> unit
 
 (** Pad, finish, and return the 32-byte digest. The context must not be
     reused afterwards. *)
+(* lint: public — one-way: a digest does not reveal its preimage *)
 val finalize : ctx -> string
 
 (** One-shot digest of a string. *)
+(* lint: public — one-way: a digest does not reveal its preimage *)
 val digest : string -> string
 
 (** One-shot digest of the concatenation of the given parts. *)
+(* lint: public — one-way: a digest does not reveal its preimage *)
 val digest_list : string list -> string
 
 (** Lowercase hex of an arbitrary byte string (test/debug helper). *)

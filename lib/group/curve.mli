@@ -92,6 +92,7 @@ val sub : t -> point -> point -> point
 (** [mul t k p] is [k] dot [p]; [k] is reduced mod the group order.
     Fixed 4-bit windows with a scalar-independent operation sequence —
     safe for secret scalars (see the timing contract above). *)
+(* lint: public — computing in the exponent: k*P reveals k only by breaking DL *)
 val mul : t -> Nat.t -> point -> point
 val mul_int : t -> int -> point -> point
 
@@ -106,6 +107,7 @@ val mul_vartime : t -> Nat.t -> point -> point
     one add unconditionally. *)
 type base_table
 val make_base_table : t -> point -> base_table
+(* lint: public — computing in the exponent: k*B reveals k only by breaking DL *)
 val mul_base_table : t -> base_table -> Nat.t -> point
 
 (** [mul2 t table u v p] is [u*B + v*p] (B the fixed base behind

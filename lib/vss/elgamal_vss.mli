@@ -15,6 +15,7 @@ type share = {
 
 type aux = Elgamal.t array
 
+(* lint: secret *)
 val deal :
   Dd_group.Group_ctx.t -> Dd_crypto.Drbg.t -> opening:Elgamal.opening ->
   threshold:int -> shares:int -> aux * share array

@@ -12,6 +12,7 @@ type share = {
 (** [split rng ~secret ~threshold ~shares] produces shares at
     [x = 1..shares]. Raises [Invalid_argument] on a bad threshold or
     more than 255 shares. *)
+(* lint: secret *)
 val split : Dd_crypto.Drbg.t -> secret:string -> threshold:int -> shares:int -> share array
 
 (** [reconstruct ~threshold shares] interpolates at 0. Requires exactly

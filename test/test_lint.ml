@@ -2,27 +2,37 @@
    and stay silent on the matching known-good one, suppression comments
    must work, and rule scoping must follow the directory layout. The
    fixtures are in-memory sources run through the same [Lint.lint_string]
-   path the CLI driver uses. *)
+   path the CLI driver uses; the interprocedural tests additionally
+   exercise [Lint.lint_program] over a temporary multi-file tree. *)
 
 module Lint = Dd_analysis.Lint
 module Rules = Dd_analysis.Rules
 module Findings = Dd_analysis.Findings
+module Baseline = Dd_analysis.Baseline
 
 let rules = Rules.all ()
 
-let lint ?(file = "lib/core/fixture.ml") source = Lint.lint_string ~rules ~file ~source
+let lint ?(file = "lib/core/fixture.ml") ?(interfaces = []) source =
+  Lint.lint_string ~rules ~interfaces ~file ~source
 
 let rules_hit fs = List.sort_uniq compare (List.map (fun f -> f.Findings.rule) fs)
 
-let check_fires name rule ?file source =
-  let fs = lint ?file source in
+let check_fires name rule ?file ?interfaces source =
+  let fs = lint ?file ?interfaces source in
   Alcotest.(check bool)
     (name ^ ": fires " ^ rule)
     true
     (List.exists (fun f -> f.Findings.rule = rule) fs)
 
-let check_clean name ?file source =
-  let fs = lint ?file source in
+let check_silent name rule ?file ?interfaces source =
+  let fs = lint ?file ?interfaces source in
+  Alcotest.(check bool)
+    (name ^ ": no " ^ rule)
+    false
+    (List.exists (fun f -> f.Findings.rule = rule) fs)
+
+let check_clean name ?file ?interfaces source =
+  let fs = lint ?file ?interfaces source in
   Alcotest.(check (list string)) (name ^ ": clean") [] (rules_hit fs)
 
 (* --- R1: ct-equality --------------------------------------------------- *)
@@ -61,7 +71,12 @@ let test_sans_io () =
   check_clean "injected now is the fix"
     "let within env = env.now () < env.election_end ()";
   check_clean "sim may do IO" ~file:"lib/sim/fixture.ml"
-    {|let log msg = print_endline msg; Printf.printf "t=%f" (Unix.gettimeofday ())|}
+    {|let log msg = print_endline msg; Printf.printf "t=%f" (Unix.gettimeofday ())|};
+  (* executables are exempt: bin/ and bench/ drive the simulator *)
+  check_silent "bin is out of scope" "sans-io" ~file:"bin/fixture.ml"
+    "let log msg = print_endline msg";
+  check_silent "bench is out of scope" "sans-io" ~file:"bench/fixture.ml"
+    "let now () = Unix.gettimeofday ()"
 
 (* --- R3: exception-hygiene --------------------------------------------- *)
 
@@ -125,6 +140,16 @@ let test_vartime_public_only () =
   check_fires "record field" "vartime-public-only"
     ~file:"lib/vss/fixture.ml"
     "let leak c st p = Curve.mul_vartime c st.nonce p";
+  (* the former blind spots: wrappers that leave the value unchanged *)
+  check_fires "type-annotated secret" "vartime-public-only"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c sk g = Curve.mul_vartime c (sk : Scalar.t) g";
+  check_fires "local open around secret" "vartime-public-only"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c sk g = Curve.mul_vartime c Scalar.(sk) g";
+  check_fires "sequence tail exposes secret" "vartime-public-only"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c sk g tick = Curve.mul_vartime c (tick (); sk) g";
   check_clean "public scalars are fine" ~file:"lib/sig/fixture.ml"
     "let verify c s e pk = Curve.mul2 c table s e pk";
   check_clean "constant-time mul is the fix" ~file:"lib/sig/fixture.ml"
@@ -177,6 +202,169 @@ let test_domain_safe_state () =
     "(* lint: allow domain-safe-state — init-once at load, read-only after *)\n\
      let sbox = Bytes.create 256"
 
+(* --- R7: secret-taint (interprocedural) -------------------------------- *)
+
+let test_secret_taint () =
+  (* everything R5 catches by name, R7 re-finds by value flow *)
+  check_fires "R5 fixture: sk into mul_vartime" "secret-taint"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c sk g = Curve.mul_vartime c sk g";
+  check_fires "R5 fixture: witness into msm" "secret-taint"
+    ~file:"lib/zkp/fixture.ml"
+    "let leak c witness p = Curve.msm c [| (witness, p) |]";
+  check_fires "R5 fixture: suffixed name into mul2" "secret-taint"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c table trustee_sk e pk = Curve.mul2 c table trustee_sk e pk";
+  check_fires "R5 fixture: record field" "secret-taint"
+    ~file:"lib/vss/fixture.ml"
+    "let leak c st p = Curve.mul_vartime c st.nonce p";
+  (* flows R5's per-expression name scan cannot see: *)
+  (* 1. rebinding launders the name *)
+  let rebind = "let leak c sk g = let k2 = sk in Curve.mul_vartime c k2 g" in
+  check_silent "rebind evades R5" "vartime-public-only" ~file:"lib/sig/fixture.ml" rebind;
+  check_fires "rebind does not evade R7" "secret-taint" ~file:"lib/sig/fixture.ml" rebind;
+  (* 2. the sink is inside a helper; the caller's argument is the secret *)
+  let via_helper =
+    "let helper c x p = Curve.mul_vartime c x p\n\
+     let outer c sk p = helper c sk p"
+  in
+  check_silent "helper param evades R5" "vartime-public-only"
+    ~file:"lib/sig/fixture.ml" via_helper;
+  check_fires "helper param sink crosses the call" "secret-taint"
+    ~file:"lib/sig/fixture.ml" via_helper;
+  (* 3. a returned DRBG output is tainted through the call *)
+  check_fires "returned DRBG output into wire encoder" "secret-taint"
+    "let fresh rng = Drbg.bytes rng 32\n\
+     let leak w rng = Wire.put_bytes w (fresh rng)";
+  (* destructuring and tuples propagate *)
+  check_fires "tuple destructuring keeps taint" "secret-taint"
+    ~file:"lib/sig/fixture.ml"
+    "let leak c rng g = let (a, _b) = (Drbg.bytes rng 32, 1) in Curve.mul_vartime c a g";
+  (* pass-through plumbing keeps taint *)
+  check_fires "String.sub keeps taint" "secret-taint"
+    "let leak w sk = Wire.put_bytes w (String.sub sk 0 8)";
+  (* direct sinks *)
+  check_fires "secret into formatted output" "secret-taint"
+    "let log msk = Printf.printf \"%s\" msk";
+  check_fires "secret into early-exit compare" "secret-taint"
+    "let eq sk other = sk = other";
+  (* .mli annotations declare sources beyond the name heuristic *)
+  check_fires "mli-declared secret val is a source" "secret-taint"
+    ~interfaces:[ ("lib/core/keysrc.mli", "(* lint: secret *)\nval master : unit -> string\n") ]
+    "let leak w = Wire.put_bytes w (Keysrc.master ())";
+  check_fires "mli-declared secret field is a source" "secret-taint"
+    ~interfaces:[ ("lib/core/keysrc.mli",
+                   "type t = {\n  label : string;\n  master_material : string;  (* lint: secret *)\n}\n") ]
+    "let leak w (st : Keysrc.t) = Wire.put_bytes w st.master_material";
+  (* declassification: a (* lint: public *) val's result drops taint *)
+  let derived =
+    "let derive sk = String.sub sk 0 8\n\
+     let send w sk = Wire.put_bytes w (derive sk)"
+  in
+  check_fires "in-program derivation keeps taint" "secret-taint" derived;
+  check_silent "declared-public derivation drops taint" "secret-taint"
+    ~interfaces:[ ("lib/core/fixture.mli",
+                   "(* lint: public *)\nval derive : string -> string\n") ]
+    derived;
+  (* unknown external calls kill taint rather than flood *)
+  check_silent "unknown callee kills taint" "secret-taint"
+    "let ok w sk = Wire.put_bytes w (External.wrap sk)";
+  (* only lib/ is in scope *)
+  check_silent "bin out of scope" "secret-taint" ~file:"bin/fixture.ml"
+    "let leak c sk g = Curve.mul_vartime c sk g"
+
+(* R7 across compilation units: facts come from a sibling .mli, the
+   summary of one file's function is applied in another file. *)
+let test_secret_taint_cross_file () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ddemos_lint_xfile" in
+  let core = Filename.concat (Filename.concat dir "lib") "core" in
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdirs core;
+  let write name content =
+    let path = Filename.concat core name in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  ignore (write "keysrc.mli" "(* lint: secret *)\nval master : unit -> string\n");
+  let a = write "keysrc.ml" "let master () = \"material\"\n" in
+  let b = write "user.ml"
+      "let forward k = String.sub k 0 4\n\
+       let leak w = Wire.put_bytes w (forward (Keysrc.master ()))\n"
+  in
+  let fs = Lint.lint_program ~rules [ a; b ] in
+  Alcotest.(check bool) "cross-file flow found" true
+    (List.exists
+       (fun f -> f.Findings.rule = "secret-taint" && f.Findings.file = b)
+       fs)
+
+(* --- R8: domain-escape ------------------------------------------------- *)
+
+let test_domain_escape () =
+  check_fires "captured ref assignment" "domain-escape"
+    "let sum pool xs =\n\
+    \  let total = ref 0 in\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      total := !total + xs.(i));\n\
+    \  !total";
+  check_fires "captured Hashtbl mutation" "domain-escape"
+    "let fill pool tbl xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      Hashtbl.replace tbl i xs.(i))";
+  check_fires "captured Buffer mutation" "domain-escape"
+    "let render pool buf xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      Buffer.add_string buf xs.(i))";
+  check_fires "closure-independent index is a shared slot" "domain-escape"
+    "let bad pool (dst : int array) xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      ignore i; dst.(0) <- 7)";
+  check_fires "top-level mutable reached from closure" "domain-escape"
+    "let scratch = Array.make 8 0\n\
+     let bad pool xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      ignore scratch; ignore i)";
+  check_fires "captured mutable field set" "domain-escape"
+    "let bad pool st xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      st.count <- st.count + i)";
+  (* the sanctioned patterns *)
+  check_clean "disjoint index-addressed write is the contract"
+    "let double pool (dst : int array) xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      dst.(i) <- xs.(i) * 2)";
+  check_clean "derived index still mentions the parameter"
+    "let shard pool (dst : int array) xs k =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      dst.((i * k) + 1) <- xs.(i))";
+  check_clean "nested slot chains addressed by the parameter"
+    "let fill pool (lines : int array array) serial =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 8 (fun node ->\n\
+    \      lines.(node).(serial) <- node)";
+  check_clean "closure-local state is private"
+    "let sums pool (out : int array) xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      let acc = ref 0 in\n\
+    \      for j = 0 to i do acc := !acc + xs.(j) done;\n\
+    \      out.(i) <- !acc)";
+  check_clean "Atomic accumulation is safe"
+    "let count pool (hits : int Atomic.t) xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      if xs.(i) > 0 then Atomic.incr hits)";
+  check_clean "DLS scratch is per-domain"
+    "let key = Domain.DLS.new_key (fun () -> 0)\n\
+     let run pool xs =\n\
+    \  Dd_parallel.Pool.parallel_for pool 0 (Array.length xs) (fun i ->\n\
+    \      ignore (Domain.DLS.get key); ignore i)";
+  check_clean "sequential mutation outside the pool call is fine"
+    "let sum xs = let total = ref 0 in Array.iter (fun x -> total := !total + x) xs; !total"
+
 (* --- suppressions ------------------------------------------------------ *)
 
 let test_suppression () =
@@ -186,13 +374,31 @@ let test_suppression () =
     "(* lint: allow ct-equality fixture justification *)\n\
      let check vote_code s = vote_code = s";
   check_fires "wrong rule name does not suppress" "ct-equality"
-    "(* lint: allow sans-io *)\nlet check vote_code s = vote_code = s";
+    "(* lint: allow sans-io justified elsewhere *)\nlet check vote_code s = vote_code = s";
   check_fires "allow two lines up does not suppress" "ct-equality"
-    "(* lint: allow ct-equality *)\n\n\
+    "(* lint: allow ct-equality justified here *)\n\n\
      let check vote_code s = vote_code = s";
   check_clean "multiple rules in one comment"
-    "(* lint: allow ct-equality exception-hygiene *)\n\
+    "(* lint: allow ct-equality exception-hygiene fixture exercises both rules *)\n\
      let check vote_code s = assert (vote_code = s)"
+
+let test_bare_allow () =
+  check_fires "allow without justification is a finding" "bare-allow"
+    "(* lint: allow ct-equality *)\n\
+     let check vote_code s = vote_code = s";
+  check_fires "punctuation is not a justification" "bare-allow"
+    "let check vote_code s = vote_code = s (* lint: allow ct-equality --- *)";
+  check_fires "unknown rule name is a finding" "bare-allow"
+    "(* lint: allow ct-equalty typo'd rule suppresses nothing *)\n\
+     let serial_of x = x";
+  check_silent "justified allow is not bare" "bare-allow"
+    "(* lint: allow ct-equality receipt compare is length-gated upstream *)\n\
+     let check receipt r = receipt = r";
+  (* the unjustified allow still suppresses; only the bare-allow finding
+     surfaces, keeping the migration incremental *)
+  check_silent "unjustified allow still suppresses its rule" "ct-equality"
+    "(* lint: allow ct-equality *)\n\
+     let check vote_code s = vote_code = s"
 
 (* --- parse errors and the driver plumbing ------------------------------ *)
 
@@ -216,18 +422,110 @@ let test_findings_output () =
   in
   Alcotest.(check int) "line" 1 f.Findings.line;
   Alcotest.(check string) "file" "lib/core/fixture.ml" f.Findings.file;
+  Alcotest.(check int) "fingerprint length" 16 (String.length f.Findings.fingerprint);
   let json = Findings.list_to_json [ f ] in
   Alcotest.(check bool) "json shape" true
     (String.length json > 2 && json.[0] = '[' && String.length (Findings.to_text f) > 0)
 
+(* --- fingerprints and baselines ---------------------------------------- *)
+
+let the_finding fs =
+  match fs with
+  | [ f ] -> f
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_fingerprint_stability () =
+  let before = the_finding (lint "let check vote_code s = vote_code = s") in
+  let after =
+    the_finding
+      (lint
+         "let unrelated = 42\n\n\
+          let helper x = x + 1\n\n\
+          let check vote_code s = vote_code = s")
+  in
+  Alcotest.(check bool) "line moved" true (before.Findings.line <> after.Findings.line);
+  Alcotest.(check string) "fingerprint survives unrelated insertions"
+    before.Findings.fingerprint after.Findings.fingerprint;
+  (* two identical violations stay distinct *)
+  let two =
+    lint "let check vote_code s = vote_code = s\nlet check2 vote_code s = vote_code = s"
+  in
+  (match two with
+   | [ a; b ] ->
+     Alcotest.(check bool) "occurrence index separates duplicates" true
+       (a.Findings.fingerprint <> b.Findings.fingerprint)
+   | fs -> Alcotest.failf "expected two findings, got %d" (List.length fs))
+
+let test_baseline_roundtrip () =
+  let fs =
+    lint "let check vote_code s = vote_code = s\nlet order mac other = compare mac other"
+  in
+  Alcotest.(check bool) "have findings" true (List.length fs >= 2);
+  let entries = Baseline.of_findings ~date:"2026-08-08" fs in
+  let reparsed = Baseline.parse (Baseline.format entries) in
+  Alcotest.(check int) "format/parse round-trips" (List.length entries)
+    (List.length reparsed);
+  List.iter2
+    (fun (a : Baseline.entry) (b : Baseline.entry) ->
+       Alcotest.(check string) "fp" a.Baseline.fp b.Baseline.fp;
+       Alcotest.(check string) "rule" a.Baseline.rule b.Baseline.rule;
+       Alcotest.(check string) "file" a.Baseline.file b.Baseline.file;
+       Alcotest.(check string) "date" a.Baseline.added b.Baseline.added)
+    entries reparsed;
+  (* full baseline: everything matched, nothing fresh, nothing stale *)
+  let app = Baseline.apply reparsed fs in
+  Alcotest.(check int) "no fresh" 0 (List.length app.Baseline.fresh);
+  Alcotest.(check int) "all baselined" (List.length fs)
+    (List.length app.Baseline.baselined);
+  Alcotest.(check int) "no stale" 0 (List.length app.Baseline.stale);
+  (* the finding is fixed: its entry goes stale *)
+  let fixed = lint "let order mac other = compare mac other" in
+  let app = Baseline.apply reparsed fixed in
+  Alcotest.(check int) "fix leaves a stale entry"
+    (List.length fs - List.length fixed)
+    (List.length app.Baseline.stale);
+  (* a new finding is fresh, not hidden by the baseline *)
+  let app = Baseline.apply [] fs in
+  Alcotest.(check int) "empty baseline: all fresh" (List.length fs)
+    (List.length app.Baseline.fresh)
+
+(* --- SARIF -------------------------------------------------------------- *)
+
+let test_sarif () =
+  let f = the_finding (lint "let check vote_code s = vote_code = s") in
+  let sarif =
+    Findings.to_sarif
+      ~rules:[ ("ct-equality", "secrets need Ct.equal") ]
+      [ f ]
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length sarif in
+    let rec go i =
+      i + n <= h && (String.sub sarif i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) ("sarif contains " ^ needle) true (contains needle))
+    [ "\"version\":\"2.1.0\"";
+      "https://docs.oasis-open.org/sarif/sarif/v2.1.0";
+      "\"name\":\"ddemos-lint\"";
+      "\"id\":\"ct-equality\"";
+      "\"ruleId\":\"ct-equality\"";
+      "\"startLine\":1";
+      (* our col is 0-based; SARIF columns are 1-based *)
+      Printf.sprintf "\"startColumn\":%d" (f.Findings.col + 1);
+      Printf.sprintf "\"ddemosLint/v1\":\"%s\"" f.Findings.fingerprint ]
+
 (* The shipped tree must lint clean: the @lint alias is the real gate,
    but catching a regression here gives a much faster signal. *)
 let test_tree_clean () =
-  let root = "../lib" in
-  if Sys.file_exists root && Sys.is_directory root then begin
-    let files = Lint.ml_files [ root ] in
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin"; "../bench" ] in
+  if roots <> [] then begin
+    let files = Lint.ml_files roots in
     Alcotest.(check bool) "found the tree" true (List.length files > 30);
-    let fs = List.concat_map (fun f -> Lint.lint_file ~rules f) files in
+    let fs = Lint.lint_program ~rules files in
     List.iter (fun f -> Printf.eprintf "%s\n" (Findings.to_text f)) fs;
     Alcotest.(check int) "tree findings" 0 (List.length fs)
   end
@@ -240,10 +538,18 @@ let () =
          Alcotest.test_case "R3 exception-hygiene" `Quick test_exception_hygiene;
          Alcotest.test_case "R4 wire-exhaustive" `Quick test_wire_exhaustive;
          Alcotest.test_case "R5 vartime-public-only" `Quick test_vartime_public_only;
-         Alcotest.test_case "R6 domain-safe-state" `Quick test_domain_safe_state ]);
-      ("suppression", [ Alcotest.test_case "allow comments" `Quick test_suppression ]);
+         Alcotest.test_case "R6 domain-safe-state" `Quick test_domain_safe_state;
+         Alcotest.test_case "R7 secret-taint" `Quick test_secret_taint;
+         Alcotest.test_case "R7 cross-file" `Quick test_secret_taint_cross_file;
+         Alcotest.test_case "R8 domain-escape" `Quick test_domain_escape ]);
+      ("suppression",
+       [ Alcotest.test_case "allow comments" `Quick test_suppression;
+         Alcotest.test_case "bare allows" `Quick test_bare_allow ]);
       ("driver",
        [ Alcotest.test_case "parse errors" `Quick test_parse_error;
          Alcotest.test_case "constructor harvest" `Quick test_harvest;
          Alcotest.test_case "findings output" `Quick test_findings_output;
+         Alcotest.test_case "fingerprint stability" `Quick test_fingerprint_stability;
+         Alcotest.test_case "baseline round-trip" `Quick test_baseline_roundtrip;
+         Alcotest.test_case "sarif shape" `Quick test_sarif;
          Alcotest.test_case "shipped tree is clean" `Quick test_tree_clean ]) ]
