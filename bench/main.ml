@@ -423,6 +423,16 @@ let micro () =
         (Staged.stage (fun () -> Modular.mul fp_p256 px py));
       Test.make ~name:"arith.field-mul.p256.seed-baseline"
         (Staged.stage (fun () -> Seed_baseline.field_mul bar_p256 px py));
+      (* arithmetic stack: dedicated squaring kernel and Fermat inversion
+         (the Montgomery-domain square-and-multiply chain) *)
+      Test.make ~name:"arith.field-sqr.secp256k1"
+        (Staged.stage (fun () -> Modular.sqr fp_secp fx));
+      Test.make ~name:"arith.field-sqr.p256"
+        (Staged.stage (fun () -> Modular.sqr fp_p256 px));
+      Test.make ~name:"arith.field-inv.secp256k1"
+        (Staged.stage (fun () -> Modular.inv fp_secp fx));
+      Test.make ~name:"arith.field-inv.p256"
+        (Staged.stage (fun () -> Modular.inv fp_p256 px));
       (* arithmetic stack: scalar multiplication variants *)
       Test.make ~name:"arith.point-mul.fixed-window"
         (Staged.stage (fun () -> Curve.mul curve scalar point));

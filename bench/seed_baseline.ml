@@ -17,17 +17,45 @@ module Curve = Dd_group.Curve
 module Group_ctx = Dd_group.Group_ctx
 module Schnorr = Dd_sig.Schnorr
 
-let limb_mask = (1 lsl Nat.base_bits) - 1
+(* The seed stored Nat values as 30-bit limbs; the library has since
+   moved to 62-bit limbs, so the seed's schoolbook (whose partial
+   products need 2 * 30 + 1 bits of headroom) can no longer run
+   directly on [Nat.to_limbs_into] output. The baseline is therefore
+   frozen at its own narrow-limb width — 31 bits, each 62-bit limb
+   split in two, which keeps the conversion a pair of shifts and gives
+   the same 9-limb operand count the seed's 30-bit representation had
+   for 256-bit fields (ceil(256/30) = ceil(256/31) = 9): identical loop
+   trip counts, identical algorithm, honest "before" numbers. *)
+let seed_bits = Nat.base_bits / 2
+let seed_mask = (1 lsl seed_bits) - 1
 
 let limbs_of n =
   let len = max 1 ((Nat.bit_length n + Nat.base_bits - 1) / Nat.base_bits) in
   let buf = Array.make len 0 in
   let cnt = Nat.to_limbs_into n buf in
-  (buf, cnt)
+  let h = Array.make (max 1 (2 * len)) 0 in
+  for i = 0 to cnt - 1 do
+    h.(2 * i) <- buf.(i) land seed_mask;
+    h.((2 * i) + 1) <- buf.(i) lsr seed_bits
+  done;
+  let nh = ref (2 * cnt) in
+  while !nh > 0 && h.(!nh - 1) = 0 do decr nh done;
+  (h, !nh)
 
-(* The seed's Nat.mul verbatim: schoolbook with bounds-checked array
-   accesses (the current kernel uses unsafe accesses — worth ~30% on a
-   256-bit multiply). *)
+let nat_of_seed_limbs (h : int array) nh =
+  let nl = (nh + 1) / 2 in
+  let buf = Array.make (max 1 nl) 0 in
+  for i = 0 to nl - 1 do
+    let lo = if 2 * i < nh then h.(2 * i) else 0 in
+    let hi = if (2 * i) + 1 < nh then h.((2 * i) + 1) else 0 in
+    buf.(i) <- lo lor (hi lsl seed_bits)
+  done;
+  Nat.of_limbs buf nl
+
+(* The seed's Nat.mul, shape-for-shape: schoolbook with bounds-checked
+   array accesses (the current kernels use unsafe accesses and
+   flattened fixed-width products — each worth ~30% on a 256-bit
+   multiply). *)
 let nat_mul (a : Nat.t) (b : Nat.t) : Nat.t =
   let a, la = limbs_of a and b, lb = limbs_of b in
   if la = 0 || lb = 0 then Nat.zero
@@ -39,35 +67,35 @@ let nat_mul (a : Nat.t) (b : Nat.t) : Nat.t =
         let carry = ref 0 in
         for j = 0 to lb - 1 do
           let t = r.(i + j) + (ai * b.(j)) + !carry in
-          r.(i + j) <- t land limb_mask;
-          carry := t lsr Nat.base_bits
+          r.(i + j) <- t land seed_mask;
+          carry := t lsr seed_bits
         done;
         let k = ref (i + lb) in
         while !carry <> 0 do
           let t = r.(!k) + !carry in
-          r.(!k) <- t land limb_mask;
-          carry := t lsr Nat.base_bits;
+          r.(!k) <- t land seed_mask;
+          carry := t lsr seed_bits;
           incr k
         done
       end
     done;
-    Nat.of_limbs r (la + lb)
+    nat_of_seed_limbs r (la + lb)
   end
 
 (* The seed's Barrett context and reduction, driven by [nat_mul]. *)
 type barrett = { m : Nat.t; k : int; mu : Nat.t }
 
 let barrett m =
-  let k = (Nat.bit_length m + Nat.base_bits - 1) / Nat.base_bits in
-  { m; k; mu = Nat.div (Nat.shift_left Nat.one (2 * k * Nat.base_bits)) m }
+  let k = (Nat.bit_length m + seed_bits - 1) / seed_bits in
+  { m; k; mu = Nat.div (Nat.shift_left Nat.one (2 * k * seed_bits)) m }
 
 let reduce b x =
   if Nat.compare x b.m < 0 then x
-  else if Nat.bit_length x > 2 * b.k * Nat.base_bits then Nat.rem x b.m
+  else if Nat.bit_length x > 2 * b.k * seed_bits then Nat.rem x b.m
   else begin
-    let q1 = Nat.shift_right x ((b.k - 1) * Nat.base_bits) in
+    let q1 = Nat.shift_right x ((b.k - 1) * seed_bits) in
     let q2 = nat_mul q1 b.mu in
-    let q3 = Nat.shift_right q2 ((b.k + 1) * Nat.base_bits) in
+    let q3 = Nat.shift_right q2 ((b.k + 1) * seed_bits) in
     let r = Nat.sub x (nat_mul q3 b.m) in
     let r = if Nat.compare r b.m >= 0 then Nat.sub r b.m else r in
     let r = if Nat.compare r b.m >= 0 then Nat.sub r b.m else r in

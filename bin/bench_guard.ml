@@ -9,7 +9,12 @@
    so the guard only catches order-of-magnitude mistakes (a dropped
    fast path, an accidental serial fallback), not small drifts. It is
    advisory (continue-on-error) on pull requests and enforced on the
-   nightly sweep. *)
+   nightly sweep.
+
+   Large improvements (fresh faster than baseline by the same factor)
+   are reported too — not as failures, but as a prompt to refresh the
+   committed baseline: a stale slow baseline would mask a later
+   regression of the same magnitude. *)
 
 let parse_results path =
   let ic =
@@ -61,7 +66,8 @@ let () =
     Printf.eprintf "bench_guard: no results parsed from %s\n" baseline;
     exit 2
   end;
-  let regressions = ref [] and checked = ref 0 and missing = ref [] in
+  let regressions = ref [] and improvements = ref []
+  and checked = ref 0 and missing = ref [] in
   Hashtbl.iter
     (fun key bv ->
        match Hashtbl.find_opt cur key with
@@ -81,7 +87,8 @@ let () =
           | Some (br, cr) ->
             if cr > br *. factor then regressions := (key ^ " (dN/d1 ratio)", br, cr) :: !regressions
           | None ->
-            if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions))
+            if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions
+            else if cv *. factor < bv then improvements := (key, bv, cv) :: !improvements))
     base;
   List.iter
     (fun key -> Printf.printf "WARN  %s: present in baseline, missing from fresh run\n" key)
@@ -97,6 +104,17 @@ let () =
        Printf.printf "FAIL  %s: %.1f -> %.1f%s (%.2fx > %.2fx allowed)\n"
          key bv cv unit (cv /. bv) factor)
     (List.sort compare !regressions);
-  Printf.printf "bench_guard: %d keys checked against %s, %d regression(s), factor %.2fx\n"
-    !checked baseline (List.length !regressions) factor;
+  List.iter
+    (fun (key, bv, cv) ->
+       Printf.printf "IMPROVE  %s: %.1f -> %.1f ns/op (%.2fx faster than baseline)\n"
+         key bv cv (bv /. cv))
+    (List.sort compare !improvements);
+  if !improvements <> [] then
+    Printf.printf
+      "NOTE  %d kernel(s) improved past the %.2fx guard band; the committed \
+       baseline is stale and would mask an equal-size regression — refresh it \
+       with `dune exec bench/main.exe -- micro --json`\n"
+      (List.length !improvements) factor;
+  Printf.printf "bench_guard: %d keys checked against %s, %d regression(s), %d improvement(s), factor %.2fx\n"
+    !checked baseline (List.length !regressions) (List.length !improvements) factor;
   if !regressions <> [] then exit 1

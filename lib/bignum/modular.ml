@@ -10,36 +10,64 @@
      combination of lower words (FIPS 186-4 D.2.3), so reduction is one
      signed accumulation pass over 16 words plus a small correction.
 
-   - Everything else (both curve orders, test moduli) uses Barrett: the
-     slow Nat.divmod runs once to compute the Barrett constant, and each
-     reduction costs two multiplications.
+   - Any other odd modulus (notably both curve orders) gets a Montgomery
+     domain: residues are multiplied as x*y*R^-1 mod m (R = 2^(31*hk))
+     with the quotient digit m' = -m^-1 mod 2^31 absorbed limb by limb —
+     no division and no Barrett product. The standard mul/sqr API stays
+     in the standard domain (enter/exit per call, still ~3x cheaper than
+     Barrett); [pow] and Fermat [inv] enter the domain once and run the
+     whole square-and-multiply chain inside it. The explicit domain API
+     ([to_mont]/[of_mont]/[mul_mont]/[sqr_mont]) exposes the raw form
+     for callers that want to batch conversions.
 
-   The fast paths run on reused scratch buffers via Nat's limb kernels,
-   so a field multiplication performs one schoolbook product and a
-   couple of linear passes without intermediate allocations. The
-   scratch lives in Domain.DLS — one set of buffers per domain, shared
-   by every context in that domain — so contexts are freely shareable
-   across domains (each call borrows its own domain's scratch for the
-   duration of the call only). *)
+   - Everything else (even moduli, oversized moduli, and every modulus
+     under [~fast:false]) uses Barrett: the slow Nat.divmod runs once to
+     compute the Barrett constant, and each reduction costs two
+     multiplications. This is the differential-test reference.
 
-let base_bits = 30
-let limb_mask = (1 lsl base_bits) - 1
+   All multiplicative kernels run over 31-bit half-limbs of Nat's 62-bit
+   limbs (a 62x62 partial product does not fit a 63-bit native int; a
+   31x31 product plus accumulator exactly does). The two 256-bit curve
+   fields and both curve orders are 9 half-limbs wide, so they share the
+   unrolled [mul9]/[sqr9] kernels below; other widths use generic loops.
 
-(* Scratch for the specialized reductions, sized for inputs up to
-   576 bits (any product of two 256-bit field residues is < 2^512;
-   larger ad-hoc inputs fall back to Nat.rem). *)
+   The fast paths run on reused scratch buffers, so a field
+   multiplication performs one flattened product and a couple of linear
+   passes without intermediate allocations. The scratch lives in
+   Domain.DLS — one set of buffers per domain, shared by every context
+   in that domain — so contexts are freely shareable across domains
+   (each call borrows its own domain's scratch for the duration of the
+   call only). *)
+
+(* 31-bit half-limbs: Nat.base_bits = 62 = 2 * 31, so a limb's halves
+   are (v land hmask, v lsr hbits) and the half view needs no repacking. *)
+let hbits = Nat.base_bits / 2
+let hmask = (1 lsl hbits) - 1
+
+(* Scratch for the fast paths, sized for Montgomery moduli up to 33
+   half-limbs (1023 bits) and fold inputs up to 576 bits; larger ad-hoc
+   inputs fall back to Nat-level arithmetic. All buffers hold 31-bit
+   halves except [limbs] (62-bit limbs, used to cross the Nat boundary). *)
 type scratch = {
-  buf : int array;        (* 20 limbs: the value being reduced *)
-  hbuf : int array;       (* secp256k1: hi = buf >> 256 *)
-  words : int array;      (* P-256: 16 32-bit words of the input *)
-  acc : int array;        (* P-256: 8 signed per-word accumulators *)
+  xa : int array;     (* 36 halves: operand a / Montgomery base *)
+  xb : int array;     (* 36 halves: operand b *)
+  ra : int array;     (* 36 halves: Montgomery accumulator / results *)
+  prod : int array;   (* 70 halves: product + REDC headroom (2k + 2) *)
+  aux : int array;    (* 12 halves: secp256k1 fold's hi = x >> 256 *)
+  words : int array;  (* P-256: 16 32-bit words of the input *)
+  acc : int array;    (* P-256: 8 signed per-word accumulators *)
+  limbs : int array;  (* 20 62-bit limbs: Nat <-> half-limb crossings *)
 }
 
 let make_scratch () = {
-  buf = Array.make 20 0;
-  hbuf = Array.make 12 0;
+  xa = Array.make 36 0;
+  xb = Array.make 36 0;
+  ra = Array.make 36 0;
+  prod = Array.make 70 0;
+  aux = Array.make 12 0;
   words = Array.make 16 0;
   acc = Array.make 8 0;
+  limbs = Array.make 20 0;
 }
 
 (* One scratch per domain, shared by all contexts in that domain. A
@@ -47,18 +75,33 @@ let make_scratch () = {
    reduction at a time, so this is race-free. *)
 let scratch_key = Domain.DLS.new_key make_scratch
 
-type reduction =
-  | Barrett of Nat.t        (* mu = floor(B^(2k) / modulus) *)
+type strategy =
+  | Barrett
   | Secp256k1
   | P256
+  | Montgomery
+
+(* Montgomery constants for an odd modulus m < R = 2^(31 * hk):
+   [n0] = -m^-1 mod 2^31 (the per-digit quotient), [rr_h] = R^2 mod m
+   (multiplying by it enters the domain), [r1_h] = R mod m (the domain
+   image of 1). Half buffers are zero-padded to [hk]. *)
+type mont = {
+  n0 : int;
+  rr_h : int array;
+  r1_h : int array;
+}
 
 type ctx = {
   modulus : Nat.t;
-  k : int;                  (* number of 30-bit limbs in the modulus *)
-  red : reduction;
+  kl : int;                 (* 62-bit limbs in the modulus *)
+  hk : int;                 (* 31-bit halves in the modulus *)
+  strategy : strategy;
   prime : bool;             (* enables Fermat inversion *)
-  m_limbs : int array;      (* modulus as a limb buffer (fast paths) *)
-  u_mults : Nat.t array;    (* P-256: e * (2^256 mod p) for small e *)
+  mu : Nat.t;               (* Barrett constant floor(B^2kl / m) *)
+  mh : int array;           (* modulus as halves (fast paths) *)
+  mont : mont option;       (* Montgomery domain (odd modulus, fast) *)
+  u_mults : int array array; (* P-256: e * (2^256 mod p), 0 <= e <= 8,
+                                as 9 zero-padded halves each *)
 }
 
 let secp256k1_p =
@@ -71,43 +114,554 @@ let nist_p256_p =
 let nist_p256_u =
   Nat.sub (Nat.shift_left Nat.one 256) nist_p256_p
 
+(* Largest modulus the Montgomery scratch is sized for (33 halves). *)
+let mont_max_halves = 33
+
 let create ?(prime = true) ?(fast = true) modulus =
   if Nat.compare modulus Nat.two < 0 then invalid_arg "Modular.create: modulus < 2";
-  let k = (Nat.bit_length modulus + base_bits - 1) / base_bits in
-  let red =
+  let bits = Nat.bit_length modulus in
+  let kl = (bits + Nat.base_bits - 1) / Nat.base_bits in
+  let hk = (bits + hbits - 1) / hbits in
+  let strategy =
     if fast && Nat.equal modulus secp256k1_p then Secp256k1
     else if fast && Nat.equal modulus nist_p256_p then P256
-    else begin
-      let b2k = Nat.shift_left Nat.one (2 * k * base_bits) in
-      Barrett (Nat.div b2k modulus)
-    end
+    else if fast && Nat.is_odd modulus && hk <= mont_max_halves then Montgomery
+    else Barrett
   in
-  let m_limbs = Array.make (k + 1) 0 in
-  ignore (Nat.to_limbs_into modulus m_limbs);
+  let mu =
+    let b2k = Nat.shift_left Nat.one (2 * kl * Nat.base_bits) in
+    Nat.div b2k modulus
+  in
+  (* modulus as zero-padded halves; [2 * kl >= hk] always *)
+  let mh = Array.make (2 * kl) 0 in
+  let mlimbs = Array.make (kl + 1) 0 in
+  let nml = Nat.to_limbs_into modulus mlimbs in
+  for i = 0 to nml - 1 do
+    mh.(2 * i) <- mlimbs.(i) land hmask;
+    mh.((2 * i) + 1) <- mlimbs.(i) lsr hbits
+  done;
+  let mont =
+    if fast && Nat.is_odd modulus && hk <= mont_max_halves then begin
+      (* n0 = -m^-1 mod 2^31 by Newton iteration: each step doubles the
+         number of correct low bits (1, 2, 4, ..., >= 31 after 6). *)
+      let m0 = mh.(0) in
+      let x = ref 1 in
+      for _ = 1 to 6 do
+        let t = (2 - (m0 * !x)) land hmask in
+        x := (!x * t) land hmask
+      done;
+      let n0 = ((1 lsl hbits) - !x) land hmask in
+      let to_padded_halves v =
+        let h = Array.make (2 * kl) 0 in
+        let nl = Nat.to_limbs_into v mlimbs in
+        for i = 0 to nl - 1 do
+          h.(2 * i) <- mlimbs.(i) land hmask;
+          h.((2 * i) + 1) <- mlimbs.(i) lsr hbits
+        done;
+        h
+      in
+      let r = Nat.shift_left Nat.one (hbits * hk) in
+      let rr_h = to_padded_halves (Nat.rem (Nat.mul r r) modulus) in
+      let r1_h = to_padded_halves (Nat.rem r modulus) in
+      Some { n0; rr_h; r1_h }
+    end
+    else None
+  in
   let u_mults =
-    match red with
-    | P256 -> Array.init 9 (fun e -> Nat.mul nist_p256_u (Nat.of_int e))
+    match strategy with
+    | P256 ->
+      Array.init 9 (fun e ->
+          (* u * e < 2^227: 8 significant halves, padded to 9 *)
+          let v = Nat.mul nist_p256_u (Nat.of_int e) in
+          let h = Array.make 9 0 in
+          let vl = Array.make 5 0 in
+          let nl = Nat.to_limbs_into v vl in
+          for i = 0 to nl - 1 do
+            h.(2 * i) <- vl.(i) land hmask;
+            if (2 * i) + 1 < 9 then h.((2 * i) + 1) <- vl.(i) lsr hbits
+          done;
+          h)
     | _ -> [||]
   in
-  { modulus; k; red; prime; m_limbs; u_mults }
+  { modulus; kl; hk; strategy; prime; mu; mh; mont; u_mults }
 
 let modulus ctx = ctx.modulus
 
 let reduction_name ctx =
-  match ctx.red with
-  | Barrett _ -> "barrett"
+  match ctx.strategy with
+  | Barrett -> "barrett"
   | Secp256k1 -> "pseudo-mersenne-secp256k1"
   | P256 -> "word-sliding-p256"
+  | Montgomery -> "montgomery"
+
+(* --- Nat <-> half-limb crossings --------------------------------------- *)
+
+(* Write [a]'s 31-bit halves into [h], zero-filling up to [pad] entries;
+   returns the significant half count. [h] needs room for
+   max(pad, 2 * limbs(a)) entries. *)
+let unpack_halves st (a : Nat.t) (h : int array) ~pad =
+  let nl = Nat.to_limbs_into a st.limbs in
+  for i = 0 to nl - 1 do
+    let v = Array.unsafe_get st.limbs i in
+    Array.unsafe_set h (2 * i) (v land hmask);
+    Array.unsafe_set h ((2 * i) + 1) (v lsr hbits)
+  done;
+  for i = 2 * nl to pad - 1 do h.(i) <- 0 done;
+  Nat.trim_limbs h (2 * nl)
+
+(* Pack halves [h.(off .. off + nh - 1)] back into a value. *)
+let pack_halves st (h : int array) ~off nh =
+  let nl = (nh + 1) / 2 in
+  for i = 0 to nl - 1 do
+    let lo = if 2 * i < nh then h.(off + (2 * i)) else 0 in
+    let hi = if (2 * i) + 1 < nh then h.(off + (2 * i) + 1) else 0 in
+    st.limbs.(i) <- lo lor (hi lsl hbits)
+  done;
+  Nat.of_limbs st.limbs nl
+
+(* --- half-limb linear kernels ------------------------------------------ *)
+
+let half_bits (buf : int array) n =
+  if n = 0 then 0
+  else begin
+    let rec width v = if v = 0 then 0 else 1 + width (v lsr 1) in
+    ((n - 1) * hbits) + width buf.(n - 1)
+  end
+
+(* dst := dst + (src * m) << (shift halves); requires 0 <= m < 2^31. *)
+let half_addmul1 (dst : int array) ndst (src : int array) nsrc ~shift m =
+  for j = ndst to shift - 1 do dst.(j) <- 0 done;
+  let carry = ref 0 in
+  for i = 0 to nsrc - 1 do
+    let j = i + shift in
+    let cur = if j < ndst then Array.unsafe_get dst j else 0 in
+    let t = cur + (m * Array.unsafe_get src i) + !carry in
+    Array.unsafe_set dst j (t land hmask);
+    carry := t lsr hbits
+  done;
+  let j = ref (nsrc + shift) in
+  while !carry <> 0 do
+    let cur = if !j < ndst then Array.unsafe_get dst !j else 0 in
+    let t = cur + !carry in
+    Array.unsafe_set dst !j (t land hmask);
+    carry := t lsr hbits;
+    incr j
+  done;
+  Nat.trim_limbs dst (if !j > ndst then !j else ndst)
+
+(* dst := dst - src; requires dst >= src numerically. *)
+let half_sub_into (dst : int array) ndst (src : int array) nsrc =
+  let borrow = ref 0 in
+  for i = 0 to ndst - 1 do
+    let bv = if i < nsrc then Array.unsafe_get src i else 0 in
+    let d = Array.unsafe_get dst i - bv - !borrow in
+    Array.unsafe_set dst i (d land hmask);
+    borrow := (d lsr hbits) land 1
+  done;
+  Nat.trim_limbs dst ndst
+
+(* --- unrolled 9-half multiply / square --------------------------------- *)
+(* 9x9 half-limb schoolbook product, fully unrolled (fiat-crypto-style
+   flattened product scanning). Operands are 31-bit half buffers with at
+   least 9 entries (zero-padded); writes halves 0..17 of [dst]. Columns
+   accumulate low and high parts of each 62-bit partial product
+   separately so no intermediate exceeds the native-int range: a column
+   sums at most 9 products' halves (< 9 * 2^31) plus a carry (< 2^36). *)
+let mul9 (dst : int array) (a : int array) (b : int array) =
+  let a0 = Array.unsafe_get a 0 in
+  let a1 = Array.unsafe_get a 1 in
+  let a2 = Array.unsafe_get a 2 in
+  let a3 = Array.unsafe_get a 3 in
+  let a4 = Array.unsafe_get a 4 in
+  let a5 = Array.unsafe_get a 5 in
+  let a6 = Array.unsafe_get a 6 in
+  let a7 = Array.unsafe_get a 7 in
+  let a8 = Array.unsafe_get a 8 in
+  let b0 = Array.unsafe_get b 0 in
+  let b1 = Array.unsafe_get b 1 in
+  let b2 = Array.unsafe_get b 2 in
+  let b3 = Array.unsafe_get b 3 in
+  let b4 = Array.unsafe_get b 4 in
+  let b5 = Array.unsafe_get b 5 in
+  let b6 = Array.unsafe_get b 6 in
+  let b7 = Array.unsafe_get b 7 in
+  let b8 = Array.unsafe_get b 8 in
+  let cr = 0 in
+  (* column 0 *)
+  let p0 = a0 * b0 in
+  let sl = (p0 land hmask) in
+  let sh = (p0 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 0 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 1 *)
+  let p0 = a0 * b1 in
+  let p1 = a1 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 1 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 2 *)
+  let p0 = a0 * b2 in
+  let p1 = a1 * b1 in
+  let p2 = a2 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 2 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 3 *)
+  let p0 = a0 * b3 in
+  let p1 = a1 * b2 in
+  let p2 = a2 * b1 in
+  let p3 = a3 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 3 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 4 *)
+  let p0 = a0 * b4 in
+  let p1 = a1 * b3 in
+  let p2 = a2 * b2 in
+  let p3 = a3 * b1 in
+  let p4 = a4 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 4 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 5 *)
+  let p0 = a0 * b5 in
+  let p1 = a1 * b4 in
+  let p2 = a2 * b3 in
+  let p3 = a3 * b2 in
+  let p4 = a4 * b1 in
+  let p5 = a5 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 5 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 6 *)
+  let p0 = a0 * b6 in
+  let p1 = a1 * b5 in
+  let p2 = a2 * b4 in
+  let p3 = a3 * b3 in
+  let p4 = a4 * b2 in
+  let p5 = a5 * b1 in
+  let p6 = a6 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) + (p6 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) + (p6 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 6 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 7 *)
+  let p0 = a0 * b7 in
+  let p1 = a1 * b6 in
+  let p2 = a2 * b5 in
+  let p3 = a3 * b4 in
+  let p4 = a4 * b3 in
+  let p5 = a5 * b2 in
+  let p6 = a6 * b1 in
+  let p7 = a7 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) + (p6 land hmask) + (p7 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) + (p6 lsr hbits) + (p7 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 7 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 8 *)
+  let p0 = a0 * b8 in
+  let p1 = a1 * b7 in
+  let p2 = a2 * b6 in
+  let p3 = a3 * b5 in
+  let p4 = a4 * b4 in
+  let p5 = a5 * b3 in
+  let p6 = a6 * b2 in
+  let p7 = a7 * b1 in
+  let p8 = a8 * b0 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) + (p6 land hmask) + (p7 land hmask) + (p8 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) + (p6 lsr hbits) + (p7 lsr hbits) + (p8 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 8 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 9 *)
+  let p0 = a1 * b8 in
+  let p1 = a2 * b7 in
+  let p2 = a3 * b6 in
+  let p3 = a4 * b5 in
+  let p4 = a5 * b4 in
+  let p5 = a6 * b3 in
+  let p6 = a7 * b2 in
+  let p7 = a8 * b1 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) + (p6 land hmask) + (p7 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) + (p6 lsr hbits) + (p7 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 9 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 10 *)
+  let p0 = a2 * b8 in
+  let p1 = a3 * b7 in
+  let p2 = a4 * b6 in
+  let p3 = a5 * b5 in
+  let p4 = a6 * b4 in
+  let p5 = a7 * b3 in
+  let p6 = a8 * b2 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) + (p6 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) + (p6 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 10 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 11 *)
+  let p0 = a3 * b8 in
+  let p1 = a4 * b7 in
+  let p2 = a5 * b6 in
+  let p3 = a6 * b5 in
+  let p4 = a7 * b4 in
+  let p5 = a8 * b3 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) + (p5 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) + (p5 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 11 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 12 *)
+  let p0 = a4 * b8 in
+  let p1 = a5 * b7 in
+  let p2 = a6 * b6 in
+  let p3 = a7 * b5 in
+  let p4 = a8 * b4 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) + (p4 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) + (p4 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 12 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 13 *)
+  let p0 = a5 * b8 in
+  let p1 = a6 * b7 in
+  let p2 = a7 * b6 in
+  let p3 = a8 * b5 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 13 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 14 *)
+  let p0 = a6 * b8 in
+  let p1 = a7 * b7 in
+  let p2 = a8 * b6 in
+  let sl = (p0 land hmask) + (p1 land hmask) + (p2 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 14 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 15 *)
+  let p0 = a7 * b8 in
+  let p1 = a8 * b7 in
+  let sl = (p0 land hmask) + (p1 land hmask) in
+  let sh = (p0 lsr hbits) + (p1 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 15 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 16 *)
+  let p0 = a8 * b8 in
+  let sl = (p0 land hmask) in
+  let sh = (p0 lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 16 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  Array.unsafe_set dst 17 cr
+
+(* 9-half squaring, unrolled: cross products below the diagonal are
+   computed once and doubled per column (45 + 9 multiplications instead
+   of 81). Same bounds as [mul9]: doubled cross sums stay < 9 * 2^31. *)
+let sqr9 (dst : int array) (a : int array) =
+  let a0 = Array.unsafe_get a 0 in
+  let a1 = Array.unsafe_get a 1 in
+  let a2 = Array.unsafe_get a 2 in
+  let a3 = Array.unsafe_get a 3 in
+  let a4 = Array.unsafe_get a 4 in
+  let a5 = Array.unsafe_get a 5 in
+  let a6 = Array.unsafe_get a 6 in
+  let a7 = Array.unsafe_get a 7 in
+  let a8 = Array.unsafe_get a 8 in
+  let cr = 0 in
+  (* column 0 *)
+  let sl = 0 in
+  let sh = 0 in
+  let d = a0 * a0 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 0 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 1 *)
+  let p0 = a0 * a1 in
+  let sl = 2 * ((p0 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 1 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 2 *)
+  let p0 = a0 * a2 in
+  let sl = 2 * ((p0 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits)) in
+  let d = a1 * a1 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 2 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 3 *)
+  let p0 = a0 * a3 in
+  let p1 = a1 * a2 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 3 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 4 *)
+  let p0 = a0 * a4 in
+  let p1 = a1 * a3 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits)) in
+  let d = a2 * a2 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 4 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 5 *)
+  let p0 = a0 * a5 in
+  let p1 = a1 * a4 in
+  let p2 = a2 * a3 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 5 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 6 *)
+  let p0 = a0 * a6 in
+  let p1 = a1 * a5 in
+  let p2 = a2 * a4 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits)) in
+  let d = a3 * a3 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 6 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 7 *)
+  let p0 = a0 * a7 in
+  let p1 = a1 * a6 in
+  let p2 = a2 * a5 in
+  let p3 = a3 * a4 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 7 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 8 *)
+  let p0 = a0 * a8 in
+  let p1 = a1 * a7 in
+  let p2 = a2 * a6 in
+  let p3 = a3 * a5 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits)) in
+  let d = a4 * a4 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 8 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 9 *)
+  let p0 = a1 * a8 in
+  let p1 = a2 * a7 in
+  let p2 = a3 * a6 in
+  let p3 = a4 * a5 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask) + (p3 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits) + (p3 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 9 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 10 *)
+  let p0 = a2 * a8 in
+  let p1 = a3 * a7 in
+  let p2 = a4 * a6 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits)) in
+  let d = a5 * a5 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 10 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 11 *)
+  let p0 = a3 * a8 in
+  let p1 = a4 * a7 in
+  let p2 = a5 * a6 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask) + (p2 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits) + (p2 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 11 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 12 *)
+  let p0 = a4 * a8 in
+  let p1 = a5 * a7 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits)) in
+  let d = a6 * a6 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 12 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 13 *)
+  let p0 = a5 * a8 in
+  let p1 = a6 * a7 in
+  let sl = 2 * ((p0 land hmask) + (p1 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits) + (p1 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 13 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 14 *)
+  let p0 = a6 * a8 in
+  let sl = 2 * ((p0 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits)) in
+  let d = a7 * a7 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 14 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 15 *)
+  let p0 = a7 * a8 in
+  let sl = 2 * ((p0 land hmask)) in
+  let sh = 2 * ((p0 lsr hbits)) in
+  let s = cr + sl in
+  Array.unsafe_set dst 15 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  (* column 16 *)
+  let sl = 0 in
+  let sh = 0 in
+  let d = a8 * a8 in
+  let sl = sl + (d land hmask) in
+  let sh = sh + (d lsr hbits) in
+  let s = cr + sl in
+  Array.unsafe_set dst 16 (s land hmask);
+  let cr = (s lsr hbits) + sh in
+  Array.unsafe_set dst 17 cr
 
 (* --- Barrett ----------------------------------------------------------- *)
 
 (* Barrett reduction of x < B^(2k); falls back to divmod for larger x. *)
-let reduce_barrett ctx mu x =
-  if Nat.bit_length x > 2 * ctx.k * base_bits then Nat.rem x ctx.modulus
+let reduce_barrett ctx x =
+  if Nat.bit_length x > 2 * ctx.kl * Nat.base_bits then Nat.rem x ctx.modulus
   else begin
-    let q1 = Nat.shift_right x ((ctx.k - 1) * base_bits) in
-    let q2 = Nat.mul q1 mu in
-    let q3 = Nat.shift_right q2 ((ctx.k + 1) * base_bits) in
+    let q1 = Nat.shift_right x ((ctx.kl - 1) * Nat.base_bits) in
+    let q2 = Nat.mul q1 ctx.mu in
+    let q3 = Nat.shift_right q2 ((ctx.kl + 1) * Nat.base_bits) in
     let r = Nat.sub x (Nat.mul q3 ctx.modulus) in
     let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
     let r = if Nat.compare r ctx.modulus >= 0 then Nat.sub r ctx.modulus else r in
@@ -116,80 +670,104 @@ let reduce_barrett ctx mu x =
 
 (* --- secp256k1 pseudo-Mersenne ----------------------------------------- *)
 
-let limb_bits buf n =
-  if n = 0 then 0
-  else begin
-    let rec width v = if v = 0 then 0 else 1 + width (v lsr 1) in
-    ((n - 1) * base_bits) + width buf.(n - 1)
-  end
-
-(* Reduce (st.buf, n) mod p = 2^256 - c, c = 2^32 + 977, by folding the
-   part above bit 256 down: x = hi*2^256 + lo = hi*c + lo (mod p). The
-   fold accumulates hi*c directly into the low part as two fused
-   add-multiply passes — c = 977 + 4*2^30, so hi*c is hi*977 at limb 0
-   plus hi*4 at limb 1. Two folds bring any 576-bit input below 2^256;
-   one conditional subtract finishes. *)
+(* Reduce (st.prod, n) mod p = 2^256 - c, c = 2^32 + 977, by folding the
+   part above bit 256 down: x = hi*2^256 + lo = hi*c + lo (mod p). Bit
+   256 sits at half 8, offset 8 (256 = 8*31 + 8). The fold accumulates
+   hi*c directly into the low part as two fused add-multiply passes —
+   c = 977 + 2*2^31, so hi*c is hi*977 at half 0 plus hi*2 at half 1.
+   Two folds bring any 558-bit product below ~2^257; one conditional
+   subtract finishes. *)
 let reduce_secp256k1 ctx st n =
-  let n = ref n in
-  while limb_bits st.buf !n > 256 do
-    (* hbuf := buf >> 256 (limb 8, bit offset 16) *)
-    let nh0 = !n - 8 in
-    for i = 0 to nh0 - 1 do
-      let lo = st.buf.(i + 8) lsr 16 in
-      let hi =
-        if i + 9 < !n then (st.buf.(i + 9) lsl 14) land limb_mask else 0
-      in
-      st.hbuf.(i) <- lo lor hi
+  let buf = st.prod in
+  if n > 18 then begin
+    (* wider than a product of residues: generic fold loop *)
+    let n = ref n in
+    while half_bits buf !n > 256 do
+      let nh0 = !n - 8 in
+      for i = 0 to nh0 - 1 do
+        let lo = buf.(i + 8) lsr 8 in
+        let hi =
+          if i + 9 < !n then (buf.(i + 9) lsl (hbits - 8)) land hmask else 0
+        in
+        st.aux.(i) <- lo lor hi
+      done;
+      let nh = Nat.trim_limbs st.aux nh0 in
+      buf.(8) <- buf.(8) land 0xff;
+      let nl = Nat.trim_limbs buf 9 in
+      let n1 = half_addmul1 buf nl st.aux nh ~shift:0 977 in
+      n := half_addmul1 buf n1 st.aux nh ~shift:1 2
     done;
-    let nh = Nat.trim_limbs st.hbuf nh0 in
-    (* buf := buf mod 2^256 *)
-    st.buf.(8) <- st.buf.(8) land 0xffff;
-    let nl = Nat.trim_limbs st.buf 9 in
-    let n1 = Nat.addmul1_into st.buf nl st.hbuf nh ~shift:0 977 in
-    n := Nat.addmul1_into st.buf n1 st.hbuf nh ~shift:1 4
-  done;
-  while Nat.compare_limbs st.buf !n ctx.m_limbs ctx.k >= 0 do
-    n := Nat.sub_into st.buf !n ctx.m_limbs ctx.k
-  done;
-  Nat.of_limbs st.buf !n
+    while Nat.compare_limbs buf !n ctx.mh ctx.hk >= 0 do
+      n := half_sub_into buf !n ctx.mh ctx.hk
+    done;
+    pack_halves st buf ~off:0 !n
+  end
+  else begin
+    (* the hot shape (a full mul9/sqr9 product, <= 18 halves), folded
+       flat: each pass rewrites buf 0..11 as
+       lo + hi*977 + hi*2^32 (the 2^32 term is 2*hi shifted one half),
+       all in one fused carry chain — no subroutine calls, no trims.
+       hi < 2^302 here, so one pass lands under 2^336, two under
+       2^257, and the loop runs at most three times. *)
+    let h = st.aux in
+    for i = n to 17 do buf.(i) <- 0 done;
+    let above = ref 0 in
+    above := buf.(8) lsr 8;
+    for i = 9 to 17 do above := !above lor buf.(i) done;
+    while !above <> 0 do
+      for i = 0 to 9 do
+        let lo = Array.unsafe_get buf (8 + i) lsr 8 in
+        let hi =
+          if i < 9 then (Array.unsafe_get buf (9 + i) lsl (hbits - 8)) land hmask
+          else 0
+        in
+        Array.unsafe_set h i (lo lor hi)
+      done;
+      buf.(8) <- buf.(8) land 0xff;
+      for i = 9 to 17 do buf.(i) <- 0 done;
+      let c = ref 0 in
+      for i = 0 to 10 do
+        let hv = if i <= 9 then Array.unsafe_get h i else 0 in
+        let pv = if i >= 1 then Array.unsafe_get h (i - 1) else 0 in
+        let t = Array.unsafe_get buf i + (977 * hv) + (2 * pv) + !c in
+        Array.unsafe_set buf i (t land hmask);
+        c := t lsr hbits
+      done;
+      if !c <> 0 then buf.(11) <- !c;
+      above := buf.(8) lsr 8;
+      for i = 9 to 11 do above := !above lor buf.(i) done
+    done;
+    while Nat.compare_limbs buf 9 ctx.mh ctx.hk >= 0 do
+      ignore (half_sub_into buf 9 ctx.mh ctx.hk)
+    done;
+    pack_halves st buf ~off:0 9
+  end
 
 (* --- NIST P-256 word-sliding ------------------------------------------- *)
 
-(* 32-bit word j of (buf, n): bits [32j, 32j + 32). A word spans at most
-   three 30-bit limbs. *)
-let word32 buf n j =
-  let bit = 32 * j in
-  let limb = bit / base_bits and off = bit mod base_bits in
-  let v = if limb < n then buf.(limb) lsr off else 0 in
+(* 32-bit word j of (buf, n): bits [32j, 32j + 32). Since
+   32j = 31j + j, word j starts in half j at bit offset j (for the
+   j <= 15 this reduction uses), spanning at most two halves
+   (j + 32 <= 62) — no division needed to locate it. *)
+let word32 (buf : int array) n j =
+  let v = if j < n then Array.unsafe_get buf j lsr j else 0 in
   let v =
-    if limb + 1 < n then v lor (buf.(limb + 1) lsl (base_bits - off)) else v
-  in
-  let v =
-    if off + 32 > 2 * base_bits && limb + 2 < n
-    then v lor (buf.(limb + 2) lsl ((2 * base_bits) - off))
+    if j + 1 < n then v lor (Array.unsafe_get buf (j + 1) lsl (hbits - j))
     else v
   in
   v land 0xffffffff
 
-(* Write eight 32-bit words (little-endian) into a 9-limb buffer. *)
-let limbs_of_words32 limbs w =
-  Array.fill limbs 0 9 0;
-  for j = 0 to 7 do
-    let bit = 32 * j in
-    let limb = bit / base_bits and off = bit mod base_bits in
-    limbs.(limb) <- (limbs.(limb) lor (w.(j) lsl off)) land limb_mask;
-    limbs.(limb + 1) <-
-      (limbs.(limb + 1) lor (w.(j) lsr (base_bits - off))) land limb_mask
-  done;
-  Nat.of_limbs limbs 9
-
 (* FIPS 186-4 D.2.3: with the 512-bit input split into 32-bit words
    c0..c15, the reduction is s1 + 2*s2 + 2*s3 + s4 + s5 - s6 - s7 - s8
    - s9, expanded below into one signed sum per output word. The final
-   signed carry e is folded back via 2^256 = u (mod p). *)
+   signed carry e is folded back via 2^256 = u (mod p). The whole tail
+   stays in half-limbs: words repack into halves with one fused pass
+   (word j lands in halves j, j+1 at offset j, as in [word32]), and the
+   e-fold adds or subtracts the precomputed u*|e| half vector in place —
+   no Nat allocation until the final pack. *)
 let reduce_p256 ctx st n =
   let c = st.words and d = st.acc in
-  for j = 0 to 15 do c.(j) <- word32 st.buf n j done;
+  for j = 0 to 15 do c.(j) <- word32 st.prod n j done;
   d.(0) <- c.(0) + c.(8) + c.(9) - c.(11) - c.(12) - c.(13) - c.(14);
   d.(1) <- c.(1) + c.(9) + c.(10) - c.(12) - c.(13) - c.(14) - c.(15);
   d.(2) <- c.(2) + c.(10) + c.(11) - c.(13) - c.(14) - c.(15);
@@ -206,39 +784,163 @@ let reduce_p256 ctx st n =
     carry := (t - w) asr 32
   done;
   let e = !carry in     (* |e| <= 8: each d.(i) sums at most 7 words *)
-  let v = limbs_of_words32 st.hbuf d in
-  let r =
-    if e = 0 then v
-    else if e > 0 then Nat.add v ctx.u_mults.(e)
-    else begin
-      let t = ctx.u_mults.(-e) in
-      if Nat.compare v t >= 0 then Nat.sub v t
-      else Nat.sub (Nat.add v ctx.modulus) t
+  let h = st.ra in
+  Array.fill h 0 10 0;
+  for j = 0 to 7 do
+    let v = Array.unsafe_get d j in
+    Array.unsafe_set h j (Array.unsafe_get h j + ((v lsl j) land hmask));
+    Array.unsafe_set h (j + 1) (Array.unsafe_get h (j + 1) + (v lsr (hbits - j)))
+  done;
+  let cc = ref 0 in
+  for i = 0 to 8 do
+    let t = Array.unsafe_get h i + !cc in
+    Array.unsafe_set h i (t land hmask);
+    cc := t lsr hbits
+  done;
+  if e > 0 then begin
+    (* v + u*e < 2^256 + 2^227: still fits nine halves *)
+    let u = ctx.u_mults.(e) in
+    let cc = ref 0 in
+    for i = 0 to 8 do
+      let t = Array.unsafe_get h i + Array.unsafe_get u i + !cc in
+      Array.unsafe_set h i (t land hmask);
+      cc := t lsr hbits
+    done
+  end
+  else if e < 0 then begin
+    let u = ctx.u_mults.(-e) in
+    let br = ref 0 in
+    for i = 0 to 8 do
+      let t = Array.unsafe_get h i - Array.unsafe_get u i - !br in
+      Array.unsafe_set h i (t land hmask);
+      br := (t lsr hbits) land 1
+    done;
+    if !br <> 0 then begin
+      (* v - u*e went negative; |v - u*e| < 2^227 < p, so adding p
+         back once lands in (0, p) — the final carry out cancels the
+         borrow and is dropped *)
+      let cc = ref 0 in
+      for i = 0 to 8 do
+        let t = Array.unsafe_get h i + Array.unsafe_get ctx.mh i + !cc in
+        Array.unsafe_set h i (t land hmask);
+        cc := t lsr hbits
+      done
     end
-  in
-  let r = ref r in
-  while Nat.compare !r ctx.modulus >= 0 do r := Nat.sub !r ctx.modulus done;
-  !r
+  end;
+  while Nat.compare_limbs h 9 ctx.mh ctx.hk >= 0 do
+    ignore (half_sub_into h 9 ctx.mh ctx.hk)
+  done;
+  pack_halves st h ~off:0 9
+
+(* --- Montgomery engine ------------------------------------------------- *)
+
+(* In-place Montgomery reduction of the 2k-half product in [p]: for each
+   of the k low halves, absorb it with the quotient digit
+   q = p_i * n0 mod 2^31, adding q*m at position i. Leaves
+   (p / R) mod-ish in p.(k ..); the result is < 2m (caller subtracts m
+   at most once). [p] needs 2k + 2 entries with the two above the
+   product zeroed (carry headroom). *)
+let mont_redc (p : int array) (mh : int array) k n0 =
+  for i = 0 to k - 1 do
+    let q = (Array.unsafe_get p i * n0) land hmask in
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s =
+        Array.unsafe_get p (i + j) + (q * Array.unsafe_get mh j) + !c
+      in
+      Array.unsafe_set p (i + j) (s land hmask);
+      c := s lsr hbits
+    done;
+    let j = ref (i + k) in
+    while !c <> 0 do
+      let s = Array.unsafe_get p !j + !c in
+      Array.unsafe_set p !j (s land hmask);
+      c := s lsr hbits;
+      incr j
+    done
+  done
+
+(* Copy the REDC result out of st.prod.(k ..) into [dst], conditionally
+   subtract the modulus, zero-pad to k halves; returns the count. *)
+let mont_finish ctx st (dst : int array) =
+  let k = ctx.hk in
+  let p = st.prod in
+  let nr = ref (k + 2) in
+  while !nr > 0 && p.(k + !nr - 1) = 0 do decr nr done;
+  for i = 0 to !nr - 1 do dst.(i) <- p.(k + i) done;
+  let n = ref !nr in
+  while Nat.compare_limbs dst !n ctx.mh k >= 0 do
+    n := half_sub_into dst !n ctx.mh k
+  done;
+  for i = !n to k - 1 do dst.(i) <- 0 done;
+  !n
+
+(* dst := x * y * R^-1 mod m, over zero-padded k-half buffers. [dst] may
+   alias [x] or [y] (the product is fully formed before [dst] is
+   written). Returns the significant half count. *)
+let mont_mul ctx mo st (x : int array) (y : int array) (dst : int array) =
+  let k = ctx.hk in
+  let p = st.prod in
+  if k = 9 then begin
+    mul9 p x y;
+    p.(18) <- 0;
+    p.(19) <- 0
+  end
+  else begin
+    Array.fill p 0 ((2 * k) + 2) 0;
+    for i = 0 to k - 1 do
+      let xi = Array.unsafe_get x i in
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let s =
+          Array.unsafe_get p (i + j) + (xi * Array.unsafe_get y j) + !c
+        in
+        Array.unsafe_set p (i + j) (s land hmask);
+        c := s lsr hbits
+      done;
+      Array.unsafe_set p (i + k) !c
+    done
+  end;
+  mont_redc p ctx.mh k mo.n0;
+  mont_finish ctx st dst
+
+(* dst := x^2 * R^-1 mod m, via the dedicated squaring kernel at k = 9. *)
+let mont_sqr ctx mo st (x : int array) (dst : int array) =
+  let k = ctx.hk in
+  if k = 9 then begin
+    let p = st.prod in
+    sqr9 p x;
+    p.(18) <- 0;
+    p.(19) <- 0;
+    mont_redc p ctx.mh k mo.n0;
+    mont_finish ctx st dst
+  end
+  else mont_mul ctx mo st x x dst
+
+(* dst := x * R^-1 mod m (domain exit: REDC of the bare value). *)
+let mont_exit ctx mo st (x : int array) (dst : int array) =
+  let k = ctx.hk in
+  let p = st.prod in
+  Array.blit x 0 p 0 k;
+  Array.fill p k (k + 2) 0;
+  mont_redc p ctx.mh k mo.n0;
+  mont_finish ctx st dst
 
 (* --- dispatch ----------------------------------------------------------- *)
-
-let reduce_limbs ctx st n =
-  match ctx.red with
-  | Barrett _ -> assert false (* never dispatched here *)
-  | Secp256k1 -> reduce_secp256k1 ctx st n
-  | P256 -> reduce_p256 ctx st n
 
 let reduce ctx x =
   if Nat.compare x ctx.modulus < 0 then x
   else begin
-    match ctx.red with
-    | Barrett mu -> reduce_barrett ctx mu x
+    match ctx.strategy with
+    | Barrett | Montgomery -> reduce_barrett ctx x
     | Secp256k1 | P256 ->
       if Nat.bit_length x > 512 then Nat.rem x ctx.modulus
       else begin
         let st = Domain.DLS.get scratch_key in
-        let n = Nat.to_limbs_into x st.buf in
-        reduce_limbs ctx st n
+        let n = unpack_halves st x st.prod ~pad:0 in
+        match ctx.strategy with
+        | Secp256k1 -> reduce_secp256k1 ctx st n
+        | _ -> reduce_p256 ctx st n
       end
   end
 
@@ -252,35 +954,98 @@ let sub ctx a b =
 
 let neg ctx a = if Nat.is_zero a then a else Nat.sub ctx.modulus a
 
-(* Multiplication of residues: the fast paths write the schoolbook
+(* Standard-domain multiplication via one REDC pair:
+   REDC(REDC(a*b) * RR) = a*b mod m. The first REDC may use the
+   squaring kernel when a == b. *)
+let mul_via_mont ctx mo st ~square a b =
+  let _ = unpack_halves st a st.xa ~pad:ctx.hk in
+  ignore
+    (if square then mont_sqr ctx mo st st.xa st.ra
+     else begin
+       let _ = unpack_halves st b st.xb ~pad:ctx.hk in
+       mont_mul ctx mo st st.xa st.xb st.ra
+     end);
+  let n = mont_mul ctx mo st st.ra mo.rr_h st.ra in
+  pack_halves st st.ra ~off:0 n
+
+(* Multiplication of residues: the fast paths write the flattened
    product straight into the reduction scratch, skipping the
    intermediate Nat allocation that the Barrett path pays. *)
 let mul ctx a b =
-  match ctx.red with
-  | Barrett mu -> reduce_barrett ctx mu (Nat.mul a b)
+  match ctx.strategy with
+  | Barrett -> reduce_barrett ctx (Nat.mul a b)
   | Secp256k1 | P256 ->
     if Nat.compare a ctx.modulus >= 0 || Nat.compare b ctx.modulus >= 0 then
       (* out-of-contract inputs: reduce first, stay correct *)
       Nat.rem (Nat.mul a b) ctx.modulus
     else begin
       let st = Domain.DLS.get scratch_key in
-      let n = Nat.mul_into st.buf a b in
-      reduce_limbs ctx st n
+      let _ = unpack_halves st a st.xa ~pad:9 in
+      let _ = unpack_halves st b st.xb ~pad:9 in
+      mul9 st.prod st.xa st.xb;
+      (* mul9 writes all 18 halves; no need to trim before folding *)
+      if ctx.strategy == Secp256k1 then reduce_secp256k1 ctx st 18
+      else reduce_p256 ctx st 18
     end
+  | Montgomery ->
+    let mo = match ctx.mont with Some m -> m | None -> assert false in
+    let a = if Nat.compare a ctx.modulus >= 0 then reduce ctx a else a in
+    let b = if Nat.compare b ctx.modulus >= 0 then reduce ctx b else b in
+    let st = Domain.DLS.get scratch_key in
+    mul_via_mont ctx mo st ~square:false a b
 
-let sqr ctx a = mul ctx a a
+(* Dedicated squaring: the fast curve fields use the unrolled [sqr9]
+   (45 + 9 multiplications instead of 81); Montgomery moduli route the
+   first REDC through the squaring kernel. *)
+let sqr ctx a =
+  match ctx.strategy with
+  | Barrett -> reduce_barrett ctx (Nat.mul a a)
+  | Secp256k1 | P256 ->
+    if Nat.compare a ctx.modulus >= 0 then Nat.rem (Nat.mul a a) ctx.modulus
+    else begin
+      let st = Domain.DLS.get scratch_key in
+      let _ = unpack_halves st a st.xa ~pad:9 in
+      sqr9 st.prod st.xa;
+      if ctx.strategy == Secp256k1 then reduce_secp256k1 ctx st 18
+      else reduce_p256 ctx st 18
+    end
+  | Montgomery ->
+    let mo = match ctx.mont with Some m -> m | None -> assert false in
+    let a = if Nat.compare a ctx.modulus >= 0 then reduce ctx a else a in
+    let st = Domain.DLS.get scratch_key in
+    mul_via_mont ctx mo st ~square:true a Nat.zero
 
 let double ctx a = add ctx a a
 
+(* Square-and-multiply. With a Montgomery domain available (any odd
+   fast modulus, curve fields included) the whole chain runs inside the
+   domain: one entry, one [sqr9]-backed REDC per squaring, one exit —
+   Montgomery inversion when called from Fermat [inv]. *)
 let pow ctx b e =
-  let n = Nat.bit_length e in
-  let b = reduce ctx b in
-  let r = ref Nat.one in
-  for i = n - 1 downto 0 do
-    r := sqr ctx !r;
-    if Nat.testbit e i then r := mul ctx !r b
-  done;
-  !r
+  match ctx.mont with
+  | Some mo ->
+    let b = reduce ctx b in
+    let st = Domain.DLS.get scratch_key in
+    let k = ctx.hk in
+    let _ = unpack_halves st b st.xb ~pad:k in
+    let _ = mont_mul ctx mo st st.xb mo.rr_h st.xb in   (* enter domain *)
+    Array.blit mo.r1_h 0 st.ra 0 k;                     (* acc := mont 1 *)
+    for i = Nat.bit_length e - 1 downto 0 do
+      let _ = mont_sqr ctx mo st st.ra st.ra in
+      if Nat.testbit e i then
+        ignore (mont_mul ctx mo st st.ra st.xb st.ra)
+    done;
+    let n = mont_exit ctx mo st st.ra st.ra in
+    pack_halves st st.ra ~off:0 n
+  | None ->
+    let n = Nat.bit_length e in
+    let b = reduce ctx b in
+    let r = ref Nat.one in
+    for i = n - 1 downto 0 do
+      r := sqr ctx !r;
+      if Nat.testbit e i then r := mul ctx !r b
+    done;
+    !r
 
 let inv ctx a =
   let a = reduce ctx a in
@@ -315,3 +1080,49 @@ let of_int ctx n = reduce ctx (Nat.of_int n)
 
 (* Map a byte string to a residue (used for hash-to-scalar). *)
 let of_bytes_be ctx s = reduce ctx (Nat.of_bytes_be s)
+
+(* --- explicit Montgomery-domain API ------------------------------------ *)
+
+let has_montgomery ctx = ctx.mont <> None
+
+let get_mont ctx op =
+  match ctx.mont with
+  | Some mo -> mo
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Modular.%s: no Montgomery domain (modulus even, too large, or \
+          ~fast:false)" op)
+
+let to_mont ctx a =
+  let mo = get_mont ctx "to_mont" in
+  let a = reduce ctx a in
+  let st = Domain.DLS.get scratch_key in
+  let _ = unpack_halves st a st.xa ~pad:ctx.hk in
+  let n = mont_mul ctx mo st st.xa mo.rr_h st.ra in
+  pack_halves st st.ra ~off:0 n
+
+let of_mont ctx a =
+  let mo = get_mont ctx "of_mont" in
+  let a = reduce ctx a in
+  let st = Domain.DLS.get scratch_key in
+  let _ = unpack_halves st a st.xa ~pad:ctx.hk in
+  let n = mont_exit ctx mo st st.xa st.ra in
+  pack_halves st st.ra ~off:0 n
+
+let mul_mont ctx a b =
+  let mo = get_mont ctx "mul_mont" in
+  let a = reduce ctx a and b = reduce ctx b in
+  let st = Domain.DLS.get scratch_key in
+  let _ = unpack_halves st a st.xa ~pad:ctx.hk in
+  let _ = unpack_halves st b st.xb ~pad:ctx.hk in
+  let n = mont_mul ctx mo st st.xa st.xb st.ra in
+  pack_halves st st.ra ~off:0 n
+
+let sqr_mont ctx a =
+  let mo = get_mont ctx "sqr_mont" in
+  let a = reduce ctx a in
+  let st = Domain.DLS.get scratch_key in
+  let _ = unpack_halves st a st.xa ~pad:ctx.hk in
+  let n = mont_sqr ctx mo st st.xa st.ra in
+  pack_halves st st.ra ~off:0 n

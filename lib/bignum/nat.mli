@@ -1,10 +1,16 @@
 (** Arbitrary-precision natural numbers.
 
     Values are immutable. The representation is a little-endian array of
-    30-bit limbs, always normalized (no most-significant zero limbs), so
+    62-bit limbs, always normalized (no most-significant zero limbs), so
     structural equality coincides with numerical equality. All functions
     are total on naturals; operations that would produce a negative result
-    raise [Invalid_argument]. *)
+    raise [Invalid_argument].
+
+    {b Platform requirement:} 62-bit limbs assume 63-bit native ints,
+    i.e. a 64-bit platform. The module raises [Failure] at load time if
+    [Sys.int_size < 63] (32-bit or JavaScript backends are unsupported).
+    Multiplicative kernels internally split limbs into 31-bit halves so
+    every partial product fits the native int range. *)
 
 type t
 
@@ -57,7 +63,8 @@ val of_bytes_be : string -> t
 val to_bytes_be : ?len:int -> t -> string
 
 (** Hexadecimal conversions (lowercase output, case-insensitive input,
-    no "0x" prefix). *)
+    no "0x" prefix). Digits are packed directly against [base_bits]; no
+    alignment between digit width and limb width is assumed. *)
 val of_hex : string -> t
 val to_hex : t -> string
 
@@ -69,17 +76,22 @@ val pp : Format.formatter -> t -> unit
 
 (** {2 Limb-level kernels}
 
-    Allocation-free building blocks over raw little-endian limb buffers
-    ([base_bits]-bit limbs in plain [int array]s, paired with a
-    significant-limb count). These exist for [Modular]'s specialized
-    reductions, which run one scalar multiplication's worth of field
-    operations through a handful of reused scratch buffers instead of
-    allocating a fresh array per limb operation. Buffers may hold stale
-    garbage beyond the count: kernels read guarded and write
-    unconditionally. Counts returned are trimmed (no most-significant
-    zero limbs). *)
+    Building blocks over raw little-endian limb buffers ([base_bits]-bit
+    limbs in plain [int array]s, paired with a significant-limb count).
+    These exist for [Modular]'s reduction paths, which run one scalar
+    multiplication's worth of field operations through a handful of
+    reused scratch buffers instead of allocating a fresh array per limb
+    operation. Buffers may hold stale garbage beyond the count: kernels
+    read guarded and write unconditionally. Counts returned are trimmed
+    (no most-significant zero limbs).
 
-(** Bits per limb (30). *)
+    The linear kernels ([add_into], [sub_into], [addmul1_into]) are
+    allocation-free. [mul_limbs_into] allocates internal 31-bit
+    half-limb scratch (a 62x62 partial product does not fit a native
+    int); hot paths in [Modular] use their own fixed-width half-limb
+    kernels instead. *)
+
+(** Bits per limb (62). *)
 val base_bits : int
 
 (** [trim_limbs buf n] is the count of significant limbs in [buf.(0..n-1)]. *)
@@ -104,13 +116,15 @@ val sub_into : int array -> int -> int array -> int -> int
 
 (** [addmul1_into dst ndst src nsrc ~shift m]: fused
     [dst := dst + (src * m) << (shift limbs)] in one pass, returning
-    the new count. Requires [0 <= m < 2^32] (keeps [m * limb + carry]
-    within native-int headroom) and room for
-    [max ndst (nsrc + shift) + 1] limbs. *)
+    the new count. Requires [0 <= m < 2^31] (keeps every half-limb
+    partial product [m * half + carry] within native-int headroom — note
+    this is tighter than the 30-bit representation's [m < 2^32] bound)
+    and room for [max ndst (nsrc + shift) + 1] limbs. *)
 val addmul1_into : int array -> int -> int array -> int -> shift:int -> int -> int
 
-(** [mul_limbs_into dst a na b nb]: [dst := a * b] (schoolbook); [dst]
-    must not alias the inputs and needs [na + nb] limbs of room. *)
+(** [mul_limbs_into dst a na b nb]: [dst := a * b] (schoolbook over
+    31-bit halves); [dst] must not alias the inputs and needs [na + nb]
+    limbs of room. *)
 val mul_limbs_into : int array -> int array -> int -> int array -> int -> int
 
 (** [mul_into dst a b]: product of two values into a scratch buffer. *)

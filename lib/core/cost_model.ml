@@ -89,19 +89,23 @@ let default = {
      zk_finalize_row   <- fig5c.zk-finalize-part
    [sig_verify] is the *serial* per-endorsement cost; the real UCERT
    hot path now folds a quorum into one randomized batch
-   (table1.ucert-verify-batch: ~0.62 ms/entry at quorum 11, ~2.3x
+   (table1.ucert-verify-batch: ~0.41 ms/entry at quorum 11, ~2.7x
    cheaper), so [ucert_verify] below is an upper bound under this
    profile. Remaining constants (network overheads, disk, consensus)
-   have no microbenchmark and are inherited from [default]. *)
+   have no microbenchmark and are inherited from [default].
+
+   Last recalibrated after the 62-bit limb + Montgomery field rewrite
+   (field mul ~5x faster than the seed schoolbook+Barrett in the same
+   run), which pulled every signature-path constant down ~1.4x. *)
 let measured = {
   default with
-  sig_sign = 0.00107;
-  sig_verify = 0.00163;
-  hash_verify = 0.0000019;
-  share_reconstruct = 0.0000008;
-  aes_block = 0.0000096;
-  commit_add = 0.0000210;
-  zk_finalize_row = 0.0000067;
+  sig_sign = 0.00080;
+  sig_verify = 0.00110;
+  hash_verify = 0.0000017;
+  share_reconstruct = 0.0000005;
+  aes_block = 0.0000099;
+  commit_add = 0.0000147;
+  zk_finalize_row = 0.0000048;
 }
 
 let with_disk ?(enabled = true) t = { t with disk_enabled = enabled }

@@ -26,6 +26,12 @@ let secp_p =
 let p256_p =
   Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
 
+let secp_n =
+  Nat.of_hex "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+
+let p256_n =
+  Nat.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"
+
 (* --- unit tests ------------------------------------------------------ *)
 
 let test_of_to_int () =
@@ -211,6 +217,20 @@ let fast_secp = Modular.create secp_p
 let slow_secp = Modular.create ~fast:false secp_p
 let fast_p256 = Modular.create p256_p
 let slow_p256 = Modular.create ~fast:false p256_p
+let fast_secp_n = Modular.create secp_n
+let slow_secp_n = Modular.create ~fast:false secp_n
+let fast_p256_n = Modular.create p256_n
+let slow_p256_n = Modular.create ~fast:false p256_n
+
+(* All four 256-bit moduli the system actually computes under: the two
+   curve field primes (specialized folds for mul, Montgomery behind
+   pow/inv) and the two curve orders (Montgomery throughout). The slow
+   context is always pure Barrett. *)
+let all_moduli =
+  [ ("secp256k1-p", secp_p, fast_secp, slow_secp);
+    ("p256-p", p256_p, fast_p256, slow_p256);
+    ("secp256k1-n", secp_n, fast_secp_n, slow_secp_n);
+    ("p256-n", p256_n, fast_p256_n, slow_p256_n) ]
 
 let prop_fast_reduce_secp =
   QCheck.Test.make ~name:"secp256k1 fast reduce = Barrett (512-bit inputs)"
@@ -235,6 +255,54 @@ let prop_fast_mul_p256 =
     (fun (a, b) ->
        let a = Modular.reduce slow_p256 a and b = Modular.reduce slow_p256 b in
        Nat.equal (Modular.mul fast_p256 a b) (Modular.mul slow_p256 a b))
+
+(* Montgomery vs Barrett: the curve orders' standard mul/sqr route
+   through the Montgomery domain, so these pin REDC (and the dedicated
+   squaring kernel) against the Barrett reference. *)
+let prop_mont_mul_orders =
+  QCheck.Test.make ~name:"curve-order Montgomery mul/sqr = Barrett" ~count:1000
+    (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+       List.for_all
+         (fun (_, _, fast, slow) ->
+            let a = Modular.reduce slow a and b = Modular.reduce slow b in
+            Nat.equal (Modular.mul fast a b) (Modular.mul slow a b)
+            && Nat.equal (Modular.sqr fast a) (Modular.mul slow a a))
+         [ List.nth all_moduli 2; List.nth all_moduli 3 ])
+
+(* Domain entry/exit: of_mont (to_mont x) = reduce x on every modulus
+   that carries a domain, and a product of domain images exits to the
+   Barrett product. *)
+let prop_mont_roundtrip =
+  QCheck.Test.make ~name:"Montgomery domain entry/exit roundtrip" ~count:500
+    (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+       List.for_all
+         (fun (_, _, fast, slow) ->
+            assert (Modular.has_montgomery fast);
+            let ra = Modular.reduce slow a and rb = Modular.reduce slow b in
+            let ma = Modular.to_mont fast ra and mb = Modular.to_mont fast rb in
+            Nat.equal (Modular.of_mont fast ma) ra
+            && Nat.equal
+                 (Modular.of_mont fast (Modular.mul_mont fast ma mb))
+                 (Modular.mul slow ra rb)
+            && Nat.equal
+                 (Modular.of_mont fast (Modular.sqr_mont fast ma))
+                 (Modular.mul slow ra ra))
+         all_moduli)
+
+(* Aliasing: [mul ctx a a] must agree with the dedicated squaring
+   kernel on every strategy. *)
+let prop_sqr_aliasing =
+  QCheck.Test.make ~name:"mul a a = sqr a (all strategies)" ~count:500 arb_nat
+    (fun a ->
+       List.for_all
+         (fun (_, _, fast, slow) ->
+            let r = Modular.reduce slow a in
+            Nat.equal (Modular.mul fast r r) (Modular.sqr fast r)
+            && Nat.equal (Modular.mul slow r r) (Modular.sqr slow r)
+            && Nat.equal (Modular.sqr fast r) (Modular.sqr slow r))
+         all_moduli)
 
 (* The limb kernels against the immutable Nat operations they mirror. *)
 let prop_limb_kernels =
@@ -273,8 +341,21 @@ let test_fast_reduction_edges () =
     (Modular.reduction_name fast_secp);
   Alcotest.(check string) "p256 strategy" "word-sliding-p256"
     (Modular.reduction_name fast_p256);
-  Alcotest.(check string) "non-curve modulus stays Barrett" "barrett"
+  Alcotest.(check string) "odd non-curve modulus gets Montgomery" "montgomery"
     (Modular.reduction_name (Modular.create (Nat.of_int 97)));
+  Alcotest.(check string) "even modulus stays Barrett" "barrett"
+    (Modular.reduction_name (Modular.create ~prime:false (Nat.of_int 100)));
+  Alcotest.(check string) "~fast:false forces Barrett" "barrett"
+    (Modular.reduction_name slow_secp_n);
+  Alcotest.(check string) "curve order gets Montgomery" "montgomery"
+    (Modular.reduction_name fast_secp_n);
+  Alcotest.(check bool) "no Montgomery domain under ~fast:false" false
+    (Modular.has_montgomery slow_secp);
+  Alcotest.check_raises "to_mont without a domain"
+    (Invalid_argument
+       "Modular.to_mont: no Montgomery domain (modulus even, too large, or \
+        ~fast:false)")
+    (fun () -> ignore (Modular.to_mont slow_secp Nat.one));
   List.iter
     (fun (name, prime, fast, slow) ->
        let check label x =
@@ -295,6 +376,43 @@ let test_fast_reduction_edges () =
          (Modular.mul fast (Nat.add prime Nat.two) Nat.two))
     [ ("secp256k1", secp_p, fast_secp, slow_secp);
       ("p256", p256_p, fast_p256, slow_p256) ]
+
+(* Boundary residues through every strategy: 0, 1, m-1 (the residue
+   extremes), and m, m+1, 2m-1 (just above the modulus, exercising the
+   conditional-subtract tail of each reduction) — fed through [reduce],
+   [mul], [sqr], and the Montgomery domain where one exists. *)
+let test_boundary_residues () =
+  List.iter
+    (fun (name, m, fast, slow) ->
+       let check label got want =
+         Alcotest.check nat (Printf.sprintf "%s %s" name label) want got
+       in
+       let mm1 = Nat.sub m Nat.one in
+       check "reduce 0" (Modular.reduce fast Nat.zero) Nat.zero;
+       check "reduce 1" (Modular.reduce fast Nat.one) Nat.one;
+       check "reduce m-1" (Modular.reduce fast mm1) mm1;
+       check "reduce m" (Modular.reduce fast m) Nat.zero;
+       check "reduce m+1" (Modular.reduce fast (Nat.add m Nat.one)) Nat.one;
+       check "reduce 2m-1" (Modular.reduce fast (Nat.add m mm1)) mm1;
+       check "0 * (m-1)" (Modular.mul fast Nat.zero mm1) Nat.zero;
+       check "1 * (m-1)" (Modular.mul fast Nat.one mm1) mm1;
+       check "(m-1)^2 mul" (Modular.mul fast mm1 mm1)
+         (Modular.mul slow mm1 mm1);
+       check "(m-1)^2 sqr" (Modular.sqr fast mm1) (Modular.mul slow mm1 mm1);
+       check "sqr 0" (Modular.sqr fast Nat.zero) Nat.zero;
+       check "sqr 1" (Modular.sqr fast Nat.one) Nat.one;
+       if Modular.has_montgomery fast then begin
+         check "mont roundtrip 0"
+           (Modular.of_mont fast (Modular.to_mont fast Nat.zero)) Nat.zero;
+         check "mont roundtrip 1"
+           (Modular.of_mont fast (Modular.to_mont fast Nat.one)) Nat.one;
+         check "mont roundtrip m-1"
+           (Modular.of_mont fast (Modular.to_mont fast mm1)) mm1;
+         (* domain entry reduces: to_mont m = to_mont 0 *)
+         check "mont entry reduces m"
+           (Modular.to_mont fast m) (Modular.to_mont fast Nat.zero)
+       end)
+    all_moduli
 
 let test_barrett_edges () =
   (* single-limb fast path *)
@@ -339,7 +457,8 @@ let () =
          Alcotest.test_case "inv prime" `Quick test_modular_inv;
          Alcotest.test_case "inv composite" `Quick test_modular_inv_composite;
          Alcotest.test_case "Barrett edge cases" `Quick test_barrett_edges;
-         Alcotest.test_case "fast reduction edge cases" `Quick test_fast_reduction_edges ]);
+         Alcotest.test_case "fast reduction edge cases" `Quick test_fast_reduction_edges;
+         Alcotest.test_case "boundary residues" `Quick test_boundary_residues ]);
       ("nat-properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_add_comm; prop_add_assoc; prop_mul_comm; prop_mul_distributes;
@@ -349,4 +468,6 @@ let () =
       ("reduction-differential",
        List.map QCheck_alcotest.to_alcotest
          [ prop_fast_reduce_secp; prop_fast_reduce_p256;
-           prop_fast_mul_secp; prop_fast_mul_p256; prop_limb_kernels ]) ]
+           prop_fast_mul_secp; prop_fast_mul_p256;
+           prop_mont_mul_orders; prop_mont_roundtrip; prop_sqr_aliasing;
+           prop_limb_kernels ]) ]
