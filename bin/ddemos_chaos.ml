@@ -156,7 +156,7 @@ let scenarios : scenario list =
                [ Fault_plan.partition ~machines:[ m 0; m 1 ] ~from_:0. ~until_:0.5 ];
              voter_patience = 0.3; retry_cap = 4.0; blacklist_rounds = 8 }) };
     { name = "crash-recover";
-      desc = "one collector network-dead during [0.005,0.25), state survives";
+      desc = "one collector power-cycled during [0.005,0.25): cold restart from its WAL";
       full_crypto = false; expect = Safe; doubled = []; quorum_sets = true;
       build =
         (fun ~seed ->
@@ -164,6 +164,49 @@ let scenarios : scenario list =
            { p with
              Election.faults =
                [ Fault_plan.crash ~node:(Election.vc_net_node p 1) ~at:0.005 ~recover:0.25 () ];
+             voter_patience = 0.5; blacklist_rounds = 6 }) };
+    { name = "crash-restart-midvote";
+      desc = "collector killed mid-vote [0.008,0.2): recovery replays accepted votes and UCERTs";
+      full_crypto = false; expect = Safe; doubled = []; quorum_sets = true;
+      build =
+        (fun ~seed ->
+           let p = m_params ~seed in
+           { p with
+             Election.faults =
+               [ Fault_plan.crash ~node:(Election.vc_net_node p 2) ~at:0.008 ~recover:0.2 () ];
+             voter_patience = 0.5; blacklist_rounds = 6 }) };
+    { name = "crash-restart-midconsensus";
+      desc = "collector killed around Vote Set Consensus [0.035,0.3), torn tail possible: \
+              no equivocating rejoin, the Nv-fv quorum carries the round";
+      full_crypto = false; expect = Safe; doubled = []; quorum_sets = true;
+      build =
+        (fun ~seed ->
+           let p = m_params ~seed in
+           { p with
+             Election.faults =
+               [ Fault_plan.crash ~node:(Election.vc_net_node p 1) ~at:0.035 ~recover:0.3 () ];
+             voter_patience = 0.5; blacklist_rounds = 6 }) };
+    { name = "crash-restart-double";
+      desc = "two collectors power-cycled in staggered windows, each cold-restarts from its device";
+      full_crypto = false; expect = Safe; doubled = []; quorum_sets = true;
+      build =
+        (fun ~seed ->
+           let p = m_params ~seed in
+           { p with
+             Election.faults =
+               [ Fault_plan.crash ~node:(Election.vc_net_node p 1) ~at:0.008 ~recover:0.15 ();
+                 Fault_plan.crash ~node:(Election.vc_net_node p 3) ~at:0.2 ~recover:0.35 () ];
+             voter_patience = 0.5; blacklist_rounds = 8 }) };
+    { name = "crash-restart-bb";
+      desc = "board node killed mid-publication + a trustee power-cycled: journals replay (full crypto)";
+      full_crypto = true; expect = Safe; doubled = []; quorum_sets = false;
+      build =
+        (fun ~seed ->
+           let p = f_params ~seed in
+           { p with
+             Election.faults =
+               [ Fault_plan.crash ~node:(Election.bb_net_node p 0) ~at:0.02 ~recover:0.3 ();
+                 Fault_plan.crash ~node:(Election.trustee_net_node p 0) ~at:0.05 ~recover:0.35 () ];
              voter_patience = 0.5; blacklist_rounds = 6 }) };
     { name = "asym-loss";
       desc = "25% inbound loss at one collector for the whole run";
@@ -463,6 +506,35 @@ let print_summary outcomes =
     outcomes;
   !failed
 
+(* On a violated replay, dump every durable device to real files
+   (File_device's dir/name.wal + dir/name.snap layout) so the logs and
+   snapshots behind the violation can be inspected offline. *)
+let dump_devices sc seed (r : Election.result) =
+  match r.Election.devices with
+  | [] -> ()
+  | devices ->
+    let module Mem = Dd_store.Device.Mem in
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ddemos-chaos-%s-%s" sc.name seed)
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (label, backing) ->
+         let dev = Dd_store.File_device.create ~dir ~name:label in
+         dev.Dd_store.Device.log_reset (Mem.durable_log backing);
+         (match Mem.snapshot backing with
+          | Some s -> dev.Dd_store.Device.snap_store s
+          | None -> ());
+         Printf.printf "  %-10s crashes=%d torn_bytes=%d log=%dB snap=%s\n" label
+           (Mem.crashes backing) (Mem.torn_bytes backing)
+           (String.length (Mem.durable_log backing))
+           (match Mem.snapshot backing with
+            | Some s -> Printf.sprintf "%dB" (String.length s)
+            | None -> "none"))
+      devices;
+    Printf.printf "device dump: %s\n" dir
+
 let replay sc seed =
   Printf.printf "replaying %s seed=%s (%s)\n" sc.name seed sc.desc;
   let p = sc.build ~seed in
@@ -485,12 +557,16 @@ let replay sc seed =
   | Safe ->
     let errs = check_safe sc p r in
     List.iter (fun e -> Printf.printf "violation: %s\n" e) errs;
-    if errs = [] then print_endline "all invariants hold";
+    if errs = [] then print_endline "all invariants hold"
+    else dump_devices sc seed r;
     errs <> []
   | Detect ->
     let signals = detection_signals sc p r in
     List.iter (fun s -> Printf.printf "detected: %s\n" s) signals;
-    if signals = [] then print_endline "attack NOT detected on this seed";
+    if signals = [] then begin
+      print_endline "attack NOT detected on this seed";
+      dump_devices sc seed r
+    end;
     signals = []
 
 let main list_only scenario_filter seeds seed_base offset full_seeds replay_seed verbose =

@@ -137,6 +137,21 @@ let ct_equality =
    bench/. *)
 let banned_io_modules = [ "Random"; "Unix" ]
 
+(* Real-file IO is confined to the Dd_store file backend: node code
+   persists state through the injected sans-IO [Dd_store.Device], so
+   the simulator can crash and cold-restart nodes deterministically.
+   The linter itself (lib/analysis) reads source files by nature. *)
+let banned_file_io_modules = [ "In_channel"; "Out_channel" ]
+
+let banned_file_io_values =
+  [ "open_in"; "open_in_bin"; "open_in_gen";
+    "open_out"; "open_out_bin"; "open_out_gen";
+    "Sys.rename"; "Sys.remove"; "Sys.file_exists"; "Sys.readdir";
+    "Sys.mkdir"; "Sys.rmdir"; "Sys.is_directory"; "Sys.command" ]
+
+let file_io_exempt p =
+  under [ "lib"; "storage"; "file_device.ml" ] p || under [ "lib"; "analysis" ] p
+
 let banned_io_values =
   [ "Sys.time"; "Unix.gettimeofday"; "Unix.time";
     "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
@@ -169,6 +184,16 @@ let sans_io =
                   [ finding ~rule:"sans-io" ~file ~loc:e.pexp_loc
                       "`%s` does IO or reads ambient state; node code is sans-IO — route \
                        effects through the env record (or move this to lib/sim, bin/ or bench/)"
+                      (String.concat "." (flatten txt)) ]
+                else if
+                  (not (file_io_exempt file))
+                  && (List.mem head banned_file_io_modules
+                      || List.exists (matches_name txt) banned_file_io_values)
+                then
+                  [ finding ~rule:"sans-io" ~file ~loc:e.pexp_loc
+                      "`%s` touches the filesystem; real-file IO is confined to the \
+                       Dd_store file backend (lib/storage/file_device.ml) — persist \
+                       through the injected Dd_store.Device instead"
                       (String.concat "." (flatten txt)) ]
                 else []
               | _ -> [])

@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   Guards every WAL record in Dd_store against torn writes and bit rot:
+   a truncated or flipped frame fails its checksum and recovery stops at
+   the last clean record instead of resurrecting garbage. Not a MAC —
+   integrity against *accidents*, not adversaries (authenticated data
+   carries its own tags). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~off ~len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s ~off:0 ~len:(String.length s)

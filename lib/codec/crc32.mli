@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE), for framing WAL records in {!Dd_store}. Detects
+    torn writes and bit flips; it is not a MAC. *)
+
+(** Checksum of a whole string. *)
+val string : string -> int
+
+(** Streaming update: fold [len] bytes of [s] starting at [off] into a
+    running checksum ([update 0 s ~off:0 ~len] ≡ [string s]). *)
+val update : int -> string -> off:int -> len:int -> int

@@ -60,11 +60,21 @@ let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
      with
      | Bb_reader.No_majority -> None
      | Bb_reader.Agreed fp ->
+       (* the tally, like the final set, is a majority-read field *)
+       let majority_tally =
+         match Bb_reader.tally ~cfg nodes with
+         | Bb_reader.Agreed t -> Some t
+         | Bb_reader.No_majority -> None
+       in
        (* adopt the bulk data from a node that not only matches the
           replicated-init majority but also published the agreed final
           set with its codes opened — a Byzantine node serving
           tampered or incomplete state can share the (untampered) init
-          fingerprint, so fingerprint alone must not select it *)
+          fingerprint, so fingerprint alone must not select it. When a
+          majority tally exists the node must also carry it: a board
+          that crashed and replayed a pre-outage journal can serve the
+          agreed final set yet miss every trustee post, and adopting
+          its empty proof tables would fail the audit spuriously *)
        let consistent bb =
          String.equal (fingerprint bb) fp
          && (match (Bb_node.published bb).Bb_node.final_set with
@@ -75,6 +85,9 @@ let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
                     s final_set
              | None -> false)
          && (Bb_node.published bb).Bb_node.opened_codes <> None
+         && (match majority_tally with
+             | None -> true
+             | Some t -> (Bb_node.published bb).Bb_node.tally = Some t)
        in
        match List.find_opt consistent nodes with
        | None -> None
@@ -90,7 +103,7 @@ let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
                 opened_codes;
                 unused_openings = pub.Bb_node.unused_openings;
                 zk_finals = pub.Bb_node.zk_finals;
-                tally = pub.Bb_node.tally }))
+                tally = majority_tally }))
   | _ -> None
 
 (* (a) within each opened ballot, all vote codes are distinct *)

@@ -16,6 +16,8 @@ module Elgamal = Dd_commit.Elgamal
 module Elgamal_vss = Dd_vss.Elgamal_vss
 module Ballot_proof = Dd_zkp.Ballot_proof
 module Group_ctx = Dd_group.Group_ctx
+module Store = Dd_store.Store
+module Wire = Dd_codec.Wire
 
 type trustee_posts = {
   openings : (int * Types.part_id, Elgamal_vss.share array array) Hashtbl.t;
@@ -51,9 +53,13 @@ type t = {
   (* observability callbacks for the harness *)
   mutable on_final_set : (t -> unit) list;
   mutable on_tally : (t -> unit) list;
+  (* durable input journal: the BB is event-sourced, so replaying the
+     accepted writes through the (deterministic) handlers rebuilds all
+     published state after a cold restart *)
+  mutable journal : Store.t option;
 }
 
-let create ~cfg ~gctx ~init ~me =
+let create_bare ~cfg ~gctx ~init ~me =
   { me; cfg; gctx; init;
     vote_sets = []; msk_shares = [];
     posts = { openings = Hashtbl.create 64; tally_shares = []; zk_posts = Hashtbl.create 64 };
@@ -61,7 +67,28 @@ let create ~cfg ~gctx ~init ~me =
       { final_set = None; msk = None; opened_codes = None;
         unused_openings = Hashtbl.create 64; zk_finals = Hashtbl.create 64;
         encrypted_tally = None; tally = None };
-    on_final_set = []; on_tally = [] }
+    on_final_set = []; on_tally = [];
+    journal = None }
+
+let attach_journal t durable =
+  match durable with
+  | None -> ()
+  | Some device ->
+    (* pure input journal, never compacted: write volume is bounded by
+       the protocol (nv submissions + a few posts per trustee) *)
+    t.journal <- Some (Store.create ~snapshot:(fun () -> "") device)
+
+let create ?durable ~cfg ~gctx ~init ~me () =
+  let t = create_bare ~cfg ~gctx ~init ~me in
+  attach_journal t durable;
+  t
+
+(* Journal an accepted write before its effects become observable; the
+   journal is absent during replay, so recovery never re-logs. *)
+let journal_input t msg =
+  match t.journal with
+  | Some store -> Store.log store (Messages.encode_bb_msg msg)
+  | None -> ()
 
 let init t = t.init
 
@@ -170,6 +197,7 @@ let try_reconstruct_msk t =
 
 let on_vote_set_submit t ~sender ~set ~msk_share =
   if not (List.mem_assoc sender t.vote_sets) then begin
+    journal_input t (Messages.Vote_set_submit { sender; set; msk_share });
     t.vote_sets <- (sender, set) :: t.vote_sets;
     if not (List.exists (fun s -> s.Shamir_bytes.x = msk_share.Shamir_bytes.x) t.msk_shares)
     then t.msk_shares <- msk_share :: t.msk_shares;
@@ -303,6 +331,7 @@ let accept_tally_share t ~trustee ~shares =
   end
 
 let on_trustee_post t ~trustee (payload : Trustee_payload.t) =
+  journal_input t (Messages.Trustee_post { trustee; payload });
   match payload with
   | Trustee_payload.Openings entries -> accept_openings t ~trustee entries
   | Trustee_payload.Zk_final entries -> accept_zk t ~trustee entries
@@ -313,3 +342,101 @@ let handle t (msg : Messages.bb_msg) =
   | Messages.Vote_set_submit { sender; set; msk_share } ->
     on_vote_set_submit t ~sender ~set ~msk_share
   | Messages.Trustee_post { trustee; payload } -> on_trustee_post t ~trustee payload
+
+(* --- durability --------------------------------------------------------- *)
+
+(* Cold restart: replay the journaled writes through the live handlers
+   (deterministic, no sends) with no subscribers attached yet, then
+   re-attach the journal so new writes append after the replayed ones. *)
+let recover ?durable ~cfg ~gctx ~init ~me () =
+  let t = create_bare ~cfg ~gctx ~init ~me in
+  (match durable with
+   | None -> ()
+   | Some device ->
+     let recovered = Store.read device in
+     List.iter
+       (fun payload ->
+          match Messages.decode_bb_msg payload with
+          | Some msg -> handle t msg
+          | None -> ()   (* framed but undecodable: skip, never crash *))
+       recovered.Store.records);
+  attach_journal t durable;
+  t
+
+(* Canonical encoding of the published (observable) state, for
+   recovery-equivalence checks: two boards that accepted the same
+   writes — in any order the dedup rules permit — encode identically.
+   Reconstruction intermediates (trustee post accumulators) and the
+   heavyweight group elements are represented by their outcomes. *)
+let observable t =
+  let w = Wire.writer () in
+  Wire.put_varint w 1;
+  Wire.put_list w
+    (fun w (sender, set) ->
+       Wire.put_varint w sender;
+       Wire.put_list w
+         (fun w (s, code) ->
+            Wire.put_varint w s;
+            Wire.put_bytes w code)
+         set)
+    (List.sort compare t.vote_sets);
+  Wire.put_list w
+    (fun w (s : Shamir_bytes.share) ->
+       Wire.put_varint w s.Shamir_bytes.x;
+       Wire.put_bytes w s.Shamir_bytes.data)
+    (List.sort (fun a b -> compare a.Shamir_bytes.x b.Shamir_bytes.x) t.msk_shares);
+  (* lint: allow secret-taint pub.msk is published on the board post-election by protocol design; fingerprinting an already-public value *)
+  Wire.put_option w Wire.put_bytes t.pub.msk;
+  Wire.put_option w
+    (fun w set ->
+       Wire.put_list w
+         (fun w (s, code) ->
+            Wire.put_varint w s;
+            Wire.put_bytes w code)
+         set)
+    t.pub.final_set;
+  (match t.pub.opened_codes with
+   | None -> Wire.put_bool w false
+   | Some table ->
+     Wire.put_bool w true;
+     let entries =
+       Hashtbl.fold
+         (fun (s, p, pos) code acc -> (s, Types.part_index p, pos, code) :: acc)
+         table []
+     in
+     Wire.put_list w
+       (fun w (s, p, pos, code) ->
+          Wire.put_varint w s;
+          Wire.put_varint w p;
+          Wire.put_varint w pos;
+          Wire.put_bytes w code)
+       (List.sort compare entries));
+  let sorted_keys tbl =
+    Hashtbl.fold (fun (s, p) _ acc -> (s, Types.part_index p) :: acc) tbl []
+    |> List.sort_uniq compare
+  in
+  Wire.put_list w
+    (fun w (s, p) ->
+       Wire.put_varint w s;
+       Wire.put_varint w p)
+    (sorted_keys t.pub.unused_openings);
+  let zk_entries =
+    Hashtbl.fold
+      (fun (s, p) finals acc ->
+         let enc =
+           String.concat ""
+             (Array.to_list (Array.map Ballot_proof.encode_final_move finals))
+         in
+         ((s, Types.part_index p), enc) :: acc)
+      t.pub.zk_finals []
+    |> List.sort compare
+  in
+  Wire.put_list w
+    (fun w ((s, p), enc) ->
+       Wire.put_varint w s;
+       Wire.put_varint w p;
+       Wire.put_bytes w enc)
+    zk_entries;
+  Wire.put_bool w (t.pub.encrypted_tally <> None);
+  Wire.put_option w (fun w tally -> Wire.put_array w Wire.put_varint tally) t.pub.tally;
+  Wire.contents w

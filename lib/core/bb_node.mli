@@ -23,8 +23,25 @@ type published = {
 
 type t
 
+(** With [?durable], every accepted write is appended to an input
+    journal on the device before its effects become observable — the
+    board is event-sourced, so {!recover} rebuilds it by replay. *)
 val create :
-  cfg:Types.config -> gctx:Dd_group.Group_ctx.t -> init:Ea.bb_init -> me:int -> t
+  ?durable:Dd_store.Device.t ->
+  cfg:Types.config -> gctx:Dd_group.Group_ctx.t -> init:Ea.bb_init -> me:int ->
+  unit -> t
+
+(** Cold restart from the device's journal: replays the accepted writes
+    through the handlers (with no subscribers attached), then resumes
+    journaling. Equivalent to {!create} without a device. *)
+val recover :
+  ?durable:Dd_store.Device.t ->
+  cfg:Types.config -> gctx:Dd_group.Group_ctx.t -> init:Ea.bb_init -> me:int ->
+  unit -> t
+
+(** Canonical encoding of the published state (sorted, deterministic),
+    for recovery-equivalence checks. *)
+val observable : t -> string
 
 (** The (replicated) initialization data this node serves. *)
 val init : t -> Ea.bb_init

@@ -28,6 +28,7 @@ module Stats = Dd_sim.Stats
 module Drbg = Dd_crypto.Drbg
 module Binary_batch = Dd_consensus.Binary_batch
 module Shamir_bytes = Dd_vss.Shamir_bytes
+module Mem_device = Dd_store.Device.Mem
 
 type vote_intent = {
   vi_serial : int;
@@ -79,6 +80,13 @@ type params = {
   (* when false, stop after vote collection (the paper's Fig. 4 and
      5a/5b measurements cover only that phase) *)
   run_vsc : bool;
+  (* give every node a durable in-memory device (WAL + snapshot) and
+     turn Crash{recover} specs into true power-loss cold restarts.
+     Defaults off — the scale benchmarks must not pay the logging cost.
+     Auto-enabled whenever the fault plan contains a recovering crash
+     of a protocol node, since recovery then needs a device to restart
+     from. *)
+  durability : bool;
 }
 
 let default_params ?(fidelity = Modeled) cfg ~votes =
@@ -94,7 +102,8 @@ let default_params ?(fidelity = Modeled) cfg ~votes =
     vc_machines = 4; vc_cores = 6;
     max_sim_time = 500_000.;
     end_after = None;
-    run_vsc = true }
+    run_vsc = true;
+    durability = false }
 
 type phase_times = {
   mutable t_first_submit : float;
@@ -134,6 +143,9 @@ type result = {
      (serial, node's certified code, conflicting certified code).
      Empty whenever at most fv collectors are Byzantine. *)
   ucert_conflicts : (int * string * string) list;
+  (* each durable node's device backing (label "vc0", "bb1",
+     "trustee2"), for crash-dump inspection; empty without durability *)
+  devices : (string * Mem_device.backing) list;
 }
 
 (* --- simulated-network topology, for building fault plans ----------- *)
@@ -235,13 +247,45 @@ let run (p : params) : result =
     | None -> Ballot_store.virtual_prf ~seed:p.seed ~cfg ~node
   in
 
-  (* --- BB nodes (full mode) or a light model --- *)
-  let bb_nodes =
-    match setup_opt with
-    | Some s ->
-      List.init cfg.Types.nb (fun i -> Bb_node.create ~cfg ~gctx ~init:s.Ea.bb_init ~me:i)
-    | None -> []
+  (* --- durable devices --- *)
+  let crash_specs = Fault_plan.crash_specs p.faults in
+  let durability =
+    p.durability
+    || List.exists
+         (fun (node, _, recover) ->
+            recover <> None && node < cfg.Types.nv + cfg.Types.nb + cfg.Types.nt)
+         crash_specs
   in
+  let vc_backing =
+    Array.init cfg.Types.nv
+      (fun _ -> if durability then Some (Mem_device.create ()) else None)
+  in
+  let bb_backing =
+    Array.init cfg.Types.nb
+      (fun _ ->
+         if durability && setup_opt <> None then Some (Mem_device.create ()) else None)
+  in
+  let trustee_backing =
+    Array.init cfg.Types.nt
+      (fun _ ->
+         if durability && setup_opt <> None then Some (Mem_device.create ()) else None)
+  in
+  let device_of backing = Option.map Mem_device.device backing in
+
+  (* --- BB nodes (full mode) or a light model --- *)
+  (* slot array rather than captured objects: a cold restart swaps the
+     slot, and every delivery path reads it at delivery time *)
+  let bb_arr : Bb_node.t option array = Array.make cfg.Types.nb None in
+  (match setup_opt with
+   | Some s ->
+     for j = 0 to cfg.Types.nb - 1 do
+       bb_arr.(j) <-
+         Some
+           (Bb_node.create ?durable:(device_of bb_backing.(j)) ~cfg ~gctx
+              ~init:s.Ea.bb_init ~me:j ())
+     done
+   | None -> ());
+  let live_bbs () = Array.to_list bb_arr |> List.filter_map Fun.id in
   (* modeled BB state: collect sets per BB node *)
   let model_sets : (int, (int * (int * string) list) list ref) Hashtbl.t = Hashtbl.create 8 in
   let model_final : (int * string) list option ref = ref None in
@@ -286,9 +330,30 @@ let run (p : params) : result =
       end
     end
   in
+  (* BB publication watchers (full mode); also attached to cold-restarted
+     boards, whose replay runs subscriber-free. Per-board flags, not a
+     counter: a board that published, crashed, and republished on
+     recovery must count once. *)
+  let finals_seen = Array.make cfg.Types.nb false in
+  let count_final j =
+    if not finals_seen.(j) then begin
+      finals_seen.(j) <- true;
+      let n = Array.fold_left (fun n b -> if b then n + 1 else n) 0 finals_seen in
+      if n >= cfg.Types.nb - cfg.Types.fb then on_all_bb_final ()
+    end
+  in
+  let watch_bb j bb =
+    Bb_node.subscribe_final_set bb (fun _ -> count_final j);
+    Bb_node.subscribe_tally bb
+      (fun _ -> if phases.t_published = 0. then phases.t_published <- Net.now net)
+  in
 
   (* --- VC node environments --- *)
-  let make_vc_env i : Vc_node.env =
+  (* [gen] counts cold restarts: a recovered node's rng must diverge
+     from its first life's (the crash consumed an unknown prefix), but
+     generation 0 keeps the historical seed string so existing
+     deterministic traces are unchanged *)
+  let make_vc_env ?(gen = 0) i : Vc_node.env =
     let send_vc ~dst msg =
       let msg =
         match adversaries.(i) with
@@ -331,8 +396,8 @@ let run (p : params) : result =
       in
       Net.send net ~src:vc_net.(i) ~dst:bb_net.(dst) ~size:(Messages.bb_msg_size msg) ~cost
         (fun () ->
-           match bb_nodes with
-           | [] ->
+           match setup_opt with
+           | None ->
              (* modeled BB: final-set agreement only. A Byzantine BB
                 node simply contributes nothing to the emulated fb+1
                 agreement (its copy is tampered, hence never identical
@@ -368,7 +433,7 @@ let run (p : params) : result =
                   end
                 end
               | Messages.Trustee_post _ -> ())
-           | nodes ->
+           | Some _ ->
              (* a Byzantine BB node stores a tampered vote set and a
                 corrupted msk share, so every read it later serves is
                 genuinely wrong — Bb_reader's fb+1 majority must mask it *)
@@ -391,7 +456,7 @@ let run (p : params) : result =
                      { sender; set; msk_share = { msk_share with Shamir_bytes.data = data } }
                  | Messages.Trustee_post _ -> msg
              in
-             (match List.nth_opt nodes dst with
+             (match bb_arr.(dst) with
               | Some bb -> Bb_node.handle bb msg
               | None -> ()))
     in
@@ -405,9 +470,14 @@ let run (p : params) : result =
       send_vc;
       reply;
       send_bb;
-      rng = Drbg.create ~seed:(Printf.sprintf "vc-rng|%s|%d" p.seed i);
+      rng =
+        Drbg.create
+          ~seed:
+            (if gen = 0 then Printf.sprintf "vc-rng|%s|%d" p.seed i
+             else Printf.sprintf "vc-rng|%s|%d|g%d" p.seed i gen);
       consensus_coin = p.coin;
-      verify_share_tags = (setup_opt <> None) }
+      verify_share_tags = (setup_opt <> None);
+      durable = device_of vc_backing.(i) }
   in
   for i = 0 to cfg.Types.nv - 1 do
     let env = make_vc_env i in
@@ -428,6 +498,7 @@ let run (p : params) : result =
 
   (* --- full-mode trustees --- *)
   let trustee_objs : Trustee.t option array = Array.make cfg.Types.nt None in
+  let restart_trustee = ref (fun (_ : int) -> ()) in
   (match setup_opt with
    | None ->
      (* modeled publish phase: charged from the cost model *)
@@ -461,27 +532,34 @@ let run (p : params) : result =
             | None -> ())
      in
      let post_bb trustee payload =
-       List.iteri
-         (fun dst bb ->
-            Net.send net ~src:trustee_net.(trustee) ~dst:bb_net.(dst)
-              ~size:(Trustee_payload.size payload) ~cost:0.001
-              (fun () -> Bb_node.on_trustee_post bb ~trustee payload))
-         bb_nodes
+       (* read the slot at delivery time: a board may have been
+          cold-restarted between send and arrival *)
+       for dst = 0 to cfg.Types.nb - 1 do
+         Net.send net ~src:trustee_net.(trustee) ~dst:bb_net.(dst)
+           ~size:(Trustee_payload.size payload) ~cost:0.001
+           (fun () ->
+              match bb_arr.(dst) with
+              | Some bb -> Bb_node.on_trustee_post bb ~trustee payload
+              | None -> ())
+       done
+     in
+     let trustee_env i =
+       { Trustee.me = i; cfg; gctx;
+         init = s.Ea.trustee_init.(i);
+         keys = s.Ea.trustee_keys.(i);
+         send_trustee = (fun ~dst ex -> deliver_trustee dst ex);
+         post_bb = (fun payload -> post_bb i payload);
+         durable = device_of trustee_backing.(i) }
      in
      for i = 0 to cfg.Types.nt - 1 do
-       let env =
-         { Trustee.me = i; cfg; gctx;
-           init = s.Ea.trustee_init.(i);
-           keys = s.Ea.trustee_keys.(i);
-           send_trustee = (fun ~dst ex -> deliver_trustee dst ex);
-           post_bb = (fun payload -> post_bb i payload) }
-       in
-       trustee_objs.(i) <- Some (Trustee.create env)
+       trustee_objs.(i) <- Some (Trustee.create (trustee_env i))
      done;
+     restart_trustee :=
+       (fun i -> trustee_objs.(i) <- Some (Trustee.recover (trustee_env i)));
      let rec trustee_kickoff attempts () =
        (* the BB majority may still be reconstructing msk / opening
           codes: poll until the read succeeds, as a real reader would *)
-       match Bb_reader.voted_positions ~cfg bb_nodes with
+       match Bb_reader.voted_positions ~cfg (live_bbs ()) with
        | Bb_reader.Agreed voted ->
          Array.iteri
            (fun i tn ->
@@ -497,16 +575,9 @@ let run (p : params) : result =
      in
      start_trustees_full := trustee_kickoff 0;
      (* watch BB publications *)
-     let finals = ref 0 in
-     List.iter
-       (fun bb ->
-          Bb_node.subscribe_final_set bb
-            (fun _ ->
-               incr finals;
-               if !finals >= cfg.Types.nb - cfg.Types.fb then on_all_bb_final ());
-          Bb_node.subscribe_tally bb
-            (fun _ -> if phases.t_published = 0. then phases.t_published <- Net.now net))
-       bb_nodes);
+     Array.iteri
+       (fun j bb -> match bb with Some bb -> watch_bb j bb | None -> ())
+       bb_arr);
 
   (* --- clients --- *)
   let latencies = Stats.sample_set () in
@@ -548,11 +619,16 @@ let run (p : params) : result =
                | None -> true
                | Some b -> Adversary.runs_vsc b
              in
-             match vc_nodes.(i) with
-             | Some node when participates ->
+             if participates then
+               (* re-read the slot when the exec fires, and skip crashed
+                  nodes ([Net.exec] does not model loss): a node down at
+                  election end starts VSC itself on recovery *)
                Net.exec net ~dst:vc_net.(i) ~cost:0.001
-                 (fun () -> Vc_node.start_vote_set_consensus node)
-             | Some _ | None -> ())
+                 (fun () ->
+                    if Net.node_up net vc_net.(i) then
+                      match vc_nodes.(i) with
+                      | Some node -> Vc_node.start_vote_set_consensus node
+                      | None -> ()))
           vc_net
     end
   in
@@ -663,12 +739,87 @@ let run (p : params) : result =
    | Some t -> Engine.schedule_at engine ~at:t end_election
    | None -> ());
 
+  (* --- cold restarts -------------------------------------------------
+     With durability on, a [Crash { recover = Some _ }] of a protocol
+     node is a power loss: at the crash instant the node object is
+     discarded and the device's unsynced tail is torn at a
+     DRBG-sampled byte (possibly mid-frame); at the recovery instant a
+     fresh node is built from the device alone ([recover]). Without
+     durability the legacy warm-crash semantics (Net-level message
+     loss only) are unchanged. *)
+  if durability then begin
+    let vc_generation = Array.make cfg.Types.nv 0 in
+    let restart_vc i =
+      vc_generation.(i) <- vc_generation.(i) + 1;
+      let env = make_vc_env ~gen:vc_generation.(i) i in
+      let node = Vc_node.recover env in
+      vc_nodes.(i) <- Some node;
+      (* it slept through the election-end kick: enter VSC now *)
+      if p.run_vsc && !election_end <> infinity
+         && Vc_node.phase node = Vc_node.Voting then
+        Vc_node.start_vote_set_consensus node
+    in
+    let restart_bb j =
+      match setup_opt with
+      | None -> ()
+      | Some s ->
+        let bb =
+          Bb_node.recover ?durable:(device_of bb_backing.(j)) ~cfg ~gctx
+            ~init:s.Ea.bb_init ~me:j ()
+        in
+        bb_arr.(j) <- Some bb;
+        watch_bb j bb;
+        (* journal replay ran subscriber-free: fire catch-up
+           notifications for anything published before the crash *)
+        let pub = Bb_node.published bb in
+        if pub.Bb_node.final_set <> None then count_final j;
+        if pub.Bb_node.tally <> None && phases.t_published = 0. then
+          phases.t_published <- Net.now net
+    in
+    List.iter
+      (fun (node, at, recover) ->
+         let nv = cfg.Types.nv and nb = cfg.Types.nb and nt = cfg.Types.nt in
+         let is_vc = node < nv in
+         let is_bb = node >= nv && node < nv + nb in
+         let is_trustee = node >= nv + nb && node < nv + nb + nt in
+         let byzantine_vc = is_vc && byz node <> None in
+         if (is_vc || is_bb || is_trustee) && not byzantine_vc then begin
+           let backing =
+             if is_vc then vc_backing.(node)
+             else if is_bb then bb_backing.(node - nv)
+             else trustee_backing.(node - nv - nb)
+           in
+           match backing with
+           | None -> ()   (* modeled BB/trustee: nothing to restart *)
+           | Some backing ->
+             (* power loss: drop the node object and tear the unsynced
+                tail at a DRBG-sampled byte *)
+             Engine.schedule_at engine ~at
+               (fun () ->
+                  let tail = String.length (Mem_device.unsynced_log backing) in
+                  Mem_device.crash
+                    ~keep:(Drbg.int (Engine.rng engine) (tail + 1)) backing;
+                  if is_vc then vc_nodes.(node) <- None
+                  else if is_bb then bb_arr.(node - nv) <- None
+                  else trustee_objs.(node - nv - nb) <- None);
+             match recover with
+             | None -> ()
+             | Some at_recover ->
+               Engine.schedule_at engine ~at:at_recover
+                 (fun () ->
+                    if is_vc then restart_vc node
+                    else if is_bb then restart_bb (node - nv)
+                    else !restart_trustee (node - nv - nb))
+         end)
+      crash_specs
+  end;
+
   (* run everything *)
   let _, run_outcome = Engine.run ~until:p.max_sim_time engine in
 
   (* --- results --- *)
   let tally =
-    match bb_nodes with
+    match live_bbs () with
     | [] ->
       (* modeled: ground truth from the agreed set *)
       (match !model_final with
@@ -714,8 +865,16 @@ let run (p : params) : result =
            Option.value ~default:0 (Hashtbl.find_opt attempt_hist (i + 1))));
     messages = Net.messages_sent net;
     bytes = Net.bytes_sent net;
-    bb_nodes;
+    bb_nodes = live_bbs ();
     setup = setup_opt;
+    devices =
+      (let tag pre arr =
+         Array.to_list arr
+         |> List.mapi (fun i b ->
+             Option.map (fun b -> (Printf.sprintf "%s%d" pre i, b)) b)
+         |> List.filter_map Fun.id
+       in
+       tag "vc" vc_backing @ tag "bb" bb_backing @ tag "trustee" trustee_backing);
     vc_submit_sets = !honest_submits;
     timed_out = (match run_outcome with `Paused -> true | `Drained -> false);
     dropped = Net.messages_dropped net;

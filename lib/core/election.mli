@@ -53,6 +53,12 @@ type params = {
   max_sim_time : float;
   end_after : float option;     (** fixed voting hours; [None] = end when all clients finish *)
   run_vsc : bool;               (** [false] stops after vote collection (Fig. 4 measurements) *)
+  durability : bool;
+  (** give every node a durable in-memory device (WAL + snapshot) and
+      turn [Crash { recover = Some _ }] specs into true power-loss cold
+      restarts. Defaults off (the scale benchmarks must not pay the
+      logging cost); auto-enabled when the fault plan contains a
+      recovering crash of a protocol node. *)
 }
 
 val default_params : ?fidelity:fidelity -> Types.config -> votes:vote_intent list -> params
@@ -90,6 +96,10 @@ type result = {
       certified code, conflicting code) — the over-threshold
       equivocation detection signal; empty with at most [fv] Byzantine
       collectors *)
+  devices : (string * Dd_store.Device.Mem.backing) list;
+  (** each durable node's device backing, labeled ["vc0"], ["bb1"],
+      ["trustee2"], …, for crash-dump inspection; empty without
+      durability *)
 }
 
 (** {2 Simulated-network topology}

@@ -241,3 +241,113 @@ let decode_vc_msg gctx frame =
         let entries = Wire.get_list r (get_entry gctx) in
         Recover_response { sender; entries }
       | _ -> raise (Wire.Malformed "vc_msg: unknown discriminant"))
+
+(* --- BB wire format ------------------------------------------------------ *)
+(* Byte-level encodings of the BB write paths, used by the BB nodes'
+   durable input journal (Dd_store): a cold-restarted board replays
+   exactly the verified submissions it accepted. *)
+
+module Nat = Dd_bignum.Nat
+
+let put_nat w n = Wire.put_bytes w (Nat.to_bytes_be n)
+
+let get_nat r = Nat.of_bytes_be (Wire.get_bytes r)
+
+let put_vss_share w (sh : Dd_vss.Elgamal_vss.share) =
+  Wire.put_varint w sh.Dd_vss.Elgamal_vss.x;
+  put_nat w sh.Dd_vss.Elgamal_vss.msg;
+  put_nat w sh.Dd_vss.Elgamal_vss.rand
+
+let get_vss_share r =
+  let x = Wire.get_varint r in
+  let msg = get_nat r in
+  let rand = get_nat r in
+  { Dd_vss.Elgamal_vss.x; msg; rand }
+
+let put_final_move w fm = Wire.put_bytes w (Dd_zkp.Ballot_proof.encode_final_move fm)
+
+let get_final_move r =
+  match Dd_zkp.Ballot_proof.decode_final_move (Wire.get_bytes r) with
+  | Some fm -> fm
+  | None -> raise (Wire.Malformed "final_move: bad length")
+
+let put_trustee_payload w (p : Trustee_payload.t) =
+  match p with
+  | Trustee_payload.Openings entries ->
+    Wire.put_varint w 0;
+    Wire.put_list w
+      (fun w (e : Trustee_payload.opening_entry) ->
+         Wire.put_varint w e.Trustee_payload.o_serial;
+         put_part w e.Trustee_payload.o_part;
+         Wire.put_array w (fun w row -> Wire.put_array w put_vss_share row)
+           e.Trustee_payload.o_shares)
+      entries
+  | Trustee_payload.Zk_final entries ->
+    Wire.put_varint w 1;
+    Wire.put_list w
+      (fun w (e : Trustee_payload.zk_entry) ->
+         Wire.put_varint w e.Trustee_payload.z_serial;
+         put_part w e.Trustee_payload.z_part;
+         Wire.put_array w put_final_move e.Trustee_payload.z_finals)
+      entries
+  | Trustee_payload.Tally_share { shares; ballots_counted } ->
+    Wire.put_varint w 2;
+    Wire.put_array w put_vss_share shares;
+    Wire.put_varint w ballots_counted
+
+let get_trustee_payload r =
+  match Wire.get_varint r with
+  | 0 ->
+    Trustee_payload.Openings
+      (Wire.get_list r (fun r ->
+           let o_serial = Wire.get_varint r in
+           let o_part = get_part r in
+           let o_shares = Wire.get_array r (fun r -> Wire.get_array r get_vss_share) in
+           { Trustee_payload.o_serial; o_part; o_shares }))
+  | 1 ->
+    Trustee_payload.Zk_final
+      (Wire.get_list r (fun r ->
+           let z_serial = Wire.get_varint r in
+           let z_part = get_part r in
+           let z_finals = Wire.get_array r get_final_move in
+           { Trustee_payload.z_serial; z_part; z_finals }))
+  | 2 ->
+    let shares = Wire.get_array r get_vss_share in
+    let ballots_counted = Wire.get_varint r in
+    Trustee_payload.Tally_share { shares; ballots_counted }
+  | _ -> raise (Wire.Malformed "trustee_payload: unknown discriminant")
+
+let encode_bb_msg (msg : bb_msg) =
+  let w = Wire.writer () in
+  (match msg with
+   | Vote_set_submit { sender; set; msk_share } ->
+     Wire.put_varint w 0;
+     Wire.put_varint w sender;
+     Wire.put_list w
+       (fun w (serial, code) -> Wire.put_varint w serial; Wire.put_bytes w code)
+       set;
+     put_share w msk_share
+   | Trustee_post { trustee; payload } ->
+     Wire.put_varint w 1;
+     Wire.put_varint w trustee;
+     put_trustee_payload w payload);
+  Wire.contents w
+
+let decode_bb_msg frame =
+  Wire.decode frame (fun r ->
+      match Wire.get_varint r with
+      | 0 ->
+        let sender = Wire.get_varint r in
+        let set =
+          Wire.get_list r (fun r ->
+              let serial = Wire.get_varint r in
+              let code = Wire.get_bytes r in
+              (serial, code))
+        in
+        let msk_share = get_share r in
+        Vote_set_submit { sender; set; msk_share }
+      | 1 ->
+        let trustee = Wire.get_varint r in
+        let payload = get_trustee_payload r in
+        Trustee_post { trustee; payload }
+      | _ -> raise (Wire.Malformed "bb_msg: unknown discriminant"))

@@ -60,3 +60,24 @@ val bb_msg_size : bb_msg -> int
     (malformed frames yield [None], never an exception). *)
 val encode_vc_msg : Dd_group.Group_ctx.t -> vc_msg -> string
 val decode_vc_msg : Dd_group.Group_ctx.t -> string -> vc_msg option
+
+(** Byte-level encoding of the BB write paths (total decoder), for the
+    BB nodes' durable input journal. *)
+val encode_bb_msg : bb_msg -> string
+val decode_bb_msg : string -> bb_msg option
+
+(** Building blocks of the wire format, exported for the node layer's
+    durable-state codecs (Vc_node snapshots, trustee journals). The
+    [get_*] readers raise {!Dd_codec.Wire.Malformed} on bad input — use
+    them under [Dd_codec.Wire.decode]. *)
+val put_tag : Dd_group.Group_ctx.t -> Dd_codec.Wire.writer -> Auth.tag -> unit
+val get_tag : Dd_group.Group_ctx.t -> Dd_codec.Wire.reader -> Auth.tag
+val put_share : Dd_codec.Wire.writer -> Dd_vss.Shamir_bytes.share -> unit
+val get_share : Dd_codec.Wire.reader -> Dd_vss.Shamir_bytes.share
+val put_ucert : Dd_group.Group_ctx.t -> Dd_codec.Wire.writer -> ucert -> unit
+val get_ucert : Dd_group.Group_ctx.t -> Dd_codec.Wire.reader -> ucert
+val put_part : Dd_codec.Wire.writer -> Types.part_id -> unit
+val get_part : Dd_codec.Wire.reader -> Types.part_id
+val put_entry :
+  Dd_group.Group_ctx.t -> Dd_codec.Wire.writer -> int * string * ucert -> unit
+val get_entry : Dd_group.Group_ctx.t -> Dd_codec.Wire.reader -> int * string * ucert

@@ -18,6 +18,8 @@ module Ballot_proof = Dd_zkp.Ballot_proof
 module Challenge = Dd_zkp.Challenge
 module Group_ctx = Dd_group.Group_ctx
 module Nat = Dd_bignum.Nat
+module Store = Dd_store.Store
+module Wire = Dd_codec.Wire
 
 type exchange = {
   ex_from : int;
@@ -33,6 +35,9 @@ type env = {
   keys : Auth.keys;                       (* trustee clique; index nt is the EA *)
   send_trustee : dst:int -> exchange -> unit;
   post_bb : Trustee_payload.t -> unit;    (* broadcast a post to every BB node *)
+  (* input journal device; the trustee is event-sourced over its two
+     inputs (election data, peer exchanges) *)
+  durable : Dd_store.Device.t option;
 }
 
 type t = {
@@ -43,15 +48,89 @@ type t = {
   mutable master_challenge : Nat.t option;
   mutable zk_posted : (int * Types.part_id, unit) Hashtbl.t;
   mutable started : bool;
+  mutable journal : Store.t option;
 }
 
-let create env =
+let create_bare env =
   { env;
     state_shares = Hashtbl.create 64;
     used_parts = [];
     master_challenge = None;
     zk_posted = Hashtbl.create 64;
-    started = false }
+    started = false;
+    journal = None }
+
+let attach_journal t =
+  match t.env.durable with
+  | None -> ()
+  | Some device ->
+    (* pure input journal: one election-data record plus at most nt - 1
+       exchanges — no compaction needed *)
+    t.journal <- Some (Store.create ~snapshot:(fun () -> "") device)
+
+let create env =
+  let t = create_bare env in
+  attach_journal t;
+  t
+
+(* --- durable input journal --------------------------------------------- *)
+
+type journal_input =
+  | J_data of (int * (Types.part_id * int)) list
+  | J_exchange of exchange
+
+let encode_input t inp =
+  let gctx = t.env.keys.Auth.gctx in
+  let w = Wire.writer () in
+  (match inp with
+   | J_data voted ->
+     Wire.put_varint w 0;
+     Wire.put_list w
+       (fun w (serial, (part, pos)) ->
+          Wire.put_varint w serial;
+          Messages.put_part w part;
+          Wire.put_varint w pos)
+       voted
+   | J_exchange ex ->
+     Wire.put_varint w 1;
+     Wire.put_varint w ex.ex_from;
+     Wire.put_list w
+       (fun w (serial, part, share, tag) ->
+          Wire.put_varint w serial;
+          Messages.put_part w part;
+          Messages.put_share w share;
+          Messages.put_tag gctx w tag)
+       ex.ex_entries);
+  Wire.contents w
+
+let decode_input t payload =
+  let gctx = t.env.keys.Auth.gctx in
+  Wire.decode payload (fun r ->
+      match Wire.get_varint r with
+      | 0 ->
+        J_data
+          (Wire.get_list r (fun r ->
+               let serial = Wire.get_varint r in
+               let part = Messages.get_part r in
+               let pos = Wire.get_varint r in
+               (serial, (part, pos))))
+      | 1 ->
+        let ex_from = Wire.get_varint r in
+        let ex_entries =
+          Wire.get_list r (fun r ->
+              let serial = Wire.get_varint r in
+              let part = Messages.get_part r in
+              let share = Messages.get_share r in
+              let tag = Messages.get_tag gctx r in
+              (serial, part, share, tag))
+        in
+        J_exchange { ex_from; ex_entries }
+      | _ -> raise (Wire.Malformed "trustee journal input"))
+
+let journal_input t inp =
+  match t.journal with
+  | Some store -> Store.log store (encode_input t inp)
+  | None -> ()
 
 (* Parse the per-part state blob: length-prefixed encoded states. *)
 let parse_states blob =
@@ -112,6 +191,7 @@ let add_state_share t ~serial ~part share =
   end
 
 let on_exchange t (ex : exchange) =
+  journal_input t (J_exchange ex);
   List.iter
     (fun (serial, part, share, tag) ->
        let body = Ea.zk_state_body ~election_id:t.env.cfg.Types.election_id ~serial ~part
@@ -128,6 +208,7 @@ let on_exchange t (ex : exchange) =
    serials absent from the map are unvoted. *)
 let on_election_data t ~(voted : (int * (Types.part_id * int)) list) =
   if not t.started then begin
+    journal_input t (J_data voted);
     t.started <- true;
     let cfg = t.env.cfg in
     let n = cfg.Types.n_voters and m = cfg.Types.m_options in
@@ -190,3 +271,60 @@ let on_election_data t ~(voted : (int * (Types.part_id * int)) list) =
       (Trustee_payload.Tally_share
          { shares = tally_shares; ballots_counted = List.length voted })
   end
+
+(* Cold restart: replay the journaled inputs through the live handlers.
+   Replay re-posts to the BBs and re-sends exchanges — deliberately so,
+   since the crash may have swallowed the originals; every receiver
+   (BB post dedup, peer share dedup by x) coalesces duplicates. *)
+let recover env =
+  let t = create_bare env in
+  (match env.durable with
+   | None -> ()
+   | Some device ->
+     let recovered = Store.read device in
+     List.iter
+       (fun payload ->
+          match decode_input t payload with
+          | Some (J_data voted) -> on_election_data t ~voted
+          | Some (J_exchange ex) -> on_exchange t ex
+          | None -> ()   (* framed but undecodable: skip, never crash *))
+       recovered.Store.records);
+  attach_journal t;
+  t
+
+(* Canonical encoding of the trustee's state, for recovery-equivalence
+   checks (sorted, deterministic). *)
+let observable t =
+  let w = Wire.writer () in
+  Wire.put_varint w 1;
+  Wire.put_bool w t.started;
+  Wire.put_option w (fun w n -> Wire.put_bytes w (Nat.to_bytes_be n)) t.master_challenge;
+  Wire.put_list w
+    (fun w (s, p) ->
+       Wire.put_varint w s;
+       Wire.put_varint w (Types.part_index p))
+    (List.sort compare t.used_parts);
+  let shares =
+    Hashtbl.fold
+      (fun (s, p) l acc ->
+         let xs = List.map (fun sh -> sh.Shamir_bytes.x) !l |> List.sort compare in
+         ((s, Types.part_index p), xs) :: acc)
+      t.state_shares []
+    |> List.sort compare
+  in
+  Wire.put_list w
+    (fun w ((s, p), xs) ->
+       Wire.put_varint w s;
+       Wire.put_varint w p;
+       Wire.put_list w Wire.put_varint xs)
+    shares;
+  let posted =
+    Hashtbl.fold (fun (s, p) () acc -> (s, Types.part_index p) :: acc) t.zk_posted []
+    |> List.sort compare
+  in
+  Wire.put_list w
+    (fun w (s, p) ->
+       Wire.put_varint w s;
+       Wire.put_varint w p)
+    posted;
+  Wire.contents w

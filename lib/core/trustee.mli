@@ -17,11 +17,23 @@ type env = {
   keys : Auth.keys;    (** trustee clique; index [nt] is the EA *)
   send_trustee : dst:int -> exchange -> unit;
   post_bb : Trustee_payload.t -> unit;  (** broadcast to every BB node *)
+  durable : Dd_store.Device.t option;
+      (** input journal device; [None] runs the trustee memory-only *)
 }
 
 type t
 
 val create : env -> t
+
+(** Cold restart: replay the journaled inputs through the handlers.
+    Replay re-posts to the BBs and re-sends peer exchanges on purpose
+    (the crash may have swallowed the originals); receivers dedupe.
+    Equivalent to {!create} when the device is absent or empty. *)
+val recover : env -> t
+
+(** Canonical encoding of the trustee's state (sorted, deterministic),
+    for recovery-equivalence checks. *)
+val observable : t -> string
 
 (** Entry point once the BB majority has published the final set and
     opened the codes: [voted] maps each cast serial to its located

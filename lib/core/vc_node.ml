@@ -15,11 +15,24 @@
    share to every BB node.
 
    The node is written sans-IO: all effects go through [env], so unit
-   tests drive it directly and the simulator supplies transports. *)
+   tests drive it directly and the simulator supplies transports.
+
+   Durability: with [env.durable] set, every state transition that must
+   survive a crash is logged to a {!Dd_store.Store} WAL *after* the
+   in-memory mutation and *before* any externally visible send — the
+   load-bearing case being the endorsed code, which is durable before
+   an ENDORSEMENT signature leaves the node (otherwise a crashed and
+   restarted collector could sign a second code for the same ballot and
+   hand the adversary two UCERTs). [recover] rebuilds the node from
+   snapshot + log replay; a node that crashed mid-consensus does not
+   rejoin the running instance (it has no protocol state to resume, and
+   restarting RBC from scratch would equivocate). *)
 
 module Shamir_bytes = Dd_vss.Shamir_bytes
 module Rbc = Dd_consensus.Rbc
 module Binary_batch = Dd_consensus.Binary_batch
+module Store = Dd_store.Store
+module Wire = Dd_codec.Wire
 
 type env = {
   me : int;
@@ -37,6 +50,9 @@ type env = {
   (* when false (modeled runs without EA tags), receipt shares are
      accepted based on shape alone *)
   verify_share_tags : bool;
+  (* durable device for the WAL + snapshot store; [None] runs the node
+     memory-only (the scale benchmarks) *)
+  durable : Dd_store.Device.t option;
 }
 
 type ballot_rt = {
@@ -87,9 +103,13 @@ type t = {
      more than fv collectors equivocated (Section III-D's uniqueness
      argument) — the chaos harness's detection signal. *)
   mutable ucert_conflicts : (int * string * string) list;
+  (* durable store, attached after construction (the snapshot closure
+     needs [t]); never set while [recovering] replays the log *)
+  mutable wal : Store.t option;
+  mutable recovering : bool;
 }
 
-let create env =
+let create_bare env =
   { env;
     ballots = Hashtbl.create 1024;
     phase = Voting;
@@ -102,7 +122,9 @@ let create env =
     quorum = env.cfg.Types.nv - env.cfg.Types.fv;
     votes_accepted = 0;
     receipts_issued = 0;
-    ucert_conflicts = [] }
+    ucert_conflicts = [];
+    wal = None;
+    recovering = false }
 
 let ballot_rt t serial =
   match Hashtbl.find_opt t.ballots serial with
@@ -126,6 +148,113 @@ let multicast t msg = List.iter (fun dst -> t.env.send_vc ~dst msg) (peers t)
 
 let election_id t = t.env.cfg.Types.election_id
 
+(* --- WAL records -------------------------------------------------------- *)
+
+(* One record per crash-critical transition. Each reducer case mirrors
+   exactly the mutation set of its logging site; transient collection
+   state (endorsement gathering, waiting clients, live consensus
+   objects) is deliberately not persisted — a restarted node abandons
+   in-flight quorum collection and the client's retry restarts it. *)
+type wal_rec =
+  | R_vote_accepted of { serial : int; code : string; part : Types.part_id; pos : int }
+  | R_endorsed of { serial : int; code : string; part : Types.part_id; pos : int }
+  (* [endorse] distinguishes the VOTE_P adoption site (which also binds
+     part/pos and the endorsed code) from sites where they are already
+     durable or deliberately untouched *)
+  | R_ucert of { ucert : Messages.ucert; part : Types.part_id; pos : int; endorse : bool }
+  | R_sent_vote_p of int
+  | R_share of { serial : int; share : Shamir_bytes.share }
+  | R_receipt of { serial : int; code : string; receipt : string }
+  | R_conflict of { serial : int; ours : string; theirs : string }
+  | R_phase_vsc
+  | R_announce_from of int
+  | R_consensus_started
+  | R_decided of { slot : int; value : bool }
+  | R_submitted
+
+let encode_rec t rc =
+  let gctx = t.env.keys.Auth.gctx in
+  let w = Wire.writer () in
+  (match rc with
+   | R_vote_accepted { serial; code; part; pos } ->
+     Wire.put_varint w 0; Wire.put_varint w serial; Wire.put_bytes w code;
+     Messages.put_part w part; Wire.put_varint w pos
+   | R_endorsed { serial; code; part; pos } ->
+     Wire.put_varint w 1; Wire.put_varint w serial; Wire.put_bytes w code;
+     Messages.put_part w part; Wire.put_varint w pos
+   | R_ucert { ucert; part; pos; endorse } ->
+     Wire.put_varint w 2; Messages.put_ucert gctx w ucert;
+     Messages.put_part w part; Wire.put_varint w pos; Wire.put_bool w endorse
+   | R_sent_vote_p serial -> Wire.put_varint w 3; Wire.put_varint w serial
+   | R_share { serial; share } ->
+     Wire.put_varint w 4; Wire.put_varint w serial; Messages.put_share w share
+   | R_receipt { serial; code; receipt } ->
+     Wire.put_varint w 5; Wire.put_varint w serial; Wire.put_bytes w code;
+     Wire.put_bytes w receipt
+   | R_conflict { serial; ours; theirs } ->
+     Wire.put_varint w 6; Wire.put_varint w serial; Wire.put_bytes w ours;
+     Wire.put_bytes w theirs
+   | R_phase_vsc -> Wire.put_varint w 7
+   | R_announce_from sender -> Wire.put_varint w 8; Wire.put_varint w sender
+   | R_consensus_started -> Wire.put_varint w 9
+   | R_decided { slot; value } ->
+     Wire.put_varint w 10; Wire.put_varint w slot; Wire.put_bool w value
+   | R_submitted -> Wire.put_varint w 11);
+  Wire.contents w
+
+let decode_rec t payload =
+  let gctx = t.env.keys.Auth.gctx in
+  Wire.decode payload (fun r ->
+      match Wire.get_varint r with
+      | 0 ->
+        let serial = Wire.get_varint r in
+        let code = Wire.get_bytes r in
+        let part = Messages.get_part r in
+        let pos = Wire.get_varint r in
+        R_vote_accepted { serial; code; part; pos }
+      | 1 ->
+        let serial = Wire.get_varint r in
+        let code = Wire.get_bytes r in
+        let part = Messages.get_part r in
+        let pos = Wire.get_varint r in
+        R_endorsed { serial; code; part; pos }
+      | 2 ->
+        let ucert = Messages.get_ucert gctx r in
+        let part = Messages.get_part r in
+        let pos = Wire.get_varint r in
+        let endorse = Wire.get_bool r in
+        R_ucert { ucert; part; pos; endorse }
+      | 3 -> R_sent_vote_p (Wire.get_varint r)
+      | 4 ->
+        let serial = Wire.get_varint r in
+        R_share { serial; share = Messages.get_share r }
+      | 5 ->
+        let serial = Wire.get_varint r in
+        let code = Wire.get_bytes r in
+        R_receipt { serial; code; receipt = Wire.get_bytes r }
+      | 6 ->
+        let serial = Wire.get_varint r in
+        let ours = Wire.get_bytes r in
+        R_conflict { serial; ours; theirs = Wire.get_bytes r }
+      | 7 -> R_phase_vsc
+      | 8 -> R_announce_from (Wire.get_varint r)
+      | 9 -> R_consensus_started
+      | 10 ->
+        let slot = Wire.get_varint r in
+        R_decided { slot; value = Wire.get_bool r }
+      | 11 -> R_submitted
+      | _ -> raise (Wire.Malformed "vc wal record"))
+
+(* Append + sync: the record is on the platter before the caller's next
+   send. No-op without a device or while replaying. [?sync:false] is
+   for pure-liveness bookkeeping whose loss at a crash is safe — it
+   leaves an unsynced tail the crash may tear mid-frame, which is
+   exactly what recovery's clean-prefix scan must tolerate. *)
+let log_rec ?(sync = true) t rc =
+  match t.wal with
+  | Some store when not t.recovering -> Store.log ~sync store (encode_rec t rc)
+  | Some _ | None -> ()
+
 (* Callers pass a [code] backed by a UCERT they already verified: if we
    hold a certified code for the same serial and it differs, two valid
    uniqueness certificates exist — record the safety violation. *)
@@ -136,7 +265,10 @@ let note_conflict t serial (b : ballot_rt) ~code =
         (List.exists
            (fun (s, _, theirs) -> s = serial && Dd_crypto.Ct.equal theirs code)
            t.ucert_conflicts)
-    then t.ucert_conflicts <- (serial, u.Messages.u_code, code) :: t.ucert_conflicts
+    then begin
+      t.ucert_conflicts <- (serial, u.Messages.u_code, code) :: t.ucert_conflicts;
+      log_rec t (R_conflict { serial; ours = u.Messages.u_code; theirs = code })
+    end
   | Some _ | None -> ()
 
 let verify_receipt_share t ~serial ~part ~pos ~node (share : Shamir_bytes.share) tag =
@@ -157,6 +289,13 @@ let own_share t ~serial ~part ~pos =
   let line = lines.(pos) in
   (line.Types.receipt_share, line.Types.share_tag)
 
+let add_share b (share : Shamir_bytes.share) =
+  if List.exists (fun s -> s.Shamir_bytes.x = share.Shamir_bytes.x) b.shares then false
+  else begin
+    b.shares <- share :: b.shares;
+    true
+  end
+
 (* Reconstruct once we hold exactly the quorum of distinct shares. *)
 let try_reconstruct t serial (b : ballot_rt) code =
   if List.length b.shares >= t.quorum then begin
@@ -167,23 +306,20 @@ let try_reconstruct t serial (b : ballot_rt) code =
     let receipt = Shamir_bytes.reconstruct ~threshold:t.quorum selected in
     b.status <- Types.Voted (code, receipt);
     t.receipts_issued <- t.receipts_issued + 1;
+    log_rec t (R_receipt { serial; code; receipt });
     List.iter
       (fun (client, req) -> t.env.reply ~client ~req (Types.Receipt receipt))
       b.waiting_clients;
-    b.waiting_clients <- [];
-    ignore serial
+    b.waiting_clients <- []
   end
-
-let add_share b (share : Shamir_bytes.share) =
-  if not (List.exists (fun s -> s.Shamir_bytes.x = share.Shamir_bytes.x) b.shares) then
-    b.shares <- share :: b.shares
 
 (* Disclose our own share: the VOTE_P multicast (only ever once). *)
 let disclose_share t ~serial ~code (b : ballot_rt) =
   if not b.sent_vote_p then begin
     b.sent_vote_p <- true;
     let share, share_tag = own_share t ~serial ~part:b.part ~pos:b.pos in
-    add_share b share;
+    ignore (add_share b share);
+    log_rec t (R_sent_vote_p serial);
     match b.ucert with
     | None -> ()   (* cannot happen: callers establish the UCERT first *)
     | Some ucert ->
@@ -231,6 +367,7 @@ let on_vote t ~client ~req ~serial ~vote_code =
           (* endorse it ourselves, then gather the rest *)
           let body = Messages.endorsement_body ~election_id:(election_id t) ~serial ~code:vote_code in
           b.endorsements <- [ (t.env.me, Auth.sign t.env.keys body) ];
+          log_rec t (R_vote_accepted { serial; code = vote_code; part; pos });
           multicast t (Messages.Endorse { serial; vote_code; responder = t.env.me })
   end
 
@@ -249,11 +386,20 @@ let on_endorse t ~responder ~serial ~vote_code =
       match Ballot_store.verify_vote_code t.env.store ~serial ~vote_code with
       | None -> ()
       | Some (part, pos, _) ->
+        let fresh =
+          match b.endorsed with
+          | Some code -> not (Dd_crypto.Ct.equal code vote_code)
+          | None -> true
+        in
         b.endorsed <- Some vote_code;
         if b.status = Types.Not_voted && b.collecting = None then begin
           b.part <- part;
           b.pos <- pos
         end;
+        (* the endorsed code must be durable before our signature leaves:
+           a restart that forgot it could sign a conflicting code and
+           mint the adversary a second UCERT *)
+        if fresh then log_rec t (R_endorsed { serial; code = vote_code; part; pos });
         let body = Messages.endorsement_body ~election_id:(election_id t) ~serial ~code:vote_code in
         t.env.send_vc ~dst:responder
           (Messages.Endorsement
@@ -279,6 +425,7 @@ let on_endorsement t ~signer ~serial ~vote_code ~tag =
           in
           b.ucert <- Some ucert;
           b.status <- Types.Pending code;
+          log_rec t (R_ucert { ucert; part = b.part; pos = b.pos; endorse = false });
           disclose_share t ~serial ~code b;
           try_reconstruct t serial b code
         end
@@ -304,7 +451,9 @@ let on_vote_p t ~sender ~serial ~vote_code ~part ~pos ~share ~share_tag ~ucert =
       pos_ok && verify_receipt_share t ~serial ~part ~pos ~node:sender share share_tag
     in
     if share_ok then begin
-    let accept_share () = add_share b share in
+    let accept_share () =
+      if add_share b share then log_rec t (R_share { serial; share })
+    in
     match b.status with
     | Types.Not_voted ->
       (match b.endorsed with
@@ -316,12 +465,16 @@ let on_vote_p t ~sender ~serial ~vote_code ~part ~pos ~share ~share_tag ~ucert =
            b.endorsed <- Some vote_code;
            b.ucert <- Some ucert;
            b.status <- Types.Pending vote_code;
+           log_rec t (R_ucert { ucert; part; pos; endorse = true });
            accept_share ();
            disclose_share t ~serial ~code:vote_code b;
            try_reconstruct t serial b vote_code
          end)
     | Types.Pending code when Dd_crypto.Ct.equal code vote_code ->
-      if b.ucert = None then b.ucert <- Some ucert;
+      if b.ucert = None then begin
+        b.ucert <- Some ucert;
+        log_rec t (R_ucert { ucert; part = b.part; pos = b.pos; endorse = false })
+      end;
       accept_share ();
       disclose_share t ~serial ~code b;
       try_reconstruct t serial b code
@@ -342,28 +495,32 @@ let known_entries t =
        | _ -> acc)
     t.ballots []
 
+let send_submission t =
+  let set = ref [] in
+  for serial = t.env.cfg.Types.n_voters - 1 downto 0 do
+    match t.vsc.decisions.(serial) with
+    | Some true ->
+      let b = ballot_rt t serial in
+      (match b.status, b.ucert with
+       | (Types.Pending code | Types.Voted (code, _)), _ -> set := (serial, code) :: !set
+       | Types.Not_voted, Some ucert -> set := (serial, ucert.Messages.u_code) :: !set
+       | Types.Not_voted, None -> () (* recovery failed: impossible with honest quorum *))
+    | Some false | None -> ()
+  done;
+  let msg =
+    Messages.Vote_set_submit
+      { sender = t.env.me; set = !set; msk_share = Ballot_store.msk_share t.env.store }
+  in
+  for bb = 0 to t.env.cfg.Types.nb - 1 do
+    t.env.send_bb ~dst:bb msg
+  done
+
 let submit_to_bb t =
   if not t.vsc.submitted then begin
     t.vsc.submitted <- true;
     t.phase <- Submitted;
-    let set = ref [] in
-    for serial = t.env.cfg.Types.n_voters - 1 downto 0 do
-      match t.vsc.decisions.(serial) with
-      | Some true ->
-        let b = ballot_rt t serial in
-        (match b.status, b.ucert with
-         | (Types.Pending code | Types.Voted (code, _)), _ -> set := (serial, code) :: !set
-         | Types.Not_voted, Some ucert -> set := (serial, ucert.Messages.u_code) :: !set
-         | Types.Not_voted, None -> () (* recovery failed: impossible with honest quorum *))
-      | Some false | None -> ()
-    done;
-    let msg =
-      Messages.Vote_set_submit
-        { sender = t.env.me; set = !set; msk_share = Ballot_store.msk_share t.env.store }
-    in
-    for bb = 0 to t.env.cfg.Types.nb - 1 do
-      t.env.send_bb ~dst:bb msg
-    done
+    log_rec t R_submitted;
+    send_submission t
   end
 
 let check_recovery_complete t =
@@ -381,6 +538,7 @@ let on_decide t slot value =
     | Some _ -> ()
     | None -> Hashtbl.replace t.vsc.awaiting_recovery slot ()
   end;
+  log_rec t (R_decided { slot; value });
   if t.vsc.decided_count = t.env.cfg.Types.n_voters then begin
     let missing = Hashtbl.fold (fun s () acc -> s :: acc) t.vsc.awaiting_recovery [] in
     if missing <> [] then
@@ -392,6 +550,9 @@ let start_consensus t =
   if not t.vsc.consensus_started then begin
     t.vsc.consensus_started <- true;
     t.vsc.decisions <- Array.make t.env.cfg.Types.n_voters None;
+    (* durable before Binary_batch.start broadcasts anything: a restart
+       must never re-enter an instance it already spoke in *)
+    log_rec t R_consensus_started;
     let n = t.env.cfg.Types.nv and f = t.env.cfg.Types.fv in
     let me = t.env.me in
     let rbc = ref None in
@@ -444,9 +605,10 @@ let adopt_entry t (serial, code, ucert) =
     note_conflict t serial b ~code;
     if b.ucert = None then begin
       b.ucert <- Some ucert;
-      match b.status with
-      | Types.Not_voted -> b.status <- Types.Pending code
-      | Types.Pending _ | Types.Voted _ -> ()
+      (match b.status with
+       | Types.Not_voted -> b.status <- Types.Pending code
+       | Types.Pending _ | Types.Voted _ -> ());
+      log_rec t (R_ucert { ucert; part = b.part; pos = b.pos; endorse = false })
     end;
     if Hashtbl.mem t.vsc.awaiting_recovery serial then begin
       Hashtbl.remove t.vsc.awaiting_recovery serial;
@@ -463,12 +625,14 @@ let maybe_start_consensus t =
 let start_vote_set_consensus t =
   if t.phase = Voting then begin
     t.phase <- Vsc;
+    if not (List.mem t.env.me t.vsc.announce_senders) then begin
+      t.vsc.announce_senders <- t.env.me :: t.vsc.announce_senders;
+      log_rec t (R_announce_from t.env.me)
+    end;
+    log_rec t R_phase_vsc;
     let entries = known_entries t in
     let msg = Messages.Announce_batch { sender = t.env.me; entries } in
     multicast t msg;
-    (* count our own announcement *)
-    if not (List.mem t.env.me t.vsc.announce_senders) then
-      t.vsc.announce_senders <- t.env.me :: t.vsc.announce_senders;
     maybe_start_consensus t
   end
 
@@ -477,6 +641,10 @@ let on_announce_batch t ~sender ~entries =
      if our own clock has not reached election end yet *)
   if not (List.mem sender t.vsc.announce_senders) then begin
     t.vsc.announce_senders <- sender :: t.vsc.announce_senders;
+    (* liveness-only bookkeeping: losing it merely makes the recovered
+       node wait for a re-announce, so skip the sync barrier (any
+       adopted UCERT below carries a synced record that covers it) *)
+    log_rec ~sync:false t (R_announce_from sender);
     List.iter (adopt_entry t) entries;
     maybe_start_consensus t
   end
@@ -484,7 +652,11 @@ let on_announce_batch t ~sender ~entries =
 let on_consensus t ~sender ~rbc_msg =
   match t.vsc.rbc with
   | Some r -> Rbc.on_message r ~from:sender rbc_msg
-  | None -> t.vsc.pending_consensus <- (sender, rbc_msg) :: t.vsc.pending_consensus
+  | None ->
+    (* a recovered node with [consensus_started] but no live instance
+       must not buffer (it will never drain): it sat out this round *)
+    if not t.vsc.consensus_started then
+      t.vsc.pending_consensus <- (sender, rbc_msg) :: t.vsc.pending_consensus
 
 let on_recover_request t ~sender ~serials =
   if t.phase <> Voting then begin
@@ -542,6 +714,275 @@ let handle t (msg : Messages.vc_msg) =
   | Messages.Consensus { sender; rbc } -> on_consensus t ~sender ~rbc_msg:rbc
   | Messages.Recover_request { sender; serials } -> on_recover_request t ~sender ~serials
   | Messages.Recover_response { sender; entries } -> on_recover_response t ~sender ~entries
+
+(* --- durability: snapshot / restore / recover --------------------------- *)
+
+(* The reducer: each case mirrors exactly the in-memory mutations of
+   its logging site, never sends, and is idempotent (replay after a
+   crash mid-compaction may present a record the snapshot already
+   covers only across store generations, but duplicated protocol events
+   — a re-received VOTE_P, say — must also coalesce). *)
+let apply_rec t rc =
+  match rc with
+  | R_vote_accepted { serial; code; part; pos } ->
+    let b = ballot_rt t serial in
+    t.votes_accepted <- t.votes_accepted + 1;
+    b.part <- part;
+    b.pos <- pos;
+    b.endorsed <- Some code
+    (* collection state (collecting/endorsements/waiting) is transient:
+       the client's retry restarts the endorsement round *)
+  | R_endorsed { serial; code; part; pos } ->
+    let b = ballot_rt t serial in
+    b.endorsed <- Some code;
+    if b.status = Types.Not_voted then begin
+      b.part <- part;
+      b.pos <- pos
+    end
+  | R_ucert { ucert; part; pos; endorse } ->
+    let serial = ucert.Messages.u_serial in
+    let b = ballot_rt t serial in
+    if endorse then begin
+      b.part <- part;
+      b.pos <- pos;
+      b.endorsed <- Some ucert.Messages.u_code
+    end;
+    if b.ucert = None then b.ucert <- Some ucert;
+    if b.status = Types.Not_voted then b.status <- Types.Pending ucert.Messages.u_code;
+    Hashtbl.remove t.vsc.awaiting_recovery serial
+  | R_sent_vote_p serial ->
+    let b = ballot_rt t serial in
+    if not b.sent_vote_p then begin
+      b.sent_vote_p <- true;
+      let share, _tag = own_share t ~serial ~part:b.part ~pos:b.pos in
+      ignore (add_share b share)
+    end
+  | R_share { serial; share } -> ignore (add_share (ballot_rt t serial) share)
+  | R_receipt { serial; code; receipt } ->
+    let b = ballot_rt t serial in
+    (match b.status with
+     | Types.Voted _ -> ()
+     | Types.Not_voted | Types.Pending _ ->
+       b.status <- Types.Voted (code, receipt);
+       t.receipts_issued <- t.receipts_issued + 1)
+  | R_conflict { serial; ours; theirs } ->
+    if not
+        (List.exists
+           (fun (s, _, th) -> s = serial && Dd_crypto.Ct.equal th theirs)
+           t.ucert_conflicts)
+    then t.ucert_conflicts <- (serial, ours, theirs) :: t.ucert_conflicts
+  | R_phase_vsc -> if t.phase = Voting then t.phase <- Vsc
+  | R_announce_from sender ->
+    if not (List.mem sender t.vsc.announce_senders) then
+      t.vsc.announce_senders <- sender :: t.vsc.announce_senders
+  | R_consensus_started ->
+    if not t.vsc.consensus_started then begin
+      t.vsc.consensus_started <- true;
+      t.vsc.decisions <- Array.make t.env.cfg.Types.n_voters None
+    end
+  | R_decided { slot; value } ->
+    if slot >= 0 && slot < Array.length t.vsc.decisions
+    && t.vsc.decisions.(slot) = None then begin
+      t.vsc.decisions.(slot) <- Some value;
+      t.vsc.decided_count <- t.vsc.decided_count + 1;
+      if value then begin
+        let b = ballot_rt t slot in
+        if b.ucert = None then Hashtbl.replace t.vsc.awaiting_recovery slot ()
+      end
+    end
+  | R_submitted ->
+    t.vsc.submitted <- true;
+    t.phase <- Submitted
+
+let put_status w = function
+  | Types.Not_voted -> Wire.put_varint w 0
+  | Types.Pending code ->
+    Wire.put_varint w 1;
+    Wire.put_bytes w code
+  | Types.Voted (code, receipt) ->
+    Wire.put_varint w 2;
+    Wire.put_bytes w code;
+    Wire.put_bytes w receipt
+
+let get_status r =
+  match Wire.get_varint r with
+  | 0 -> Types.Not_voted
+  | 1 -> Types.Pending (Wire.get_bytes r)
+  | 2 ->
+    let code = Wire.get_bytes r in
+    Types.Voted (code, Wire.get_bytes r)
+  | _ -> raise (Wire.Malformed "vc status")
+
+(* A ballot entry created as a side effect of a lookup (a rejected
+   probe, a consensus slot touch) carries no durable state: skip it so
+   the snapshot is a function of the observable state only. *)
+let ballot_blank (b : ballot_rt) =
+  b.status = Types.Not_voted && b.endorsed = None && b.ucert = None
+  && b.shares = [] && not b.sent_vote_p
+
+(* Canonical (sorted) encoding: two nodes with the same observable
+   state — whatever order events reached them in — snapshot to the same
+   bytes, which is what the equivalence tests compare. *)
+let snapshot t =
+  let gctx = t.env.keys.Auth.gctx in
+  let w = Wire.writer () in
+  Wire.put_varint w 1;   (* snapshot format version *)
+  Wire.put_varint w (match t.phase with Voting -> 0 | Vsc -> 1 | Submitted -> 2);
+  Wire.put_varint w t.votes_accepted;
+  Wire.put_varint w t.receipts_issued;
+  Wire.put_list w
+    (fun w (s, ours, theirs) ->
+       Wire.put_varint w s;
+       Wire.put_bytes w ours;
+       Wire.put_bytes w theirs)
+    (List.sort compare t.ucert_conflicts);
+  Wire.put_list w Wire.put_varint (List.sort compare t.vsc.announce_senders);
+  Wire.put_bool w t.vsc.consensus_started;
+  Wire.put_bool w t.vsc.submitted;
+  let decided = ref [] in
+  Array.iteri
+    (fun slot v -> match v with Some v -> decided := (slot, v) :: !decided | None -> ())
+    t.vsc.decisions;
+  Wire.put_list w
+    (fun w (slot, v) ->
+       Wire.put_varint w slot;
+       Wire.put_bool w v)
+    (List.rev !decided);
+  let ballots =
+    Hashtbl.fold
+      (fun serial b acc -> if ballot_blank b then acc else (serial, b) :: acc)
+      t.ballots []
+    |> List.sort (fun (a, _) (c, _) -> compare a c)
+  in
+  Wire.put_list w
+    (fun w (serial, (b : ballot_rt)) ->
+       Wire.put_varint w serial;
+       put_status w b.status;
+       Wire.put_option w Wire.put_bytes b.endorsed;
+       Wire.put_option w (Messages.put_ucert gctx) b.ucert;
+       Messages.put_part w b.part;
+       Wire.put_varint w b.pos;
+       Wire.put_bool w b.sent_vote_p;
+       Wire.put_list w Messages.put_share
+         (List.sort (fun a c -> compare a.Shamir_bytes.x c.Shamir_bytes.x) b.shares))
+    ballots;
+  Wire.contents w
+
+let restore env blob =
+  let gctx = env.keys.Auth.gctx in
+  Wire.decode blob (fun r ->
+      if Wire.get_varint r <> 1 then raise (Wire.Malformed "vc snapshot version");
+      let t = create_bare env in
+      t.phase <-
+        (match Wire.get_varint r with
+         | 0 -> Voting
+         | 1 -> Vsc
+         | 2 -> Submitted
+         | _ -> raise (Wire.Malformed "vc phase"));
+      t.votes_accepted <- Wire.get_varint r;
+      t.receipts_issued <- Wire.get_varint r;
+      t.ucert_conflicts <-
+        Wire.get_list r (fun r ->
+            let s = Wire.get_varint r in
+            let ours = Wire.get_bytes r in
+            let theirs = Wire.get_bytes r in
+            (s, ours, theirs));
+      t.vsc.announce_senders <- Wire.get_list r Wire.get_varint;
+      t.vsc.consensus_started <- Wire.get_bool r;
+      t.vsc.submitted <- Wire.get_bool r;
+      let decided =
+        Wire.get_list r (fun r ->
+            let slot = Wire.get_varint r in
+            (slot, Wire.get_bool r))
+      in
+      if t.vsc.consensus_started then begin
+        t.vsc.decisions <- Array.make env.cfg.Types.n_voters None;
+        List.iter
+          (fun (slot, v) ->
+             if slot < 0 || slot >= Array.length t.vsc.decisions then
+               raise (Wire.Malformed "vc decided slot");
+             if t.vsc.decisions.(slot) = None then begin
+               t.vsc.decisions.(slot) <- Some v;
+               t.vsc.decided_count <- t.vsc.decided_count + 1
+             end)
+          decided
+      end;
+      let entries =
+        Wire.get_list r (fun r ->
+            let serial = Wire.get_varint r in
+            let status = get_status r in
+            let endorsed = Wire.get_option r Wire.get_bytes in
+            let ucert = Wire.get_option r (Messages.get_ucert gctx) in
+            let part = Messages.get_part r in
+            let pos = Wire.get_varint r in
+            let sent_vote_p = Wire.get_bool r in
+            let shares = Wire.get_list r Messages.get_share in
+            (serial, status, endorsed, ucert, part, pos, sent_vote_p, shares))
+      in
+      List.iter
+        (fun (serial, status, endorsed, ucert, part, pos, sent_vote_p, shares) ->
+           let b = ballot_rt t serial in
+           b.status <- status;
+           b.endorsed <- endorsed;
+           b.ucert <- ucert;
+           b.part <- part;
+           b.pos <- pos;
+           b.sent_vote_p <- sent_vote_p;
+           b.shares <- shares)
+        entries;
+      (* not persisted: recomputed as "decided voted but no UCERT yet" *)
+      if t.vsc.consensus_started then
+        Array.iteri
+          (fun slot v ->
+             if v = Some true then
+               match Hashtbl.find_opt t.ballots slot with
+               | Some b when b.ucert <> None -> ()
+               | Some _ | None -> Hashtbl.replace t.vsc.awaiting_recovery slot ())
+          t.vsc.decisions;
+      t)
+
+let attach_wal t =
+  match t.env.durable with
+  | None -> ()
+  | Some device ->
+    t.wal <- Some (Store.create ~compact_every:32 ~snapshot:(fun () -> snapshot t) device)
+
+let create env =
+  let t = create_bare env in
+  attach_wal t;
+  t
+
+let recover env =
+  match env.durable with
+  | None -> create env
+  | Some device ->
+    let recovered = Store.read device in
+    let t =
+      match recovered.Store.state with
+      | Some blob ->
+        (match restore env blob with Some t -> t | None -> create_bare env)
+      | None -> create_bare env
+    in
+    t.recovering <- true;
+    List.iter
+      (fun payload ->
+         match decode_rec t payload with
+         | Some rc -> apply_rec t rc
+         | None -> ()   (* framed but undecodable: ignore, never crash *))
+      recovered.Store.records;
+    t.recovering <- false;
+    attach_wal t;
+    (* Re-issue duties whose sends the crash may have swallowed; every
+       receiver dedupes. A node that had started consensus does not
+       rejoin the instance — the remaining quorum carries the round. *)
+    if t.vsc.submitted then send_submission t
+    else if t.vsc.consensus_started then check_recovery_complete t
+    else if t.phase = Vsc then begin
+      let entries = known_entries t in
+      multicast t (Messages.Announce_batch { sender = t.env.me; entries });
+      maybe_start_consensus t
+    end;
+    t
 
 let phase t = t.phase
 let votes_accepted t = t.votes_accepted

@@ -17,12 +17,20 @@ type env = {
   rng : Dd_crypto.Drbg.t;
   consensus_coin : Dd_consensus.Binary_batch.coin;
   verify_share_tags : bool;        (** [false] only in modeled runs without EA tags *)
+  durable : Dd_store.Device.t option;
+      (** WAL + snapshot device; [None] runs the node memory-only (the
+          scale benchmarks). With a device, every crash-critical
+          transition is made durable before any dependent send — in
+          particular the endorsed vote code before an ENDORSEMENT
+          signature leaves, which is what keeps a crash-and-restart
+          from minting the adversary a second UCERT. *)
 }
 
 type t
 
 type phase = Voting | Vsc | Submitted
 
+(** Fresh node; attaches the WAL store when [env.durable] is set. *)
 val create : env -> t
 
 (** Feed any protocol message (from voters or peer collectors). *)
@@ -46,3 +54,23 @@ val ucert_conflicts : t -> (int * string * string) list
 
 (** Per-ballot consensus outcomes ([None] until decided). *)
 val decisions : t -> bool option array
+
+(** Canonical encoding of the node's observable durable state (sorted,
+    so any two nodes in the same state snapshot to the same bytes).
+    Transient collection state — in-flight endorsement gathering,
+    waiting clients, live consensus instances — is excluded by design:
+    a restarted node abandons those and the protocol's retries rebuild
+    them. *)
+val snapshot : t -> string
+
+(** Rebuild a node from a {!snapshot} blob; [None] if malformed. *)
+val restore : env -> string -> t option
+
+(** Cold restart from [env.durable]: load the snapshot, replay the WAL
+    clean prefix through the reducer, then re-issue duties whose sends
+    the crash may have swallowed (submission resend, re-announce).
+    A node that crashed mid-consensus does not rejoin the running
+    instance — it has no protocol state to resume, and restarting from
+    scratch would equivocate; the remaining quorum carries the round.
+    Equivalent to {!create} when [env.durable] is [None] or empty. *)
+val recover : env -> t

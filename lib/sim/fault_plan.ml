@@ -26,8 +26,11 @@ type spec =
       w : window;
     }
   | Crash of { node : int; at : float; recover : float option }
-      (* network-dead: sends nothing, receives nothing; state survives
-         (the paper's crash-recover model: disk persists, NIC does not) *)
+      (* power loss: sends nothing, receives nothing, and in-memory
+         state is gone. What survives is whatever the node synced to
+         its durable device (Dd_store); at [recover] the harness
+         cold-restarts the node from that device, truncating any
+         unsynced log tail at the crash instant. *)
   | Reorder of { prob : float; horizon : float; w : window }
       (* each message independently delayed by uniform [0, horizon),
          with probability [prob] — bounded reordering *)
@@ -52,6 +55,13 @@ let reorder ~prob ~horizon ~from_ ~until_ =
 
 let delay_spike ~extra ~from_ ~until_ =
   Delay_spike { extra; w = { from_; until_ } }
+
+let crash_specs t =
+  List.filter_map
+    (function
+      | Crash { node; at; recover } -> Some (node, at, recover)
+      | Partition _ | Link _ | Reorder _ | Delay_spike _ -> None)
+    t
 
 let crashed t ~node ~at =
   List.exists

@@ -11,8 +11,10 @@
     fault (partitions, drops, duplication, reordering, spikes): local
     channels in the paper's deployment model are reliable. Crashes
     still apply — a crashed node neither sends nor receives anything,
-    including to and from itself over loopback, but its state survives
-    for recovery. *)
+    including to and from itself over loopback. A crash is a power
+    loss: in-memory state dies with the process, and recovery is a
+    cold restart from whatever the node had synced to its durable
+    device (see [Dd_store]). *)
 
 type window = { from_ : float; until_ : float }
 
@@ -49,9 +51,11 @@ val link :
   ?jitter:float -> ?duplicate:float -> from_:float -> until_:float ->
   unit -> spec
 
-(** Node [node] is network-dead from [at] until [recover] (forever when
-    [None]): it sends and receives nothing, but its in-memory state
-    survives — the crash-recover model. *)
+(** Node [node] loses power at [at]: it sends and receives nothing and
+    its in-memory state is lost. With [recover] the harness restarts it
+    at that time from its durable device (synced state only — the
+    unsynced log tail is truncated, possibly mid-record); [None] means
+    it never comes back. *)
 val crash : ?recover:float -> node:int -> at:float -> unit -> spec
 
 (** Each inter-machine message is independently held back by uniform
@@ -63,6 +67,11 @@ val delay_spike : extra:float -> from_:float -> until_:float -> spec
 
 (** Is [node] crashed at virtual time [at]? *)
 val crashed : t -> node:int -> at:float -> bool
+
+(** Every [Crash] spec in the plan, as [(node, at, recover)] — the
+    harness walks these to schedule device power-loss and cold-restart
+    events at the right instants. *)
+val crash_specs : t -> (int * float * float option) list
 
 (** The combined condition of one directed link at one instant.
     [drop]/[duplicate] are the {e extra} probabilities from the plan

@@ -1,0 +1,34 @@
+(** WAL + snapshot store over a {!Device}: sequence-numbered records,
+    periodic snapshot + log-truncation compaction, crash-consistent at
+    every step (a snapshot carries the sequence number it covers, so
+    replay after a crash mid-compaction never double-applies). *)
+
+type t
+
+type recovered = {
+  state : string option;   (** the last snapshot's payload *)
+  records : string list;   (** clean-prefix records newer than the snapshot *)
+  next_seq : int;
+}
+
+(** Read a device's durable contents. Total: a torn log tail ends the
+    record list, an unreadable snapshot reads as absent. *)
+val read : Device.t -> recovered
+
+(** [create ?compact_every ~snapshot device] opens a store, resuming
+    sequence numbering from the device's durable contents. After every
+    [compact_every] records the store calls [snapshot], stores it
+    atomically, and truncates the log; omit it for a pure input journal
+    that never compacts. *)
+val create : ?compact_every:int -> snapshot:(unit -> string) -> Device.t -> t
+
+(** Append one record. [sync] (default [true]) makes it durable before
+    returning — callers must sync before any externally visible action
+    that depends on the record. *)
+val log : ?sync:bool -> t -> string -> unit
+
+(** Explicit durability barrier for records logged with [~sync:false]. *)
+val sync : t -> unit
+
+(** Force a snapshot + truncation now. *)
+val compact : t -> unit

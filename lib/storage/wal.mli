@@ -1,0 +1,19 @@
+(** WAL record framing: [crc32 | varint length | payload], with the
+    checksum covering length and payload. Scanning is total — a torn or
+    corrupted tail ends the replay at the last clean record; it is
+    never resurrected and never raises. *)
+
+(** Frame one payload for appending. *)
+val frame : string -> string
+
+(** [append device payload] appends one framed record (volatile until
+    the device syncs). *)
+val append : Device.t -> string -> unit
+
+(** [scan log] walks framed records from the front and stops at the
+    first truncated/corrupt frame: returns the clean-prefix payloads in
+    order plus the byte offset where scanning stopped. Total. *)
+val scan : string -> string list * int
+
+(** The clean-prefix payloads only. *)
+val records : string -> string list

@@ -264,3 +264,23 @@ let encode_final_move (fin : final_move) =
     fin.row_finals;
   put_scalar buf fin.sum_z;
   Buffer.contents buf
+
+let decode_final_move s =
+  let n = String.length s in
+  let row_len = 4 * scalar_len in
+  if n < scalar_len || (n - scalar_len) mod row_len <> 0 then None
+  else begin
+    let rows = (n - scalar_len) / row_len in
+    let off = ref 0 in
+    let row_finals =
+      Array.init rows (fun _ ->
+          let c0, o = get_scalar s !off in
+          let c1, o = get_scalar s o in
+          let z0, o = get_scalar s o in
+          let z1, o = get_scalar s o in
+          off := o;
+          { c0; c1; z0; z1 })
+    in
+    let sum_z, _ = get_scalar s !off in
+    Some { row_finals; sum_z }
+  end

@@ -49,3 +49,7 @@ val encode_state : prover_state -> string
 val decode_state : string -> prover_state option
 val encode_first_move : Dd_group.Group_ctx.t -> first_move -> string
 val encode_final_move : final_move -> string
+
+(** Inverse of {!encode_final_move}; [None] on any length mismatch
+    (used by the BB nodes' durable input journal). *)
+val decode_final_move : string -> final_move option

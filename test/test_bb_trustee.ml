@@ -17,7 +17,7 @@ let setup = lazy (Ea.setup cfg ~seed)
 
 let make_bbs () =
   let s = Lazy.force setup in
-  List.init cfg.Types.nb (fun i -> Bb_node.create ~cfg ~gctx:s.Ea.gctx ~init:s.Ea.bb_init ~me:i)
+  List.init cfg.Types.nb (fun i -> Bb_node.create ~cfg ~gctx:s.Ea.gctx ~init:s.Ea.bb_init ~me:i ())
 
 (* the canonical vote set: ballot 0 votes part A option 1, ballot 2
    votes part B option 0 *)
@@ -110,7 +110,8 @@ let run_trustee_phase bbs =
         send_trustee = (fun ~dst ex -> exchange_queue := (dst, ex) :: !exchange_queue);
         post_bb =
           (fun payload ->
-             List.iter (fun bb -> Bb_node.on_trustee_post bb ~trustee:i payload) bbs) }
+             List.iter (fun bb -> Bb_node.on_trustee_post bb ~trustee:i payload) bbs);
+        durable = None }
     in
     trustees.(i) <- Some (Trustee.create env)
   done;

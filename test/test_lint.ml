@@ -76,7 +76,19 @@ let test_sans_io () =
   check_silent "bin is out of scope" "sans-io" ~file:"bin/fixture.ml"
     "let log msg = print_endline msg";
   check_silent "bench is out of scope" "sans-io" ~file:"bench/fixture.ml"
-    "let now () = Unix.gettimeofday ()"
+    "let now () = Unix.gettimeofday ()";
+  (* file IO is confined to the Dd_store file backend *)
+  check_fires "open_out in node code" "sans-io"
+    {|let save path s = let oc = open_out path in output_string oc s|};
+  check_fires "In_channel in node code" "sans-io"
+    "let slurp path = In_channel.with_open_bin path In_channel.input_all";
+  check_fires "Sys.remove in node code" "sans-io"
+    "let wipe path = Sys.remove path";
+  check_silent "file backend may touch files" "sans-io"
+    ~file:"lib/storage/file_device.ml"
+    {|let save path s = Sys.remove path; let oc = open_out path in output_string oc s|};
+  check_silent "linter reads sources" "sans-io" ~file:"lib/analysis/fixture.ml"
+    "let slurp path = In_channel.with_open_bin path In_channel.input_all"
 
 (* --- R3: exception-hygiene --------------------------------------------- *)
 

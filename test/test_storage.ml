@@ -1,0 +1,449 @@
+(* Durable-storage tests: WAL framing under truncation and bit-flips,
+   store compaction and torn-tail crash semantics over the in-memory
+   device, the real file backend, and recovery equivalence for the
+   three durable node types — a cold-restarted node must be observably
+   identical to the node it replaces. *)
+
+module Device = Dd_store.Device
+module Mem = Dd_store.Device.Mem
+module Wal = Dd_store.Wal
+module Store = Dd_store.Store
+module File_device = Dd_store.File_device
+module Types = Ddemos.Types
+module Vc_node = Ddemos.Vc_node
+module Bb_node = Ddemos.Bb_node
+module Trustee = Ddemos.Trustee
+module Bb_reader = Ddemos.Bb_reader
+module Ea = Ddemos.Ea
+module Messages = Ddemos.Messages
+module Auth = Ddemos.Auth
+module Ballot_store = Ddemos.Ballot_store
+module Ballot_gen = Ddemos.Ballot_gen
+module Drbg = Dd_crypto.Drbg
+
+(* --- WAL framing --------------------------------------------------------- *)
+
+let concat_frames payloads = String.concat "" (List.map Wal.frame payloads)
+
+let is_prefix_of scanned payloads =
+  List.length scanned <= List.length payloads
+  && List.for_all2 String.equal scanned
+       (List.filteri (fun i _ -> i < List.length scanned) payloads)
+
+let test_wal_roundtrip () =
+  let payloads = [ ""; "a"; String.make 300 'x'; "\x00\xff\x80bin" ] in
+  let log = concat_frames payloads in
+  let scanned, stopped = Wal.scan log in
+  Alcotest.(check (list string)) "all records back" payloads scanned;
+  Alcotest.(check int) "scanned to the end" (String.length log) stopped
+
+let payloads_gen =
+  QCheck.(list_of_size (Gen.int_range 1 8) (string_of_size (Gen.int_range 0 40)))
+
+let prop_truncation =
+  QCheck.Test.make ~name:"truncated log replays a clean prefix" ~count:500
+    QCheck.(pair payloads_gen (int_range 0 100_000))
+    (fun (payloads, cut_raw) ->
+       let log = concat_frames payloads in
+       let cut = cut_raw mod (String.length log + 1) in
+       let scanned, stopped = Wal.scan (String.sub log 0 cut) in
+       stopped <= cut && is_prefix_of scanned payloads)
+
+let prop_bitflip =
+  QCheck.Test.make ~name:"bit-flipped record dies, never resurrects" ~count:500
+    QCheck.(pair payloads_gen (int_range 0 1_000_000))
+    (fun (payloads, r) ->
+       let log = Bytes.of_string (concat_frames payloads) in
+       let bit = r mod (8 * Bytes.length log) in
+       let i = bit / 8 in
+       Bytes.set log i
+         (Char.chr (Char.code (Bytes.get log i) lxor (1 lsl (bit mod 8))));
+       let scanned, _ = Wal.scan (Bytes.to_string log) in
+       (* the flipped frame fails its checksum: replay stops at a strict
+          clean prefix (modulo a 2^-32 crc collision) *)
+       is_prefix_of scanned payloads
+       && List.length scanned < List.length payloads)
+
+let prop_garbage_total =
+  QCheck.Test.make ~name:"scan is total on arbitrary bytes" ~count:1000
+    QCheck.(string_of_size (Gen.int_range 0 80))
+    (fun s ->
+       let scanned, stopped = Wal.scan s in
+       stopped <= String.length s && List.length scanned * 5 <= String.length s)
+
+(* --- store over the in-memory device ------------------------------------- *)
+
+let test_store_log_read () =
+  let b = Mem.create () in
+  let d = Mem.device b in
+  let st = Store.create ~snapshot:(fun () -> "") d in
+  let recs = List.init 10 (Printf.sprintf "rec-%d") in
+  List.iter (fun r -> Store.log st r) recs;
+  let r = Store.read d in
+  Alcotest.(check (list string)) "records in order" recs r.Store.records;
+  Alcotest.(check int) "next_seq" 10 r.Store.next_seq;
+  Alcotest.(check bool) "no snapshot" true (r.Store.state = None)
+
+(* state = concatenation of logged payloads; mutate-then-log, as the
+   nodes do, so a compaction snapshot always covers the record being
+   logged *)
+let log_history st state s =
+  String.iter
+    (fun ch ->
+       let p = String.make 1 ch in
+       state := !state ^ p;
+       Store.log st p)
+    s
+
+let replayed (r : Store.recovered) =
+  Option.value ~default:"" r.Store.state ^ String.concat "" r.Store.records
+
+let test_store_compaction () =
+  let b = Mem.create () in
+  let d = Mem.device b in
+  let state = ref "" in
+  let st = Store.create ~compact_every:3 ~snapshot:(fun () -> !state) d in
+  log_history st state "abcdefghij";
+  let r = Store.read d in
+  Alcotest.(check bool) "compacted at least once" true (r.Store.state <> None);
+  Alcotest.(check string) "snapshot + tail = history" "abcdefghij" (replayed r);
+  (* reopening resumes the sequence; new records extend the history *)
+  let st2 = Store.create ~compact_every:3 ~snapshot:(fun () -> !state) d in
+  log_history st2 state "kl";
+  Alcotest.(check string) "after reopen" "abcdefghijkl" (replayed (Store.read d))
+
+let test_store_crash_mid_compaction () =
+  let b = Mem.create () in
+  let d = Mem.device b in
+  (* a device whose truncation "never happens": power loss between the
+     atomic snapshot store and the log reset *)
+  let no_reset = { d with Device.log_reset = (fun _ -> ()) } in
+  let state = ref "" in
+  let st = Store.create ~compact_every:3 ~snapshot:(fun () -> !state) no_reset in
+  log_history st state "abcdefgh";
+  (* covered records linger in the log; replay filters them by sequence
+     number — nothing double-applied, nothing lost *)
+  Alcotest.(check string) "seq-filtered replay" "abcdefgh" (replayed (Store.read d))
+
+let test_store_torn_tail () =
+  let synced = [ "one"; "two" ] and unsynced = [ "three"; "four" ] in
+  let mk () =
+    let b = Mem.create () in
+    let st = Store.create ~snapshot:(fun () -> "") (Mem.device b) in
+    List.iter (fun r -> Store.log st r) synced;
+    List.iter (fun r -> Store.log ~sync:false st r) unsynced;
+    b
+  in
+  let tail = String.length (Mem.unsynced_log (mk ())) in
+  Alcotest.(check bool) "unsynced tail pending" true (tail > 0);
+  for keep = 0 to tail do
+    let b = mk () in
+    Mem.crash ~keep b;
+    let r = Store.read (Mem.device b) in
+    let n = List.length r.Store.records in
+    (* the synced prefix always survives; of the torn tail only whole
+       clean frames replay, in order — a cut record never resurrects *)
+    if n < List.length synced then
+      Alcotest.failf "keep=%d lost a synced record" keep;
+    Alcotest.(check (list string))
+      (Printf.sprintf "keep=%d clean prefix" keep)
+      (List.filteri (fun i _ -> i < n) (synced @ unsynced))
+      r.Store.records
+  done
+
+(* --- file backend --------------------------------------------------------- *)
+
+let tmpdir () =
+  let f = Filename.temp_file "ddemos-store" ".d" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let test_file_device_roundtrip () =
+  let dir = tmpdir () in
+  let state = ref "" in
+  let st =
+    Store.create ~compact_every:4 ~snapshot:(fun () -> !state)
+      (File_device.create ~dir ~name:"node")
+  in
+  log_history st state "abcdefghij";
+  (* a separate open of the same dir/name sees the identical state *)
+  Alcotest.(check string) "file-backed history" "abcdefghij"
+    (replayed (Store.read (File_device.create ~dir ~name:"node")));
+  (* a torn tail on disk (partial frame) replays to the clean prefix *)
+  let d = File_device.create ~dir ~name:"node" in
+  d.Device.log_append "\x01\x02\x03";
+  d.Device.log_sync ();
+  Alcotest.(check string) "torn file tail dropped" "abcdefghij"
+    (replayed (Store.read (File_device.create ~dir ~name:"node")))
+
+(* --- VC node: snapshot round-trip and WAL-replay equivalence ------------- *)
+
+let vc_cfg = { Types.default_config with Types.n_voters = 6; Types.m_options = 3 }
+let gctx = Dd_group.Group_ctx.default ()
+let vc_seed = "storage-vc"
+
+type cluster = {
+  mutable nodes : Vc_node.t array;
+  mutable queue : (unit -> unit) list;
+  mutable now : float;
+  mutable t_end : float;
+  backings : Mem.backing option array;
+  keys : Auth.keys array;
+}
+
+let vc_env c i =
+  { Vc_node.me = i;
+    cfg = vc_cfg;
+    keys = c.keys.(i);
+    store = Ballot_store.virtual_prf ~seed:vc_seed ~cfg:vc_cfg ~node:i;
+    now = (fun () -> c.now);
+    election_start = 0.;
+    election_end = (fun () -> c.t_end);
+    send_vc =
+      (fun ~dst msg ->
+         c.queue <- c.queue @ [ (fun () -> Vc_node.handle c.nodes.(dst) msg) ]);
+    reply = (fun ~client:_ ~req:_ _ -> ());
+    send_bb = (fun ~dst:_ _ -> ());
+    rng = Drbg.create ~seed:(Printf.sprintf "rng|%s|%d" vc_seed i);
+    consensus_coin = Dd_consensus.Binary_batch.Local;
+    verify_share_tags = false;
+    durable = Option.map Mem.device c.backings.(i) }
+
+let make_cluster ~durable () =
+  let keys =
+    Auth.deal_clique ~scheme:Auth.Mac_scheme ~gctx ~seed:("k" ^ vc_seed)
+      ~n:(vc_cfg.Types.nv + 1)
+  in
+  let backings =
+    Array.init vc_cfg.Types.nv (fun _ -> if durable then Some (Mem.create ()) else None)
+  in
+  let c = { nodes = [||]; queue = []; now = 1.0; t_end = 100.; backings; keys } in
+  c.nodes <- Array.init vc_cfg.Types.nv (fun i -> Vc_node.create (vc_env c i));
+  c
+
+let drain_n c n =
+  let steps = ref 0 in
+  while c.queue <> [] && !steps < n do
+    incr steps;
+    match c.queue with
+    | [] -> ()
+    | f :: rest ->
+      c.queue <- rest;
+      f ()
+  done
+
+let drain c = drain_n c 100_000
+
+(* Drive the cluster to a random protocol phase: random votes, then
+   possibly election end, announcements, and a partial or complete run
+   of Vote Set Consensus (a partial drain leaves nodes mid-consensus). *)
+let drive c rng =
+  let votes = 1 + Drbg.int rng 6 in
+  for k = 0 to votes - 1 do
+    let serial = Drbg.int rng vc_cfg.Types.n_voters in
+    let part = if Drbg.int rng 2 = 0 then Types.A else Types.B in
+    let opt = Drbg.int rng vc_cfg.Types.m_options in
+    let node = Drbg.int rng vc_cfg.Types.nv in
+    let ballot = Ballot_gen.voter_ballot ~seed:vc_seed ~serial ~m:vc_cfg.Types.m_options in
+    let vote_code = (Types.ballot_part ballot part).Types.lines.(opt).Types.vote_code in
+    Vc_node.handle c.nodes.(node) (Messages.Vote { serial; vote_code; client = k; req = k });
+    drain c
+  done;
+  match Drbg.int rng 3 with
+  | 0 -> ()   (* mid-vote *)
+  | 1 ->
+    (* mid-consensus: deliver only a bounded slice of the VSC traffic *)
+    c.now <- c.t_end +. 1.;
+    Array.iter Vc_node.start_vote_set_consensus c.nodes;
+    drain_n c (Drbg.int rng 60)
+  | _ ->
+    c.now <- c.t_end +. 1.;
+    Array.iter Vc_node.start_vote_set_consensus c.nodes;
+    drain c
+
+let prop_vc_snapshot_roundtrip =
+  QCheck.Test.make ~name:"Vc_node: restore (snapshot t) observably = t" ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun n ->
+       let c = make_cluster ~durable:false () in
+       drive c (Drbg.create ~seed:(Printf.sprintf "snap|%d" n));
+       Array.iteri
+         (fun i node ->
+            let blob = Vc_node.snapshot node in
+            match Vc_node.restore (vc_env c i) blob with
+            | None -> QCheck.Test.fail_reportf "node %d: snapshot did not restore" i
+            | Some t' ->
+              if not (String.equal blob (Vc_node.snapshot t')) then
+                QCheck.Test.fail_reportf "node %d: snapshot round-trip diverged" i)
+         c.nodes;
+       true)
+
+let prop_vc_wal_replay =
+  QCheck.Test.make ~name:"Vc_node: cold restart from WAL = live node" ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun n ->
+       let c = make_cluster ~durable:true () in
+       drive c (Drbg.create ~seed:(Printf.sprintf "wal|%d" n));
+       Array.iteri
+         (fun i node ->
+            (* recovery reproduces the state as of the last durability
+               barrier, so barrier first (async announce records may
+               still sit in the volatile tail) *)
+            (match c.backings.(i) with
+             | Some b -> (Mem.device b).Device.log_sync ()
+             | None -> ());
+            let recovered = Vc_node.recover (vc_env c i) in
+            if
+              not
+                (String.equal (Vc_node.snapshot node) (Vc_node.snapshot recovered))
+            then QCheck.Test.fail_reportf "node %d diverged after WAL replay" i)
+         c.nodes;
+       true)
+
+(* a torn WAL tail never crashes recovery and never resurrects the cut
+   record: the recovered node equals some sync-consistent prefix state *)
+let prop_vc_torn_wal_total =
+  QCheck.Test.make ~name:"Vc_node: recovery total under torn WAL" ~count:15
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (n, keep_raw) ->
+       let c = make_cluster ~durable:true () in
+       drive c (Drbg.create ~seed:(Printf.sprintf "torn|%d" n));
+       Array.iteri
+         (fun i _ ->
+            match c.backings.(i) with
+            | None -> ()
+            | Some b ->
+              let tail = String.length (Mem.unsynced_log b) in
+              Mem.crash ~keep:(keep_raw mod (tail + 1)) b;
+              ignore (Vc_node.recover (vc_env c i)))
+         c.nodes;
+       true)
+
+(* --- BB node and trustee: journal replay equivalence --------------------- *)
+
+let bb_cfg = { Types.default_config with Types.n_voters = 3; Types.m_options = 2 }
+let bb_seed = "storage-bb"
+let bb_setup = lazy (Ea.setup bb_cfg ~seed:bb_seed)
+
+let bb_code ~serial ~part ~option =
+  let s = Lazy.force bb_setup in
+  (Types.ballot_part s.Ea.ballots.(serial) part).Types.lines.(option).Types.vote_code
+
+let bb_set () =
+  [ (0, bb_code ~serial:0 ~part:Types.A ~option:1);
+    (2, bb_code ~serial:2 ~part:Types.B ~option:0) ]
+
+let msk_shares () =
+  Ballot_gen.msk_shares ~seed:bb_seed ~threshold:(bb_cfg.Types.nv - bb_cfg.Types.fv)
+    ~shares:bb_cfg.Types.nv
+
+let prop_bb_journal_replay =
+  QCheck.Test.make ~name:"Bb_node: journal replay = live board" ~count:10
+    QCheck.(int_range 0 1_000_000)
+    (fun n ->
+       let s = Lazy.force bb_setup in
+       let rng = Drbg.create ~seed:(Printf.sprintf "bb|%d" n) in
+       let b = Mem.create () in
+       let bb =
+         Bb_node.create ~durable:(Mem.device b) ~cfg:bb_cfg ~gctx:s.Ea.gctx
+           ~init:s.Ea.bb_init ~me:0 ()
+       in
+       let shares = msk_shares () in
+       (* a random subset of senders in a random order, with duplicates *)
+       let k = Drbg.int rng (bb_cfg.Types.nv + 2) in
+       for _ = 1 to k do
+         let sender = Drbg.int rng bb_cfg.Types.nv in
+         Bb_node.on_vote_set_submit bb ~sender ~set:(bb_set ())
+           ~msk_share:shares.(sender)
+       done;
+       let bb' =
+         Bb_node.recover ~durable:(Mem.device b) ~cfg:bb_cfg ~gctx:s.Ea.gctx
+           ~init:s.Ea.bb_init ~me:0 ()
+       in
+       String.equal (Bb_node.observable bb) (Bb_node.observable bb'))
+
+let test_full_pipeline_recovery () =
+  let s = Lazy.force bb_setup in
+  let shares = msk_shares () in
+  let bb_backings = Array.init bb_cfg.Types.nb (fun _ -> Mem.create ()) in
+  let bbs =
+    List.init bb_cfg.Types.nb (fun i ->
+        Bb_node.create ~durable:(Mem.device bb_backings.(i)) ~cfg:bb_cfg
+          ~gctx:s.Ea.gctx ~init:s.Ea.bb_init ~me:i ())
+  in
+  List.iter
+    (fun bb ->
+       for sender = 0 to bb_cfg.Types.nv - 1 do
+         Bb_node.on_vote_set_submit bb ~sender ~set:(bb_set ()) ~msk_share:shares.(sender)
+       done)
+    bbs;
+  (* trustee phase over direct wiring, every trustee journaling *)
+  let t_backings = Array.init bb_cfg.Types.nt (fun _ -> Mem.create ()) in
+  let queue = ref [] in
+  let t_env i =
+    { Trustee.me = i; cfg = bb_cfg; gctx = s.Ea.gctx;
+      init = s.Ea.trustee_init.(i);
+      keys = s.Ea.trustee_keys.(i);
+      send_trustee = (fun ~dst ex -> queue := (dst, ex) :: !queue);
+      post_bb =
+        (fun payload ->
+           List.iter (fun bb -> Bb_node.on_trustee_post bb ~trustee:i payload) bbs);
+      durable = Some (Mem.device t_backings.(i)) }
+  in
+  let trustees = Array.init bb_cfg.Types.nt (fun i -> Trustee.create (t_env i)) in
+  (match Bb_reader.voted_positions ~cfg:bb_cfg bbs with
+   | Bb_reader.Agreed voted ->
+     Array.iter (fun t -> Trustee.on_election_data t ~voted) trustees
+   | Bb_reader.No_majority -> Alcotest.fail "no majority voted view");
+  List.iter
+    (fun (dst, ex) -> Trustee.on_exchange trustees.(dst) ex)
+    (List.rev !queue);
+  (match Bb_reader.tally ~cfg:bb_cfg bbs with
+   | Bb_reader.Agreed _ -> ()
+   | Bb_reader.No_majority -> Alcotest.fail "pipeline produced no tally");
+  (* every board cold-restarts to an observably identical board *)
+  List.iteri
+    (fun i bb ->
+       let bb' =
+         Bb_node.recover ~durable:(Mem.device bb_backings.(i)) ~cfg:bb_cfg
+           ~gctx:s.Ea.gctx ~init:s.Ea.bb_init ~me:i ()
+       in
+       Alcotest.(check string)
+         (Printf.sprintf "bb %d observable" i)
+         (Bb_node.observable bb) (Bb_node.observable bb'))
+    bbs;
+  (* every trustee likewise; its replay re-posts to the live boards,
+     which must dedupe them without changing state *)
+  let before = List.map Bb_node.observable bbs in
+  Array.iteri
+    (fun i t ->
+       let t' = Trustee.recover (t_env i) in
+       Alcotest.(check string)
+         (Printf.sprintf "trustee %d observable" i)
+         (Trustee.observable t) (Trustee.observable t'))
+    trustees;
+  Alcotest.(check (list string)) "boards unchanged by replayed posts" before
+    (List.map Bb_node.observable bbs)
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "storage"
+    [ ("wal",
+       Alcotest.test_case "frame/scan roundtrip" `Quick test_wal_roundtrip
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_truncation; prop_bitflip; prop_garbage_total ]);
+      ("store",
+       [ Alcotest.test_case "log and read back" `Quick test_store_log_read;
+         Alcotest.test_case "compaction preserves history" `Quick test_store_compaction;
+         Alcotest.test_case "crash mid-compaction" `Quick test_store_crash_mid_compaction;
+         Alcotest.test_case "torn tail at every cut" `Quick test_store_torn_tail;
+         Alcotest.test_case "file backend roundtrip" `Quick test_file_device_roundtrip ]);
+      ("vc-recovery",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_vc_snapshot_roundtrip; prop_vc_wal_replay; prop_vc_torn_wal_total ]);
+      ("bb-trustee-recovery",
+       QCheck_alcotest.to_alcotest prop_bb_journal_replay
+       :: [ Alcotest.test_case "full pipeline cold restart" `Quick
+              test_full_pipeline_recovery ]) ]

@@ -49,7 +49,8 @@ let make_cluster ?(now = 1.0) () =
       send_bb = (fun ~dst msg -> bb_submissions := (dst, msg) :: !bb_submissions);
       rng = Drbg.create ~seed:(Printf.sprintf "rng%d" i);
       consensus_coin = Dd_consensus.Binary_batch.Local;
-      verify_share_tags = false }
+      verify_share_tags = false;
+      durable = None }
   in
   cluster.nodes <- Array.init cfg.Types.nv (fun i -> Vc_node.create (make_env i));
   cluster
