@@ -17,8 +17,9 @@
 
    Usage:
      main.exe                 all figures, scaled-down quick mode
-     main.exe fig4a ... table1 | micro     specific parts
+     main.exe fig4a ... table1 | micro | stream     specific parts
      main.exe --full          paper-scale parameters (slow; hours)
+     main.exe --stream-n N    large stream point at N voters (CI smoke)
 
    Quick mode scales the cast-ballot counts down (the paper casts
    200,000 ballots per configuration); shapes are preserved. See
@@ -30,6 +31,9 @@ module Cost_model = Ddemos.Cost_model
 module Liveness = Ddemos.Liveness
 module Ballot_gen = Ddemos.Ballot_gen
 module Ballot_store = Ddemos.Ballot_store
+module Election_store = Ddemos.Election_store
+module Segment = Dd_segment.Segment
+module File_device = Dd_store.File_device
 module Net = Dd_sim.Net
 module Stats = Dd_sim.Stats
 
@@ -46,6 +50,22 @@ let bench_domains =
       match int_of_string_opt Sys.argv.(i + 1) with
       | Some d when d >= 1 -> min d 64
       | _ -> 4
+    else scan (i + 1)
+  in
+  scan 1
+
+(* [--stream-n N] overrides the stream section's large point (default
+   100_000, the committed-baseline scale): CI's streaming-smoke job
+   runs 10_000 on pull requests and the full 100_000 nightly. The
+   small 1k anchor point is fixed — it is the denominator of the
+   memory-flatness guard. *)
+let stream_big_n =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then 100_000
+    else if Sys.argv.(i) = "--stream-n" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n > 1_000 -> n
+      | _ -> 100_000
     else scan (i + 1)
   in
   scan 1
@@ -240,6 +260,11 @@ let table1 () =
 
 let json_mode = Array.exists (( = ) "--json") Sys.argv
 
+(* Sections that feed BENCH_micro.json ([micro], [stream]) append their
+   rows here; the artifact is written once, after every selected section
+   ran, so `micro stream --json` produces a single combined baseline. *)
+let json_rows : (string * float) list ref = ref []
+
 module Nat = Dd_bignum.Nat
 module Modular = Dd_bignum.Modular
 module Curve = Dd_group.Curve
@@ -249,6 +274,7 @@ module Curve = Dd_group.Curve
    in the same run (see seed_baseline.ml), so every file carries its own
    before/after comparison — no cross-machine or cross-run deltas. *)
 let write_json rows =
+  let rows = List.sort compare rows in
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"schema\": \"ddemos-bench-micro/1\",\n";
   Printf.fprintf oc "  \"mode\": \"%s\",\n" (if full_scale then "full" else "quick");
@@ -514,7 +540,149 @@ let micro () =
   pr "# Microbenchmarks (this machine), one per table/figure kernel\n";
   List.iter (fun (name, est) -> pr "%-50s %12.0f ns/op\n" name est) rows;
   pr "\n";
-  if json_mode then write_json rows;
+  if json_mode then json_rows := !json_rows @ rows;
+  flush_section ()
+
+(* --- streaming-pipeline points: bounded-memory setup and audit -------- *)
+
+(* VmHWM from /proc/self/status in bytes — the kernel's resident-set
+   high-water mark for this process. 0.0 when /proc is unavailable. *)
+let vm_hwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> close_in ic; acc
+      | line ->
+        let acc =
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            (try
+               Scanf.sscanf
+                 (String.sub line 6 (String.length line - 6))
+                 " %d" (fun kb -> float_of_int kb *. 1024.)
+             with Scanf.Scan_failure _ | Failure _ | End_of_file -> acc)
+          else acc
+        in
+        go acc
+    in
+    go 0.0
+
+(* Each data point runs in a freshly exec'd child of this very binary
+   (hidden [_stream_point] argv, handled before the normal dispatch)
+   and reports (wall ns, top-heap bytes, VmHWM bytes) on stdout. Both
+   memory figures are process-lifetime high-water marks that never go
+   back down, so measuring in-process would report whatever earlier
+   section peaked highest (the bechamel suite, the 100k point when
+   measuring the 1k one after it); a pristine process per point gives
+   each workload its own clean water line. (Unix.fork would do too,
+   but OCaml 5 forbids it once the micro suite has created domains.) *)
+let measure_spawned args =
+  let rd, wr = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  let pid =
+    Unix.create_process Sys.executable_name
+      (Array.append [| Sys.executable_name |] args)
+      Unix.stdin wr Unix.stderr
+  in
+  Unix.close wr;
+  let ic = Unix.in_channel_of_descr rd in
+  let line = try Some (input_line ic) with End_of_file -> None in
+  close_in ic;
+  let _, status = Unix.waitpid [] pid in
+  match line, status with
+  | Some l, Unix.WEXITED 0 ->
+    Scanf.sscanf l "%f %f %f" (fun ns heap hwm -> (ns, heap, hwm))
+  | _ -> failwith "bench stream: measurement child failed"
+
+let stream_cfg ~tag ~n =
+  { Types.default_config with
+    Types.n_voters = n; Types.m_options = 4;
+    Types.election_id = "bench-stream-" ^ tag }
+
+(* The child side of [measure_spawned]: run one workload, print the
+   measurements, exit. *)
+let stream_point_child ~op ~tag ~n ~dir =
+  let cfg = stream_cfg ~tag ~n in
+  let dev () = File_device.create ~dir ~name:("plain-" ^ tag) in
+  let t0 = Unix.gettimeofday () in
+  (match op with
+   | "setup" -> ignore (Election_store.write_plain (dev ()) cfg ~seed:"bench-stream")
+   | "audit" ->
+     let m =
+       match Segment.load (dev ()) with
+       | Segment.Sealed m -> m
+       | _ -> failwith "bench stream: segment did not seal"
+     in
+     (match Election_store.verify_plain (dev ()) cfg m with
+      | Ok k when k = n -> ()
+      | Ok k -> failwith (Printf.sprintf "bench stream: verified %d of %d" k n)
+      | Error e -> failwith ("bench stream: " ^ e))
+   | _ -> failwith "bench stream: unknown op");
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let heap =
+    float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+    *. float_of_int (Sys.word_size / 8)
+  in
+  Printf.printf "%.1f %.1f %.1f\n" ns heap (vm_hwm_bytes ());
+  flush stdout
+
+(* The million-voter streaming pipeline at its CI-scale points: stream
+   the plain-profile validation material to a real on-disk segment
+   ([Election_store.write_plain]), then audit it slice-by-slice against
+   the sealed Merkle root ([verify_plain]). Single-shot wall-clock
+   timing (these are multi-second whole-pipeline runs, not nanosecond
+   kernels — bechamel's repeated-sampling machinery buys nothing here)
+   plus per-point RSS. bench_guard enforces that the 100k RSS stays
+   within 2x of the 1k RSS: memory is bounded by the chunk size, not
+   the electorate. *)
+let stream () =
+  pr "# Streaming pipeline: plain-profile setup & slice audit (fresh child per point)\n";
+  let tmp =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ddemos-bench-stream-%d" (Unix.getpid ()))
+    in
+    if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+    d
+  in
+  let big_tag =
+    if stream_big_n mod 1_000 = 0 then string_of_int (stream_big_n / 1_000) ^ "k"
+    else string_of_int stream_big_n
+  in
+  let points = [ ("1k", 1_000); (big_tag, stream_big_n) ] in
+  let rows =
+    List.concat_map
+      (fun (tag, n) ->
+         let point op =
+           measure_spawned [| "_stream_point"; op; tag; string_of_int n; tmp |]
+         in
+         let setup_ns, setup_heap, setup_hwm = point "setup" in
+         let audit_ns, audit_heap, audit_hwm = point "audit" in
+         (* prefer the kernel's RSS; fall back to the OCaml heap
+            high-water where /proc is unavailable *)
+         let rss hwm heap = if hwm > 0. then hwm else heap in
+         pr "  n=%-5s setup %9.1f ms  rss %7.1f MiB   audit %9.1f ms  rss %7.1f MiB\n"
+           tag (setup_ns /. 1e6)
+           (rss setup_hwm setup_heap /. 1024. /. 1024.)
+           (audit_ns /. 1e6)
+           (rss audit_hwm audit_heap /. 1024. /. 1024.);
+         [ ("ea-setup." ^ tag, setup_ns);
+           ("audit-stream." ^ tag, audit_ns);
+           ("ea-setup.rss." ^ tag, rss setup_hwm setup_heap);
+           ("audit-stream.rss." ^ tag, rss audit_hwm audit_heap);
+           ("ea-setup.heap." ^ tag, setup_heap);
+           ("audit-stream.heap." ^ tag, audit_heap) ])
+      points
+  in
+  let v k = List.assoc k rows in
+  pr "  rss growth %s/1k: setup %.2fx, audit %.2fx (guard: < 2x)\n\n" big_tag
+    (v ("ea-setup.rss." ^ big_tag) /. v "ea-setup.rss.1k")
+    (v ("audit-stream.rss." ^ big_tag) /. v "audit-stream.rss.1k");
+  Array.iter (fun f -> Sys.remove (Filename.concat tmp f)) (Sys.readdir tmp);
+  (try Sys.rmdir tmp with Sys_error _ -> ());
+  if json_mode then json_rows := !json_rows @ rows;
   flush_section ()
 
 (* Ablations for the design choices DESIGN.md calls out: the batched
@@ -600,10 +768,16 @@ let thm1 () =
   flush_section ()
 
 let () =
+  (* hidden child mode for the stream section's per-point measurement *)
+  (match Sys.argv with
+   | [| _; "_stream_point"; op; tag; n; dir |] ->
+     stream_point_child ~op ~tag ~n:(int_of_string n) ~dir;
+     exit 0
+   | _ -> ());
   let want name =
     let rec drop_flags = function
-      | "--domains" :: _ :: rest -> drop_flags rest
-      | [ "--domains" ] -> []
+      | ("--domains" | "--stream-n") :: _ :: rest -> drop_flags rest
+      | [ ("--domains" | "--stream-n") ] -> []
       | ("--full" | "--json") :: rest -> drop_flags rest
       | a :: rest -> a :: drop_flags rest
       | [] -> []
@@ -616,6 +790,7 @@ let () =
   pr "paper: 200k ballots cast per point; quick mode casts %d per point\n\n" (scale 200_000);
   flush_section ();
   if want "micro" then micro ();
+  if want "stream" then stream ();
   if want "fig4a" || want "fig4b" then begin
     let matrix = fig4_matrix ~wan:false in
     if want "fig4a" then print_fig4_latency ~wan:false matrix;
@@ -633,4 +808,5 @@ let () =
   if want "fig5b" then fig5b ();
   if want "fig5c" then fig5c ();
   if want "table1" then table1 ();
-  if want "thm1" then thm1 ()
+  if want "thm1" then thm1 ();
+  if json_mode && !json_rows <> [] then write_json !json_rows

@@ -14,7 +14,12 @@
    Large improvements (fresh faster than baseline by the same factor)
    are reported too — not as failures, but as a prompt to refresh the
    committed baseline: a stale slow baseline would mask a later
-   regression of the same magnitude. *)
+   regression of the same magnitude.
+
+   Memory entries from the `stream` section (keys containing ".rss." or
+   ".heap.") get a different rule: same-run 100k-vs-1k flatness under
+   2x, the bounded-memory contract of the streaming pipeline (see
+   DESIGN.md 6.5). *)
 
 let parse_results path =
   let ic =
@@ -52,6 +57,32 @@ let scaling_d1_key key =
     if suffix <> "1" then Some (String.sub key 0 d ^ "1") else None
   else None
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Memory high-water entries ([...].rss.* / [...].heap.*, in bytes) are
+   never compared across runs: absolute RSS depends on the box's
+   allocator, page size, and binary layout. What the streaming pipeline
+   promises is FLATNESS — peak memory bounded by the chunk size, not
+   the electorate — so the guard checks, within each file separately,
+   that every large-point memory entry (any suffix other than the fixed
+   [.1k] anchor: the committed baseline's [.100k], a PR smoke run's
+   [.10k], ...) stays under [mem_factor] (2x) of its [.1k] sibling
+   measured in the same run. *)
+let is_memory_key key = contains key ".rss." || contains key ".heap."
+
+let mem_factor = 2.0
+
+let memory_1k_key key =
+  match String.rindex_opt key '.' with
+  | None -> None
+  | Some i ->
+    let tag = String.sub key (i + 1) (String.length key - i - 1) in
+    if tag = "1k" || tag = "" then None
+    else Some (String.sub key 0 (i + 1) ^ "1k")
+
 let () =
   let baseline, fresh, factor =
     match Sys.argv with
@@ -72,6 +103,7 @@ let () =
     (fun key bv ->
        match Hashtbl.find_opt cur key with
        | None -> missing := key :: !missing
+       | Some _ when is_memory_key key -> ()  (* gated by the flatness pass *)
        | Some cv ->
          incr checked;
          let ratio_pair =
@@ -90,9 +122,34 @@ let () =
             if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions
             else if cv *. factor < bv then improvements := (key, bv, cv) :: !improvements))
     base;
+  (* memory flatness: 100k RSS within mem_factor of 1k, per file *)
+  let flat_failures = ref [] in
+  let check_flat label tbl =
+    Hashtbl.iter
+      (fun key v100 ->
+         if is_memory_key key then
+           match memory_1k_key key with
+           | None -> ()
+           | Some k1 ->
+             (match Hashtbl.find_opt tbl k1 with
+              | Some v1 when v1 > 0. ->
+                incr checked;
+                if v100 > v1 *. mem_factor then
+                  flat_failures := (label, key, v1, v100) :: !flat_failures
+              | _ -> ()))
+      tbl
+  in
+  check_flat "baseline" base;
+  check_flat "fresh" cur;
   List.iter
     (fun key -> Printf.printf "WARN  %s: present in baseline, missing from fresh run\n" key)
     (List.sort compare !missing);
+  List.iter
+    (fun (label, key, v1, v100) ->
+       Printf.printf
+         "FAIL  %s %s: %.0f -> %.0f bytes vs 1k sibling (%.2fx > %.2fx allowed memory growth)\n"
+         label key v1 v100 (v100 /. v1) mem_factor)
+    (List.sort compare !flat_failures);
   List.iter
     (fun (key, bv, cv) ->
        let is_ratio =
@@ -113,8 +170,10 @@ let () =
     Printf.printf
       "NOTE  %d kernel(s) improved past the %.2fx guard band; the committed \
        baseline is stale and would mask an equal-size regression — refresh it \
-       with `dune exec bench/main.exe -- micro --json`\n"
+       with `dune exec bench/main.exe -- micro stream --json`\n"
       (List.length !improvements) factor;
-  Printf.printf "bench_guard: %d keys checked against %s, %d regression(s), %d improvement(s), factor %.2fx\n"
-    !checked baseline (List.length !regressions) (List.length !improvements) factor;
-  if !regressions <> [] then exit 1
+  Printf.printf
+    "bench_guard: %d keys checked against %s, %d regression(s), %d memory-growth failure(s), %d improvement(s), factor %.2fx\n"
+    !checked baseline (List.length !regressions) (List.length !flat_failures)
+    (List.length !improvements) factor;
+  if !regressions <> [] || !flat_failures <> [] then exit 1

@@ -1,6 +1,7 @@
 (* Command-line front end for the D-DEMOS library.
 
      ddemos run       simulate a complete election (full or modeled)
+     ddemos deploy    stream election state to disk and serve from it
      ddemos liveness  print Theorem 1 / Table I bounds for parameters
      ddemos ballot    print a voter's ballot for a given setup seed
 
@@ -10,8 +11,12 @@
 module Types = Ddemos.Types
 module Ea = Ddemos.Ea
 module Election = Ddemos.Election
+module Election_store = Ddemos.Election_store
+module Board = Ddemos.Board
 module Auditor = Ddemos.Auditor
 module Liveness = Ddemos.Liveness
+module Segment = Dd_segment.Segment
+module File_device = Dd_store.File_device
 module Stats = Dd_sim.Stats
 
 open Cmdliner
@@ -128,6 +133,169 @@ let run_cmd =
     Term.(const run $ voters $ options_ $ nv $ fv $ seed
           $ turnout $ modeled $ byzantine $ clients $ wan $ audit)
 
+(* --- deploy -------------------------------------------------------------- *)
+
+(* Long-running deployment mode: election state lives in append-only
+   segment files under --state-dir, written by a streaming (and
+   crash-resumable) setup pass and served back with bounded memory.
+   Running the same command again after a mid-setup crash resumes from
+   the last durable checkpoint and produces bit-identical files. *)
+let deploy_cmd =
+  let state_dir =
+    Arg.(required
+         & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Directory holding the election's segment files (created if missing).")
+  in
+  let plain =
+    Arg.(value & flag
+         & info [ "plain" ]
+             ~doc:"Plain profile: stream only the vote-code validation material \
+                   (salted hashes) instead of the full cryptographic setup; \
+                   scales to millions of voters.")
+  in
+  let chunk =
+    Arg.(value & opt int 0
+         & info [ "chunk-size" ] ~docv:"C"
+             ~doc:"Records per segment chunk / durable checkpoint (default 1024).")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ] ~doc:"After setup, stream-verify the on-disk state.")
+  in
+  let audit_slice =
+    Arg.(value & opt int (-1)
+         & info [ "audit-slice" ] ~docv:"K"
+             ~doc:"Verify only chunk K against the segment root (reads nothing else).")
+  in
+  let run_election =
+    Arg.(value & flag
+         & info [ "run" ]
+             ~doc:"Run a full election served from the on-disk segments \
+                   (full profile only).")
+  in
+  let turnout =
+    Arg.(value & opt int 0
+         & info [ "turnout" ] ~docv:"K" ~doc:"With --run: voters actually casting (default: all).")
+  in
+  let hex = Dd_crypto.Sha256.hex_of_string in
+  let deploy voters m nv fv seed state_dir plain chunk verify audit_slice run_election turnout =
+    let cfg = cfg_of ~voters ~m ~nv ~fv in
+    (match Types.validate_config cfg with
+     | Error e -> prerr_endline ("invalid configuration: " ^ e); exit 1
+     | Ok () -> ());
+    if not (Sys.file_exists state_dir) then Sys.mkdir state_dir 0o755;
+    let chunk_size = if chunk > 0 then Some chunk else None in
+    let devices name = File_device.create ~dir:state_dir ~name in
+    if plain then begin
+      let dev = devices Election_store.plain_segment in
+      Printf.printf "streaming plain validation material for %d voters to %s...\n%!"
+        voters state_dir;
+      let t0 = Sys.time () in
+      let manifest = Election_store.write_plain ?chunk_size dev cfg ~seed in
+      Printf.printf "sealed %S: %d records, %d chunks, root %s (%.2fs cpu)\n"
+        Election_store.plain_segment manifest.Segment.total
+        (Segment.n_chunks manifest) (hex manifest.Segment.root) (Sys.time () -. t0);
+      if audit_slice >= 0 then begin
+        match
+          Election_store.verify_plain_slice dev cfg manifest
+            ~root:manifest.Segment.root audit_slice
+        with
+        | Ok k -> Printf.printf "slice %d: %d records verified against the root\n" audit_slice k
+        | Error e -> Printf.printf "slice %d: FAIL — %s\n" audit_slice e; exit 1
+      end;
+      if verify then begin
+        match Election_store.verify_plain dev cfg manifest with
+        | Ok k -> Printf.printf "verified %d records (streaming, one chunk resident)\n" k
+        | Error e -> Printf.printf "verify: FAIL — %s\n" e; exit 1
+      end
+    end
+    else begin
+      Printf.printf "streaming full-crypto setup for %d voters to %s...\n%!" voters state_dir;
+      let t0 = Sys.time () in
+      let layout = Election_store.resume_setup ?chunk_size devices cfg ~seed in
+      let pr name (mf : Segment.manifest) =
+        Printf.printf "  %-12s %7d records %5d chunks  root %s\n" name mf.Segment.total
+          (Segment.n_chunks mf) (String.sub (hex mf.Segment.root) 0 16)
+      in
+      Printf.printf "sealed layout (%.2fs cpu):\n" (Sys.time () -. t0);
+      pr Election_store.bb_segment layout.Election_store.l_bb;
+      pr Election_store.ballots_segment layout.Election_store.l_ballots;
+      Array.iteri (fun i mf -> pr (Election_store.vc_segment i) mf)
+        layout.Election_store.l_vc;
+      Array.iteri (fun i mf -> pr (Election_store.trustee_segment i) mf)
+        layout.Election_store.l_trustee;
+      let gctx = layout.Election_store.l_static.Ea.st_gctx in
+      let board () =
+        Board.segmented gctx (devices Election_store.bb_segment)
+          layout.Election_store.l_bb
+      in
+      if audit_slice >= 0 then begin
+        let b = board () in
+        match Board.slice_proof b audit_slice, Board.slice b audit_slice with
+        | Some (chunk_root, proof), Some (first, ballots)
+          when Segment.verify_slice ~root:(Board.root b) ~chunk_root proof ->
+          Printf.printf "slice %d: %d ballots (serials %d..%d) verified against root %s\n"
+            audit_slice (Array.length ballots) first
+            (first + Array.length ballots - 1)
+            (String.sub (hex (Board.root b)) 0 16)
+        | _ -> Printf.printf "slice %d: FAIL\n" audit_slice; exit 1
+      end;
+      if verify then begin
+        let b = board () in
+        let count = ref 0 in
+        if Board.iter b (fun _ -> incr count) && !count = voters then
+          Printf.printf "verified %d board ballots (streaming, cache %s)\n" !count
+            (match Board.cache_stats b with
+             | Some (h, m) -> Printf.sprintf "%d hits / %d misses" h m
+             | None -> "-")
+        else begin
+          Printf.printf "verify: FAIL — board stream stopped at %d\n" !count;
+          exit 1
+        end
+      end;
+      if run_election then begin
+        let turnout = if turnout <= 0 || turnout > voters then voters else turnout in
+        let votes =
+          List.init turnout (fun i ->
+              { Election.vi_serial = i * (voters / turnout); Election.vi_choice = i mod m })
+        in
+        let fidelity =
+          Election.Stored { Election.sd_devices = devices; Election.sd_layout = layout }
+        in
+        let p = Election.default_params ~fidelity cfg ~votes in
+        let p = { p with Election.seed; voter_patience = 5. } in
+        Printf.printf "running election from on-disk state: n=%d turnout=%d\n%!" voters turnout;
+        let r = Election.run p in
+        Printf.printf "receipts: %d/%d  (bad %d, rejected %d)\n" r.Election.receipts_ok turnout
+          r.Election.receipts_bad r.Election.rejections;
+        (match r.Election.tally with
+         | Some t ->
+           Printf.printf "tally:   ";
+           Array.iteri (fun i c -> Printf.printf "option%d=%d " i c) t;
+           print_newline ()
+         | None -> print_endline "tally: none published");
+        match Auditor.assemble ~cfg ~gctx r.Election.bb_nodes with
+        | None -> print_endline "audit: no majority view"; exit 1
+        | Some view ->
+          let checks = Auditor.audit view in
+          List.iter
+            (fun c ->
+               Printf.printf "  [%s] %s — %s\n" (if c.Auditor.ok then "PASS" else "FAIL")
+                 c.Auditor.name c.Auditor.detail)
+            checks;
+          Printf.printf "audit: %s\n" (if Auditor.all_ok checks then "PASS" else "FAIL");
+          if not (Auditor.all_ok checks) then exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:"Stream election state into segment files under --state-dir and serve from them. \
+             Re-running after a crash resumes from the last durable checkpoint.")
+    Term.(const deploy $ voters $ options_ $ nv $ fv $ seed $ state_dir $ plain $ chunk
+          $ verify $ audit_slice $ run_election $ turnout)
+
 (* --- liveness ------------------------------------------------------------ *)
 
 let liveness_cmd =
@@ -191,4 +359,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "ddemos" ~version:"1.0.0"
              ~doc:"D-DEMOS distributed end-to-end verifiable voting (ICDCS 2016 reproduction)")
-          [ run_cmd; liveness_cmd; ballot_cmd ]))
+          [ run_cmd; deploy_cmd; liveness_cmd; ballot_cmd ]))

@@ -90,5 +90,32 @@ let encode gctx t =
   let c = Group_ctx.curve gctx in
   Curve.encode c t.c1 ^ Curve.encode c t.c2
 
+(* Inverse of [encode]. The two point encodings are self-delimiting
+   (1 byte for infinity, 1 + 2*byte_len otherwise), so the split point
+   is read off the leading tag byte. *)
+let decode gctx s =
+  let c = Group_ctx.curve gctx in
+  let n = String.length s in
+  let point_len off =
+    if off >= n then None
+    else if s.[off] = '\x00' then Some 1
+    else Some (1 + (2 * Curve.byte_len c))
+  in
+  match point_len 0 with
+  | None -> None
+  | Some l1 -> (
+      match point_len l1 with
+      | None -> None
+      | Some l2 ->
+          if l1 + l2 <> n then None
+          else begin
+            match
+              ( Curve.decode c (String.sub s 0 l1),
+                Curve.decode c (String.sub s l1 l2) )
+            with
+            | Some c1, Some c2 -> Some { c1; c2 }
+            | _ -> None
+          end)
+
 let components t = (t.c1, t.c2)
 let make ~c1 ~c2 = { c1; c2 }

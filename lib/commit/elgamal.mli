@@ -52,6 +52,10 @@ val equal : Group_ctx.t -> t -> t -> bool
 (** Canonical byte encoding (for hashing into transcripts). *)
 val encode : Group_ctx.t -> t -> string
 
+(** Inverse of {!encode}, with full point validation; [None] on any
+    malformed or off-curve input (used by the segmented board codec). *)
+val decode : Group_ctx.t -> string -> t option
+
 (** Raw component access, used by the ZK proof module. *)
 val components : t -> Curve.point * Curve.point
 val make : c1:Curve.point -> c2:Curve.point -> t

@@ -28,7 +28,7 @@ let check name ok detail = { name; ok; detail }
 type view = {
   cfg : Types.config;
   gctx : Group_ctx.t;
-  init : Ea.bb_init;
+  board : Board.t;
   final_set : (int * string) list;
   voted : (int * (Types.part_id * int)) list;   (* serial -> used part, position *)
   opened_codes : (int * Types.part_id * int, string) Hashtbl.t;
@@ -40,20 +40,12 @@ type view = {
 let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
   match Bb_reader.final_set ~cfg nodes, Bb_reader.voted_positions ~cfg nodes with
   | Bb_reader.Agreed final_set, Bb_reader.Agreed voted ->
-    (* initialization data is replicated; cross-check by majority on a
-       cheap fingerprint before adopting one copy *)
-    let fingerprint (bb : Bb_node.t) =
-      let b = Buffer.create 256 in
-      Array.iter
-        (fun (bal : Ea.bb_ballot) ->
-           Array.iter
-             (Array.iter
-                (fun (e : Ea.bb_part_entry) ->
-                   Buffer.add_string b (Elgamal.encode gctx e.Ea.commitment.(0))))
-             bal.Ea.bb_parts)
-        (Bb_node.init bb).Ea.bb_ballots;
-      Dd_crypto.Sha256.digest (Buffer.contents b)
-    in
+    (* initialization data is replicated; cross-check by majority on
+       the boards' Merkle roots before adopting one copy. The root
+       covers every encoded ballot record (not just a commitment
+       sample), is O(1) to read off a segmented node, and is the same
+       value slice auditors later verify chunks against. *)
+    let fingerprint (bb : Bb_node.t) = Board.root (Bb_node.board bb) in
     (match
        Bb_reader.read ~quorum:(cfg.Types.fb + 1) ~equal:String.equal
          ~extract:(fun bb -> Some (fingerprint bb)) nodes
@@ -98,7 +90,7 @@ let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
           | Some opened_codes ->
             Some
               { cfg; gctx;
-                init = Bb_node.init majority_node;
+                board = Bb_node.board majority_node;
                 final_set; voted;
                 opened_codes;
                 unused_openings = pub.Bb_node.unused_openings;
@@ -106,30 +98,33 @@ let assemble ~cfg ~gctx (nodes : Bb_node.t list) =
                 tally = majority_tally }))
   | _ -> None
 
-(* (a) within each opened ballot, all vote codes are distinct *)
+(* (a) within each opened ballot, all vote codes are distinct.
+   Streams the board (one chunk resident at a time when segmented); a
+   board chunk that fails verification fails the check. *)
 let check_distinct_codes v =
   let ok = ref true in
-  Array.iter
-    (fun (bal : Ea.bb_ballot) ->
-       let serial = bal.Ea.bb_serial in
-       let codes = ref [] in
-       List.iter
-         (fun part ->
-            Array.iteri
-              (fun pos _ ->
-                 match Hashtbl.find_opt v.opened_codes (serial, part, pos) with
-                 | Some c -> codes := c :: !codes
-                 | None -> ())
-              bal.Ea.bb_parts.(Types.part_index part))
-         [ Types.A; Types.B ];
-       let sorted = List.sort compare !codes in
-       let rec dup = function
-         | a :: (b :: _ as rest) -> a = b || dup rest
-         | _ -> false
-       in
-       if dup sorted then ok := false)
-    v.init.Ea.bb_ballots;
-  check "a:distinct-vote-codes" !ok "every opened ballot has pairwise distinct vote codes"
+  let streamed =
+    Board.iter v.board (fun (bal : Ea.bb_ballot) ->
+        let serial = bal.Ea.bb_serial in
+        let codes = ref [] in
+        List.iter
+          (fun part ->
+             Array.iteri
+               (fun pos _ ->
+                  match Hashtbl.find_opt v.opened_codes (serial, part, pos) with
+                  | Some c -> codes := c :: !codes
+                  | None -> ())
+               bal.Ea.bb_parts.(Types.part_index part))
+          [ Types.A; Types.B ];
+        let sorted = List.sort compare !codes in
+        let rec dup = function
+          | a :: (b :: _ as rest) -> a = b || dup rest
+          | _ -> false
+        in
+        if dup sorted then ok := false)
+  in
+  check "a:distinct-vote-codes" (!ok && streamed)
+    "every opened ballot has pairwise distinct vote codes"
 
 (* (b) at most one submitted code per ballot *)
 let check_single_submission v =
@@ -222,7 +217,9 @@ let check_openings ?(batch = true) ?pool v =
   let crypto = ref [] in
   List.iter
     (fun ((serial, part), (openings : Elgamal.opening array array)) ->
-       let entries = v.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
+       match Board.entries v.board ~serial ~part with
+       | None -> note_offender bad serial part "no such ballot on the board"
+       | Some entries ->
        if Array.length openings <> Array.length entries then
          note_offender bad serial part "opening count does not match the ballot"
        else
@@ -310,7 +307,9 @@ let check_zk ?(batch = true) ?pool v =
        match Hashtbl.find_opt v.zk_finals (serial, part) with
        | None -> note_offender bad serial part "no ZK final move published"
        | Some finals ->
-         let entries = v.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
+         match Board.entries v.board ~serial ~part with
+         | None -> note_offender bad serial part "no such ballot on the board"
+         | Some entries ->
          if Array.length finals <> Array.length entries then
            note_offender bad serial part "final-move count does not match the ballot"
          else begin
@@ -365,6 +364,59 @@ let check_zk ?(batch = true) ?pool v =
   match !bad with
   | None -> check "e:zk-proofs" true (Printf.sprintf "%d used-part proofs verified" !checked)
   | Some o -> check "e:zk-proofs" false (offender_detail o)
+
+(* Slice auditing: many independent auditors, one board root. Each
+   auditor takes a disjoint chunk range and verifies its chunks against
+   the shared root using only those chunks' bytes — on a segmented
+   board nothing outside the chunk's byte span is read, so auditing
+   parallelizes across parties with per-party work O(n / n_chunks)
+   (pinned by test: every other chunk of the device can be corrupt). *)
+let audit_slice ?root v ~chunk =
+  let root = match root with Some r -> r | None -> Board.root v.board in
+  match Board.slice_proof v.board chunk with
+  | None ->
+    [ check "s:slice-proof" false (Printf.sprintf "chunk %d out of range" chunk) ]
+  | Some (chunk_root, path) ->
+    let in_root =
+      check "s:slice-in-root"
+        (Dd_segment.Segment.verify_slice ~root ~chunk_root path)
+        (Printf.sprintf "chunk %d's root commits into the board root" chunk)
+    in
+    (match Board.slice v.board chunk with
+     | None ->
+       [ in_root;
+         check "s:slice-readable" false
+           (Printf.sprintf "chunk %d failed CRC/Merkle/decode verification" chunk) ]
+     | Some (first, ballots) ->
+       let readable =
+         check "s:slice-readable" true
+           (Printf.sprintf "chunk %d: %d ballots verified" chunk (Array.length ballots))
+       in
+       (* check (a) restricted to this slice's serials *)
+       let ok = ref true in
+       Array.iteri
+         (fun i (bal : Ea.bb_ballot) ->
+            if bal.Ea.bb_serial <> first + i then ok := false;
+            let codes = ref [] in
+            List.iter
+              (fun part ->
+                 Array.iteri
+                   (fun pos _ ->
+                      match Hashtbl.find_opt v.opened_codes (bal.Ea.bb_serial, part, pos) with
+                      | Some c -> codes := c :: !codes
+                      | None -> ())
+                   bal.Ea.bb_parts.(Types.part_index part))
+              [ Types.A; Types.B ];
+            let sorted = List.sort compare !codes in
+            let rec dup = function
+              | a :: (b :: _ as rest) -> a = b || dup rest
+              | _ -> false
+            in
+            if dup sorted then ok := false)
+         ballots;
+       [ in_root; readable;
+         check "a:distinct-vote-codes" !ok
+           "every opened ballot in the slice has pairwise distinct vote codes" ])
 
 (* tally consistency: Esum from the final set opens to the published
    counts, and the counts sum to the number of voted ballots *)

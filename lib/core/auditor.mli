@@ -12,11 +12,14 @@ type check = {
   detail : string;
 }
 
-(** A coherent election view assembled from the BB majority. *)
+(** A coherent election view assembled from the BB majority. The
+    ballot table arrives as a {!Board} — the auditor streams it rather
+    than holding it, so auditing a segmented node keeps peak memory
+    flat in the electorate size. *)
 type view = {
   cfg : Types.config;
   gctx : Dd_group.Group_ctx.t;
-  init : Ea.bb_init;
+  board : Board.t;
   final_set : (int * string) list;
   voted : (int * (Types.part_id * int)) list;
   opened_codes : (int * Types.part_id * int, string) Hashtbl.t;
@@ -26,10 +29,20 @@ type view = {
 }
 
 (** Majority-read the replicas (cross-checking the replicated
-    initialization data by fingerprint); [None] until a majority has
-    published the final set and opened the codes. *)
+    initialization data by its board Merkle root); [None] until a
+    majority has published the final set and opened the codes. *)
 val assemble :
   cfg:Types.config -> gctx:Dd_group.Group_ctx.t -> Bb_node.t list -> view option
+
+(** Slice auditing: verify one chunk of the view's board against the
+    trusted board root ([?root] defaults to the view's own), reading
+    only that chunk's bytes on a segmented board — so independent
+    auditors can split the electorate into disjoint chunk ranges and
+    each audit theirs against the same root. Checks: the chunk root
+    commits into the board root ([s:slice-in-root]), the chunk's bytes
+    verify and decode ([s:slice-readable]), and check (a) restricted
+    to the slice's serials. *)
+val audit_slice : ?root:string -> view -> chunk:int -> check list
 
 (** Run every check: (a) distinct codes per ballot, (b) one submission
     per ballot, (c) one part used, (d) unused-part openings are valid

@@ -1,8 +1,11 @@
 (* A VC node's view of the election data: salted vote-code hashes and
    receipt shares per ballot line, plus this node's msk share.
 
-   Two backings:
+   Three backings:
    - [materialized]: real EA initialization data (full-crypto runs);
+   - [segmented]: a sealed on-disk ["vc-<i>"] segment served through a
+     bounded chunk cache — real long-running deployments where the
+     line table must not live in RAM;
    - [virtual_prf]: data derived on demand from the setup seed, with a
      bounded cache — the stand-in for the prototype's PostgreSQL table
      that lets the Fig. 5a experiments cover electorates of hundreds of
@@ -13,6 +16,12 @@ module Shamir_bytes = Dd_vss.Shamir_bytes
 
 type t =
   | Materialized of Ea.vc_node_init
+  | Segmented of {
+      sg_cfg : Types.config;
+      sg_gctx : Dd_group.Group_ctx.t;
+      sg_msk_share : Shamir_bytes.share;
+      sg_cache : Dd_segment.Segment.Cache.t;
+    }
   | Virtual of {
       seed : string;
       cfg : Types.config;
@@ -24,6 +33,11 @@ type t =
 
 let materialized init = Materialized init
 
+let segmented ?(cache_slots = 4) ~gctx ~cfg ~msk_share device manifest =
+  Segmented
+    { sg_cfg = cfg; sg_gctx = gctx; sg_msk_share = msk_share;
+      sg_cache = Dd_segment.Segment.Cache.create ~slots:cache_slots device manifest }
+
 let virtual_prf ~seed ~cfg ~node =
   let msk_shares =
     Ballot_gen.msk_shares ~seed ~threshold:(cfg.Types.nv - cfg.Types.fv) ~shares:cfg.Types.nv
@@ -34,6 +48,7 @@ let virtual_prf ~seed ~cfg ~node =
 
 let n_voters = function
   | Materialized init -> Array.length init.Ea.vc_lines
+  | Segmented s -> s.sg_cfg.Types.n_voters
   | Virtual v -> v.cfg.Types.n_voters
 
 let lines t ~serial ~part =
@@ -41,6 +56,14 @@ let lines t ~serial ~part =
   | Materialized init ->
     if serial < 0 || serial >= Array.length init.Ea.vc_lines then [||]
     else init.Ea.vc_lines.(serial).(Types.part_index part)
+  | Segmented s ->
+    (match Dd_segment.Segment.Cache.record s.sg_cache serial with
+     | None -> [||]
+     | Some payload ->
+       (match Election_store.decode_vc_record s.sg_gctx payload with
+        | Some parts when Types.part_index part < Array.length parts ->
+          parts.(Types.part_index part)
+        | _ -> [||]))
   | Virtual v ->
     if serial < 0 || serial >= v.cfg.Types.n_voters then [||]
     else begin
@@ -59,6 +82,7 @@ let lines t ~serial ~part =
 
 let msk_share = function
   | Materialized init -> init.Ea.vc_msk_share
+  | Segmented s -> s.sg_msk_share
   | Virtual v -> v.msk_share
 
 (* Locate a vote code in a ballot: scan both parts' salted hashes, as

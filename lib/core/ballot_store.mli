@@ -10,6 +10,15 @@
 type t
 
 val materialized : Ea.vc_node_init -> t
+
+(** Serve this node's line table from a sealed ["vc-<i>"] segment
+    (see {!Election_store}) through a bounded LRU of [cache_slots]
+    decoded chunks (default 4). *)
+val segmented :
+  ?cache_slots:int -> gctx:Dd_group.Group_ctx.t -> cfg:Types.config ->
+  msk_share:Dd_vss.Shamir_bytes.share ->
+  Dd_store.Device.t -> Dd_segment.Segment.manifest -> t
+
 val virtual_prf : seed:string -> cfg:Types.config -> node:int -> t
 
 val n_voters : t -> int

@@ -45,6 +45,11 @@ type t = {
   cfg : Types.config;
   gctx : Group_ctx.t;
   init : Ea.bb_init;
+  (* the ballot table itself is served through [board]: the same array
+     as [init.bb_ballots] on the materialized path, or a sealed on-disk
+     segment for million-voter deployments (init then carries an empty
+     array; hmsk/salt_msk remain authoritative) *)
+  board : Board.t;
   (* submissions *)
   mutable vote_sets : (int * (int * string) list) list;   (* VC node -> set *)
   mutable msk_shares : Shamir_bytes.share list;
@@ -59,8 +64,13 @@ type t = {
   mutable journal : Store.t option;
 }
 
-let create_bare ~cfg ~gctx ~init ~me =
-  { me; cfg; gctx; init;
+let create_bare ?board ~cfg ~gctx ~init ~me () =
+  let board =
+    match board with
+    | Some b -> b
+    | None -> Board.materialized gctx init.Ea.bb_ballots
+  in
+  { me; cfg; gctx; init; board;
     vote_sets = []; msk_shares = [];
     posts = { openings = Hashtbl.create 64; tally_shares = []; zk_posts = Hashtbl.create 64 };
     pub =
@@ -78,8 +88,8 @@ let attach_journal t durable =
        the protocol (nv submissions + a few posts per trustee) *)
     t.journal <- Some (Store.create ~snapshot:(fun () -> "") device)
 
-let create ?durable ~cfg ~gctx ~init ~me () =
-  let t = create_bare ~cfg ~gctx ~init ~me in
+let create ?durable ?board ~cfg ~gctx ~init ~me () =
+  let t = create_bare ?board ~cfg ~gctx ~init ~me () in
   attach_journal t durable;
   t
 
@@ -91,6 +101,7 @@ let journal_input t msg =
   | None -> ()
 
 let init t = t.init
+let board t = t.board
 
 let subscribe_final_set t f = t.on_final_set <- f :: t.on_final_set
 let subscribe_tally t f = t.on_tally <- f :: t.on_tally
@@ -108,21 +119,23 @@ let sets_equal a b =
 (* Decrypt every vote code in the initialization data with the
    reconstructed msk and publish the mapping. *)
 let open_codes t msk =
-  let table = Hashtbl.create (Array.length t.init.Ea.bb_ballots * 2) in
-  Array.iter
-    (fun (b : Ea.bb_ballot) ->
-       List.iter
-         (fun part ->
-            let entries = b.Ea.bb_parts.(Types.part_index part) in
-            Array.iteri
-              (fun pos (e : Ea.bb_part_entry) ->
-                 let iv, ct = e.Ea.enc_code in
-                 match Dd_crypto.Aes128.cbc_decrypt ~key:msk ~iv ct with
-                 | code -> Hashtbl.replace table (b.Ea.bb_serial, part, pos) code
-                 | exception Invalid_argument _ -> ())
-              entries)
-         [ Types.A; Types.B ])
-    t.init.Ea.bb_ballots;
+  let table = Hashtbl.create (Board.n_ballots t.board * 2) in
+  (* one chunk resident at a time on a segmented board; a chunk that
+     fails verification leaves its codes unopened, which downstream
+     checks then surface *)
+  ignore
+    (Board.iter t.board (fun (b : Ea.bb_ballot) ->
+         List.iter
+           (fun part ->
+              let entries = b.Ea.bb_parts.(Types.part_index part) in
+              Array.iteri
+                (fun pos (e : Ea.bb_part_entry) ->
+                   let iv, ct = e.Ea.enc_code in
+                   match Dd_crypto.Aes128.cbc_decrypt ~key:msk ~iv ct with
+                   | code -> Hashtbl.replace table (b.Ea.bb_serial, part, pos) code
+                   | exception Invalid_argument _ -> ())
+                entries)
+           [ Types.A; Types.B ]));
   t.pub.opened_codes <- Some table
 
 (* The position a cast vote code occupies, once codes are opened. *)
@@ -155,10 +168,11 @@ let compute_encrypted_tally t =
            match locate_code t ~serial ~code with
            | None -> acc
            | Some (part, pos) ->
-             let entry =
-               t.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part).(pos)
-             in
-             Array.mapi (fun j c -> Elgamal.add t.gctx c entry.Ea.commitment.(j)) acc)
+             (match Board.entries t.board ~serial ~part with
+              | Some entries when pos < Array.length entries ->
+                let entry = entries.(pos) in
+                Array.mapi (fun j c -> Elgamal.add t.gctx c entry.Ea.commitment.(j)) acc
+              | _ -> acc))
         zero set
     in
     t.pub.encrypted_tally <- Some esum
@@ -242,7 +256,9 @@ let accept_openings t ~trustee entries =
            let all = Hashtbl.find_all t.posts.openings key in
            if List.length all >= ht t then begin
              let serial = e.Trustee_payload.o_serial and part = e.Trustee_payload.o_part in
-             let bb_entries = t.init.Ea.bb_ballots.(serial).Ea.bb_parts.(Types.part_index part) in
+             match Board.entries t.board ~serial ~part with
+             | None -> ()   (* unknown serial (or unreadable chunk): ignore the post *)
+             | Some bb_entries ->
              let positions = Array.length bb_entries in
              let m = t.cfg.Types.m_options in
              let selected = List.filteri (fun i _ -> i < ht t) all in
@@ -348,8 +364,8 @@ let handle t (msg : Messages.bb_msg) =
 (* Cold restart: replay the journaled writes through the live handlers
    (deterministic, no sends) with no subscribers attached yet, then
    re-attach the journal so new writes append after the replayed ones. *)
-let recover ?durable ~cfg ~gctx ~init ~me () =
-  let t = create_bare ~cfg ~gctx ~init ~me in
+let recover ?durable ?board ~cfg ~gctx ~init ~me () =
+  let t = create_bare ?board ~cfg ~gctx ~init ~me () in
   (match durable with
    | None -> ()
    | Some device ->

@@ -1,0 +1,69 @@
+(** The bulletin board's ballot table behind one interface, so
+    {!Bb_node} and {!Auditor} are indifferent to whether the election's
+    initialization data lives in RAM or in a sealed {!Dd_segment}
+    segment on disk.
+
+    Two backings:
+    - [materialized]: the [Ea.bb_ballot array] straight out of
+      {!Ea.setup} — small and mid-size elections, and every existing
+      test;
+    - [segmented]: a sealed ["bb"] segment served through a bounded
+      {!Segment.Cache} — million-voter deployments, where peak memory
+      must stay flat in the electorate size.
+
+    Both backings expose the same Merkle [root]: the segmented board
+    reads it from the manifest, the materialized board re-derives it by
+    encoding its ballots with the {!Election_store} codec and chunking
+    exactly as a segment writer would. Equal data therefore yields an
+    equal root on either path, which is what lets an auditor compare a
+    disk-backed node against an in-memory one. *)
+
+module Device = Dd_store.Device
+module Segment = Dd_segment.Segment
+
+type t
+
+(** [materialized ?chunk_size gctx ballots] — serves from the array.
+    [chunk_size] (default {!Segment.default_chunk_size}) only affects
+    the derived [root]'s chunking, and must match the segment layout it
+    is compared against. *)
+val materialized : ?chunk_size:int -> Dd_group.Group_ctx.t -> Ea.bb_ballot array -> t
+
+(** [segmented ?cache_slots gctx device manifest] — serves decoded
+    chunks through an LRU of [cache_slots] (default 4) resident
+    chunks. *)
+val segmented :
+  ?cache_slots:int -> Dd_group.Group_ctx.t -> Device.t -> Segment.manifest -> t
+
+val n_ballots : t -> int
+
+(** The ballot with this serial; [None] when out of range or (segmented
+    only) when the backing chunk fails CRC/Merkle/decode verification. *)
+val ballot : t -> int -> Ea.bb_ballot option
+
+(** One part's entries of one ballot — the random-access shape the BB
+    handlers need. *)
+val entries : t -> serial:int -> part:Types.part_id -> Ea.bb_part_entry array option
+
+(** Stream every ballot in serial order, one chunk resident at a time
+    on the segmented path. Returns [false] if a chunk failed
+    verification (the surviving prefix has been visited). *)
+val iter : t -> (Ea.bb_ballot -> unit) -> bool
+
+(** The board's Merkle commitment (see the module preamble). Computed
+    lazily and cached on the materialized path. *)
+val root : t -> string
+
+val chunk_size : t -> int
+val n_chunks : t -> int
+
+(** Decoded ballots of one chunk: [(first_serial, ballots)]. *)
+val slice : t -> int -> (int * Ea.bb_ballot array) option
+
+(** [(chunk_root, path)] proving chunk [c] against {!root} — checked
+    with {!Segment.verify_slice}. *)
+val slice_proof : t -> int -> (string * Segment.Merkle.step list) option
+
+(** (hits, misses) of the chunk cache; [None] on the materialized
+    path. *)
+val cache_stats : t -> (int * int) option

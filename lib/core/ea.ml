@@ -82,22 +82,66 @@ let inverse_perm perm =
   Array.iteri (fun option pos -> inv.(pos) <- option) perm;
   inv
 
-(* Full-crypto setup. Cost grows with n_voters * m^2; intended for the
-   tests, the examples, and the post-election-phase benchmarks. The
-   large-scale vote-collection benchmarks use Ballot_store.virtual_prf
-   instead, which derives only the plain material on demand.
+(* --- chunked streaming setup ----------------------------------------- *)
 
-   Per-ballot work shards across [?pool] (default: the DDEMOS_DOMAINS
-   pool). Every random draw a ballot part makes comes from its own
-   DRBG, forked serially per (serial, part) before the parallel
-   region, and every write lands in a slot indexed by (serial, part) —
-   so the setup transcript is a pure function of the seed, identical
-   for every pool size (pinned by test_parallel). *)
-let setup ?(scheme = Auth.Schnorr_scheme) ?pool (cfg : Types.config) ~seed =
+(* Everything the EA produces that is O(1) in the number of voters:
+   the per-chunk emissions below carry the O(n) part. *)
+type static = {
+  st_cfg : Types.config;
+  st_gctx : Group_ctx.t;
+  st_vc_keys : Auth.keys array;
+  st_trustee_keys : Auth.keys array;
+  st_hmsk : string;
+  st_salt_msk : string;
+  st_msk_shares : Shamir_bytes.share array;
+  st_n_chunks : int;
+  st_chunk_size : int;
+}
+
+(* One contiguous serial range [ck_first, ck_first + |ck_ballots|) of
+   every party's init data: the unit of streaming emission, durable
+   checkpointing and resume. *)
+type chunk = {
+  ck_index : int;
+  ck_first : int;
+  ck_ballots : Types.ballot array;
+  ck_bb : bb_ballot array;
+  (* node -> serial-in-chunk -> part -> position *)
+  ck_vc : Types.vc_line array array array array;
+  (* trustee -> serial-in-chunk -> part *)
+  ck_trustee : trustee_part_data array array array;
+}
+
+let default_setup_chunk = 1024
+
+(* Full-crypto setup, streamed chunk by chunk. Cost grows with
+   n_voters * m^2; intended for the tests, the examples, and the
+   post-election-phase benchmarks. The large-scale vote-collection
+   benchmarks use Ballot_store.virtual_prf instead, which derives only
+   the plain material on demand.
+
+   Transcript discipline (pinned by test_parallel and the chunk-size
+   invariance test in test_core): the parent [rng] is consumed ONLY by
+   [Drbg.fork] calls, one per (serial, part), in ascending serial
+   order. Chunking therefore cannot perturb any draw — the fork
+   sequence is identical whether the loop runs monolithically or in
+   chunks of any size, and per-ballot work happens on the forked child
+   DRBGs inside the [?pool]-parallel region, every write landing in a
+   slot indexed by (serial, part).
+
+   [from_chunk] supports crash-resume: chunks below it are not
+   regenerated, but their (serial, part) forks are still drawn from
+   the parent in order and discarded, so the chunks that are
+   regenerated see bit-identical DRBGs. *)
+let setup_chunks ?(scheme = Auth.Schnorr_scheme) ?pool
+    ?(chunk_size = default_setup_chunk) ?(from_chunk = 0)
+    (cfg : Types.config) ~seed ~emit =
   (match Types.validate_config cfg with
    | Ok () -> ()
    (* lint: allow exception-hygiene — the EA is the trusted dealer; config comes from the operator *)
    | Error e -> invalid_arg ("Ea.setup: " ^ e));
+  (* lint: allow exception-hygiene — the EA is the trusted dealer; config comes from the operator *)
+  if chunk_size <= 0 then invalid_arg "Ea.setup_chunks: chunk_size";
   let gctx = Group_ctx.default () in
   let n = cfg.Types.n_voters and m = cfg.Types.m_options in
   let nv = cfg.Types.nv and fv = cfg.Types.fv in
@@ -110,20 +154,140 @@ let setup ?(scheme = Auth.Schnorr_scheme) ?pool (cfg : Types.config) ~seed =
   let ea_vc = vc_keys.(nv) and ea_trustee = trustee_keys.(nt) in
   let msk = Ballot_gen.msk ~seed in
   let pool = match pool with Some p -> p | None -> Pool.get_default () in
-  (* one DRBG per (serial, part), forked in fixed serial order: the
-     draws inside the parallel region below cannot depend on which
-     domain runs which ballot *)
-  let part_rngs =
-    Array.init n (fun serial ->
-        Array.init 2 (fun pi ->
-            Drbg.fork rng ~label:(Printf.sprintf "ballot|%d|%d" serial pi)))
-  in
-  let ballots =
-    Pool.parallel_map pool
-      (fun serial -> Ballot_gen.voter_ballot ~seed ~serial ~m)
-      (Array.init n (fun serial -> serial))
-  in
-  (* accumulators *)
+  let n_chunks = (n + chunk_size - 1) / chunk_size in
+  for ck_index = 0 to n_chunks - 1 do
+    let ck_first = ck_index * chunk_size in
+    let count = min chunk_size (n - ck_first) in
+    (* one DRBG per (serial, part), forked in fixed serial order *)
+    let part_rngs =
+      Array.init count (fun i ->
+          Array.init 2 (fun pi ->
+              Drbg.fork rng
+                ~label:(Printf.sprintf "ballot|%d|%d" (ck_first + i) pi)))
+    in
+    if ck_index >= from_chunk then begin
+      let ck_ballots =
+        Pool.parallel_map pool
+          (fun i -> Ballot_gen.voter_ballot ~seed ~serial:(ck_first + i) ~m)
+          (Array.init count (fun i -> i))
+      in
+      let ck_vc =
+        Array.init nv (fun _ -> Array.init count (fun _ -> Array.make 2 [||]))
+      in
+      let ck_bb = Array.make count { bb_serial = 0; bb_parts = [||] } in
+      let ck_trustee =
+        Array.init nt (fun _ -> Array.init count (fun _ ->
+            Array.make 2
+              { t_shares = [||];
+                t_zk_state_share = { Shamir_bytes.x = 0; Shamir_bytes.data = "" };
+                t_zk_state_tag = Auth.Mac_tag [||] }))
+      in
+      Pool.parallel_for pool count (fun i ->
+        let serial = ck_first + i in
+        let bb_parts = Array.make 2 [||] in
+        List.iter
+          (fun part ->
+             let pi = Types.part_index part in
+             let rng = part_rngs.(i).(pi) in
+             let mat = Ballot_gen.gen_part ~seed ~serial ~part ~m in
+             let inv = inverse_perm mat.Ballot_gen.perm in
+             (* VC validation lines with EA-signed receipt shares *)
+             let all_shares =
+               Array.init m (fun pos ->
+                   Ballot_gen.receipt_shares ~seed ~serial ~part ~pos
+                     ~receipt:mat.Ballot_gen.receipts.(pos) ~threshold:(nv - fv) ~shares:nv)
+             in
+             for node = 0 to nv - 1 do
+               ck_vc.(node).(i).(pi) <-
+                 Array.init m (fun pos ->
+                     let share = all_shares.(pos).(node) in
+                     let body =
+                       Messages.share_body ~election_id:cfg.Types.election_id ~serial ~part
+                         ~pos ~node ~share
+                     in
+                     { Types.code_hash = mat.Ballot_gen.hashes.(pos);
+                       Types.salt = mat.Ballot_gen.salts.(pos);
+                       Types.receipt_share = share;
+                       Types.share_tag = Some (Auth.sign ~rng ea_vc body) })
+             done;
+             (* commitments, proofs, encrypted codes, trustee shares *)
+             let entries =
+               Array.init m (fun pos ->
+                   let option = inv.(pos) in
+                   let commitment, opening =
+                     Unit_vector.commit gctx rng ~options:m ~choice:option
+                   in
+                   let state, zk_first =
+                     Ballot_proof.prove_commit gctx rng ~commitments:commitment
+                       ~openings:opening
+                   in
+                   let per_coord =
+                     Array.map
+                       (fun o -> Elgamal_vss.deal gctx rng ~opening:o ~threshold:ht ~shares:nt)
+                       opening
+                   in
+                   let iv = Drbg.bytes rng 16 in
+                   let ct = Dd_crypto.Aes128.cbc_encrypt ~key:msk ~iv mat.Ballot_gen.codes.(pos) in
+                   (* stash trustee shares *)
+                   (pos, commitment, per_coord, state, zk_first, (iv, ct)))
+             in
+             (* share the part's ZK states (all positions, concatenated) *)
+             let state_blob =
+               String.concat ""
+                 (Array.to_list
+                    (Array.map
+                       (fun (_, _, _, state, _, _) ->
+                          let s = Ballot_proof.encode_state state in
+                          Printf.sprintf "%08d" (String.length s) ^ s)
+                       entries))
+             in
+             let state_shares = Shamir_bytes.split rng ~secret:state_blob ~threshold:ht ~shares:nt in
+             for trustee = 0 to nt - 1 do
+               let t_shares =
+                 Array.map (fun (_, _, per_coord, _, _, _) ->
+                     Array.map (fun (_, shares) -> shares.(trustee)) per_coord)
+                   entries
+               in
+               let share = state_shares.(trustee) in
+               let tag =
+                 Auth.sign ~rng ea_trustee
+                   (zk_state_body ~election_id:cfg.Types.election_id ~serial ~part ~trustee share)
+               in
+               ck_trustee.(trustee).(i).(pi) <-
+                 { t_shares; t_zk_state_share = share; t_zk_state_tag = tag }
+             done;
+             bb_parts.(pi) <-
+               Array.map
+                 (fun (_, commitment, per_coord, _, zk_first, enc_code) ->
+                    { enc_code;
+                      commitment;
+                      vss_aux = Array.map fst per_coord;
+                      zk_first })
+                 entries)
+          [ Types.A; Types.B ];
+        ck_bb.(i) <- { bb_serial = serial; bb_parts });
+      emit { ck_index; ck_first; ck_ballots; ck_bb; ck_vc; ck_trustee }
+    end
+  done;
+  { st_cfg = cfg;
+    st_gctx = gctx;
+    st_vc_keys = vc_keys;
+    st_trustee_keys = trustee_keys;
+    st_hmsk = Ballot_gen.msk_commitment ~seed;
+    st_salt_msk = Ballot_gen.msk_salt ~seed;
+    st_msk_shares = Ballot_gen.msk_shares ~seed ~threshold:(nv - fv) ~shares:nv;
+    st_n_chunks = n_chunks;
+    st_chunk_size = chunk_size }
+
+(* Materialized setup: the chunked pass with an emit that fills arrays.
+   Identical output to the pre-streaming implementation for any chunk
+   size (the fork-order argument above). *)
+let setup ?(scheme = Auth.Schnorr_scheme) ?pool ?chunk_size (cfg : Types.config) ~seed =
+  let n = cfg.Types.n_voters in
+  let nv = cfg.Types.nv and nt = cfg.Types.nt in
+  let ballots = Array.make n { Types.serial = 0;
+                               part_a = { Types.lines = [||] };
+                               part_b = { Types.lines = [||] } } in
   let vc_lines =
     Array.init nv (fun _ -> Array.init n (fun _ -> Array.make 2 [||]))
   in
@@ -135,96 +299,23 @@ let setup ?(scheme = Auth.Schnorr_scheme) ?pool (cfg : Types.config) ~seed =
             t_zk_state_share = { Shamir_bytes.x = 0; Shamir_bytes.data = "" };
             t_zk_state_tag = Auth.Mac_tag [||] }))
   in
-  Pool.parallel_for pool n (fun serial ->
-    let bb_parts = Array.make 2 [||] in
-    List.iter
-      (fun part ->
-         let pi = Types.part_index part in
-         let rng = part_rngs.(serial).(pi) in
-         let mat = Ballot_gen.gen_part ~seed ~serial ~part ~m in
-         let inv = inverse_perm mat.Ballot_gen.perm in
-         (* VC validation lines with EA-signed receipt shares *)
-         let all_shares =
-           Array.init m (fun pos ->
-               Ballot_gen.receipt_shares ~seed ~serial ~part ~pos
-                 ~receipt:mat.Ballot_gen.receipts.(pos) ~threshold:(nv - fv) ~shares:nv)
-         in
-         for node = 0 to nv - 1 do
-           vc_lines.(node).(serial).(pi) <-
-             Array.init m (fun pos ->
-                 let share = all_shares.(pos).(node) in
-                 let body =
-                   Messages.share_body ~election_id:cfg.Types.election_id ~serial ~part
-                     ~pos ~node ~share
-                 in
-                 { Types.code_hash = mat.Ballot_gen.hashes.(pos);
-                   Types.salt = mat.Ballot_gen.salts.(pos);
-                   Types.receipt_share = share;
-                   Types.share_tag = Some (Auth.sign ~rng ea_vc body) })
-         done;
-         (* commitments, proofs, encrypted codes, trustee shares *)
-         let entries =
-           Array.init m (fun pos ->
-               let option = inv.(pos) in
-               let commitment, opening =
-                 Unit_vector.commit gctx rng ~options:m ~choice:option
-               in
-               let state, zk_first =
-                 Ballot_proof.prove_commit gctx rng ~commitments:commitment
-                   ~openings:opening
-               in
-               let per_coord =
-                 Array.map
-                   (fun o -> Elgamal_vss.deal gctx rng ~opening:o ~threshold:ht ~shares:nt)
-                   opening
-               in
-               let iv = Drbg.bytes rng 16 in
-               let ct = Dd_crypto.Aes128.cbc_encrypt ~key:msk ~iv mat.Ballot_gen.codes.(pos) in
-               (* stash trustee shares *)
-               (pos, commitment, per_coord, state, zk_first, (iv, ct)))
-         in
-         (* share the part's ZK states (all positions, concatenated) *)
-         let state_blob =
-           String.concat ""
-             (Array.to_list
-                (Array.map
-                   (fun (_, _, _, state, _, _) ->
-                      let s = Ballot_proof.encode_state state in
-                      Printf.sprintf "%08d" (String.length s) ^ s)
-                   entries))
-         in
-         let state_shares = Shamir_bytes.split rng ~secret:state_blob ~threshold:ht ~shares:nt in
-         for trustee = 0 to nt - 1 do
-           let t_shares =
-             Array.map (fun (_, _, per_coord, _, _, _) ->
-                 Array.map (fun (_, shares) -> shares.(trustee)) per_coord)
-               entries
-           in
-           let share = state_shares.(trustee) in
-           let tag =
-             Auth.sign ~rng ea_trustee
-               (zk_state_body ~election_id:cfg.Types.election_id ~serial ~part ~trustee share)
-           in
-           trustee_ballots.(trustee).(serial).(pi) <-
-             { t_shares; t_zk_state_share = share; t_zk_state_tag = tag }
-         done;
-         bb_parts.(pi) <-
-           Array.map
-             (fun (_, commitment, per_coord, _, zk_first, enc_code) ->
-                { enc_code;
-                  commitment;
-                  vss_aux = Array.map fst per_coord;
-                  zk_first })
-             entries)
-      [ Types.A; Types.B ];
-    bb_ballots.(serial) <- { bb_serial = serial; bb_parts });
-  let msk_shares = Ballot_gen.msk_shares ~seed ~threshold:(nv - fv) ~shares:nv in
-  { cfg; seed; gctx; ballots; vc_keys; trustee_keys;
+  let emit ck =
+    let count = Array.length ck.ck_ballots in
+    Array.blit ck.ck_ballots 0 ballots ck.ck_first count;
+    Array.blit ck.ck_bb 0 bb_ballots ck.ck_first count;
+    for node = 0 to nv - 1 do
+      Array.blit ck.ck_vc.(node) 0 vc_lines.(node) ck.ck_first count
+    done;
+    for t = 0 to nt - 1 do
+      Array.blit ck.ck_trustee.(t) 0 trustee_ballots.(t) ck.ck_first count
+    done
+  in
+  let st = setup_chunks ~scheme ?pool ?chunk_size cfg ~seed ~emit in
+  { cfg; seed; gctx = st.st_gctx; ballots;
+    vc_keys = st.st_vc_keys; trustee_keys = st.st_trustee_keys;
     vc_init =
       Array.init nv (fun i ->
-          { vc_id = i; vc_msk_share = msk_shares.(i); vc_lines = vc_lines.(i) });
+          { vc_id = i; vc_msk_share = st.st_msk_shares.(i); vc_lines = vc_lines.(i) });
     bb_init =
-      { hmsk = Ballot_gen.msk_commitment ~seed;
-        salt_msk = Ballot_gen.msk_salt ~seed;
-        bb_ballots };
+      { hmsk = st.st_hmsk; salt_msk = st.st_salt_msk; bb_ballots };
     trustee_init = Array.init nt (fun i -> { t_id = i; t_ballots = trustee_ballots.(i) }) }

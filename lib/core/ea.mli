@@ -71,14 +71,63 @@ val zk_state_body :
 
 val inverse_perm : int array -> int array
 
+(** The O(1)-in-[n_voters] output of {!setup_chunks}: keys, msk
+    commitments and shares. The O(n) material streams through the
+    [emit] callback. *)
+type static = {
+  st_cfg : Types.config;
+  st_gctx : Dd_group.Group_ctx.t;
+  st_vc_keys : Auth.keys array;
+  st_trustee_keys : Auth.keys array;
+  st_hmsk : string;
+  st_salt_msk : string;
+  st_msk_shares : Shamir_bytes.share array;  (* lint: secret *)
+  st_n_chunks : int;
+  st_chunk_size : int;
+}
+
+(** One contiguous serial range of every party's init data — the unit
+    of streaming emission and durable checkpointing. Covers serials
+    [ck_first, ck_first + Array.length ck_ballots). *)
+type chunk = {
+  ck_index : int;
+  ck_first : int;
+  ck_ballots : Types.ballot array;  (* lint: secret *)
+  ck_bb : bb_ballot array;
+  ck_vc : Types.vc_line array array array array;
+      (** node -> serial-in-chunk -> part -> position *)
+  ck_trustee : trustee_part_data array array array;  (* lint: secret *)
+      (** trustee -> serial-in-chunk -> part *)
+}
+
+(** Chunk size used when the caller does not pick one. *)
+val default_setup_chunk : int
+
+(** Streaming full-cryptography setup: generates the election in
+    ascending chunks of [chunk_size] serials, calling [emit] once per
+    chunk, with only one chunk of material resident at a time (the
+    caller decides what to retain — the segment writers stream it to
+    disk). Deterministic in [seed] and *chunking-invariant*: the parent
+    DRBG is consumed only by per-(serial, part) forks in ascending
+    serial order, so every chunk size (and every [?pool] size) yields
+    bit-identical material. [from_chunk] resumes a crashed run: earlier
+    chunks are skipped (their forks are drawn and discarded to keep the
+    transcript aligned) and emission starts at that chunk.
+    Raises [Invalid_argument] on an invalid configuration. *)
+val setup_chunks :
+  ?scheme:Auth.scheme -> ?pool:Dd_parallel.Pool.t -> ?chunk_size:int ->
+  ?from_chunk:int -> Types.config -> seed:string -> emit:(chunk -> unit) ->
+  static
+
 (** Full-cryptography setup; deterministic in [seed]. Cost grows with
     [n_voters * m_options^2] — intended for tests, examples, and
     post-election benchmarks; large-scale vote-collection runs use
-    {!Ballot_store.virtual_prf} instead. Per-ballot generation shards
-    across [?pool] (default: the [DDEMOS_DOMAINS] pool); the output is
-    a pure function of [seed], identical for every pool size, because
-    each (serial, part) draws from its own serially pre-forked DRBG.
+    {!Ballot_store.virtual_prf} or the streaming {!setup_chunks}
+    instead. Per-ballot generation shards across [?pool] (default: the
+    [DDEMOS_DOMAINS] pool); the output is a pure function of [seed],
+    identical for every pool and chunk size, because each (serial,
+    part) draws from its own serially pre-forked DRBG.
     Raises [Invalid_argument] on an invalid configuration. *)
 val setup :
-  ?scheme:Auth.scheme -> ?pool:Dd_parallel.Pool.t ->
+  ?scheme:Auth.scheme -> ?pool:Dd_parallel.Pool.t -> ?chunk_size:int ->
   Types.config -> seed:string -> setup

@@ -44,8 +44,20 @@ type byzantine_behavior = Adversary.behavior =
   | Byzantine_consensus
   | Malformed_wire
 
+(* On-disk election state for long-running deployments: one device per
+   segment name (see Election_store.segment_names), all sealed. Every
+   node serves from its own segment with bounded chunk caches instead
+   of materialized init arrays — except trustees, which materialize
+   their (per-trustee) segment on startup since the publish phase walks
+   every serial anyway. *)
+type stored = {
+  sd_devices : string -> Dd_store.Device.t;
+  sd_layout : Election_store.layout;
+}
+
 type fidelity =
   | Full of Ea.setup
+  | Stored of stored
   | Modeled
 
 type params = {
@@ -226,25 +238,54 @@ let run (p : params) : result =
   let election_end = ref infinity in
 
   (* --- authenticator scheme and stores --- *)
-  let scheme, setup_opt =
+  let scheme, setup_opt, stored_opt =
     match p.fidelity with
-    | Full setup -> setup.Ea.vc_keys.(0).Auth.scheme, Some setup
-    | Modeled -> Auth.Mac_scheme, None
+    | Full setup -> setup.Ea.vc_keys.(0).Auth.scheme, Some setup, None
+    | Stored sd ->
+      sd.sd_layout.Election_store.l_static.Ea.st_vc_keys.(0).Auth.scheme, None, Some sd
+    | Modeled -> Auth.Mac_scheme, None, None
   in
+  (* full cryptography, whether served from RAM or from segments *)
+  let full_mode = setup_opt <> None || stored_opt <> None in
+  let static_of sd = sd.sd_layout.Election_store.l_static in
   let gctx =
-    match setup_opt with
-    | Some s -> s.Ea.gctx
-    | None -> Dd_group.Group_ctx.default ()
+    match setup_opt, stored_opt with
+    | Some s, _ -> s.Ea.gctx
+    | _, Some sd -> (static_of sd).Ea.st_gctx
+    | _ -> Dd_group.Group_ctx.default ()
   in
   let vc_keys =
-    match setup_opt with
-    | Some s -> s.Ea.vc_keys
-    | None -> Auth.deal_clique ~scheme ~gctx ~seed:("vc-keys|" ^ p.seed) ~n:(cfg.Types.nv + 1)
+    match setup_opt, stored_opt with
+    | Some s, _ -> s.Ea.vc_keys
+    | _, Some sd -> (static_of sd).Ea.st_vc_keys
+    | _ -> Auth.deal_clique ~scheme ~gctx ~seed:("vc-keys|" ^ p.seed) ~n:(cfg.Types.nv + 1)
   in
   let store_for node =
-    match setup_opt with
-    | Some s -> Ballot_store.materialized s.Ea.vc_init.(node)
-    | None -> Ballot_store.virtual_prf ~seed:p.seed ~cfg ~node
+    match setup_opt, stored_opt with
+    | Some s, _ -> Ballot_store.materialized s.Ea.vc_init.(node)
+    | _, Some sd ->
+      Ballot_store.segmented ~gctx ~cfg
+        ~msk_share:(static_of sd).Ea.st_msk_shares.(node)
+        (sd.sd_devices (Election_store.vc_segment node))
+        sd.sd_layout.Election_store.l_vc.(node)
+    | _ -> Ballot_store.virtual_prf ~seed:p.seed ~cfg ~node
+  in
+  (* the BB nodes' shared init record and (segmented mode) their board
+     backing; each node gets its own bounded chunk cache *)
+  let bb_init_opt, bb_board_for =
+    match setup_opt, stored_opt with
+    | Some s, _ -> Some s.Ea.bb_init, fun (_ : int) -> None
+    | _, Some sd ->
+      let st = static_of sd in
+      ( Some
+          { Ea.hmsk = st.Ea.st_hmsk; Ea.salt_msk = st.Ea.st_salt_msk;
+            Ea.bb_ballots = [||] },
+        fun (_ : int) ->
+          Some
+            (Board.segmented gctx
+               (sd.sd_devices Election_store.bb_segment)
+               sd.sd_layout.Election_store.l_bb) )
+    | _ -> None, fun (_ : int) -> None
   in
 
   (* --- durable devices --- *)
@@ -262,13 +303,11 @@ let run (p : params) : result =
   in
   let bb_backing =
     Array.init cfg.Types.nb
-      (fun _ ->
-         if durability && setup_opt <> None then Some (Mem_device.create ()) else None)
+      (fun _ -> if durability && full_mode then Some (Mem_device.create ()) else None)
   in
   let trustee_backing =
     Array.init cfg.Types.nt
-      (fun _ ->
-         if durability && setup_opt <> None then Some (Mem_device.create ()) else None)
+      (fun _ -> if durability && full_mode then Some (Mem_device.create ()) else None)
   in
   let device_of backing = Option.map Mem_device.device backing in
 
@@ -276,13 +315,13 @@ let run (p : params) : result =
   (* slot array rather than captured objects: a cold restart swaps the
      slot, and every delivery path reads it at delivery time *)
   let bb_arr : Bb_node.t option array = Array.make cfg.Types.nb None in
-  (match setup_opt with
-   | Some s ->
+  (match bb_init_opt with
+   | Some init ->
      for j = 0 to cfg.Types.nb - 1 do
        bb_arr.(j) <-
          Some
-           (Bb_node.create ?durable:(device_of bb_backing.(j)) ~cfg ~gctx
-              ~init:s.Ea.bb_init ~me:j ())
+           (Bb_node.create ?durable:(device_of bb_backing.(j))
+              ?board:(bb_board_for j) ~cfg ~gctx ~init ~me:j ())
      done
    | None -> ());
   let live_bbs () = Array.to_list bb_arr |> List.filter_map Fun.id in
@@ -396,8 +435,8 @@ let run (p : params) : result =
       in
       Net.send net ~src:vc_net.(i) ~dst:bb_net.(dst) ~size:(Messages.bb_msg_size msg) ~cost
         (fun () ->
-           match setup_opt with
-           | None ->
+           match full_mode with
+           | false ->
              (* modeled BB: final-set agreement only. A Byzantine BB
                 node simply contributes nothing to the emulated fb+1
                 agreement (its copy is tampered, hence never identical
@@ -433,7 +472,7 @@ let run (p : params) : result =
                   end
                 end
               | Messages.Trustee_post _ -> ())
-           | Some _ ->
+           | true ->
              (* a Byzantine BB node stores a tampered vote set and a
                 corrupted msk share, so every read it later serves is
                 genuinely wrong — Bb_reader's fb+1 majority must mask it *)
@@ -476,7 +515,7 @@ let run (p : params) : result =
             (if gen = 0 then Printf.sprintf "vc-rng|%s|%d" p.seed i
              else Printf.sprintf "vc-rng|%s|%d|g%d" p.seed i gen);
       consensus_coin = p.coin;
-      verify_share_tags = (setup_opt <> None);
+      verify_share_tags = full_mode;
       durable = device_of vc_backing.(i) }
   in
   for i = 0 to cfg.Types.nv - 1 do
@@ -497,9 +536,39 @@ let run (p : params) : result =
   done;
 
   (* --- full-mode trustees --- *)
+  let trustee_data =
+    match setup_opt, stored_opt with
+    | Some s, _ -> Some (s.Ea.trustee_keys, fun i -> s.Ea.trustee_init.(i))
+    | _, Some sd ->
+      let st = static_of sd in
+      Some
+        ( st.Ea.st_trustee_keys,
+          fun i ->
+            (* trustees materialize their own segment on startup — the
+               publish phase walks every serial's unused part anyway *)
+            let dev = sd.sd_devices (Election_store.trustee_segment i) in
+            let m = sd.sd_layout.Election_store.l_trustee.(i) in
+            let records =
+              match Dd_segment.Segment.read_all dev m with
+              | Some r -> r
+              (* lint: allow exception-hygiene — operator-facing local-disk validation, not a network input *)
+              | None -> invalid_arg "Election.run: trustee segment unreadable"
+            in
+            { Ea.t_id = i;
+              Ea.t_ballots =
+                Array.map
+                  (fun payload ->
+                     match Election_store.decode_trustee_record gctx payload with
+                     | Some parts -> parts
+                     | None ->
+                       (* lint: allow exception-hygiene — operator-facing local-disk validation, not a network input *)
+                       invalid_arg "Election.run: trustee record undecodable")
+                  records } )
+    | _ -> None
+  in
   let trustee_objs : Trustee.t option array = Array.make cfg.Types.nt None in
   let restart_trustee = ref (fun (_ : int) -> ()) in
-  (match setup_opt with
+  (match trustee_data with
    | None ->
      (* modeled publish phase: charged from the cost model *)
      start_trustees_full :=
@@ -522,7 +591,7 @@ let run (p : params) : result =
                     if !done_count >= cfg.Types.ht && phases.t_published = 0. then
                       phases.t_published <- Net.now net +. 0.002))
             trustee_net)
-   | Some s ->
+   | Some (trustee_keys, trustee_init_for) ->
      let deliver_trustee dst (ex : Trustee.exchange) =
        Net.send net ~src:trustee_net.(ex.Trustee.ex_from) ~dst:trustee_net.(dst)
          ~size:(64 * List.length ex.Trustee.ex_entries) ~cost:0.0005
@@ -545,8 +614,8 @@ let run (p : params) : result =
      in
      let trustee_env i =
        { Trustee.me = i; cfg; gctx;
-         init = s.Ea.trustee_init.(i);
-         keys = s.Ea.trustee_keys.(i);
+         init = trustee_init_for i;
+         keys = trustee_keys.(i);
          send_trustee = (fun ~dst ex -> deliver_trustee dst ex);
          post_bb = (fun payload -> post_bb i payload);
          durable = device_of trustee_backing.(i) }
@@ -592,10 +661,28 @@ let run (p : params) : result =
   List.iteri (fun k v -> queues.(k mod n_clients) <- v :: queues.(k mod n_clients)) p.votes;
   Array.iteri (fun c q -> queues.(c) <- List.rev q) queues;
 
+  let stored_ballot_cache =
+    match stored_opt with
+    | Some sd ->
+      Some
+        (Dd_segment.Segment.Cache.create ~slots:2
+           (sd.sd_devices Election_store.ballots_segment)
+           sd.sd_layout.Election_store.l_ballots)
+    | None -> None
+  in
   let ballot_for serial =
-    match setup_opt with
-    | Some s -> s.Ea.ballots.(serial)
-    | None -> Ballot_gen.voter_ballot ~seed:p.seed ~serial ~m:cfg.Types.m_options
+    match setup_opt, stored_ballot_cache with
+    | Some s, _ -> s.Ea.ballots.(serial)
+    | _, Some cache ->
+      (match Dd_segment.Segment.Cache.record cache serial with
+       | Some payload ->
+         (match Election_store.decode_voter_ballot payload with
+          | Some b -> b
+          (* lint: allow exception-hygiene — operator-facing local-disk validation, not a network input *)
+          | None -> invalid_arg "Election.run: ballot record undecodable")
+       (* lint: allow exception-hygiene — operator-facing local-disk validation, not a network input *)
+       | None -> invalid_arg "Election.run: ballot segment unreadable")
+    | _ -> Ballot_gen.voter_ballot ~seed:p.seed ~serial ~m:cfg.Types.m_options
   in
 
   let next_req = ref 0 in
@@ -760,20 +847,21 @@ let run (p : params) : result =
         Vc_node.start_vote_set_consensus node
     in
     let restart_bb j =
-      match setup_opt with
+      match bb_init_opt with
       | None -> ()
-      | Some s ->
+      | Some init ->
         let bb =
-          Bb_node.recover ?durable:(device_of bb_backing.(j)) ~cfg ~gctx
-            ~init:s.Ea.bb_init ~me:j ()
+          (* lint: allow secret-taint — salt_msk is part of the BB node's own durable at-rest state, not a network message *)
+          Bb_node.recover ?durable:(device_of bb_backing.(j))
+            ?board:(bb_board_for j) ~cfg ~gctx ~init ~me:j ()
         in
         bb_arr.(j) <- Some bb;
         watch_bb j bb;
         (* journal replay ran subscriber-free: fire catch-up
            notifications for anything published before the crash *)
         let pub = Bb_node.published bb in
-        if pub.Bb_node.final_set <> None then count_final j;
-        if pub.Bb_node.tally <> None && phases.t_published = 0. then
+        if pub.Bb_node.final_set <> None then count_final j; (* lint: allow secret-taint — option presence check, no secret bytes compared *)
+        if pub.Bb_node.tally <> None && phases.t_published = 0. then (* lint: allow secret-taint — option presence check, no secret bytes compared *)
           phases.t_published <- Net.now net
     in
     List.iter

@@ -27,8 +27,20 @@ type byzantine_behavior = Adversary.behavior =
   | Byzantine_consensus  (** corrupts/withholds Vote Set Consensus traffic *)
   | Malformed_wire  (** re-encodes outgoing messages with a flipped byte *)
 
+(** On-disk election state for long-running deployments: a device per
+    segment name (see {!Election_store.segment_names}), all sealed —
+    typically [File_device]s under a [--state-dir]. Nodes then serve
+    from their segments with bounded chunk caches instead of
+    materialized init arrays (trustees materialize their own segment
+    at startup, since the publish phase walks every serial anyway). *)
+type stored = {
+  sd_devices : string -> Dd_store.Device.t;
+  sd_layout : Election_store.layout;
+}
+
 type fidelity =
   | Full of Ea.setup
+  | Stored of stored  (** full cryptography, served from segments *)
   | Modeled
 
 type params = {

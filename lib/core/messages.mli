@@ -78,6 +78,8 @@ val put_ucert : Dd_group.Group_ctx.t -> Dd_codec.Wire.writer -> ucert -> unit
 val get_ucert : Dd_group.Group_ctx.t -> Dd_codec.Wire.reader -> ucert
 val put_part : Dd_codec.Wire.writer -> Types.part_id -> unit
 val get_part : Dd_codec.Wire.reader -> Types.part_id
+val put_vss_share : Dd_codec.Wire.writer -> Dd_vss.Elgamal_vss.share -> unit
+val get_vss_share : Dd_codec.Wire.reader -> Dd_vss.Elgamal_vss.share
 val put_entry :
   Dd_group.Group_ctx.t -> Dd_codec.Wire.writer -> int * string * ucert -> unit
 val get_entry : Dd_group.Group_ctx.t -> Dd_codec.Wire.reader -> int * string * ucert

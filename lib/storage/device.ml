@@ -17,6 +17,8 @@ type t = {
   log_append : string -> unit;       (* buffered; durable only after sync *)
   log_sync : unit -> unit;           (* durability barrier *)
   log_contents : unit -> string;     (* everything durable, in order *)
+  log_size : unit -> int;            (* durable length in bytes *)
+  log_read : pos:int -> len:int -> string;  (* bounded random-access window *)
   log_reset : string -> unit;        (* atomically replace the whole log *)
   snap_store : string -> unit;       (* atomic replace *)
   snap_load : unit -> string option;
@@ -44,6 +46,13 @@ module Mem = struct
            Buffer.add_buffer b.durable b.unsynced;
            Buffer.clear b.unsynced);
       log_contents = (fun () -> Buffer.contents b.durable);
+      log_size = (fun () -> Buffer.length b.durable);
+      log_read =
+        (fun ~pos ~len ->
+           let n = Buffer.length b.durable in
+           let pos = max 0 (min pos n) in
+           let len = max 0 (min len (n - pos)) in
+           Buffer.sub b.durable pos len);
       log_reset =
         (fun s ->
            Buffer.clear b.durable;

@@ -11,6 +11,11 @@ type t = {
       (** Durability barrier (fsync): everything appended so far
           survives a crash. *)
   log_contents : unit -> string;  (** The durable log, in append order. *)
+  log_size : unit -> int;  (** Durable log length in bytes. *)
+  log_read : pos:int -> len:int -> string;
+      (** Random-access window into the durable log, clamped to its
+          bounds — the segment reader's way of decoding one chunk
+          without materializing the file. *)
   log_reset : string -> unit;
       (** Atomically replace the whole log (post-snapshot truncation). *)
   snap_store : string -> unit;

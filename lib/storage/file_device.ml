@@ -38,6 +38,28 @@ let create ~dir ~name : Device.t =
       (fun () ->
          flush !oc;
          Option.value ~default:"" (read_file lp));
+    log_size =
+      (fun () ->
+         flush !oc;
+         match open_in_bin lp with
+         | exception Sys_error _ -> 0
+         | ic ->
+           let n = in_channel_length ic in
+           close_in ic;
+           n);
+    log_read =
+      (fun ~pos ~len ->
+         flush !oc;
+         match open_in_bin lp with
+         | exception Sys_error _ -> ""
+         | ic ->
+           let n = in_channel_length ic in
+           let pos = max 0 (min pos n) in
+           let len = max 0 (min len (n - pos)) in
+           seek_in ic pos;
+           let s = really_input_string ic len in
+           close_in ic;
+           s);
     log_reset =
       (fun s ->
          close_out !oc;

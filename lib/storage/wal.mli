@@ -10,6 +10,12 @@ val frame : string -> string
     the device syncs). *)
 val append : Device.t -> string -> unit
 
+(** [read_frame s off] decodes the single frame starting at byte [off]:
+    [Some (payload, next_off)] on a clean frame, [None] on truncation or
+    checksum failure. Total. The segment reader uses this to walk frames
+    through a sliding window instead of materializing the log. *)
+val read_frame : string -> int -> (string * int) option
+
 (** [scan log] walks framed records from the front and stops at the
     first truncated/corrupt frame: returns the clean-prefix payloads in
     order plus the byte offset where scanning stopped. Total. *)

@@ -257,6 +257,42 @@ let encode_first_move gctx (fm : first_move) =
   add_cp fm.sum_move;
   Buffer.contents buf
 
+(* Inverse of [encode_first_move]: point encodings are self-delimiting
+   (leading 0x00 = infinity, one byte; otherwise 0x04 || X || Y), so
+   the stream is walked point by point. 4 points per OR row plus the 2
+   sum-move points fix the row count. *)
+let decode_first_move gctx s =
+  let curve = Group_ctx.curve gctx in
+  let bl = Curve.byte_len curve in
+  let n = String.length s in
+  let rec points off acc =
+    if off = n then Some (List.rev acc)
+    else begin
+      let len = if s.[off] = '\x00' then 1 else 1 + (2 * bl) in
+      if off + len > n then None
+      else
+        match Curve.decode curve (String.sub s off len) with
+        | None -> None
+        | Some p -> points (off + len) (p :: acc)
+    end
+  in
+  match points 0 [] with
+  | None -> None
+  | Some pts ->
+      let count = List.length pts in
+      if count < 2 || (count - 2) mod 4 <> 0 then None
+      else begin
+        let pts = Array.of_list pts in
+        let rows = (count - 2) / 4 in
+        let cp i =
+          { Chaum_pedersen.t1 = pts.(i); Chaum_pedersen.t2 = pts.(i + 1) }
+        in
+        let row_moves =
+          Array.init rows (fun r -> { a0 = cp (4 * r); a1 = cp ((4 * r) + 2) })
+        in
+        Some { row_moves; sum_move = cp (4 * rows) }
+      end
+
 let encode_final_move (fin : final_move) =
   let buf = Buffer.create 256 in
   Array.iter

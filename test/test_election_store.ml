@@ -1,0 +1,224 @@
+(* The streaming election store end to end:
+   - chunked Ea.setup is bit-identical to the monolithic one, for every
+     chunk size (the DRBG fork-order discipline);
+   - write_setup / resume_setup reproduce byte-identical segment files
+     after a crash at an arbitrary torn byte;
+   - a slice audit needs only its own chunk's bytes: every other chunk
+     of the device can be garbage (the independent-auditor soundness
+     pin, see docs/INVARIANTS.md);
+   - an election served from sealed segments (Election.Stored) matches
+     its RAM twin (Election.Full): same receipts, same tally, same
+     board root, and the full audit plus a slice audit pass. *)
+
+module Types = Ddemos.Types
+module Ea = Ddemos.Ea
+module Election = Ddemos.Election
+module Election_store = Ddemos.Election_store
+module Auditor = Ddemos.Auditor
+module Bb_node = Ddemos.Bb_node
+module Board = Ddemos.Board
+module Device = Dd_store.Device
+module Segment = Dd_segment.Segment
+
+let cfg =
+  { Types.default_config with
+    Types.n_voters = 6; Types.m_options = 2; Types.election_id = "estore" }
+
+(* Shared full-crypto reference setup (the expensive part). *)
+let setup = lazy (Ea.setup cfg ~seed:"estore")
+
+let req what = function Some x -> x | None -> Alcotest.failf "%s: None" what
+
+(* A persistent family of in-memory devices, one per segment name —
+   the Mem backing outlives every device view handed out. *)
+let mem_family () =
+  let tbl : (string, Device.Mem.backing) Hashtbl.t = Hashtbl.create 8 in
+  let dev name =
+    let b =
+      match Hashtbl.find_opt tbl name with
+      | Some b -> b
+      | None ->
+        let b = Device.Mem.create () in
+        Hashtbl.add tbl name b;
+        b
+    in
+    Device.Mem.device b
+  in
+  (tbl, dev)
+
+let votes_of l =
+  List.map (fun (s, c) -> { Election.vi_serial = s; Election.vi_choice = c }) l
+
+(* --- chunked setup = monolithic setup ---------------------------------- *)
+
+let test_chunked_equals_monolithic () =
+  let s = Lazy.force setup in
+  let enc = Election_store.encode_bb_ballot s.Ea.gctx in
+  let mono = Array.map enc s.Ea.bb_init.Ea.bb_ballots in
+  List.iter
+    (fun chunk_size ->
+       let bb = ref [] and ballots = ref [] in
+       let _static =
+         Ea.setup_chunks ~chunk_size cfg ~seed:"estore" ~emit:(fun ck ->
+             bb := ck.Ea.ck_bb :: !bb;
+             ballots := ck.Ea.ck_ballots :: !ballots)
+       in
+       let bb = Array.concat (List.rev !bb) in
+       let ballots = Array.concat (List.rev !ballots) in
+       Alcotest.(check (array string))
+         (Printf.sprintf "bb ballots, chunk_size %d" chunk_size)
+         mono (Array.map enc bb);
+       Alcotest.(check (array string))
+         (Printf.sprintf "voter ballots, chunk_size %d" chunk_size)
+         (Array.map Election_store.encode_voter_ballot s.Ea.ballots)
+         (Array.map Election_store.encode_voter_ballot ballots))
+    [ 1; 4; 100 ]
+
+(* --- board roots agree across backings --------------------------------- *)
+
+let test_board_root_cross_backing () =
+  let s = Lazy.force setup in
+  let _tbl, dev = mem_family () in
+  let layout = Election_store.write_setup ~chunk_size:2 dev cfg ~seed:"estore" in
+  let mat = Board.materialized ~chunk_size:2 s.Ea.gctx s.Ea.bb_init.Ea.bb_ballots in
+  Alcotest.(check string) "materialized root = sealed manifest root"
+    layout.Election_store.l_bb.Segment.root (Board.root mat);
+  let seg =
+    Board.segmented s.Ea.gctx
+      (dev Election_store.bb_segment)
+      layout.Election_store.l_bb
+  in
+  Alcotest.(check string) "segmented root = materialized root"
+    (Board.root mat) (Board.root seg);
+  let enc = Election_store.encode_bb_ballot s.Ea.gctx in
+  for i = 0 to cfg.Types.n_voters - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "ballot %d identical through both backings" i)
+      (enc (req "materialized ballot" (Board.ballot mat i)))
+      (enc (req "segmented ballot" (Board.ballot seg i)))
+  done;
+  (* the slice proof of every chunk checks out against the shared root *)
+  for c = 0 to Board.n_chunks seg - 1 do
+    let chunk_root, path = req "slice proof" (Board.slice_proof seg c) in
+    Alcotest.(check bool) (Printf.sprintf "chunk %d proof" c) true
+      (Segment.verify_slice ~root:(Board.root seg) ~chunk_root path)
+  done
+
+(* --- crash-resume bit-identity ----------------------------------------- *)
+
+let test_resume_bit_identical () =
+  let ref_tbl, ref_dev = mem_family () in
+  let ref_layout = Election_store.write_setup ~chunk_size:2 ref_dev cfg ~seed:"estore" in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) ref_tbl [] in
+  let names = List.sort compare names in
+  (* crashed twin: every segment truncated to a different prefix, some
+     empty, some torn mid-frame — the shapes a power loss leaves *)
+  let _crash_tbl, crash_dev = mem_family () in
+  List.iteri
+    (fun i name ->
+       let log = Device.Mem.durable_log (Hashtbl.find ref_tbl name) in
+       let keep = String.length log * (i mod 5) / 5 in
+       if keep > 0 then begin
+         let d = crash_dev name in
+         d.Device.log_append (String.sub log 0 keep);
+         d.Device.log_sync ()
+       end)
+    names;
+  let layout = Election_store.resume_setup crash_dev cfg ~seed:"estore" in
+  Alcotest.(check string) "same top root"
+    ref_layout.Election_store.l_bb.Segment.root
+    layout.Election_store.l_bb.Segment.root;
+  List.iter
+    (fun name ->
+       let want = Device.Mem.durable_log (Hashtbl.find ref_tbl name) in
+       let got = (crash_dev name).Device.log_contents () in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s byte-identical after resume" name)
+         true (String.equal want got))
+    names
+
+(* --- a slice audit reads only its own chunk ----------------------------- *)
+
+let test_slice_audit_ignores_other_chunks () =
+  let pcfg = { cfg with Types.n_voters = 40; Types.election_id = "estore-plain" } in
+  let b = Device.Mem.create () in
+  let m = Election_store.write_plain ~chunk_size:8 (Device.Mem.device b) pcfg ~seed:"plain" in
+  let target = 2 in
+  (* corrupt the data span of every chunk except the target *)
+  let bytes = Bytes.of_string (Device.Mem.durable_log b) in
+  Array.iteri
+    (fun c pos ->
+       if c <> target then
+         for i = pos to pos + m.Segment.chunk_len.(c) - 1 do
+           Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0xff))
+         done)
+    m.Segment.chunk_pos;
+  let b2 = Device.Mem.create () in
+  let d2 = Device.Mem.device b2 in
+  d2.Device.log_append (Bytes.to_string bytes);
+  d2.Device.log_sync ();
+  (* the intact slice still verifies against the trusted root... *)
+  (match Election_store.verify_plain_slice d2 pcfg m ~root:m.Segment.root target with
+   | Ok k -> Alcotest.(check int) "records in the intact slice" 8 k
+   | Error e -> Alcotest.failf "intact slice must verify: %s" e);
+  (* ...every corrupted slice fails... *)
+  for c = 0 to Segment.n_chunks m - 1 do
+    if c <> target then
+      match Election_store.verify_plain_slice d2 pcfg m ~root:m.Segment.root c with
+      | Ok _ -> Alcotest.failf "corrupted chunk %d must fail" c
+      | Error _ -> ()
+  done;
+  (* ...and so does the whole-segment audit *)
+  match Election_store.verify_plain d2 pcfg m with
+  | Ok _ -> Alcotest.fail "whole-segment audit must fail"
+  | Error _ -> ()
+
+(* --- a Stored election matches its Full twin ---------------------------- *)
+
+let test_stored_election_matches_full () =
+  let s = Lazy.force setup in
+  let votes = votes_of [ (0, 0); (1, 1); (2, 1); (3, 0); (4, 1); (5, 0) ] in
+  let run fidelity =
+    let p = Election.default_params ~fidelity cfg ~votes in
+    Election.run { p with Election.seed = "stored-run"; concurrent_clients = 3 }
+  in
+  let r_full = run (Election.Full s) in
+  let _tbl, dev = mem_family () in
+  let layout = Election_store.write_setup ~chunk_size:2 dev cfg ~seed:"estore" in
+  let r_stored =
+    run (Election.Stored { Election.sd_devices = dev; sd_layout = layout })
+  in
+  Alcotest.(check int) "same receipts"
+    r_full.Election.receipts_ok r_stored.Election.receipts_ok;
+  Alcotest.(check (array int)) "same tally"
+    (req "full tally" r_full.Election.tally)
+    (req "stored tally" r_stored.Election.tally);
+  (* the disk-served node's commitment equals the RAM derivation *)
+  let stored_bb = List.hd r_stored.Election.bb_nodes in
+  let mat = Board.materialized ~chunk_size:2 s.Ea.gctx s.Ea.bb_init.Ea.bb_ballots in
+  Alcotest.(check string) "stored board root = materialized root"
+    (Board.root mat) (Board.root (Bb_node.board stored_bb));
+  (* full audit and an independent single-slice audit both pass *)
+  let view =
+    req "audit view"
+      (Auditor.assemble ~cfg ~gctx:s.Ea.gctx r_stored.Election.bb_nodes)
+  in
+  Alcotest.(check bool) "full audit passes" true
+    (Auditor.all_ok (Auditor.audit view));
+  for c = 0 to Board.n_chunks (Bb_node.board stored_bb) - 1 do
+    Alcotest.(check bool) (Printf.sprintf "slice audit of chunk %d" c) true
+      (Auditor.all_ok (Auditor.audit_slice view ~chunk:c))
+  done
+
+let () =
+  Alcotest.run "election_store"
+    [ ( "streaming-setup",
+        [ Alcotest.test_case "chunked = monolithic" `Quick test_chunked_equals_monolithic;
+          Alcotest.test_case "crash-resume is bit-identical" `Quick test_resume_bit_identical ] );
+      ( "board",
+        [ Alcotest.test_case "roots agree across backings" `Quick test_board_root_cross_backing ] );
+      ( "audit",
+        [ Alcotest.test_case "slice audit ignores other chunks" `Quick
+            test_slice_audit_ignores_other_chunks;
+          Alcotest.test_case "stored election matches full" `Quick
+            test_stored_election_matches_full ] ) ]

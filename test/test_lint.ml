@@ -88,7 +88,16 @@ let test_sans_io () =
     ~file:"lib/storage/file_device.ml"
     {|let save path s = Sys.remove path; let oc = open_out path in output_string oc s|};
   check_silent "linter reads sources" "sans-io" ~file:"lib/analysis/fixture.ml"
-    "let slurp path = In_channel.with_open_bin path In_channel.input_all"
+    "let slurp path = In_channel.with_open_bin path In_channel.input_all";
+  (* the segment layer is sans-IO too: it sees only a Device record, so
+     any direct file call in lib/segment is a layering violation *)
+  check_fires "open_in in segment code" "sans-io" ~file:"lib/segment/fixture.ml"
+    "let slurp path = let ic = open_in_bin path in really_input_string ic 8";
+  check_fires "Sys.rename in segment code" "sans-io" ~file:"lib/segment/fixture.ml"
+    "let seal tmp final = Sys.rename tmp final";
+  check_clean "segment IO goes through the device record"
+    ~file:"lib/segment/fixture.ml"
+    "let chunk dev pos len = dev.Dd_store.Device.log_read ~pos ~len"
 
 (* --- R3: exception-hygiene --------------------------------------------- *)
 
@@ -283,7 +292,23 @@ let test_secret_taint () =
     "let ok w sk = Wire.put_bytes w (External.wrap sk)";
   (* only lib/ is in scope *)
   check_silent "bin out of scope" "secret-taint" ~file:"bin/fixture.ml"
-    "let leak c sk g = Curve.mul_vartime c sk g"
+    "let leak c sk g = Curve.mul_vartime c sk g";
+  (* the segment layer's taint posture (see lib/segment/segment.mli):
+     payload secrecy belongs to the owning codec's mli markers, so a
+     codec-declared secret reaching the wire from segment code fires... *)
+  check_fires "segment code writes an mli-declared secret to the wire"
+    "secret-taint" ~file:"lib/segment/fixture.ml"
+    ~interfaces:
+      [ ("lib/core/codec.mli", "(* lint: secret *)\nval encode_trustee : unit -> string\n") ]
+    "let leak w = Wire.put_bytes w (Codec.encode_trustee ())";
+  (* ...while a Merkle commitment over the same bytes is public (the
+     annotation mirrored from the real lib/crypto/merkle.mli) *)
+  check_silent "a Merkle commitment over secret payloads is public"
+    "secret-taint" ~file:"lib/segment/fixture.ml"
+    ~interfaces:
+      [ ("lib/core/codec.mli", "(* lint: secret *)\nval encode_trustee : unit -> string\n");
+        ("lib/crypto/merkle.mli", "(* lint: public *)\nval leaf_hash : string -> string\n") ]
+    "let commit w = Wire.put_bytes w (Merkle.leaf_hash (Codec.encode_trustee ()))"
 
 (* R7 across compilation units: facts come from a sibling .mli, the
    summary of one file's function is applied in another file. *)
