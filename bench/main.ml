@@ -36,6 +36,9 @@ module Segment = Dd_segment.Segment
 module File_device = Dd_store.File_device
 module Net = Dd_sim.Net
 module Stats = Dd_sim.Stats
+module Runtime = Dd_serve.Runtime
+module Loadgen = Dd_serve.Loadgen
+module Socket = Dd_serve.Socket
 
 let full_scale = Array.exists (( = ) "--full") Sys.argv
 
@@ -66,6 +69,32 @@ let stream_big_n =
       match int_of_string_opt Sys.argv.(i + 1) with
       | Some n when n > 1_000 -> n
       | _ -> 100_000
+    else scan (i + 1)
+  in
+  scan 1
+
+(* [--serve-votes N] / [--serve-cc-max C] size the serving-runtime
+   section: votes cast per throughput point and the largest client
+   count of the concurrency curve. CI's serve-smoke job runs a small
+   PR point; the nightly sweep takes the committed-baseline defaults. *)
+let serve_votes =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then if full_scale then 1500 else 300
+    else if Sys.argv.(i) = "--serve-votes" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n > 0 -> n
+      | _ -> 300
+    else scan (i + 1)
+  in
+  scan 1
+
+let serve_cc_max =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then 256
+    else if Sys.argv.(i) = "--serve-cc-max" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n > 0 -> n
+      | _ -> 256
     else scan (i + 1)
   in
   scan 1
@@ -685,6 +714,117 @@ let stream () =
   if json_mode then json_rows := !json_rows @ rows;
   flush_section ()
 
+(* --- Fig. 4 serving runtime: responses/sec over real byte streams ----- *)
+
+(* End-to-end vote collection through lib/serve: real Schnorr
+   endorsements and UCERTs (source_prf), length-framed byte transport,
+   closed-loop clients. The paper's Fig. 4 measures responses/sec vs
+   concurrent clients; here the cluster shares one container core, so
+   the curve shows the serving pipeline's overhead profile (batching
+   amortization vs per-message cost), not multi-machine scaling —
+   EXPERIMENTS.md tabulates both. *)
+let serve () =
+  pr "# Fig. 4 serving runtime: responses/sec, closed loop, %d votes per point\n"
+    serve_votes;
+  let seed = "bench-serve" in
+  let cfg =
+    { Types.default_config with
+      Types.n_voters = serve_votes; Types.m_options = 3;
+      Types.election_id = "bench-serve" }
+  in
+  let votes =
+    List.init serve_votes (fun s -> { Loadgen.serial = s; Loadgen.choice = s mod 3 })
+  in
+  let ballot_for serial =
+    Ballot_gen.voter_ballot ~seed ~serial ~m:cfg.Types.m_options
+  in
+  let time_run ~clients ~conn_for ~step =
+    let lg =
+      { Loadgen.default_params with Loadgen.lg_clients = clients; lg_seed = seed }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Loadgen.run ~params:lg ~conn_for ~step ~ballot_for ~nv:cfg.Types.nv ~votes () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if r.Loadgen.receipts_ok <> serve_votes then
+      failwith
+        (Printf.sprintf "bench serve: %d/%d receipts (lost %d)"
+           r.Loadgen.receipts_ok serve_votes r.Loadgen.lost);
+    float_of_int r.Loadgen.receipts_ok /. dt
+  in
+  let pipe_point ~batching clients =
+    let t =
+      Runtime.create
+        ~params:{ Runtime.default_params with Runtime.batching }
+        (Runtime.source_prf cfg ~seed)
+    in
+    time_run ~clients
+      ~conn_for:(fun ~client:_ ~node -> Runtime.client_conn t ~node)
+      ~step:(fun () -> Runtime.step t)
+  in
+  let ccs = List.filter (fun c -> c <= serve_cc_max) [ 1; 8; 64; 256 ] in
+  let rows =
+    List.map
+      (fun c ->
+         let rps = pipe_point ~batching:true c in
+         pr "  pipe  cc=%-4d batched %9.1f responses/sec\n" c rps;
+         (Printf.sprintf "fig4.serve.pipe.rps.c%d" c, rps))
+      ccs
+  in
+  (* the ablation point: same load, batch-verification stage disabled *)
+  let serial_cc = min 64 serve_cc_max in
+  let serial_rps = pipe_point ~batching:false serial_cc in
+  let batched_rps =
+    try List.assoc (Printf.sprintf "fig4.serve.pipe.rps.c%d" serial_cc) rows
+    with Not_found -> serial_rps
+  in
+  pr "  pipe  cc=%-4d serial  %9.1f responses/sec  (batched verify %.2fx)\n"
+    serial_cc serial_rps (batched_rps /. serial_rps);
+  let rows =
+    rows @ [ (Printf.sprintf "fig4.serve.pipe-serial.rps.c%d" serial_cc, serial_rps) ]
+  in
+  (* the socket backend: the identical closed loop through real
+     Unix-domain sockets, accept wired into the tick *)
+  let sock_rows =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ddemos-bench-serve-%d" (Unix.getpid ()))
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+    let t = Runtime.create (Runtime.source_prf cfg ~seed) in
+    let path node = Filename.concat dir (Printf.sprintf "vc%d.sock" node) in
+    let listeners =
+      Array.init cfg.Types.nv (fun node -> Socket.listen ~path:(path node) ())
+    in
+    let step () =
+      Array.iteri
+        (fun node l ->
+           let rec accept_all () =
+             match Socket.accept l with
+             | Some conn -> Runtime.accept t ~node conn; accept_all ()
+             | None -> ()
+           in
+           accept_all ())
+        listeners;
+      Runtime.step t
+    in
+    let cc = min 64 serve_cc_max in
+    let rps =
+      time_run ~clients:cc
+        ~conn_for:(fun ~client:_ ~node -> Socket.connect ~path:(path node))
+        ~step
+    in
+    Array.iter Socket.close_listener listeners;
+    (try
+       Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+       Sys.rmdir dir
+     with Sys_error _ -> ());
+    pr "  sock  cc=%-4d batched %9.1f responses/sec\n" cc rps;
+    [ (Printf.sprintf "fig4.serve.sock.rps.c%d" cc, rps) ]
+  in
+  pr "\n";
+  if json_mode then json_rows := !json_rows @ rows @ sock_rows;
+  flush_section ()
+
 (* Ablations for the design choices DESIGN.md calls out: the batched
    consensus (the paper's own optimization), Bracha RBC's overhead, and
    the MAC-vs-signature authenticator trade. *)
@@ -776,8 +916,9 @@ let () =
    | _ -> ());
   let want name =
     let rec drop_flags = function
-      | ("--domains" | "--stream-n") :: _ :: rest -> drop_flags rest
-      | [ ("--domains" | "--stream-n") ] -> []
+      | ("--domains" | "--stream-n" | "--serve-votes" | "--serve-cc-max") :: _ :: rest ->
+        drop_flags rest
+      | [ ("--domains" | "--stream-n" | "--serve-votes" | "--serve-cc-max") ] -> []
       | ("--full" | "--json") :: rest -> drop_flags rest
       | a :: rest -> a :: drop_flags rest
       | [] -> []
@@ -791,6 +932,7 @@ let () =
   flush_section ();
   if want "micro" then micro ();
   if want "stream" then stream ();
+  if want "serve" then serve ();
   if want "fig4a" || want "fig4b" then begin
     let matrix = fig4_matrix ~wan:false in
     if want "fig4a" then print_fig4_latency ~wan:false matrix;

@@ -73,6 +73,11 @@ let contains hay needle =
    measured in the same run. *)
 let is_memory_key key = contains key ".rss." || contains key ".heap."
 
+(* Throughput entries from the serving benchmarks ([...].rps.*, in
+   responses/sec) are higher-is-better: a regression is the fresh run
+   falling BELOW baseline/factor, the mirror image of the ns/op rule. *)
+let is_throughput_key key = contains key ".rps"
+
 let mem_factor = 2.0
 
 let memory_1k_key key =
@@ -119,7 +124,11 @@ let () =
           | Some (br, cr) ->
             if cr > br *. factor then regressions := (key ^ " (dN/d1 ratio)", br, cr) :: !regressions
           | None ->
-            if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions
+            if is_throughput_key key then begin
+              if cv *. factor < bv then regressions := (key, bv, cv) :: !regressions
+              else if cv > bv *. factor then improvements := (key, bv, cv) :: !improvements
+            end
+            else if cv > bv *. factor then regressions := (key, bv, cv) :: !regressions
             else if cv *. factor < bv then improvements := (key, bv, cv) :: !improvements))
     base;
   (* memory flatness: 100k RSS within mem_factor of 1k, per file *)
@@ -157,14 +166,21 @@ let () =
          String.length key >= String.length tag
          && String.sub key (String.length key - String.length tag) (String.length tag) = tag
        in
-       let unit = if is_ratio then "" else " ns/op" in
+       let unit =
+         if is_ratio then ""
+         else if is_throughput_key key then " ops/sec"
+         else " ns/op"
+       in
+       let slowdown = if is_throughput_key key then bv /. cv else cv /. bv in
        Printf.printf "FAIL  %s: %.1f -> %.1f%s (%.2fx > %.2fx allowed)\n"
-         key bv cv unit (cv /. bv) factor)
+         key bv cv unit slowdown factor)
     (List.sort compare !regressions);
   List.iter
     (fun (key, bv, cv) ->
-       Printf.printf "IMPROVE  %s: %.1f -> %.1f ns/op (%.2fx faster than baseline)\n"
-         key bv cv (bv /. cv))
+       let unit = if is_throughput_key key then " ops/sec" else " ns/op" in
+       let speedup = if is_throughput_key key then cv /. bv else bv /. cv in
+       Printf.printf "IMPROVE  %s: %.1f -> %.1f%s (%.2fx faster than baseline)\n"
+         key bv cv unit speedup)
     (List.sort compare !improvements);
   if !improvements <> [] then
     Printf.printf

@@ -2,6 +2,7 @@
 
      ddemos run       simulate a complete election (full or modeled)
      ddemos deploy    stream election state to disk and serve from it
+     ddemos serve     host the node cluster on Unix sockets from a state dir
      ddemos liveness  print Theorem 1 / Table I bounds for parameters
      ddemos ballot    print a voter's ballot for a given setup seed
 
@@ -296,6 +297,170 @@ let deploy_cmd =
     Term.(const deploy $ voters $ options_ $ nv $ fv $ seed $ state_dir $ plain $ chunk
           $ verify $ audit_slice $ run_election $ turnout)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+(* Long-running serving mode: boot the VC/BB cluster from a sealed
+   `ddemos deploy` state dir and expose each VC node on a Unix-domain
+   socket. The byte-stream runtime (lib/serve) does all the work; this
+   command only owns the listeners and the tick loop. With --cast the
+   command additionally drives an in-process load generator over those
+   same sockets — a deployment self-test exercising the real wire
+   path end to end. *)
+let serve_cmd =
+  let module Runtime = Dd_serve.Runtime in
+  let module Loadgen = Dd_serve.Loadgen in
+  let module Socket = Dd_serve.Socket in
+  let state_dir =
+    Arg.(required
+         & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Sealed election state written by `ddemos deploy`.")
+  in
+  let socket_dir =
+    Arg.(value & opt (some string) None
+         & info [ "socket-dir" ] ~docv:"DIR"
+             ~doc:"Directory for the per-node listening sockets \
+                   vc0.sock .. vcN.sock (default: the state dir).")
+  in
+  let cast =
+    Arg.(value & opt int 0
+         & info [ "cast" ] ~docv:"K"
+             ~doc:"Self-test: cast K votes through the sockets with the \
+                   in-process load generator, then close the election \
+                   and print the receipts and the BB final sets.")
+  in
+  let clients =
+    Arg.(value & opt int 8
+         & info [ "clients"; "cc" ] ~docv:"CC"
+             ~doc:"With --cast: concurrent closed-loop clients.")
+  in
+  let max_ticks =
+    Arg.(value & opt int 0
+         & info [ "max-ticks" ] ~docv:"T"
+             ~doc:"Stop after T scheduler ticks (default: run until \
+                   interrupted).")
+  in
+  let no_batch =
+    Arg.(value & flag
+         & info [ "no-batch" ]
+             ~doc:"Disable the batched signature-verification stage \
+                   (serial verify, the Fig.-4 ablation).")
+  in
+  let serve voters m nv fv seed state_dir socket_dir cast clients max_ticks no_batch =
+    let cfg = cfg_of ~voters ~m ~nv ~fv in
+    (match Types.validate_config cfg with
+     | Error e -> prerr_endline ("invalid configuration: " ^ e); exit 1
+     | Ok () -> ());
+    let devices name = File_device.create ~dir:state_dir ~name in
+    let layout =
+      match Election_store.load_layout devices cfg ~seed with
+      | Some l -> l
+      | None ->
+        Printf.eprintf
+          "serve: no sealed layout under %s for this configuration — run \
+           `ddemos deploy --state-dir %s` first\n"
+          state_dir state_dir;
+        exit 1
+    in
+    let source = Runtime.source_of_layout ~devices ~seed layout in
+    let params = { Runtime.default_params with Runtime.batching = not no_batch } in
+    let t = Runtime.create ~params source in
+    let sock_dir = match socket_dir with Some d -> d | None -> state_dir in
+    if not (Sys.file_exists sock_dir) then Sys.mkdir sock_dir 0o755;
+    let sock_path i = Filename.concat sock_dir (Printf.sprintf "vc%d.sock" i) in
+    let listeners = Array.init nv (fun i -> Socket.listen ~path:(sock_path i) ()) in
+    Array.iteri (fun i _ -> Printf.printf "vc%d listening on %s\n%!" i (sock_path i)) listeners;
+    let accept_all () =
+      Array.iteri
+        (fun i l ->
+           let rec go () =
+             match Socket.accept l with
+             | Some conn -> Runtime.accept t ~node:i conn; go ()
+             | None -> ()
+           in
+           go ())
+        listeners
+    in
+    let tick () = accept_all (); Runtime.step t in
+    let print_stats () =
+      let s = Runtime.stats t in
+      Printf.printf
+        "frames: %d in / %d out | shed: %d votes, %d peer msgs, %d conns | %d ticks\n"
+        s.Runtime.frames_in s.Runtime.frames_out s.Runtime.votes_shed
+        s.Runtime.peer_dropped s.Runtime.conns_shed s.Runtime.steps
+    in
+    if cast > 0 then begin
+      (* deployment self-test: real ballots from the sealed segments,
+         real frames through the real sockets *)
+      let cast = if cast > voters then voters else cast in
+      let ballot_cache =
+        Segment.Cache.create ~slots:2 (devices Election_store.ballots_segment)
+          layout.Election_store.l_ballots
+      in
+      let ballot_for serial =
+        match Segment.Cache.record ballot_cache serial with
+        | Some payload ->
+          (match Election_store.decode_voter_ballot payload with
+           | Some b -> b
+           (* lint: allow exception-hygiene — operator-facing local-disk validation, not a network input *)
+           | None -> invalid_arg "serve: ballot record undecodable")
+        (* lint: allow exception-hygiene — operator-facing local-disk validation, not a network input *)
+        | None -> invalid_arg "serve: ballot segment unreadable"
+      in
+      let votes =
+        List.init cast (fun i ->
+            { Loadgen.serial = i * (voters / cast); Loadgen.choice = i mod m })
+      in
+      let conns = Hashtbl.create 64 in
+      let conn_for ~client ~node =
+        match Hashtbl.find_opt conns (client, node) with
+        | Some c -> c
+        | None ->
+          let c = Socket.connect ~path:(sock_path node) in
+          Hashtbl.add conns (client, node) c;
+          c
+      in
+      let lp = { Loadgen.default_params with Loadgen.lg_clients = clients; lg_seed = seed } in
+      Printf.printf "casting %d votes over %d sockets (%d clients, %s verify)...\n%!"
+        cast nv clients (if no_batch then "serial" else "batched");
+      let r = Loadgen.run ~params:lp ~conn_for ~step:tick ~ballot_for ~nv ~votes () in
+      Printf.printf "receipts: %d/%d  (bad %d, rejected %d, exhausted %d, lost %d)\n"
+        r.Loadgen.receipts_ok cast r.Loadgen.receipts_bad r.Loadgen.rejections
+        r.Loadgen.exhausted r.Loadgen.lost;
+      Runtime.end_election t;
+      ignore (Runtime.run_until_idle t);
+      for j = 0 to cfg.Types.nb - 1 do
+        match Runtime.bb_node t j with
+        | Some bb ->
+          (match (Ddemos.Bb_node.published bb).Ddemos.Bb_node.final_set with
+           | Some set -> Printf.printf "bb%d final set: %d votes\n" j (List.length set)
+           | None -> Printf.printf "bb%d final set: none published\n" j)
+        | None -> ()
+      done;
+      print_stats ();
+      Array.iter Socket.close_listener listeners;
+      if r.Loadgen.receipts_ok <> cast then exit 1
+    end
+    else begin
+      (* plain serving loop: tick the cluster, sleep when idle *)
+      let ticks = ref 0 in
+      (try
+         while max_ticks <= 0 || !ticks < max_ticks do
+           incr ticks;
+           if tick () = 0 then Unix.sleepf 0.02
+         done
+       with Sys.Break -> ());
+      print_stats ();
+      Array.iter Socket.close_listener listeners
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Host the VC/BB node cluster on Unix-domain sockets, serving a \
+             sealed --state-dir election. --cast runs a wire-path self-test.")
+    Term.(const serve $ voters $ options_ $ nv $ fv $ seed $ state_dir $ socket_dir
+          $ cast $ clients $ max_ticks $ no_batch)
+
 (* --- liveness ------------------------------------------------------------ *)
 
 let liveness_cmd =
@@ -359,4 +524,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "ddemos" ~version:"1.0.0"
              ~doc:"D-DEMOS distributed end-to-end verifiable voting (ICDCS 2016 reproduction)")
-          [ run_cmd; deploy_cmd; liveness_cmd; ballot_cmd ]))
+          [ run_cmd; deploy_cmd; serve_cmd; liveness_cmd; ballot_cmd ]))

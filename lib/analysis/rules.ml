@@ -152,6 +152,12 @@ let banned_file_io_values =
 let file_io_exempt p =
   under [ "lib"; "storage"; "file_device.ml" ] p || under [ "lib"; "analysis" ] p
 
+(* The serving runtime's OS boundary: the one module allowed to open
+   Unix sockets, mirroring the File_device exemption for disk IO. The
+   rest of lib/serve speaks the sans-IO Transport.conn record, and
+   ambient time / console IO stay banned even here. *)
+let socket_io_exempt p = under [ "lib"; "serve"; "socket.ml" ] p
+
 let banned_io_values =
   [ "Sys.time"; "Unix.gettimeofday"; "Unix.time";
     "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
@@ -175,7 +181,10 @@ let sans_io =
                   | m :: _ :: _ -> m
                   | _ -> ""
                 in
-                if List.mem head banned_io_modules then
+                if
+                  List.mem head banned_io_modules
+                  && not (head = "Unix" && socket_io_exempt file)
+                then
                   [ finding ~rule:"sans-io" ~file ~loc:e.pexp_loc
                       "`%s` is ambient nondeterminism; randomness must come from the \
                        injected Dd_crypto.Drbg, time from the injected `now`"

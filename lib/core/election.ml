@@ -516,6 +516,7 @@ let run (p : params) : result =
              else Printf.sprintf "vc-rng|%s|%d|g%d" p.seed i gen);
       consensus_coin = p.coin;
       verify_share_tags = full_mode;
+      verify_tag = None;
       durable = device_of vc_backing.(i) }
   in
   for i = 0 to cfg.Types.nv - 1 do

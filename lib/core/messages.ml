@@ -15,12 +15,22 @@ type ucert = {
 let endorsement_body ~election_id ~serial ~code =
   String.concat "|" [ "endorse"; election_id; string_of_int serial; code ]
 
-(* Verify a UCERT from node [keys.me]'s point of view. *)
-let verify_ucert keys ~election_id ~quorum (u : ucert) =
+(* Verify a UCERT from node [keys.me]'s point of view. [?verify] lets
+   a host runtime substitute its own per-tag verifier (amortized over
+   many concurrent messages); the default batches within this one
+   certificate. *)
+let verify_ucert_with ?verify keys ~election_id ~quorum (u : ucert) =
   let body = endorsement_body ~election_id ~serial:u.u_serial ~code:u.u_code in
   let distinct = List.sort_uniq compare (List.map fst u.endorsements) in
   List.length distinct >= quorum
-  && Auth.verify_batch keys (List.map (fun (signer, tag) -> (signer, body, tag)) u.endorsements)
+  && (match verify with
+      | None ->
+        Auth.verify_batch keys
+          (List.map (fun (signer, tag) -> (signer, body, tag)) u.endorsements)
+      | Some f -> List.for_all (fun (signer, tag) -> f ~signer body tag) u.endorsements)
+
+let verify_ucert keys ~election_id ~quorum u =
+  verify_ucert_with keys ~election_id ~quorum u
 
 let share_body ~election_id ~serial ~part ~pos ~node ~(share : Dd_vss.Shamir_bytes.share) =
   String.concat "|"

@@ -17,6 +17,14 @@ val endorsement_body : election_id:string -> serial:int -> code:string -> string
 (** Check a UCERT: at least [quorum] distinct signers, every tag valid. *)
 val verify_ucert : Auth.keys -> election_id:string -> quorum:int -> ucert -> bool
 
+(** {!verify_ucert} with the per-tag check routed through [verify]
+    instead of the built-in batch verification — the serving runtime
+    passes its amortizing/caching verifier here (see [Vc_node.env]'s
+    [verify_tag]). Without [?verify] this is exactly {!verify_ucert}. *)
+val verify_ucert_with :
+  ?verify:(signer:int -> string -> Auth.tag -> bool) ->
+  Auth.keys -> election_id:string -> quorum:int -> ucert -> bool
+
 (** The EA-authenticated body binding a receipt share to its line and
     holder. *)
 val share_body :

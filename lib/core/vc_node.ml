@@ -50,6 +50,9 @@ type env = {
   (* when false (modeled runs without EA tags), receipt shares are
      accepted based on shape alone *)
   verify_share_tags : bool;
+  (* override for authenticator checks; must be semantically identical
+     to [Auth.verify] (the serving runtime's amortizing verifier) *)
+  verify_tag : (signer:int -> string -> Auth.tag -> bool) option;
   (* durable device for the WAL + snapshot store; [None] runs the node
      memory-only (the scale benchmarks) *)
   durable : Dd_store.Device.t option;
@@ -271,6 +274,18 @@ let note_conflict t serial (b : ballot_rt) ~code =
     end
   | Some _ | None -> ()
 
+(* All authenticator checks funnel through here so a host runtime can
+   substitute an amortizing verifier (env.verify_tag); the default is a
+   direct [Auth.verify]. *)
+let verify_tag t ~signer body tag =
+  match t.env.verify_tag with
+  | Some f -> f ~signer body tag
+  | None -> Auth.verify t.env.keys ~signer body tag
+
+let verify_ucert t ucert =
+  Messages.verify_ucert_with ?verify:t.env.verify_tag t.env.keys
+    ~election_id:(election_id t) ~quorum:t.quorum ucert
+
 let verify_receipt_share t ~serial ~part ~pos ~node (share : Shamir_bytes.share) tag =
   share.Shamir_bytes.x = node + 1
   && String.length share.Shamir_bytes.data = Types.receipt_bytes
@@ -281,7 +296,7 @@ let verify_receipt_share t ~serial ~part ~pos ~node (share : Shamir_bytes.share)
       | None -> false
       | Some tag ->
         let body = Messages.share_body ~election_id:(election_id t) ~serial ~part ~pos ~node ~share in
-        Auth.verify t.env.keys ~signer:t.env.cfg.Types.nv body tag
+        verify_tag t ~signer:t.env.cfg.Types.nv body tag
   end
 
 let own_share t ~serial ~part ~pos =
@@ -415,7 +430,7 @@ let on_endorsement t ~signer ~serial ~vote_code ~tag =
     match b.collecting with
     | Some code when Dd_crypto.Ct.equal code vote_code && b.ucert = None ->
       let body = Messages.endorsement_body ~election_id:(election_id t) ~serial ~code in
-      if Auth.verify t.env.keys ~signer body tag
+      if verify_tag t ~signer body tag
       && not (List.mem_assoc signer b.endorsements) then begin
         b.endorsements <- (signer, tag) :: b.endorsements;
         if List.length b.endorsements >= t.quorum then begin
@@ -437,7 +452,7 @@ let on_endorsement t ~signer ~serial ~vote_code ~tag =
 
 let on_vote_p t ~sender ~serial ~vote_code ~part ~pos ~share ~share_tag ~ucert =
   if within_hours t
-  && Messages.verify_ucert t.env.keys ~election_id:(election_id t) ~quorum:t.quorum ucert
+  && verify_ucert t ucert
   && ucert.Messages.u_serial = serial
   && Dd_crypto.Ct.equal ucert.Messages.u_code vote_code
   then begin
@@ -599,7 +614,7 @@ let adopt_entry t (serial, code, ucert) =
   if serial >= 0 && serial < t.env.cfg.Types.n_voters
   && ucert.Messages.u_serial = serial
   && Dd_crypto.Ct.equal ucert.Messages.u_code code
-  && Messages.verify_ucert t.env.keys ~election_id:(election_id t) ~quorum:t.quorum ucert
+  && verify_ucert t ucert
   then begin
     let b = ballot_rt t serial in
     note_conflict t serial b ~code;

@@ -17,6 +17,14 @@ type env = {
   rng : Dd_crypto.Drbg.t;
   consensus_coin : Dd_consensus.Binary_batch.coin;
   verify_share_tags : bool;        (** [false] only in modeled runs without EA tags *)
+  verify_tag : (signer:int -> string -> Auth.tag -> bool) option;
+      (** Override for authenticator checks on the hot path. [None]
+          verifies each tag directly with {!Auth.verify} (and UCERTs
+          with the per-certificate batch in
+          {!Messages.verify_ucert}). The serving runtime injects a
+          caching verifier backed by cross-message batch verification;
+          any override MUST be semantically identical to [Auth.verify]
+          — it only amortizes, never weakens. *)
   durable : Dd_store.Device.t option;
       (** WAL + snapshot device; [None] runs the node memory-only (the
           scale benchmarks). With a device, every crash-critical

@@ -103,6 +103,11 @@ let is_infinity = function Infinity -> true | Jacobian _ -> false
 
 let to_affine t = function
   | Infinity -> None
+  | Jacobian (x, y, z) when Nat.equal z Nat.one ->
+    (* already affine: skip the Fermat inversion. Decoded points and
+       precomputed tables all sit at z = 1, so the serving hot path
+       (tag re-encoding, cache keys) hits this arm constantly. *)
+    Some (Modular.reduce t.fp x, Modular.reduce t.fp y)
   | Jacobian (x, y, z) ->
     let fp = t.fp in
     let zi = Modular.inv fp z in

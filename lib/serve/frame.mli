@@ -1,0 +1,32 @@
+(** Length framing for the byte-stream transports: every message
+    travels as a 4-byte big-endian length followed by the payload. The
+    decoder is incremental and total — bytes may arrive split, torn or
+    coalesced across {!feed} calls, and a hostile length prefix poisons
+    the decoder (sticky {!error}) instead of allocating unboundedly. *)
+
+val header_len : int
+
+(** Frames larger than this are a protocol violation (default 1 MiB —
+    comfortably above the largest Announce_batch at supported scale). *)
+val max_frame_default : int
+
+val encode : string -> string
+
+(** Append the framed payload to [buf] without an intermediate copy. *)
+val encode_into : Buffer.t -> string -> unit
+
+type decoder
+
+val create : ?max_frame:int -> unit -> decoder
+
+(** Feed newly received bytes; no-op once the decoder is poisoned. *)
+val feed : decoder -> string -> unit
+
+(** Next complete frame, if one is buffered. *)
+val pop : decoder -> string option
+
+(** Sticky error (oversized frame); the connection should be closed. *)
+val error : decoder -> string option
+
+(** Bytes buffered but not yet popped (backpressure accounting). *)
+val buffered : decoder -> int

@@ -1,0 +1,33 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable pushed : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  { capacity = max 1 capacity; q = Queue.create (); pushed = 0; dropped = 0 }
+
+let push t x =
+  if Queue.length t.q >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end else begin
+    Queue.add x t.q;
+    t.pushed <- t.pushed + 1;
+    true
+  end
+
+let drain ~max t =
+  let rec go k acc =
+    if k >= max then List.rev acc
+    else
+      match Queue.take_opt t.q with
+      | None -> List.rev acc
+      | Some x -> go (k + 1) (x :: acc)
+  in
+  go 0 []
+
+let length t = Queue.length t.q
+let pushed t = t.pushed
+let dropped t = t.dropped

@@ -1,0 +1,66 @@
+module Wire = Dd_codec.Wire
+module Types = Ddemos.Types
+module Messages = Ddemos.Messages
+
+type t =
+  | Client_vote of { channel : int; req : int; serial : int; vote_code : string }
+  | Client_reply of { channel : int; req : int; outcome : Types.vote_outcome }
+  | Vc of Messages.vc_msg
+  | Bb of Messages.bb_msg
+
+let put_outcome w = function
+  | Types.Receipt receipt ->
+    Wire.put_varint w 0;
+    Wire.put_bytes w receipt
+  | Types.Rejected why ->
+    Wire.put_varint w 1;
+    Wire.put_bytes w why
+
+let get_outcome r =
+  match Wire.get_varint r with
+  | 0 -> Types.Receipt (Wire.get_bytes r)
+  | 1 -> Types.Rejected (Wire.get_bytes r)
+  | _ -> raise (Wire.Malformed "outcome: bad kind")
+
+let encode gctx msg =
+  let w = Wire.writer () in
+  (match msg with
+   | Client_vote { channel; req; serial; vote_code } ->
+     Wire.put_varint w 0;
+     Wire.put_varint w channel; Wire.put_varint w req;
+     Wire.put_varint w serial; Wire.put_bytes w vote_code
+   | Client_reply { channel; req; outcome } ->
+     Wire.put_varint w 1;
+     Wire.put_varint w channel; Wire.put_varint w req;
+     put_outcome w outcome
+   | Vc m ->
+     Wire.put_varint w 2;
+     Wire.put_bytes w (Messages.encode_vc_msg gctx m)
+   | Bb m ->
+     Wire.put_varint w 3;
+     Wire.put_bytes w (Messages.encode_bb_msg m));
+  Wire.contents w
+
+let decode gctx frame =
+  Wire.decode frame (fun r ->
+      match Wire.get_varint r with
+      | 0 ->
+        let channel = Wire.get_varint r in
+        let req = Wire.get_varint r in
+        let serial = Wire.get_varint r in
+        let vote_code = Wire.get_bytes r in
+        Client_vote { channel; req; serial; vote_code }
+      | 1 ->
+        let channel = Wire.get_varint r in
+        let req = Wire.get_varint r in
+        let outcome = get_outcome r in
+        Client_reply { channel; req; outcome }
+      | 2 ->
+        (match Messages.decode_vc_msg gctx (Wire.get_bytes r) with
+         | Some m -> Vc m
+         | None -> raise (Wire.Malformed "nested vc_msg"))
+      | 3 ->
+        (match Messages.decode_bb_msg (Wire.get_bytes r) with
+         | Some m -> Bb m
+         | None -> raise (Wire.Malformed "nested bb_msg"))
+      | _ -> raise (Wire.Malformed "mux: bad kind"))

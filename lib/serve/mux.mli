@@ -1,0 +1,15 @@
+(** Connection multiplexing: the frame payloads of the serving
+    runtime. One byte-stream connection carries many logical clients
+    ([channel] demultiplexes them) or an inter-node link; node traffic
+    nests the existing {!Ddemos.Messages} wire format unchanged.
+
+    The decoder is total — any malformed frame yields [None]. *)
+
+type t =
+  | Client_vote of { channel : int; req : int; serial : int; vote_code : string }
+  | Client_reply of { channel : int; req : int; outcome : Ddemos.Types.vote_outcome }
+  | Vc of Ddemos.Messages.vc_msg
+  | Bb of Ddemos.Messages.bb_msg
+
+val encode : Dd_group.Group_ctx.t -> t -> string
+val decode : Dd_group.Group_ctx.t -> string -> t option

@@ -1,0 +1,60 @@
+(* One direction of a duplex pipe: bytes written but not yet read. *)
+type dir = {
+  capacity : int;
+  mutable buf : Buffer.t;
+  mutable rpos : int;
+  mutable closed : bool;
+}
+
+let make_dir capacity = { capacity; buf = Buffer.create 256; rpos = 0; closed = false }
+
+let in_flight d = Buffer.length d.buf - d.rpos
+
+let compact d =
+  if d.rpos > 4096 && d.rpos * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.rpos (Buffer.length d.buf - d.rpos) in
+    let fresh = Buffer.create (String.length rest + 256) in
+    Buffer.add_string fresh rest;
+    d.buf <- fresh;
+    d.rpos <- 0
+  end
+
+let dir_send d s ~pos ~len =
+  if d.closed then 0
+  else begin
+    let room = d.capacity - in_flight d in
+    let k = min room len in
+    if k > 0 then Buffer.add_substring d.buf s pos k;
+    k
+  end
+
+let dir_recv ?recv_chunk d =
+  let avail = in_flight d in
+  if avail = 0 then ""
+  else begin
+    let k =
+      match recv_chunk with
+      | None -> avail
+      | Some f -> min avail (max 0 (f ()))
+    in
+    if k = 0 then ""
+    else begin
+      let s = Buffer.sub d.buf d.rpos k in
+      d.rpos <- d.rpos + k;
+      compact d;
+      s
+    end
+  end
+
+let pair ?(capacity = 1 lsl 22) ?recv_chunk () =
+  let a_to_b = make_dir capacity and b_to_a = make_dir capacity in
+  let endpoint rd wr =
+    { Transport.recv = (fun () -> dir_recv ?recv_chunk rd);
+      send = (fun s ~pos ~len -> dir_send wr s ~pos ~len);
+      alive = (fun () -> not (rd.closed && wr.closed));
+      close =
+        (fun () ->
+           rd.closed <- true;
+           wr.closed <- true) }
+  in
+  (endpoint b_to_a a_to_b, endpoint a_to_b b_to_a)

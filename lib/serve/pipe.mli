@@ -1,0 +1,13 @@
+(** In-process duplex byte pipe: the deterministic transport backend.
+    Each direction is a bounded in-flight buffer — a writer whose peer
+    stops reading sees [send] accept 0 bytes, exactly like a full
+    kernel socket buffer, so backpressure tests run without an OS.
+
+    [recv_chunk] (when given) caps how many bytes each [recv] call may
+    return — the fuzz harness drives it from a DRBG to exercise split,
+    torn and coalesced deliveries at every byte boundary. *)
+
+val pair :
+  ?capacity:int ->
+  ?recv_chunk:(unit -> int) ->
+  unit -> Transport.conn * Transport.conn

@@ -1,0 +1,476 @@
+module Types = Ddemos.Types
+module Messages = Ddemos.Messages
+module Auth = Ddemos.Auth
+module Vc_node = Ddemos.Vc_node
+module Bb_node = Ddemos.Bb_node
+module Ballot_store = Ddemos.Ballot_store
+module Ea = Ddemos.Ea
+module Board = Ddemos.Board
+module Election_store = Ddemos.Election_store
+module Drbg = Dd_crypto.Drbg
+module Pool = Dd_parallel.Pool
+
+type params = {
+  batching : bool;
+  min_batch : int;
+  mailbox_cap : int;
+  batch_max : int;
+  out_cap : int;
+  max_frame : int;
+  pool : Pool.t option;
+}
+
+let default_params =
+  { batching = true;
+    min_batch = 4;
+    mailbox_cap = 4096;
+    batch_max = 256;
+    out_cap = 1 lsl 22;
+    max_frame = Frame.max_frame_default;
+    pool = None }
+
+type source = {
+  sv_cfg : Types.config;
+  sv_gctx : Dd_group.Group_ctx.t;
+  sv_keys : Auth.keys array;
+  sv_store_for : int -> Ballot_store.t;
+  sv_bb : (Ea.bb_init * (int -> Board.t option)) option;
+  sv_verify_share_tags : bool;
+  sv_coin : Dd_consensus.Binary_batch.coin;
+  sv_seed : string;
+}
+
+let source_of_setup ?(coin = Dd_consensus.Binary_batch.Local) (s : Ea.setup) =
+  { sv_cfg = s.Ea.cfg;
+    sv_gctx = s.Ea.gctx;
+    sv_keys = s.Ea.vc_keys;
+    sv_store_for = (fun node -> Ballot_store.materialized s.Ea.vc_init.(node));
+    sv_bb = Some (s.Ea.bb_init, fun (_ : int) -> None);
+    sv_verify_share_tags = true;
+    sv_coin = coin;
+    sv_seed = s.Ea.seed }
+
+let source_prf ?(scheme = Auth.Schnorr_scheme) ?(coin = Dd_consensus.Binary_batch.Local)
+    cfg ~seed =
+  let gctx = Dd_group.Group_ctx.default () in
+  { sv_cfg = cfg;
+    sv_gctx = gctx;
+    sv_keys =
+      Auth.deal_clique ~scheme ~gctx ~seed:("vc-keys|" ^ seed) ~n:(cfg.Types.nv + 1);
+    sv_store_for = (fun node -> Ballot_store.virtual_prf ~seed ~cfg ~node);
+    sv_bb = None;
+    sv_verify_share_tags = false;
+    sv_coin = coin;
+    sv_seed = seed }
+
+let source_of_layout ~devices ?(coin = Dd_consensus.Binary_batch.Local) ?seed
+    (layout : Election_store.layout) =
+  let st = layout.Election_store.l_static in
+  let cfg = st.Ea.st_cfg in
+  (* the sealed static state does not retain the EA seed (a secret);
+     the node RNG seed only drives timers and coin draws, so any
+     per-deployment string works *)
+  let seed =
+    match seed with Some s -> s | None -> "serve|" ^ cfg.Types.election_id
+  in
+  let gctx = st.Ea.st_gctx in
+  { sv_cfg = cfg;
+    sv_gctx = gctx;
+    sv_keys = st.Ea.st_vc_keys;
+    sv_store_for =
+      (fun node ->
+         Ballot_store.segmented ~gctx ~cfg
+           ~msk_share:st.Ea.st_msk_shares.(node)
+           (devices (Election_store.vc_segment node))
+           layout.Election_store.l_vc.(node));
+    sv_bb =
+      Some
+        ( { Ea.hmsk = st.Ea.st_hmsk; Ea.salt_msk = st.Ea.st_salt_msk;
+            Ea.bb_ballots = [||] },
+          fun (_ : int) ->
+            Some
+              (Board.segmented gctx
+                 (devices Election_store.bb_segment)
+                 layout.Election_store.l_bb) );
+    sv_verify_share_tags = true;
+    sv_coin = coin;
+    sv_seed = seed }
+
+(* --- connections -------------------------------------------------------- *)
+
+type role =
+  | Client of int                    (* client conn feeding VC node [n] *)
+  | Link_vc of int                   (* peer link delivering to VC [n] *)
+  | Link_bb of int                   (* VC->BB link delivering to BB [n] *)
+
+type outq = {
+  oq : string Queue.t;
+  mutable head_pos : int;            (* sent prefix of the queue head *)
+  mutable oq_bytes : int;
+}
+
+type conn_state = {
+  k_id : int;
+  k_conn : Transport.conn;
+  k_role : role;
+  k_dec : Frame.decoder;
+  k_out : outq;
+  mutable k_open : bool;
+}
+
+type staged =
+  | S_vc of int * Messages.vc_msg
+  | S_bb of int * Messages.bb_msg
+  | S_client of int * int * Types.vote_outcome   (* client, req *)
+
+type clock = { mutable cnow : float; mutable cend : float }
+
+type stats = {
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable malformed : int;
+  mutable votes_shed : int;
+  mutable peer_dropped : int;
+  mutable conns_shed : int;
+  mutable steps : int;
+}
+
+type t = {
+  p : params;
+  src : source;
+  nv : int;
+  nb : int;
+  clock : clock;
+  mutable vc : Vc_node.t array;
+  mutable bb : Bb_node.t array;
+  vc_mbox : Messages.vc_msg Mailbox.t array;
+  bb_mbox : Messages.bb_msg Mailbox.t array;
+  batchers : Batcher.t array;
+  staging : staged list ref array;             (* per VC node, reversed *)
+  mutable conns : conn_state list;             (* every registered conn *)
+  link_vc : conn_state option array array;     (* [i].(j): node i's endpoint to j *)
+  link_bb : conn_state option array array;     (* [i].(j): VC i's endpoint to BB j *)
+  clients : (int, conn_state * int) Hashtbl.t; (* client id -> conn, channel *)
+  client_ids : (int * int, int) Hashtbl.t;     (* conn id, channel -> client id *)
+  mutable next_client : int;
+  mutable next_conn : int;
+  st : stats;
+}
+
+let gctx t = t.src.sv_gctx
+let config t = t.src.sv_cfg
+let stats t = t.st
+let vc_node t i = t.vc.(i)
+let bb_node t j = if j >= 0 && j < t.nb then Some t.bb.(j) else None
+
+let batch_stats t =
+  let agg = { Batcher.batch_calls = 0; batched = 0; serial = 0; cache_hits = 0 } in
+  Array.iter
+    (fun b ->
+       let s = Batcher.stats b in
+       agg.Batcher.batch_calls <- agg.Batcher.batch_calls + s.Batcher.batch_calls;
+       agg.Batcher.batched <- agg.Batcher.batched + s.Batcher.batched;
+       agg.Batcher.serial <- agg.Batcher.serial + s.Batcher.serial;
+       agg.Batcher.cache_hits <- agg.Batcher.cache_hits + s.Batcher.cache_hits)
+    t.batchers;
+  agg
+
+let new_outq () = { oq = Queue.create (); head_pos = 0; oq_bytes = 0 }
+
+let enqueue_out t conn payload =
+  let framed = Frame.encode payload in
+  Queue.add framed conn.k_out.oq;
+  conn.k_out.oq_bytes <- conn.k_out.oq_bytes + String.length framed;
+  t.st.frames_out <- t.st.frames_out + 1
+
+let register_conn t ~role conn =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  let cs =
+    { k_id = id; k_conn = conn; k_role = role;
+      k_dec = Frame.create ~max_frame:t.p.max_frame ();
+      k_out = new_outq (); k_open = true }
+  in
+  t.conns <- cs :: t.conns;
+  cs
+
+(* --- construction ------------------------------------------------------- *)
+
+let make_env t i : Vc_node.env =
+  { Vc_node.me = i;
+    cfg = t.src.sv_cfg;
+    keys = t.src.sv_keys.(i);
+    store = t.src.sv_store_for i;
+    now = (fun () -> t.clock.cnow);
+    election_start = 0.;
+    election_end = (fun () -> t.clock.cend);
+    send_vc = (fun ~dst msg -> t.staging.(i) := S_vc (dst, msg) :: !(t.staging.(i)));
+    reply =
+      (fun ~client ~req outcome ->
+         t.staging.(i) := S_client (client, req, outcome) :: !(t.staging.(i)));
+    send_bb = (fun ~dst msg -> t.staging.(i) := S_bb (dst, msg) :: !(t.staging.(i)));
+    rng = Drbg.create ~seed:(Printf.sprintf "vc-rng|%s|%d" t.src.sv_seed i);
+    consensus_coin = t.src.sv_coin;
+    verify_share_tags = t.src.sv_verify_share_tags;
+    verify_tag =
+      (if t.p.batching then Some (Batcher.verify t.batchers.(i)) else None);
+    durable = None }
+
+let create ?(params = default_params) src =
+  let cfg = src.sv_cfg in
+  let nv = cfg.Types.nv in
+  let nb = match src.sv_bb with None -> 0 | Some _ -> cfg.Types.nb in
+  let t =
+    { p = params;
+      src;
+      nv;
+      nb;
+      clock = { cnow = 1.0; cend = infinity };
+      vc = [||];
+      bb = [||];
+      vc_mbox = Array.init nv (fun _ -> Mailbox.create ~capacity:params.mailbox_cap);
+      bb_mbox = Array.init nb (fun _ -> Mailbox.create ~capacity:params.mailbox_cap);
+      batchers =
+        Array.init nv (fun i ->
+            Batcher.create ~min_batch:params.min_batch
+              ~keys:src.sv_keys.(i) ~gctx:src.sv_gctx
+              ~election_id:cfg.Types.election_id ~ea_signer:nv
+              ~share_tags:src.sv_verify_share_tags ());
+      staging = Array.init nv (fun _ -> ref []);
+      conns = [];
+      link_vc = Array.init nv (fun _ -> Array.make nv None);
+      link_bb = Array.init nv (fun _ -> Array.make nb None);
+      clients = Hashtbl.create 256;
+      client_ids = Hashtbl.create 256;
+      next_client = 0;
+      next_conn = 0;
+      st =
+        { frames_in = 0; frames_out = 0; bytes_in = 0; bytes_out = 0;
+          malformed = 0; votes_shed = 0; peer_dropped = 0; conns_shed = 0;
+          steps = 0 } }
+  in
+  t.vc <- Array.init nv (fun i -> Vc_node.create (make_env t i));
+  (* peer links: a real framed pipe per unordered VC pair *)
+  for i = 0 to nv - 1 do
+    for j = i + 1 to nv - 1 do
+      let ei, ej = Pipe.pair () in
+      t.link_vc.(i).(j) <- Some (register_conn t ~role:(Link_vc i) ei);
+      t.link_vc.(j).(i) <- Some (register_conn t ~role:(Link_vc j) ej)
+    done
+  done;
+  (* BB nodes and the VC->BB links *)
+  (match src.sv_bb with
+   | None -> ()
+   | Some (init, board_for) ->
+     t.bb <-
+       Array.init nb (fun j ->
+           Bb_node.create ?board:(board_for j) ~cfg ~gctx:src.sv_gctx ~init ~me:j ());
+     for i = 0 to nv - 1 do
+       for j = 0 to nb - 1 do
+         let evc, ebb = Pipe.pair () in
+         t.link_bb.(i).(j) <- Some (register_conn t ~role:(Link_vc i) evc);
+         (* the VC-side endpoint never receives (BB nodes do not send);
+            the BB-side endpoint delivers to BB j *)
+         ignore (register_conn t ~role:(Link_bb j) ebb)
+       done
+     done);
+  t
+
+let client_conn ?recv_chunk t ~node =
+  let server_end, client_end = Pipe.pair ?recv_chunk () in
+  ignore (register_conn t ~role:(Client node) server_end);
+  client_end
+
+let accept t ~node conn = ignore (register_conn t ~role:(Client node) conn)
+
+(* --- client identity ---------------------------------------------------- *)
+
+let intern_client t conn channel =
+  match Hashtbl.find_opt t.client_ids (conn.k_id, channel) with
+  | Some c -> c
+  | None ->
+    let c = t.next_client in
+    t.next_client <- c + 1;
+    Hashtbl.replace t.client_ids (conn.k_id, channel) c;
+    Hashtbl.replace t.clients c (conn, channel);
+    c
+
+(* --- tick --------------------------------------------------------------- *)
+
+let shed_vote t conn ~channel ~req =
+  t.st.votes_shed <- t.st.votes_shed + 1;
+  enqueue_out t conn
+    (Mux.encode t.src.sv_gctx
+       (Mux.Client_reply { channel; req; outcome = Types.Rejected "server overloaded" }))
+
+let route t conn msg =
+  match conn.k_role, msg with
+  | Client node, Mux.Client_vote { channel; req; serial; vote_code } ->
+    let client = intern_client t conn channel in
+    let m = Messages.Vote { serial; vote_code; client; req } in
+    if not (Mailbox.push t.vc_mbox.(node) m) then shed_vote t conn ~channel ~req
+  | Link_vc node, Mux.Vc m ->
+    if not (Mailbox.push t.vc_mbox.(node) m) then
+      t.st.peer_dropped <- t.st.peer_dropped + 1
+  | Link_bb node, Mux.Bb m ->
+    if not (Mailbox.push t.bb_mbox.(node) m) then
+      t.st.peer_dropped <- t.st.peer_dropped + 1
+  | (Client _ | Link_vc _ | Link_bb _), _ ->
+    (* a frame kind this connection's role must not produce *)
+    t.st.malformed <- t.st.malformed + 1
+
+let pump_conn t conn =
+  let processed = ref 0 in
+  if conn.k_open then begin
+    (* feed chunk by chunk so torn deliveries reach the decoder as-is *)
+    let rec feed_all () =
+      let s = conn.k_conn.Transport.recv () in
+      if s <> "" then begin
+        t.st.bytes_in <- t.st.bytes_in + String.length s;
+        Frame.feed conn.k_dec s;
+        feed_all ()
+      end
+    in
+    feed_all ();
+    let rec pop_all () =
+      match Frame.pop conn.k_dec with
+      | None -> ()
+      | Some payload ->
+        incr processed;
+        t.st.frames_in <- t.st.frames_in + 1;
+        (match Mux.decode t.src.sv_gctx payload with
+         | Some msg -> route t conn msg
+         | None -> t.st.malformed <- t.st.malformed + 1);
+        pop_all ()
+    in
+    pop_all ();
+    (match Frame.error conn.k_dec with
+     | Some _ ->
+       t.st.malformed <- t.st.malformed + 1;
+       conn.k_open <- false;
+       conn.k_conn.Transport.close ()
+     | None -> ())
+  end;
+  !processed
+
+let process_vc t i =
+  let msgs = Mailbox.drain ~max:t.p.batch_max t.vc_mbox.(i) in
+  match msgs with
+  | [] -> 0
+  | _ ->
+    if t.p.batching then Batcher.preverify t.batchers.(i) msgs;
+    List.iter (fun m -> Vc_node.handle t.vc.(i) m) msgs;
+    List.length msgs
+
+let process_bb t j =
+  let msgs = Mailbox.drain ~max:t.p.batch_max t.bb_mbox.(j) in
+  List.iter (fun m -> Bb_node.handle t.bb.(j) m) msgs;
+  List.length msgs
+
+let flush_staged t =
+  for i = 0 to t.nv - 1 do
+    let staged = List.rev !(t.staging.(i)) in
+    t.staging.(i) := [];
+    List.iter
+      (fun s ->
+         match s with
+         | S_vc (dst, m) ->
+           (match t.link_vc.(i).(dst) with
+            | Some conn when conn.k_open ->
+              enqueue_out t conn (Mux.encode t.src.sv_gctx (Mux.Vc m))
+            | Some _ | None -> ())
+         | S_bb (dst, m) ->
+           if dst >= 0 && dst < t.nb then
+             (match t.link_bb.(i).(dst) with
+              | Some conn when conn.k_open ->
+                enqueue_out t conn (Mux.encode t.src.sv_gctx (Mux.Bb m))
+              | Some _ | None -> ())
+         | S_client (client, req, outcome) ->
+           (match Hashtbl.find_opt t.clients client with
+            | Some (conn, channel) when conn.k_open ->
+              enqueue_out t conn
+                (Mux.encode t.src.sv_gctx
+                   (Mux.Client_reply { channel; req; outcome }))
+            | Some _ | None -> ()))
+      staged
+  done
+
+let write_out t =
+  List.iter
+    (fun conn ->
+       if conn.k_open then begin
+         let q = conn.k_out in
+         let continue = ref true in
+         while !continue do
+           match Queue.peek_opt q.oq with
+           | None -> continue := false
+           | Some head ->
+             let len = String.length head - q.head_pos in
+             let k = conn.k_conn.Transport.send head ~pos:q.head_pos ~len in
+             t.st.bytes_out <- t.st.bytes_out + k;
+             q.oq_bytes <- q.oq_bytes - k;
+             if k = len then begin
+               ignore (Queue.take_opt q.oq);
+               q.head_pos <- 0
+             end else begin
+               q.head_pos <- q.head_pos + k;
+               continue := false
+             end
+         done;
+         (* slow-reader shedding: a client that will not drain its
+            replies is disconnected, never buffered without bound *)
+         (match conn.k_role with
+          | Client _ when q.oq_bytes > t.p.out_cap ->
+            conn.k_open <- false;
+            conn.k_conn.Transport.close ();
+            Queue.clear q.oq;
+            q.head_pos <- 0;
+            q.oq_bytes <- 0;
+            t.st.conns_shed <- t.st.conns_shed + 1
+          | _ -> ())
+       end)
+    t.conns
+
+let step t =
+  t.st.steps <- t.st.steps + 1;
+  t.clock.cnow <- t.clock.cnow +. 1e-6;
+  let pumped = List.fold_left (fun acc c -> acc + pump_conn t c) 0 t.conns in
+  let processed = ref 0 in
+  (match t.p.pool with
+   | Some pool when Pool.size pool > 1 && t.nv > 1 ->
+     let counts = Array.make t.nv 0 in
+     Pool.parallel_for pool ~chunk:1 t.nv
+       (fun i -> counts.(i) <- process_vc t i);
+     Array.iter (fun c -> processed := !processed + c) counts
+   | Some _ | None ->
+     for i = 0 to t.nv - 1 do
+       processed := !processed + process_vc t i
+     done);
+  for j = 0 to t.nb - 1 do
+    processed := !processed + process_bb t j
+  done;
+  flush_staged t;
+  write_out t;
+  pumped + !processed
+
+let run_until_idle ?(max_steps = 100_000) t =
+  let total = ref 0 in
+  let continue = ref true in
+  let steps = ref 0 in
+  while !continue && !steps < max_steps do
+    incr steps;
+    let n = step t in
+    total := !total + n;
+    if n = 0 then continue := false
+  done;
+  !total
+
+let end_election t =
+  t.clock.cend <- t.clock.cnow;
+  for i = 0 to t.nv - 1 do
+    Vc_node.start_vote_set_consensus t.vc.(i)
+  done;
+  flush_staged t;
+  write_out t

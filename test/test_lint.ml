@@ -97,7 +97,24 @@ let test_sans_io () =
     "let seal tmp final = Sys.rename tmp final";
   check_clean "segment IO goes through the device record"
     ~file:"lib/segment/fixture.ml"
-    "let chunk dev pos len = dev.Dd_store.Device.log_read ~pos ~len"
+    "let chunk dev pos len = dev.Dd_store.Device.log_read ~pos ~len";
+  (* the serving runtime's OS boundary is exactly lib/serve/socket.ml:
+     Unix sockets are allowed there, and only there *)
+  check_silent "socket backend may speak Unix" "sans-io"
+    ~file:"lib/serve/socket.ml"
+    "let mk () = Unix.socket PF_UNIX SOCK_STREAM 0";
+  check_fires "ambient time still banned in the socket backend" "sans-io"
+    ~file:"lib/serve/socket.ml"
+    "let now () = Unix.gettimeofday ()";
+  check_fires "console still banned in the socket backend" "sans-io"
+    ~file:"lib/serve/socket.ml"
+    {|let log msg = print_endline msg|};
+  check_fires "Unix banned in the rest of lib/serve" "sans-io"
+    ~file:"lib/serve/runtime.ml"
+    "let mk () = Unix.socket PF_UNIX SOCK_STREAM 0";
+  check_fires "Random banned even in the socket backend" "sans-io"
+    ~file:"lib/serve/socket.ml"
+    "let jitter () = Random.int 100"
 
 (* --- R3: exception-hygiene --------------------------------------------- *)
 

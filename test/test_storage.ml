@@ -208,6 +208,7 @@ let vc_env c i =
     rng = Drbg.create ~seed:(Printf.sprintf "rng|%s|%d" vc_seed i);
     consensus_coin = Dd_consensus.Binary_batch.Local;
     verify_share_tags = false;
+    verify_tag = None;
     durable = Option.map Mem.device c.backings.(i) }
 
 let make_cluster ~durable () =

@@ -50,6 +50,7 @@ let make_cluster ?(now = 1.0) () =
       rng = Drbg.create ~seed:(Printf.sprintf "rng%d" i);
       consensus_coin = Dd_consensus.Binary_batch.Local;
       verify_share_tags = false;
+      verify_tag = None;
       durable = None }
   in
   cluster.nodes <- Array.init cfg.Types.nv (fun i -> Vc_node.create (make_env i));
